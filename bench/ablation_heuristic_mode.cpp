@@ -1,0 +1,83 @@
+// Ablation: Algorithm 1's pseudocode breaks out of its outer loop on the
+// first candidate central node that improves the incumbent, while the
+// text's intent ("select the most appropriate central node") suggests
+// evaluating every start.  Both readings are implemented; this bench
+// quantifies the difference in distance quality, optimality rate (vs the
+// exact SD solver) and wall time across random instances.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "placement/online_heuristic.h"
+#include "solver/sd_solver.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 2);
+  bench::banner("Ablation", "Algorithm 1: best-of-all-starts vs first break",
+                seed);
+
+  const cluster::Topology topo = cluster::Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+
+  struct ModeResult {
+    util::Samples gap_pct;  // vs exact SD
+    int optimal = 0;
+    int trials = 0;
+    double total_us = 0;
+  };
+  ModeResult best_mode, first_mode;
+
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    util::Rng rng(seed * 131 + s);
+    const util::IntMatrix remaining =
+        workload::random_inventory(topo, catalog, rng, 0, 4);
+    const cluster::Request r = workload::random_request(catalog, rng, 1, 6, s);
+    const solver::SdResult exact =
+        solver::solve_sd_exact(r, remaining, topo.distance_matrix());
+    if (!exact.feasible) continue;
+
+    auto eval = [&](placement::OnlineHeuristic::Mode mode, ModeResult& out) {
+      placement::OnlineHeuristic h(mode);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto placed = h.place(r, remaining, topo);
+      const auto t1 = std::chrono::steady_clock::now();
+      out.total_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+      if (!placed) return;
+      ++out.trials;
+      if (exact.distance > 0) {
+        out.gap_pct.add(100.0 * (placed->distance - exact.distance) /
+                        exact.distance);
+      } else {
+        out.gap_pct.add(placed->distance > 0 ? 100.0 : 0.0);
+      }
+      if (placed->distance <= exact.distance + 1e-9) ++out.optimal;
+    };
+    eval(placement::OnlineHeuristic::Mode::kBestOfAllStarts, best_mode);
+    eval(placement::OnlineHeuristic::Mode::kFirstImprovement, first_mode);
+  }
+
+  util::TableWriter t({"Mode", "Optimal", "Mean gap (%)", "P95 gap (%)",
+                       "Mean time (us)"});
+  for (const auto& [name, res] :
+       {std::pair<const char*, const ModeResult&>{"best-of-all-starts",
+                                                  best_mode},
+        {"first-improvement (literal pseudocode)", first_mode}}) {
+    t.row()
+        .cell(name)
+        .cell(std::to_string(res.optimal) + "/" + std::to_string(res.trials))
+        .cell(res.gap_pct.mean(), 2)
+        .cell(res.gap_pct.percentile(95), 2)
+        .cell(res.total_us / std::max(1, res.trials), 1);
+  }
+  t.print(std::cout);
+  std::cout << "\nEvaluating every start costs little extra time at this\n"
+               "scale and closes most of the optimality gap — we default to\n"
+               "it and keep the literal reading as OnlineHeuristic::Mode::\n"
+               "kFirstImprovement.\n";
+  return 0;
+}

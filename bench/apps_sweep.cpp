@@ -1,0 +1,51 @@
+// Extension experiment (paper §VII: "MapReduce-like applications"): the four
+// application presets run on the compactest and the most scattered Fig. 7
+// cluster.  Shuffle-heavy applications (TeraSort, inverted index) benefit
+// more from affinity than map-dominated ones (Grep).
+#include <iostream>
+
+#include "bench_common.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 2);
+  bench::banner("Apps", "Affinity benefit across MapReduce-like applications",
+                seed);
+
+  const cluster::Topology topo = workload::fig7_topology();
+  const auto clusters = workload::fig7_clusters();
+  const auto& compact = clusters.front();   // distance 4
+  const auto& scattered = clusters.back();  // distance 12
+  constexpr int kTrials = 7;
+
+  util::TableWriter t({"Application", "Shuffle ratio", "Compact runtime (s)",
+                       "Scattered runtime (s)", "Slowdown"});
+  for (const mapreduce::JobConfig& job : mapreduce::all_apps()) {
+    util::Samples near_rt, far_rt;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      mapreduce::MapReduceEngine a(
+          topo, sim::NetworkConfig{},
+          mapreduce::VirtualCluster::from_allocation(compact.allocation), job,
+          seed * 100 + trial);
+      mapreduce::MapReduceEngine b(
+          topo, sim::NetworkConfig{},
+          mapreduce::VirtualCluster::from_allocation(scattered.allocation), job,
+          seed * 100 + trial);
+      near_rt.add(a.run().runtime);
+      far_rt.add(b.run().runtime);
+    }
+    t.row()
+        .cell(job.name)
+        .cell(job.intermediate_ratio, 2)
+        .cell(near_rt.mean(), 2)
+        .cell(far_rt.mean(), 2)
+        .cell(util::format_double(far_rt.mean() / near_rt.mean(), 2) + "x");
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the figure/table reproduction binaries: uniform
+// headers, seed reporting, and command-line seed overrides so reviewers can
+// re-roll any experiment.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace vcopt::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& title,
+                   std::uint64_t seed) {
+  std::cout << "==================================================\n"
+            << id << ": " << title << "\n"
+            << "(reproduction of Yan et al., CLUSTER 2012; seed=" << seed
+            << ")\n"
+            << "==================================================\n";
+}
+
+/// Seed from argv[1] if present, else the default.
+inline std::uint64_t seed_from_args(int argc, char** argv,
+                                    std::uint64_t fallback) {
+  if (argc > 1) return std::strtoull(argv[1], nullptr, 10);
+  return fallback;
+}
+
+}  // namespace vcopt::bench

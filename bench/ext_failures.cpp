@@ -1,0 +1,76 @@
+// Extension experiment: failure-recovery cost vs when the failure strikes.
+// A node dies at different points of the WordCount lifecycle; the later the
+// failure, the more completed map output is lost and the bigger the re-
+// execution bill — unless the dead node held little state (sparse cluster).
+#include <iostream>
+
+#include "bench_common.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 2);
+  bench::banner("Ext", "Node-failure recovery cost vs failure time", seed);
+
+  const cluster::Topology topo = workload::fig7_topology();
+  const auto clusters = workload::fig7_clusters();
+  // Compact cluster (node holds 4 VMs => lots of state) vs sparse cluster
+  // (node holds 1 VM).
+  struct Case {
+    const char* name;
+    const cluster::Allocation& alloc;
+    std::size_t victim;  // node to kill
+  };
+  const Case cases[] = {
+      {"packed-pair, kill 4-VM node", clusters[0].allocation, 1},
+      {"rack-sparse, kill 1-VM node", clusters[1].allocation, 7},
+  };
+
+  util::TableWriter t({"Cluster / victim", "Failure at", "Runtime (s)",
+                       "Maps re-executed", "Reducers restarted"});
+  for (const Case& c : cases) {
+    const auto vc = mapreduce::VirtualCluster::from_allocation(c.alloc);
+    // Healthy baseline.
+    {
+      util::Samples rt;
+      for (int trial = 0; trial < 5; ++trial) {
+        mapreduce::MapReduceEngine eng(
+            topo, sim::NetworkConfig{}, vc, mapreduce::wordcount(),
+            seed * 10 + static_cast<std::uint64_t>(trial));
+        rt.add(eng.run().runtime);
+      }
+      t.row().cell(c.name).cell("never").cell(rt.mean(), 2).cell(0).cell(0);
+    }
+    for (double when : {0.5, 2.0, 4.0}) {
+      util::Samples rt, reexec, restarts;
+      for (int trial = 0; trial < 5; ++trial) {
+        mapreduce::MapReduceEngine eng(
+            topo, sim::NetworkConfig{}, vc, mapreduce::wordcount(),
+            seed * 10 + static_cast<std::uint64_t>(trial));
+        eng.fail_node_at(c.victim, when);
+        const mapreduce::JobMetrics m = eng.run();
+        rt.add(m.runtime);
+        reexec.add(m.maps_reexecuted);
+        restarts.add(m.reducers_restarted);
+      }
+      t.row()
+          .cell(c.name)
+          .cell(when, 1)
+          .cell(rt.mean(), 2)
+          .cell(reexec.mean(), 1)
+          .cell(restarts.mean(), 1);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nFailures bite hardest mid map phase: in-flight attempts and\n"
+               "unfetched outputs on the dead node must re-execute, and nodes\n"
+               "hosting more VMs lose proportionally more work.  Once the\n"
+               "eager shuffle has drained the outputs, a failure costs almost\n"
+               "nothing — the job can even finish marginally sooner because\n"
+               "dead replicas drop out of the output write pipeline.\n";
+  return 0;
+}

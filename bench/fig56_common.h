@@ -1,0 +1,49 @@
+// Shared driver for Figs. 5 and 6: online heuristic vs global
+// sub-optimisation over a request batch, at both request scales.
+#pragma once
+
+#include <iostream>
+
+#include "placement/global_subopt.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+namespace vcopt::bench {
+
+/// Runs both algorithms on the scenario's 20 requests and prints the
+/// per-request distances plus the total-distance improvement.
+inline void run_fig56(const workload::SimScenario& sc) {
+  placement::GlobalSubOpt::Options no_transfers;
+  no_transfers.apply_transfers = false;
+  placement::GlobalSubOpt online_only(no_transfers);
+  placement::GlobalSubOpt global;
+
+  const placement::BatchPlacement online =
+      online_only.place_batch(sc.requests, sc.capacity, sc.topology);
+  const placement::BatchPlacement opt =
+      global.place_batch(sc.requests, sc.capacity, sc.topology);
+
+  util::TableWriter t({"Request", "VMs", "Online distance", "Global distance"});
+  for (std::size_t i = 0; i < online.placements.size(); ++i) {
+    t.row()
+        .cell(sc.requests[online.admitted[i]].describe())
+        .cell(sc.requests[online.admitted[i]].total_vms())
+        .cell(online.placements[i].distance, 1)
+        .cell(opt.placements[i].distance, 1);
+  }
+  t.print(std::cout);
+
+  const double saving =
+      online.total_distance > 0
+          ? 100.0 * (online.total_distance - opt.total_distance) /
+                online.total_distance
+          : 0.0;
+  std::cout << "\nAdmitted " << online.admitted.size() << "/"
+            << sc.requests.size() << " requests"
+            << "\nTotal distance: online=" << online.total_distance
+            << "  global=" << opt.total_distance << "  ("
+            << util::format_double(saving, 1) << " % shorter, "
+            << opt.transfers_applied << " Theorem-2 transfers)\n";
+}
+
+}  // namespace vcopt::bench

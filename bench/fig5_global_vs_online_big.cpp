@@ -1,0 +1,15 @@
+// Fig. 5 of the paper: online heuristic vs global sub-optimisation for the
+// big-request scenario (paper: the global algorithm shaves ~2 % off the
+// summed distance — large requests leave little slack to transfer).
+#include "bench_common.h"
+#include "fig56_common.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 2);
+  bench::banner("Fig. 5", "Online vs global sub-optimisation (big requests)",
+                seed);
+  bench::run_fig56(
+      workload::paper_sim_scenario(seed, workload::RequestScale::kBig));
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 6 of the paper: online heuristic vs global sub-optimisation for the
+// small-request scenario (paper: ~12 % shorter summed distance — small
+// clusters are easy to repack around each other's central nodes).
+#include "bench_common.h"
+#include "fig56_common.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 2);
+  bench::banner("Fig. 6", "Online vs global sub-optimisation (small requests)",
+                seed);
+  bench::run_fig56(
+      workload::paper_sim_scenario(seed, workload::RequestScale::kSmall));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared driver for Figs. 7 and 8: runs WordCount (32 maps, 1 reduce — the
+// paper's experiment) on the four equal-capability virtual clusters of
+// increasing distance and collects runtime + locality metrics, averaged over
+// several HDFS-placement seeds (the paper re-ran MyHadoop per topology).
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "util/stats.h"
+#include "workload/scenario.h"
+
+namespace vcopt::bench {
+
+struct Fig78Row {
+  std::string name;
+  double distance = 0;
+  double runtime_mean = 0;
+  double runtime_stddev = 0;
+  double non_local_maps = 0;     ///< mean fraction of non-data-local maps
+  double non_local_shuffle = 0;  ///< mean fraction of shuffle bytes off-node
+  double cross_rack_shuffle = 0; ///< mean fraction of shuffle bytes off-rack
+};
+
+inline std::vector<Fig78Row> run_fig78(std::uint64_t seed, int trials = 11) {
+  const cluster::Topology topo = workload::fig7_topology();
+  std::vector<Fig78Row> rows;
+  for (const workload::ExperimentCluster& ec : workload::fig7_clusters()) {
+    const mapreduce::VirtualCluster vc =
+        mapreduce::VirtualCluster::from_allocation(ec.allocation);
+    util::Samples runtime, maps, shuffle, cross;
+    for (int trial = 0; trial < trials; ++trial) {
+      mapreduce::MapReduceEngine engine(topo, sim::NetworkConfig{}, vc,
+                                        mapreduce::wordcount(),
+                                        seed * 1000 + trial);
+      const mapreduce::JobMetrics m = engine.run();
+      runtime.add(m.runtime);
+      maps.add(m.non_local_map_fraction());
+      shuffle.add(m.non_local_shuffle_fraction());
+      cross.add(m.shuffle_bytes_total > 0
+                    ? m.shuffle_bytes_remote / m.shuffle_bytes_total
+                    : 0);
+    }
+    rows.push_back(Fig78Row{ec.name, ec.distance, runtime.mean(),
+                            runtime.stddev(), maps.mean(), shuffle.mean(),
+                            cross.mean()});
+  }
+  return rows;
+}
+
+}  // namespace vcopt::bench

@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks for the simulation substrates: event
+// throughput of the DES core, flow-completion throughput of the max-min
+// network, and end-to-end job simulation cost — establishing that the
+// simulator itself is cheap enough for large parameter sweeps.
+#include <benchmark/benchmark.h>
+
+#include "cluster/topology.h"
+#include "dataflow/dag_engine.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace vcopt;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    long counter = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % 1000), [&counter] { ++counter; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NetworkFlows(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  const cluster::Topology topo = cluster::Topology::uniform(3, 10);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::Network net(topo, sim::NetworkConfig{}, q);
+    for (std::size_t i = 0; i < flows; ++i) {
+      net.start_flow(i % 30, (i * 13 + 7) % 30, 1e6 + i, [](sim::FlowId) {});
+    }
+    q.run();
+    benchmark::DoNotOptimize(net.stats().total());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(flows));
+}
+BENCHMARK(BM_NetworkFlows)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_WordCountSimulation(benchmark::State& state) {
+  const cluster::Topology topo = cluster::Topology::uniform(3, 10);
+  cluster::Allocation alloc(30, 3);
+  alloc.at(0, 1) = 4;
+  alloc.at(1, 1) = 4;
+  const auto vc = mapreduce::VirtualCluster::from_allocation(alloc);
+  const double input = static_cast<double>(state.range(0)) * 64.0e6;
+  for (auto _ : state) {
+    mapreduce::MapReduceEngine eng(topo, sim::NetworkConfig{}, vc,
+                                   mapreduce::wordcount(input), 1);
+    benchmark::DoNotOptimize(eng.run().runtime);
+  }
+}
+BENCHMARK(BM_WordCountSimulation)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DagSimulation(benchmark::State& state) {
+  const cluster::Topology topo = cluster::Topology::uniform(3, 10);
+  cluster::Allocation alloc(30, 3);
+  alloc.at(0, 1) = 4;
+  alloc.at(1, 1) = 4;
+  const auto vc = mapreduce::VirtualCluster::from_allocation(alloc);
+  const dataflow::Dag dag = dataflow::make_mapreduce_dag(
+      static_cast<double>(state.range(0)) * 64.0e6,
+      static_cast<int>(state.range(0)), 4, 0.5, 5e-9, 5e-9);
+  for (auto _ : state) {
+    dataflow::DagEngine eng(topo, sim::NetworkConfig{}, vc, dag, 1);
+    benchmark::DoNotOptimize(eng.run().runtime);
+  }
+}
+BENCHMARK(BM_DagSimulation)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table I of the paper: the VM instance catalogue (Amazon EC2 small /
+// medium / large) the model is parameterised with.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/vm_type.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vcopt;
+  bench::banner("Table I", "Virtual machine types (EC2 catalogue)", 0);
+
+  util::TableWriter t({"Instance type", "Memory (GB)", "CPU (compute unit)",
+                       "Storage (GB)", "Platform"});
+  for (const cluster::VmType& v : cluster::VmCatalog::ec2_default()) {
+    t.row()
+        .cell(v.name)
+        .cell(v.memory_gb, 2)
+        .cell(v.compute_units)
+        .cell(v.storage_gb)
+        .cell(std::to_string(v.platform_bits) + "-bit");
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Dryad-style dataflow scenario: a star-schema join.  A large fact table is
+// scanned in parallel; a small dimension table is scanned and BROADCAST to
+// every join task; the joined rows shuffle into a single aggregation task.
+// The DAG engine generalises the MapReduce engine — this is the paper's
+// "MapReduce-like applications" claim (§VII) made concrete.
+//
+//   $ ./dryad_join [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "dataflow/dag_engine.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  // Build the join DAG.
+  dataflow::Dag dag;
+  dataflow::Stage fact;
+  fact.name = "scan-facts";
+  fact.tasks = 16;
+  fact.source_bytes = 1024e6;  // 1 GB fact table
+  fact.compute_cost_per_byte = 3e-9;
+  fact.output_ratio = 0.6;  // predicate pushdown drops rows
+  const auto facts = dag.add_stage(fact);
+
+  dataflow::Stage dim;
+  dim.name = "scan-dims";
+  dim.tasks = 2;
+  dim.source_bytes = 32e6;  // small dimension table
+  dim.compute_cost_per_byte = 3e-9;
+  const auto dims = dag.add_stage(dim);
+
+  dataflow::Stage join;
+  join.name = "hash-join";
+  join.tasks = 8;
+  join.compute_cost_per_byte = 6e-9;
+  join.output_ratio = 0.3;
+  const auto joined = dag.add_stage(join);
+
+  dataflow::Stage agg;
+  agg.name = "aggregate";
+  agg.tasks = 1;
+  agg.compute_cost_per_byte = 4e-9;
+  agg.output_ratio = 0.01;
+  const auto out = dag.add_stage(agg);
+
+  dag.add_edge(facts, joined, dataflow::EdgeKind::kShuffle);
+  dag.add_edge(dims, joined, dataflow::EdgeKind::kBroadcast);
+  dag.add_edge(joined, out, dataflow::EdgeKind::kShuffle);
+
+  std::cout << "Star-join DAG: scan-facts(16) --shuffle--> hash-join(8)\n"
+               "               scan-dims(2) --broadcast--^\n"
+               "               hash-join(8) --shuffle--> aggregate(1)\n\n";
+
+  const cluster::Topology topo = workload::fig7_topology();
+  util::TableWriter t({"Cluster", "Distance", "Runtime (s)", "Join starts at",
+                       "Cross-rack traffic (MB)"});
+  for (const auto& ec : workload::fig7_clusters()) {
+    dataflow::DagEngine engine(
+        topo, sim::NetworkConfig{},
+        mapreduce::VirtualCluster::from_allocation(ec.allocation), dag, seed);
+    const dataflow::DagMetrics m = engine.run();
+    t.row()
+        .cell(ec.name)
+        .cell(ec.distance, 0)
+        .cell(m.runtime, 2)
+        .cell(m.stages[joined].start, 2)
+        .cell(m.traffic.cross_rack_bytes / 1e6, 1);
+  }
+  t.print(std::cout);
+  std::cout << "\nThe broadcast edge is the affinity-sensitive part: every\n"
+               "join task receives the full dimension table, so scattered\n"
+               "clusters pay for it across racks.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Solver walkthrough: formulate the paper's SD integer program for a small
+// cloud, solve it with the bundled simplex + branch-and-bound, and check it
+// against the polynomial exact solver — then do the same for a two-request
+// GSD instance where the optimal allocations must share capacity.
+//
+//   $ ./ilp_playground
+#include <iostream>
+
+#include "cluster/topology.h"
+#include "solver/sd_solver.h"
+#include "util/table.h"
+
+int main() {
+  using namespace vcopt;
+
+  const cluster::Topology topo = cluster::Topology::uniform(2, 2);
+  const util::IntMatrix remaining{{2, 1}, {1, 1}, {3, 0}, {0, 2}};
+  const cluster::Request request({3, 2});
+
+  std::cout << "Cloud: " << topo.describe() << "\n"
+            << "Remaining capacity L:\n" << remaining << "\n"
+            << "Request R = " << request.describe() << "\n\n";
+
+  // --- Single-request SD: ILP per central node vs polynomial exact. ---
+  std::cout << "SD integer program, one solve per candidate central node:\n";
+  util::TableWriter t({"Central", "ILP status", "ILP distance"});
+  for (std::size_t k = 0; k < topo.node_count(); ++k) {
+    const solver::LpModel model =
+        solver::build_sd_model(request, remaining, topo.distance_matrix(), k);
+    const solver::IlpSolution sol = solver::solve_ilp(model);
+    t.row()
+        .cell("N" + std::to_string(k))
+        .cell(solver::to_string(sol.status))
+        .cell(sol.status == solver::SolveStatus::kOptimal
+                  ? util::format_double(sol.objective, 1)
+                  : "-");
+  }
+  t.print(std::cout);
+
+  const solver::SdResult ilp =
+      solver::solve_sd_ilp(request, remaining, topo.distance_matrix());
+  const solver::SdResult exact =
+      solver::solve_sd_exact(request, remaining, topo.distance_matrix());
+  std::cout << "\nILP optimum:   DC=" << ilp.distance << " via "
+            << ilp.allocation.describe() << "\n"
+            << "Exact solver:  DC=" << exact.distance << " via "
+            << exact.allocation.describe() << "\n"
+            << (ilp.distance == exact.distance
+                    ? "-> agree (the greedy per-central fill is provably optimal)\n"
+                    : "-> MISMATCH, please report a bug\n");
+
+  // --- Two-request GSD with coupled capacity. ---
+  const std::vector<cluster::Request> batch = {cluster::Request({2, 1}, 0),
+                                               cluster::Request({2, 1}, 1)};
+  const solver::GsdResult gsd =
+      solver::solve_gsd_exact(batch, remaining, topo.distance_matrix());
+  std::cout << "\nGSD over two requests (exhaustive central-node tuples + ILP):\n";
+  if (gsd.feasible) {
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      std::cout << "  " << batch[k].describe() << " -> "
+                << gsd.allocations[k].describe() << " (central N"
+                << gsd.centrals[k] << ")\n";
+    }
+    std::cout << "  total distance = " << gsd.total_distance << "\n";
+  } else {
+    std::cout << "  infeasible\n";
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// End-to-end scenario: provision a virtual cluster for a WordCount job with
+// an affinity-aware policy vs an affinity-blind one, then actually run the
+// job on each cluster in the MapReduce simulator and compare runtimes —
+// closing the loop the paper's §VII sketches between provisioning and job
+// scheduling.
+//
+//   $ ./mapreduce_wordcount [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/cloud.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "placement/policy.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace vcopt;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  // The cloud is already half busy: a random background load fragments the
+  // free capacity so policy choices actually differ.
+  workload::SimScenario sc =
+      workload::paper_sim_scenario(seed, workload::RequestScale::kMedium);
+  cluster::Cloud cloud(sc.topology, sc.catalog, sc.capacity);
+  {
+    auto background = placement::make_policy("random:9");
+    for (std::size_t i = 0; i + 1 < sc.requests.size(); i += 2) {
+      auto placed =
+          background->place(sc.requests[i], cloud.remaining(), cloud.topology());
+      if (placed) cloud.grant(sc.requests[i], placed->allocation);
+    }
+  }
+  std::cout << "Cloud under background load: " << cloud.describe() << "\n\n";
+
+  // The tenant wants 8 medium VMs for WordCount (32 maps / 1 reduce).
+  const cluster::Request request({0, 8, 0}, 100);
+  const mapreduce::JobConfig job = mapreduce::wordcount();
+
+  util::TableWriter t({"Provisioning policy", "Cluster distance DC",
+                       "Nodes used", "WordCount runtime (s)",
+                       "Non-local shuffle (%)"});
+  for (const char* policy_name :
+       {"online-heuristic", "sd-exact", "spread", "random:4"}) {
+    auto policy = placement::make_policy(policy_name);
+    const auto placed =
+        policy->place(request, cloud.remaining(), cloud.topology());
+    if (!placed) {
+      std::cout << policy_name << ": request infeasible\n";
+      continue;
+    }
+    const auto vc =
+        mapreduce::VirtualCluster::from_allocation(placed->allocation);
+    // Average the job over a few HDFS placement seeds.
+    double runtime = 0, shuffle = 0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      mapreduce::MapReduceEngine engine(cloud.topology(), sim::NetworkConfig{},
+                                        vc, job, seed * 10 + trial);
+      const mapreduce::JobMetrics m = engine.run();
+      runtime += m.runtime / kTrials;
+      shuffle += m.non_local_shuffle_fraction() * 100 / kTrials;
+    }
+    t.row()
+        .cell(policy_name)
+        .cell(placed->distance, 1)
+        .cell(placed->allocation.used_nodes().size())
+        .cell(runtime, 2)
+        .cell(shuffle, 1);
+  }
+  t.print(std::cout);
+  std::cout << "\nThe affinity-aware policies provision tighter clusters and\n"
+               "the simulated WordCount finishes sooner on them.\n";
+  return 0;
+}

@@ -1,0 +1,213 @@
+// vcopt_cli — command-line driver for the library, in the spirit of a cloud
+// operator's capacity tool.  Two subcommands:
+//
+//   vcopt_cli place [--policy P] [--seed N] [--small S --medium M --large L]
+//       [--cloud cloud.json]
+//       provision one request against a random (or JSON-described) cloud
+//       and print the allocation, central node and distance.
+//
+//   vcopt_cli sim [--policy P] [--seed N] [--requests K] [--scale big|medium|small]
+//       [--discipline fifo|priority|smallest-first] [--csv]
+//       [--trace trace.json] [--save-trace trace.json]
+//       replay a Poisson request trace (or one loaded from JSON) through
+//       the churn simulator and print summary metrics (per-grant CSV with
+//       --csv, or the state-change timeline with --timeline).
+//
+//   vcopt_cli export [--seed N] [--out cloud.json]
+//       write the generated random cloud as a JSON description that
+//       `place --cloud` accepts (edit it to match a real inventory).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sim/cluster_sim.h"
+#include "util/table.h"
+#include "workload/config.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace vcopt;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string flag(const std::map<std::string, std::string>& flags,
+                 const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_place(const std::map<std::string, std::string>& flags) {
+  const std::uint64_t seed = std::stoull(flag(flags, "seed", "2"));
+  workload::CloudSpec spec = [&] {
+    if (flags.count("cloud")) {
+      return workload::load_cloud_file(flags.at("cloud"));
+    }
+    workload::SimScenario sc =
+        workload::paper_sim_scenario(seed, workload::RequestScale::kMedium);
+    return workload::CloudSpec{std::move(sc.topology), std::move(sc.catalog),
+                               std::move(sc.capacity)};
+  }();
+  std::vector<int> counts(spec.catalog.size(), 0);
+  if (spec.catalog.size() == 3) {
+    counts = {std::stoi(flag(flags, "small", "2")),
+              std::stoi(flag(flags, "medium", "4")),
+              std::stoi(flag(flags, "large", "1"))};
+  } else {
+    counts[0] = std::stoi(flag(flags, "small", "2"));
+  }
+  const cluster::Request request(std::move(counts));
+  auto policy = placement::make_policy(flag(flags, "policy", "online-heuristic"));
+  const auto placed = policy->place(request, spec.capacity, spec.topology);
+  if (!placed) {
+    std::cerr << "request " << request.describe() << " is infeasible\n";
+    return 1;
+  }
+  const auto& sc = spec;  // keep the print block uniform
+  std::cout << "cloud:      " << sc.topology.describe() << " (seed " << seed
+            << ")\n"
+            << "request:    " << request.describe() << "\n"
+            << "policy:     " << policy->name() << "\n"
+            << "allocation: " << placed->allocation.describe() << "\n"
+            << "central:    N" << placed->central << " (rack R"
+            << sc.topology.rack_of(placed->central) << ")\n"
+            << "distance:   " << placed->distance << "\n";
+  return 0;
+}
+
+int cmd_export(const std::map<std::string, std::string>& flags) {
+  const std::uint64_t seed = std::stoull(flag(flags, "seed", "2"));
+  const std::string out = flag(flags, "out", "cloud.json");
+  const workload::SimScenario sc =
+      workload::paper_sim_scenario(seed, workload::RequestScale::kMedium);
+  workload::save_cloud_file(out, sc.topology, sc.catalog, sc.capacity);
+  std::cout << "wrote " << sc.topology.describe() << " to " << out << "\n";
+  return 0;
+}
+
+int cmd_sim(const std::map<std::string, std::string>& flags) {
+  const std::uint64_t seed = std::stoull(flag(flags, "seed", "2"));
+  const std::size_t n_requests = std::stoull(flag(flags, "requests", "100"));
+  const std::string scale_name = flag(flags, "scale", "medium");
+  workload::RequestScale scale = workload::RequestScale::kMedium;
+  if (scale_name == "big") scale = workload::RequestScale::kBig;
+  else if (scale_name == "small") scale = workload::RequestScale::kSmall;
+  else if (scale_name != "medium") {
+    std::cerr << "unknown --scale " << scale_name << "\n";
+    return 2;
+  }
+  const std::string disc_name = flag(flags, "discipline", "fifo");
+  sim::ClusterSimOptions opt;
+  if (disc_name == "priority") {
+    opt.discipline = placement::QueueDiscipline::kPriority;
+  } else if (disc_name == "smallest-first") {
+    opt.discipline = placement::QueueDiscipline::kSmallestFirst;
+  } else if (disc_name != "fifo") {
+    std::cerr << "unknown --discipline " << disc_name << "\n";
+    return 2;
+  }
+
+  const workload::SimScenario sc = workload::paper_sim_scenario(seed, scale);
+  util::Rng rng(seed ^ 0xc11ULL);
+  const int max_per_type = scale == workload::RequestScale::kSmall ? 2 : 4;
+  const std::vector<cluster::TimedRequest> trace = [&] {
+    if (flags.count("trace")) {
+      return workload::load_trace_file(flags.at("trace"));
+    }
+    const auto requests = workload::random_requests(sc.catalog, rng,
+                                                    n_requests, 0, max_per_type);
+    return workload::poisson_trace(requests, rng, 3.0, 30.0);
+  }();
+  if (flags.count("save-trace")) {
+    workload::save_trace_file(flags.at("save-trace"), trace);
+  }
+
+  cluster::Cloud cloud(sc.topology, sc.catalog, sc.capacity);
+  const sim::ClusterSimResult res = sim::run_cluster_sim(
+      cloud, placement::make_policy(flag(flags, "policy", "online-heuristic")),
+      trace, opt);
+
+  if (flags.count("timeline")) {
+    util::TableWriter t({"time", "allocated_vms", "queue_length",
+                         "active_leases"});
+    for (const sim::TimelineSample& s : res.timeline) {
+      t.row().cell(s.time, 3).cell(s.allocated_vms).cell(s.queue_length).cell(
+          s.active_leases);
+    }
+    t.print_csv(std::cout);
+    return 0;
+  }
+
+  if (flags.count("csv")) {
+    util::TableWriter t({"request_id", "arrival", "granted", "released",
+                         "wait", "distance", "central", "vms"});
+    for (const sim::GrantRecord& g : res.grants) {
+      t.row()
+          .cell(g.request_id)
+          .cell(g.arrival, 3)
+          .cell(g.granted, 3)
+          .cell(g.released, 3)
+          .cell(g.wait(), 3)
+          .cell(g.distance, 1)
+          .cell(g.central)
+          .cell(g.vms);
+    }
+    t.print_csv(std::cout);
+    return 0;
+  }
+
+  std::cout << "served:        " << res.grants.size() << "/" << trace.size()
+            << " (rejected " << res.rejected << ", unserved " << res.unserved
+            << ")\n"
+            << "total DC:      " << res.total_distance << "\n"
+            << "mean DC:       "
+            << (res.grants.empty()
+                    ? 0
+                    : res.total_distance / double(res.grants.size()))
+            << "\n"
+            << "mean wait:     " << res.mean_wait << " s\n"
+            << "utilisation:   " << res.mean_utilization * 100 << " %\n"
+            << "makespan:      " << res.makespan << " s\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: vcopt_cli <place|sim> [--flags]\n"
+                 "  place: --policy P --seed N --small S --medium M --large L\n"
+                 "  sim:   --policy P --seed N --requests K --scale big|medium|small\n"
+                 "         --discipline fifo|priority|smallest-first --csv\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "place") return cmd_place(flags);
+    if (cmd == "sim") return cmd_sim(flags);
+    if (cmd == "export") return cmd_export(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return 2;
+}

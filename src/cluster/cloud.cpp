@@ -1,0 +1,54 @@
+#include "cluster/cloud.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vcopt::cluster {
+
+Cloud::Cloud(Topology topology, VmCatalog catalog, util::IntMatrix max_capacity)
+    : topology_(std::move(topology)),
+      catalog_(std::move(catalog)),
+      inventory_(std::move(max_capacity)) {
+  if (inventory_.node_count() != topology_.node_count()) {
+    throw std::invalid_argument("Cloud: capacity rows != node count");
+  }
+  if (inventory_.type_count() != catalog_.size()) {
+    throw std::invalid_argument("Cloud: capacity cols != catalog size");
+  }
+}
+
+LeaseId Cloud::grant(const Request& request, const Allocation& alloc) {
+  if (!alloc.satisfies(request)) {
+    throw std::invalid_argument("Cloud::grant: allocation does not satisfy request");
+  }
+  inventory_.allocate(alloc);  // throws if it does not fit
+  const LeaseId id = next_lease_++;
+  leases_.emplace(id, alloc);
+  return id;
+}
+
+void Cloud::release(LeaseId id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) {
+    throw std::invalid_argument("Cloud::release: unknown lease");
+  }
+  inventory_.release(it->second);
+  leases_.erase(it);
+}
+
+const Allocation& Cloud::lease_allocation(LeaseId id) const {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) {
+    throw std::invalid_argument("Cloud::lease_allocation: unknown lease");
+  }
+  return it->second;
+}
+
+std::string Cloud::describe() const {
+  std::ostringstream os;
+  os << topology_.describe() << "; " << inventory_.describe() << "; "
+     << leases_.size() << " active leases";
+  return os.str();
+}
+
+}  // namespace vcopt::cluster

@@ -1,0 +1,70 @@
+// The Cloud facade: VM catalogue + physical topology + capacity inventory,
+// plus lease bookkeeping so the queueing simulations can hold and later
+// release whole virtual clusters by id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cluster/allocation.h"
+#include "cluster/inventory.h"
+#include "cluster/request.h"
+#include "cluster/topology.h"
+#include "cluster/vm_type.h"
+
+namespace vcopt::cluster {
+
+/// Identifier for a granted virtual cluster (lease).
+using LeaseId = std::uint64_t;
+
+class Cloud {
+ public:
+  /// Capacity matrix rows must match topology.node_count(); columns must
+  /// match catalog.size().
+  Cloud(Topology topology, VmCatalog catalog, util::IntMatrix max_capacity);
+
+  const Topology& topology() const { return topology_; }
+  const VmCatalog& catalog() const { return catalog_; }
+  const Inventory& inventory() const { return inventory_; }
+  const util::DoubleMatrix& distance_matrix() const {
+    return topology_.distance_matrix();
+  }
+
+  std::size_t node_count() const { return topology_.node_count(); }
+  std::size_t type_count() const { return catalog_.size(); }
+
+  Admission admit(const Request& request) const {
+    return inventory_.admit(request);
+  }
+  util::IntMatrix remaining() const { return inventory_.remaining(); }
+
+  /// Grants an allocation and records it as a lease.  The allocation must
+  /// satisfy the request and fit remaining capacity.
+  LeaseId grant(const Request& request, const Allocation& alloc);
+
+  /// Releases a lease, returning its allocation to the pool.
+  void release(LeaseId id);
+
+  /// Maintenance control (§VII): a drained node keeps its current leases
+  /// but offers no further capacity until undrained.
+  void drain_node(std::size_t node) { inventory_.drain_node(node); }
+  void undrain_node(std::size_t node) { inventory_.undrain_node(node); }
+  bool is_drained(std::size_t node) const { return inventory_.is_drained(node); }
+
+  bool has_lease(LeaseId id) const { return leases_.count(id) > 0; }
+  std::size_t lease_count() const { return leases_.size(); }
+  const Allocation& lease_allocation(LeaseId id) const;
+
+  std::string describe() const;
+
+ private:
+  Topology topology_;
+  VmCatalog catalog_;
+  Inventory inventory_;
+  std::map<LeaseId, Allocation> leases_;
+  LeaseId next_lease_ = 1;
+};
+
+}  // namespace vcopt::cluster

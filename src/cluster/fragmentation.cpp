@@ -1,0 +1,55 @@
+#include "cluster/fragmentation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcopt::cluster {
+
+FragmentationStats fragmentation(const Inventory& inventory,
+                                 const Topology& topology) {
+  if (inventory.node_count() != topology.node_count()) {
+    throw std::invalid_argument("fragmentation: inventory/topology mismatch");
+  }
+  const util::IntMatrix free = inventory.remaining();
+  const std::size_t n = free.rows();
+  const std::size_t m = free.cols();
+
+  FragmentationStats out;
+  out.free_vms = free.total();
+
+  double node_sum = 0, rack_sum = 0;
+  std::size_t types_counted = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const int total = free.col_sum(j);
+    if (total == 0) continue;
+    ++types_counted;
+    int best_node = 0;
+    for (std::size_t i = 0; i < n; ++i) best_node = std::max(best_node, free(i, j));
+    int best_rack = 0;
+    for (std::size_t r = 0; r < topology.rack_count(); ++r) {
+      int rack_total = 0;
+      for (std::size_t i : topology.nodes_in_rack(r)) rack_total += free(i, j);
+      best_rack = std::max(best_rack, rack_total);
+    }
+    node_sum += static_cast<double>(best_node) / total;
+    rack_sum += static_cast<double>(best_rack) / total;
+  }
+  if (types_counted > 0) {
+    out.node_concentration = node_sum / static_cast<double>(types_counted);
+    out.rack_concentration = rack_sum / static_cast<double>(types_counted);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.largest_single_node_request =
+        std::max(out.largest_single_node_request, free.row_sum(i));
+  }
+  for (std::size_t r = 0; r < topology.rack_count(); ++r) {
+    int rack_total = 0;
+    for (std::size_t i : topology.nodes_in_rack(r)) rack_total += free.row_sum(i);
+    out.largest_single_rack_request =
+        std::max(out.largest_single_rack_request, rack_total);
+  }
+  return out;
+}
+
+}  // namespace vcopt::cluster

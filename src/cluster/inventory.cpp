@@ -1,0 +1,129 @@
+#include "cluster/inventory.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vcopt::cluster {
+
+const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::kAccept: return "accept";
+    case Admission::kWait: return "wait";
+    case Admission::kReject: return "reject";
+  }
+  return "?";
+}
+
+Inventory::Inventory(util::IntMatrix max_capacity)
+    : max_(std::move(max_capacity)),
+      alloc_(max_.rows(), max_.cols(), 0),
+      drained_(max_.rows(), false) {
+  if (max_.rows() == 0 || max_.cols() == 0) {
+    throw std::invalid_argument("Inventory: empty capacity matrix");
+  }
+  if (!max_.all_nonnegative()) {
+    throw std::invalid_argument("Inventory: negative capacity");
+  }
+}
+
+util::IntMatrix Inventory::remaining() const {
+  util::IntMatrix rem = max_ - alloc_;
+  for (std::size_t i = 0; i < rem.rows(); ++i) {
+    if (drained_[i]) {
+      for (std::size_t j = 0; j < rem.cols(); ++j) rem(i, j) = 0;
+    }
+  }
+  return rem;
+}
+
+int Inventory::remaining_at(std::size_t node, std::size_t type) const {
+  if (node < drained_.size() && drained_[node]) {
+    max_.at(node, type);  // still bounds-check the access
+    return 0;
+  }
+  return max_.at(node, type) - alloc_.at(node, type);
+}
+
+void Inventory::drain_node(std::size_t node) {
+  if (node >= drained_.size()) throw std::out_of_range("Inventory::drain_node");
+  drained_[node] = true;
+}
+
+void Inventory::undrain_node(std::size_t node) {
+  if (node >= drained_.size()) throw std::out_of_range("Inventory::undrain_node");
+  drained_[node] = false;
+}
+
+bool Inventory::is_drained(std::size_t node) const {
+  if (node >= drained_.size()) throw std::out_of_range("Inventory::is_drained");
+  return drained_[node];
+}
+
+std::size_t Inventory::drained_count() const {
+  std::size_t n = 0;
+  for (bool d : drained_) {
+    if (d) ++n;
+  }
+  return n;
+}
+
+std::vector<int> Inventory::available() const {
+  std::vector<int> a(type_count());
+  for (std::size_t j = 0; j < type_count(); ++j) {
+    a[j] = available_of(j);
+  }
+  return a;
+}
+
+int Inventory::available_of(std::size_t type) const {
+  int sum = 0;
+  for (std::size_t i = 0; i < node_count(); ++i) sum += remaining_at(i, type);
+  return sum;
+}
+
+Admission Inventory::admit(const Request& request) const {
+  if (request.type_count() != type_count()) {
+    throw std::invalid_argument("Inventory::admit: type count mismatch");
+  }
+  bool wait = false;
+  for (std::size_t j = 0; j < type_count(); ++j) {
+    if (request.count(j) > max_.col_sum(j)) return Admission::kReject;
+    if (request.count(j) > available_of(j)) wait = true;
+  }
+  return wait ? Admission::kWait : Admission::kAccept;
+}
+
+void Inventory::allocate(const Allocation& alloc) {
+  if (alloc.node_count() != node_count() || alloc.type_count() != type_count()) {
+    throw std::invalid_argument("Inventory::allocate: shape mismatch");
+  }
+  if (!alloc.valid() || !alloc.fits(remaining())) {
+    throw std::invalid_argument("Inventory::allocate: does not fit remaining capacity");
+  }
+  alloc_ += alloc.counts();
+}
+
+void Inventory::release(const Allocation& alloc) {
+  if (alloc.node_count() != node_count() || alloc.type_count() != type_count()) {
+    throw std::invalid_argument("Inventory::release: shape mismatch");
+  }
+  if (!alloc.valid() || !alloc_.dominates(alloc.counts())) {
+    throw std::invalid_argument("Inventory::release: releasing unallocated VMs");
+  }
+  alloc_ -= alloc.counts();
+}
+
+double Inventory::utilization() const {
+  const int cap = max_.total();
+  if (cap == 0) return 0;
+  return static_cast<double>(alloc_.total()) / static_cast<double>(cap);
+}
+
+std::string Inventory::describe() const {
+  std::ostringstream os;
+  os << node_count() << " nodes x " << type_count() << " VM types, "
+     << alloc_.total() << "/" << max_.total() << " VMs allocated";
+  return os.str();
+}
+
+}  // namespace vcopt::cluster

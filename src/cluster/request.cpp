@@ -1,0 +1,36 @@
+#include "cluster/request.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcopt::cluster {
+
+Request::Request(std::vector<int> counts, std::uint64_t id, int priority)
+    : counts_(std::move(counts)), id_(id), priority_(priority) {
+  if (counts_.empty()) throw std::invalid_argument("Request: no VM types");
+  for (int c : counts_) {
+    if (c < 0) throw std::invalid_argument("Request: negative VM count");
+  }
+}
+
+int Request::count(std::size_t type) const {
+  if (type >= counts_.size()) throw std::out_of_range("Request::count");
+  return counts_[type];
+}
+
+int Request::total_vms() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0);
+}
+
+std::string Request::describe() const {
+  std::ostringstream os;
+  os << "R" << id_ << "(";
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    os << (j ? "," : "") << counts_[j];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace vcopt::cluster

@@ -1,0 +1,49 @@
+// A virtual-cluster request: the vector R of §II — how many instances of
+// each VM type the user wants, requested atomically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcopt::cluster {
+
+/// Request vector R.  counts[j] = number of VMs of type j requested.
+/// `priority` orders the wait queue under the priority discipline (§III.C:
+/// "requests will be served according to some scheduling strategies such as
+/// priority-based or FIFO"); larger = more urgent.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::vector<int> counts, std::uint64_t id = 0,
+                   int priority = 0);
+
+  std::uint64_t id() const { return id_; }
+  int priority() const { return priority_; }
+  std::size_t type_count() const { return counts_.size(); }
+  int count(std::size_t type) const;
+  int operator[](std::size_t type) const { return count(type); }
+  const std::vector<int>& counts() const { return counts_; }
+
+  /// Total number of VMs across all types.
+  int total_vms() const;
+  bool empty() const { return total_vms() == 0; }
+
+  std::string describe() const;
+
+ private:
+  std::vector<int> counts_;
+  std::uint64_t id_ = 0;
+  int priority_ = 0;
+};
+
+/// A timed request for the queueing simulations: arrival instant plus how
+/// long the virtual cluster is held before release.
+struct TimedRequest {
+  Request request;
+  double arrival_time = 0;
+  double hold_time = 0;
+};
+
+}  // namespace vcopt::cluster

@@ -1,0 +1,115 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcopt::cluster {
+
+void DistanceConfig::validate() const {
+  if (same_node < 0 || !(same_node < same_rack) || !(same_rack < cross_rack) ||
+      !(cross_rack < cross_cloud)) {
+    throw std::invalid_argument(
+        "DistanceConfig: need 0 <= same_node < same_rack < cross_rack < "
+        "cross_cloud");
+  }
+}
+
+Topology::Topology(std::vector<std::size_t> node_rack,
+                   std::vector<std::size_t> rack_cloud, DistanceConfig distances)
+    : node_rack_(std::move(node_rack)),
+      rack_cloud_(std::move(rack_cloud)),
+      cfg_(distances) {
+  cfg_.validate();
+  if (node_rack_.empty()) throw std::invalid_argument("Topology: no nodes");
+  if (rack_cloud_.empty()) throw std::invalid_argument("Topology: no racks");
+  rack_nodes_.resize(rack_cloud_.size());
+  for (std::size_t i = 0; i < node_rack_.size(); ++i) {
+    if (node_rack_[i] >= rack_cloud_.size()) {
+      throw std::invalid_argument("Topology: node references unknown rack");
+    }
+    rack_nodes_[node_rack_[i]].push_back(i);
+  }
+  cloud_count_ = 1 + *std::max_element(rack_cloud_.begin(), rack_cloud_.end());
+
+  const std::size_t n = node_rack_.size();
+  dist_ = util::DoubleMatrix(n, n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) {
+        dist_(a, b) = cfg_.same_node;
+      } else if (same_rack(a, b)) {
+        dist_(a, b) = cfg_.same_rack;
+      } else if (same_cloud(a, b)) {
+        dist_(a, b) = cfg_.cross_rack;
+      } else {
+        dist_(a, b) = cfg_.cross_cloud;
+      }
+    }
+  }
+}
+
+Topology Topology::uniform(std::size_t racks, std::size_t nodes_per_rack,
+                           DistanceConfig distances) {
+  return multi_cloud(1, racks, nodes_per_rack, distances);
+}
+
+Topology Topology::multi_cloud(std::size_t clouds, std::size_t racks_per_cloud,
+                               std::size_t nodes_per_rack,
+                               DistanceConfig distances) {
+  if (clouds == 0 || racks_per_cloud == 0 || nodes_per_rack == 0) {
+    throw std::invalid_argument("Topology: all dimensions must be >= 1");
+  }
+  std::vector<std::size_t> node_rack;
+  std::vector<std::size_t> rack_cloud;
+  node_rack.reserve(clouds * racks_per_cloud * nodes_per_rack);
+  rack_cloud.reserve(clouds * racks_per_cloud);
+  for (std::size_t c = 0; c < clouds; ++c) {
+    for (std::size_t r = 0; r < racks_per_cloud; ++r) {
+      const std::size_t rack_id = rack_cloud.size();
+      rack_cloud.push_back(c);
+      for (std::size_t nn = 0; nn < nodes_per_rack; ++nn) {
+        node_rack.push_back(rack_id);
+      }
+    }
+  }
+  return Topology(std::move(node_rack), std::move(rack_cloud), distances);
+}
+
+std::size_t Topology::rack_of(std::size_t node) const {
+  if (node >= node_rack_.size()) throw std::out_of_range("Topology::rack_of");
+  return node_rack_[node];
+}
+
+std::size_t Topology::cloud_of(std::size_t node) const {
+  return rack_cloud_[rack_of(node)];
+}
+
+const std::vector<std::size_t>& Topology::nodes_in_rack(std::size_t rack) const {
+  if (rack >= rack_nodes_.size()) throw std::out_of_range("Topology::nodes_in_rack");
+  return rack_nodes_[rack];
+}
+
+bool Topology::same_rack(std::size_t a, std::size_t b) const {
+  return rack_of(a) == rack_of(b);
+}
+
+bool Topology::same_cloud(std::size_t a, std::size_t b) const {
+  return cloud_of(a) == cloud_of(b);
+}
+
+double Topology::distance(std::size_t a, std::size_t b) const {
+  if (a >= node_count() || b >= node_count()) {
+    throw std::out_of_range("Topology::distance");
+  }
+  return dist_(a, b);
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << rack_count() << " racks, " << node_count() << " nodes, "
+     << cloud_count() << (cloud_count() == 1 ? " cloud" : " clouds");
+  return os.str();
+}
+
+}  // namespace vcopt::cluster

@@ -1,0 +1,74 @@
+// Hierarchical physical topology (paper §II): nodes grouped into racks,
+// racks grouped into clouds/sites.  Latency-derived distances: 0 between VMs
+// on the same node, d1 within a rack, d2 across racks, d3 across clouds
+// (0 < d1 < d2 < d3).  The dense pairwise matrix D drives every placement
+// algorithm in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace vcopt::cluster {
+
+/// Distance constants of the paper's latency model.
+struct DistanceConfig {
+  double same_node = 0.0;
+  double same_rack = 1.0;   ///< d1
+  double cross_rack = 2.0;  ///< d2
+  double cross_cloud = 4.0; ///< d3
+
+  /// Throws unless 0 <= same_node < same_rack < cross_rack < cross_cloud.
+  void validate() const;
+};
+
+/// Immutable description of the physical plant.
+class Topology {
+ public:
+  /// node_rack[i] = rack id of node i; rack_cloud[r] = cloud id of rack r.
+  Topology(std::vector<std::size_t> node_rack, std::vector<std::size_t> rack_cloud,
+           DistanceConfig distances = {});
+
+  /// Single cloud, `racks` racks with `nodes_per_rack` nodes each
+  /// (the simulation setup of §V.A uses uniform(3, 10)).
+  static Topology uniform(std::size_t racks, std::size_t nodes_per_rack,
+                          DistanceConfig distances = {});
+
+  /// `clouds` sites, each with `racks_per_cloud` racks of `nodes_per_rack`.
+  static Topology multi_cloud(std::size_t clouds, std::size_t racks_per_cloud,
+                              std::size_t nodes_per_rack,
+                              DistanceConfig distances = {});
+
+  std::size_t node_count() const { return node_rack_.size(); }
+  std::size_t rack_count() const { return rack_cloud_.size(); }
+  std::size_t cloud_count() const { return cloud_count_; }
+
+  std::size_t rack_of(std::size_t node) const;
+  std::size_t cloud_of(std::size_t node) const;
+  const std::vector<std::size_t>& nodes_in_rack(std::size_t rack) const;
+
+  bool same_rack(std::size_t a, std::size_t b) const;
+  bool same_cloud(std::size_t a, std::size_t b) const;
+
+  /// Distance between two nodes per the latency model.
+  double distance(std::size_t a, std::size_t b) const;
+  /// The dense n x n matrix D (precomputed at construction).
+  const util::DoubleMatrix& distance_matrix() const { return dist_; }
+
+  const DistanceConfig& distances() const { return cfg_; }
+
+  /// Human-readable summary, e.g. "3 racks x 10 nodes (1 cloud)".
+  std::string describe() const;
+
+ private:
+  std::vector<std::size_t> node_rack_;
+  std::vector<std::size_t> rack_cloud_;
+  std::vector<std::vector<std::size_t>> rack_nodes_;
+  std::size_t cloud_count_ = 0;
+  DistanceConfig cfg_;
+  util::DoubleMatrix dist_;
+};
+
+}  // namespace vcopt::cluster

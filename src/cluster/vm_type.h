@@ -1,0 +1,43 @@
+// VM type catalogue (paper §II, Table I).  Types are identified by dense
+// indices so the capacity matrices M/C/L can be plain integer matrices with
+// one column per type.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vcopt::cluster {
+
+/// One VM flavour a provider offers (Amazon EC2 style "instance type").
+struct VmType {
+  std::string name;      ///< e.g. "small"
+  double memory_gb = 0;  ///< RAM
+  int compute_units = 0; ///< abstract CPU capacity (EC2 compute units)
+  int storage_gb = 0;    ///< local disk
+  int platform_bits = 64;///< 32 or 64
+};
+
+/// Immutable, index-addressed set of VM types.
+class VmCatalog {
+ public:
+  VmCatalog() = default;
+  explicit VmCatalog(std::vector<VmType> types);
+
+  /// The three types of Table I: small / medium / large.
+  static VmCatalog ec2_default();
+
+  std::size_t size() const { return types_.size(); }
+  const VmType& type(std::size_t index) const;
+  const VmType& operator[](std::size_t index) const { return type(index); }
+  std::optional<std::size_t> index_of(const std::string& name) const;
+
+  auto begin() const { return types_.begin(); }
+  auto end() const { return types_.end(); }
+
+ private:
+  std::vector<VmType> types_;
+};
+
+}  // namespace vcopt::cluster

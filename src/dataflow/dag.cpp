@@ -1,0 +1,112 @@
+#include "dataflow/dag.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace vcopt::dataflow {
+
+const char* to_string(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::kShuffle: return "shuffle";
+    case EdgeKind::kOneToOne: return "one-to-one";
+    case EdgeKind::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+std::size_t Dag::add_stage(Stage stage) {
+  if (stage.tasks < 1) throw std::invalid_argument("Dag: stage needs >= 1 task");
+  if (stage.compute_cost_per_byte < 0 || stage.output_ratio < 0 ||
+      stage.source_bytes < 0) {
+    throw std::invalid_argument("Dag: negative stage parameter");
+  }
+  stages_.push_back(std::move(stage));
+  return stages_.size() - 1;
+}
+
+void Dag::add_edge(std::size_t from, std::size_t to, EdgeKind kind) {
+  if (from >= stages_.size() || to >= stages_.size()) {
+    throw std::invalid_argument("Dag: edge references unknown stage");
+  }
+  if (from == to) throw std::invalid_argument("Dag: self-loop");
+  if (kind == EdgeKind::kOneToOne &&
+      stages_[from].tasks != stages_[to].tasks) {
+    throw std::invalid_argument(
+        "Dag: one-to-one edge requires equal task counts");
+  }
+  edges_.push_back(Edge{from, to, kind});
+}
+
+std::vector<std::size_t> Dag::in_edges(std::size_t stage) const {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].to == stage) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dag::out_edges(std::size_t stage) const {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].from == stage) out.push_back(e);
+  }
+  return out;
+}
+
+void Dag::validate() const {
+  if (stages_.empty()) throw std::invalid_argument("Dag: no stages");
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (is_source(s) && stages_[s].source_bytes <= 0) {
+      throw std::invalid_argument("Dag: source stage '" + stages_[s].name +
+                                  "' has no source bytes");
+    }
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+std::vector<std::size_t> Dag::topological_order() const {
+  std::vector<std::size_t> indegree(stages_.size(), 0);
+  for (const Edge& e : edges_) ++indegree[e.to];
+  std::queue<std::size_t> ready;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (indegree[s] == 0) ready.push(s);
+  }
+  std::vector<std::size_t> order;
+  while (!ready.empty()) {
+    const std::size_t s = ready.front();
+    ready.pop();
+    order.push_back(s);
+    for (const Edge& e : edges_) {
+      if (e.from == s && --indegree[e.to] == 0) ready.push(e.to);
+    }
+  }
+  if (order.size() != stages_.size()) {
+    throw std::invalid_argument("Dag: cycle detected");
+  }
+  return order;
+}
+
+Dag make_mapreduce_dag(double input_bytes, int maps, int reduces,
+                       double intermediate_ratio, double map_cost,
+                       double reduce_cost) {
+  Dag dag;
+  Stage map;
+  map.name = "map";
+  map.tasks = maps;
+  map.compute_cost_per_byte = map_cost;
+  map.output_ratio = intermediate_ratio;
+  map.source_bytes = input_bytes;
+  const std::size_t m = dag.add_stage(std::move(map));
+
+  Stage reduce;
+  reduce.name = "reduce";
+  reduce.tasks = reduces;
+  reduce.compute_cost_per_byte = reduce_cost;
+  reduce.output_ratio = 1.0;
+  const std::size_t r = dag.add_stage(std::move(reduce));
+
+  dag.add_edge(m, r, EdgeKind::kShuffle);
+  return dag;
+}
+
+}  // namespace vcopt::dataflow

@@ -1,0 +1,78 @@
+// Dryad-style dataflow graphs (paper §I: virtual clusters host "MapReduce
+// and Dryad applications"; §VII: the optimisation "can be extended to
+// MapReduce-like applications").  A job is a DAG of stages; each stage runs
+// a number of parallel tasks, and edges move data between stages with
+// shuffle (all-to-all), one-to-one, or broadcast semantics.  MapReduce is
+// the two-stage special case (source -> map =shuffle=> reduce).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vcopt::dataflow {
+
+struct Stage {
+  std::string name = "stage";
+  int tasks = 1;
+  /// Seconds of compute per input byte per task.
+  double compute_cost_per_byte = 5e-9;
+  /// Output bytes produced per input byte consumed.
+  double output_ratio = 1.0;
+  /// For source stages (no incoming edges): bytes read from storage,
+  /// split evenly across the stage's tasks.
+  double source_bytes = 0;
+};
+
+enum class EdgeKind {
+  kShuffle,   ///< every upstream task sends an equal share to each
+              ///< downstream task (all-to-all)
+  kOneToOne,  ///< task i feeds task i (stage task counts must match)
+  kBroadcast, ///< every upstream task sends its FULL output to every
+              ///< downstream task
+};
+
+const char* to_string(EdgeKind k);
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  EdgeKind kind = EdgeKind::kShuffle;
+};
+
+class Dag {
+ public:
+  /// Adds a stage, returns its index.
+  std::size_t add_stage(Stage stage);
+
+  /// Adds an edge; stages must exist, and kOneToOne requires equal task
+  /// counts.  Self-loops are rejected; cycles are caught by validate().
+  void add_edge(std::size_t from, std::size_t to, EdgeKind kind);
+
+  std::size_t stage_count() const { return stages_.size(); }
+  const Stage& stage(std::size_t i) const { return stages_.at(i); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::vector<std::size_t> in_edges(std::size_t stage) const;
+  std::vector<std::size_t> out_edges(std::size_t stage) const;
+  bool is_source(std::size_t stage) const { return in_edges(stage).empty(); }
+
+  /// Throws std::invalid_argument on an empty graph, a cycle, a stage with
+  /// neither source bytes nor inputs, or invalid task counts.
+  void validate() const;
+
+  /// Stage indices in a topological order (validate() must pass).
+  std::vector<std::size_t> topological_order() const;
+
+ private:
+  std::vector<Stage> stages_;
+  std::vector<Edge> edges_;
+};
+
+/// The classic two-stage MapReduce DAG: a map stage reading `input_bytes`
+/// shuffling `intermediate_ratio` of it into `reduces` reducer tasks.
+Dag make_mapreduce_dag(double input_bytes, int maps, int reduces,
+                       double intermediate_ratio, double map_cost,
+                       double reduce_cost);
+
+}  // namespace vcopt::dataflow

@@ -1,0 +1,120 @@
+#include "dataflow/patterns.h"
+
+#include <stdexcept>
+
+namespace vcopt::dataflow {
+
+Dag make_iteration_dag(double bytes, int tasks, int rounds,
+                       double compute_cost) {
+  if (rounds < 1) throw std::invalid_argument("make_iteration_dag: rounds < 1");
+  Dag dag;
+  Stage scan;
+  scan.name = "iterate0";
+  scan.tasks = tasks;
+  scan.source_bytes = bytes;
+  scan.compute_cost_per_byte = compute_cost;
+  std::size_t prev = dag.add_stage(std::move(scan));
+  for (int r = 1; r < rounds; ++r) {
+    Stage next;
+    next.name = "iterate" + std::to_string(r);
+    next.tasks = tasks;
+    next.compute_cost_per_byte = compute_cost;
+    const std::size_t cur = dag.add_stage(std::move(next));
+    dag.add_edge(prev, cur, EdgeKind::kShuffle);
+    prev = cur;
+  }
+  dag.validate();
+  return dag;
+}
+
+Dag make_star_join_dag(double fact_bytes, double dim_bytes, int scan_tasks,
+                       int join_tasks, int agg_tasks) {
+  Dag dag;
+  Stage facts;
+  facts.name = "scan-facts";
+  facts.tasks = scan_tasks;
+  facts.source_bytes = fact_bytes;
+  facts.compute_cost_per_byte = 3e-9;
+  facts.output_ratio = 0.6;
+  const std::size_t f = dag.add_stage(std::move(facts));
+
+  Stage dims;
+  dims.name = "scan-dims";
+  dims.tasks = std::max(1, scan_tasks / 8);
+  dims.source_bytes = dim_bytes;
+  dims.compute_cost_per_byte = 3e-9;
+  const std::size_t d = dag.add_stage(std::move(dims));
+
+  Stage join;
+  join.name = "hash-join";
+  join.tasks = join_tasks;
+  join.compute_cost_per_byte = 6e-9;
+  join.output_ratio = 0.3;
+  const std::size_t j = dag.add_stage(std::move(join));
+
+  Stage agg;
+  agg.name = "aggregate";
+  agg.tasks = agg_tasks;
+  agg.compute_cost_per_byte = 4e-9;
+  agg.output_ratio = 0.01;
+  const std::size_t a = dag.add_stage(std::move(agg));
+
+  dag.add_edge(f, j, EdgeKind::kShuffle);
+  dag.add_edge(d, j, EdgeKind::kBroadcast);
+  dag.add_edge(j, a, EdgeKind::kShuffle);
+  dag.validate();
+  return dag;
+}
+
+Dag make_pipeline_dag(double bytes, int tasks, int depth, double compute_cost) {
+  if (depth < 0) throw std::invalid_argument("make_pipeline_dag: depth < 0");
+  Dag dag;
+  Stage ingest;
+  ingest.name = "ingest";
+  ingest.tasks = tasks;
+  ingest.source_bytes = bytes;
+  ingest.compute_cost_per_byte = compute_cost;
+  std::size_t prev = dag.add_stage(std::move(ingest));
+  for (int level = 0; level < depth; ++level) {
+    Stage st;
+    st.name = "transform" + std::to_string(level);
+    st.tasks = tasks;
+    st.compute_cost_per_byte = compute_cost;
+    const std::size_t cur = dag.add_stage(std::move(st));
+    dag.add_edge(prev, cur, EdgeKind::kOneToOne);
+    prev = cur;
+  }
+  dag.validate();
+  return dag;
+}
+
+Dag make_tree_aggregation_dag(double bytes, int leaves,
+                              double reduction_per_level) {
+  if (leaves < 1) throw std::invalid_argument("make_tree_aggregation_dag: leaves < 1");
+  Dag dag;
+  Stage leaf;
+  leaf.name = "leaves";
+  leaf.tasks = leaves;
+  leaf.source_bytes = bytes;
+  leaf.compute_cost_per_byte = 4e-9;
+  leaf.output_ratio = reduction_per_level;
+  std::size_t prev = dag.add_stage(std::move(leaf));
+  int width = leaves / 2;
+  int level = 0;
+  while (width >= 1) {
+    Stage combine;
+    combine.name = "combine" + std::to_string(level++);
+    combine.tasks = width;
+    combine.compute_cost_per_byte = 4e-9;
+    combine.output_ratio = reduction_per_level;
+    const std::size_t cur = dag.add_stage(std::move(combine));
+    dag.add_edge(prev, cur, EdgeKind::kShuffle);
+    prev = cur;
+    if (width == 1) break;
+    width /= 2;
+  }
+  dag.validate();
+  return dag;
+}
+
+}  // namespace vcopt::dataflow

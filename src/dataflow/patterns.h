@@ -1,0 +1,29 @@
+// Reusable dataflow patterns: the DAG shapes that recur across analytics
+// stacks, parameterised by scale.  Each returns a validated Dag.
+#pragma once
+
+#include "dataflow/dag.h"
+
+namespace vcopt::dataflow {
+
+/// PageRank-style iteration: `rounds` chained (scatter =shuffle=> gather
+/// =one-to-one=> next scatter) stages over a rank vector of `bytes`.
+Dag make_iteration_dag(double bytes, int tasks, int rounds,
+                       double compute_cost = 5e-9);
+
+/// Star-schema join: a big fact scan shuffled into the join, a small
+/// dimension scan broadcast to every join task, and a final aggregation.
+Dag make_star_join_dag(double fact_bytes, double dim_bytes, int scan_tasks,
+                       int join_tasks, int agg_tasks = 1);
+
+/// Map-only ETL pipeline: `depth` one-to-one transform stages after the
+/// ingest scan (no redistribution anywhere).
+Dag make_pipeline_dag(double bytes, int tasks, int depth,
+                      double compute_cost = 3e-9);
+
+/// Tree aggregation: leaves combine pairwise (shuffle halving the task
+/// count each level) down to a single root — log-depth convergence.
+Dag make_tree_aggregation_dag(double bytes, int leaves,
+                              double reduction_per_level = 0.5);
+
+}  // namespace vcopt::dataflow

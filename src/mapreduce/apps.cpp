@@ -1,0 +1,71 @@
+#include "mapreduce/apps.h"
+
+#include <stdexcept>
+
+namespace vcopt::mapreduce {
+
+JobConfig wordcount(double input_bytes) {
+  JobConfig j;
+  j.name = "wordcount";
+  j.input_bytes = input_bytes;
+  j.split_bytes = 64.0e6;
+  j.num_reduces = 1;
+  j.map_cost_per_byte = 10.0e-9;    // tokenising + combining is CPU-heavy
+  j.reduce_cost_per_byte = 5.0e-9;
+  j.intermediate_ratio = 0.2;       // combiner collapses repeated words
+  j.output_ratio = 0.1;             // distinct-word counts are small
+  return j;
+}
+
+JobConfig terasort(double input_bytes, int num_reduces) {
+  JobConfig j;
+  j.name = "terasort";
+  j.input_bytes = input_bytes;
+  j.split_bytes = 64.0e6;
+  j.num_reduces = num_reduces;
+  j.map_cost_per_byte = 4.0e-9;     // identity map + partition
+  j.reduce_cost_per_byte = 8.0e-9;  // merge-heavy reduce
+  j.intermediate_ratio = 1.0;       // every byte is shuffled
+  j.output_ratio = 1.0;
+  return j;
+}
+
+JobConfig grep(double input_bytes) {
+  JobConfig j;
+  j.name = "grep";
+  j.input_bytes = input_bytes;
+  j.split_bytes = 64.0e6;
+  j.num_reduces = 1;
+  j.map_cost_per_byte = 6.0e-9;
+  j.reduce_cost_per_byte = 5.0e-9;
+  j.intermediate_ratio = 0.01;      // few lines match
+  j.output_ratio = 1.0;
+  return j;
+}
+
+JobConfig inverted_index(double input_bytes, int num_reduces) {
+  JobConfig j;
+  j.name = "inverted-index";
+  j.input_bytes = input_bytes;
+  j.split_bytes = 64.0e6;
+  j.num_reduces = num_reduces;
+  j.map_cost_per_byte = 12.0e-9;
+  j.reduce_cost_per_byte = 10.0e-9;
+  j.intermediate_ratio = 0.8;
+  j.output_ratio = 0.6;
+  return j;
+}
+
+std::vector<JobConfig> all_apps() {
+  return {wordcount(), terasort(), grep(), inverted_index()};
+}
+
+JobConfig app_by_name(const std::string& name) {
+  if (name == "wordcount") return wordcount();
+  if (name == "terasort") return terasort();
+  if (name == "grep") return grep();
+  if (name == "inverted-index") return inverted_index();
+  throw std::invalid_argument("app_by_name: unknown app '" + name + "'");
+}
+
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,35 @@
+// Application presets: the workloads the paper's evaluation and motivation
+// mention.  Each preset fixes the dataflow knobs that distinguish one
+// MapReduce application from another; sizes default to the paper's
+// experiment scale (WordCount with 32 maps and 1 reduce) and can be rescaled.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.h"
+
+namespace vcopt::mapreduce {
+
+/// WordCount (§V.B): combiner shrinks the intermediate data heavily; a
+/// single reducer aggregates, tiny output.  input defaults to 32 x 64 MB so
+/// the job has the paper's 32 map tasks and 1 reduce task.
+JobConfig wordcount(double input_bytes = 32 * 64.0e6);
+
+/// TeraSort: intermediate and output are both as large as the input; the
+/// shuffle dominates.  Reducer count scales with input.
+JobConfig terasort(double input_bytes = 32 * 64.0e6, int num_reduces = 8);
+
+/// Grep (selective filter): near-zero intermediate data; map-dominated.
+JobConfig grep(double input_bytes = 32 * 64.0e6);
+
+/// Inverted index: intermediate comparable to input, sizeable output.
+JobConfig inverted_index(double input_bytes = 32 * 64.0e6, int num_reduces = 4);
+
+/// All presets at default scale (for sweeps over "MapReduce-like" apps).
+std::vector<JobConfig> all_apps();
+
+/// Lookup by name ("wordcount", "terasort", "grep", "inverted-index").
+JobConfig app_by_name(const std::string& name);
+
+}  // namespace vcopt::mapreduce

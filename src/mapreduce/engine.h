@@ -1,0 +1,164 @@
+// MapReduce job execution engine: simulates one job on a provisioned virtual
+// cluster over the flow-level network.
+//
+// Pipeline per map task: read the split (network flow if the nearest replica
+// is off-node, disk flow otherwise) -> compute -> map output lands on the
+// task's node.  Each completed map triggers shuffle fetch flows to every
+// reducer (Hadoop's eager copy phase).  A reducer with all segments fetched
+// computes, then writes its output through a replication chain (sequential
+// replica-to-replica flows approximating HDFS's write pipeline).  The job
+// finishes when the last output replica is durable.
+//
+// Fault tolerance (Hadoop semantics, coarsened): fail_node_at(node, t)
+// kills a physical node mid-job.  Its VMs stop taking tasks, running map
+// copies are void, completed map outputs stored there are lost — blocks not
+// yet fetched by every reducer re-execute on live VMs — and reducers on the
+// node restart elsewhere, re-fetching all finished map outputs.  Stale
+// events from before the failure are fenced by per-block / per-reducer
+// epochs.
+//
+// Simplifications vs. Hadoop, none of which affect the distance/locality
+// story the paper measures: all reducers start at time 0 (slowstart=0),
+// per-reducer fetches run concurrently rather than through 5 copier threads
+// (link sharing still throttles them), and in-flight transfers from a dead
+// node are dropped logically (epoch fencing) rather than torn down in the
+// flow model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/topology.h"
+#include "mapreduce/hdfs.h"
+#include "mapreduce/job.h"
+#include "mapreduce/scheduler.h"
+#include "mapreduce/virtual_cluster.h"
+#include "sim/network.h"
+
+namespace vcopt::mapreduce {
+
+struct JobMetrics {
+  double runtime = 0;        ///< job completion time (s)
+  double map_phase_end = 0;  ///< last map task finish
+  double shuffle_end = 0;    ///< last shuffle fetch landed
+
+  int maps_total = 0;
+  int maps_node_local = 0;
+  int maps_rack_local = 0;
+  int maps_remote = 0;
+
+  double shuffle_bytes_total = 0;
+  double shuffle_bytes_node_local = 0;
+  double shuffle_bytes_rack_local = 0;
+  double shuffle_bytes_remote = 0;  ///< crossed a rack (or cloud) boundary
+
+  double cluster_distance = 0;  ///< DC of the cluster the job ran on
+  sim::TrafficStats traffic;    ///< all bytes moved, by tier
+  int locality_waits = 0;       ///< delay-scheduling holds that were taken
+  int speculative_launched = 0; ///< backup map copies started
+  int speculative_wins = 0;     ///< backups that beat the original copy
+  int maps_reexecuted = 0;      ///< maps re-run after a node failure
+  int reducers_restarted = 0;   ///< reducers relocated after a node failure
+
+  /// Fig. 8's "non data-local map tasks" fraction.
+  double non_local_map_fraction() const;
+  /// Fig. 8's "non local shuffle" fraction (bytes that left their node).
+  double non_local_shuffle_fraction() const;
+};
+
+class MapReduceEngine {
+ public:
+  /// `node_speed` (optional) gives each physical node a compute-speed
+  /// multiplier (1.0 = nominal; 0.5 = half-speed straggler).  Empty means
+  /// homogeneous.  Speeds scale task compute time only, not I/O.
+  MapReduceEngine(const cluster::Topology& topology,
+                  const sim::NetworkConfig& net_config, VirtualCluster cluster,
+                  JobConfig job, std::uint64_t seed,
+                  std::vector<double> node_speed = {});
+
+  /// Registers a long-lived background transfer (another tenant's traffic)
+  /// that contends with the job on the shared links.  Must be called before
+  /// run(); background bytes are excluded from the reported traffic stats.
+  void add_background_flow(std::size_t src, std::size_t dst, double bytes);
+
+  /// Schedules a physical-node failure at simulated time `time` (>= 0).
+  /// Must be called before run().  At least one VM must survive every
+  /// failure or run() throws once the job can no longer finish.
+  void fail_node_at(std::size_t node, double time);
+
+  /// Runs the job to completion and returns its metrics.  One-shot.
+  JobMetrics run();
+
+  const HdfsPlacement& input_placement() const { return *placement_; }
+  const VirtualCluster& virtual_cluster() const { return cluster_; }
+
+ private:
+  struct ReducerState {
+    std::size_t vm = 0;
+    int segments_pending = 0;
+    double bytes_received = 0;
+    int output_replicas_pending = 0;
+    std::vector<bool> received;  ///< per block, for failure refetch/dedupe
+    int epoch = 0;               ///< bumped on restart to fence stale events
+    bool done = false;
+  };
+
+  void launch_maps_on(std::size_t vm);
+  bool launch_speculative_on(std::size_t vm);
+  void start_map(std::size_t block, std::size_t vm, bool backup);
+  void finish_map(std::size_t block, std::size_t vm, bool backup);
+  double node_speed(std::size_t node) const;
+  bool vm_alive(std::size_t vm) const;
+  void handle_failure(std::size_t node);
+  void fetch_segment(std::size_t reducer, std::size_t block);
+  std::size_t choose_live_replica(std::size_t block, std::size_t vm) const;
+  void start_shuffle(std::size_t block, std::size_t map_vm);
+  void segment_arrived(std::size_t reducer, std::size_t block, int block_epoch,
+                       int reducer_epoch, double bytes);
+  void start_reduce(std::size_t reducer);
+  void write_output(std::size_t reducer);
+  void reducer_done(std::size_t reducer);
+  double block_bytes(std::size_t block) const;
+
+  const cluster::Topology& topo_;
+  VirtualCluster cluster_;
+  JobConfig job_;
+  util::Rng rng_;
+  sim::EventQueue queue_;
+  sim::Network net_;
+  std::unique_ptr<HdfsPlacement> placement_;
+
+  struct BackgroundFlow {
+    std::size_t src;
+    std::size_t dst;
+    double bytes;
+  };
+
+  struct RunningMap {
+    std::size_t block;
+    std::size_t vm;
+    double started;
+    int copies = 1;
+  };
+
+  std::vector<std::size_t> pending_maps_;
+  std::vector<int> free_map_slots_;   // per VM
+  std::vector<double> wait_until_;    // per VM delay-scheduling deadline (<0: none)
+  std::vector<BackgroundFlow> background_;
+  std::vector<double> node_speed_;    // per physical node
+  std::vector<bool> map_done_;        // per block: first finisher wins
+  std::vector<RunningMap> running_maps_;
+  std::vector<bool> node_alive_;      // per physical node
+  std::vector<bool> locality_counted_;  // per block: stats counted once
+  std::vector<std::size_t> output_node_;  // per block: where the output lives
+  std::vector<int> block_epoch_;      // per block: bumped when output is lost
+  std::vector<std::pair<std::size_t, double>> failures_;  // (node, time)
+  std::vector<ReducerState> reducers_;
+  int maps_running_ = 0;
+  int maps_done_ = 0;
+  int reducers_done_ = 0;
+  bool ran_ = false;
+  JobMetrics metrics_;
+};
+
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,108 @@
+#include "mapreduce/hdfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcopt::mapreduce {
+
+namespace {
+
+// Random choice among candidate VM indices; candidates must be non-empty.
+std::size_t pick(const std::vector<std::size_t>& candidates, util::Rng& rng) {
+  return candidates[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+// VMs filtered by a predicate on (vm index, VmInstance).
+template <typename Pred>
+std::vector<std::size_t> filter_vms(const VirtualCluster& cluster, Pred pred) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (pred(cluster.vm(i))) out.push_back(i);
+  }
+  return out;
+}
+
+bool node_used(const BlockReplicas& chain, const VirtualCluster& cluster,
+               std::size_t node) {
+  for (std::size_t r : chain) {
+    if (cluster.vm(r).node == node) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BlockReplicas place_block(const VirtualCluster& cluster,
+                          const cluster::Topology& topology, int replication,
+                          util::Rng& rng) {
+  if (cluster.size() == 0) {
+    throw std::invalid_argument("place_block: empty virtual cluster");
+  }
+  if (replication < 1) throw std::invalid_argument("place_block: replication < 1");
+  const int reps = std::min<int>(replication, static_cast<int>(cluster.size()));
+
+  BlockReplicas chain;
+  // Replica 1: the writer — uniformly random VM.
+  chain.push_back(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(cluster.size()) - 1)));
+  const std::size_t rack1 = topology.rack_of(cluster.vm(chain[0]).node);
+
+  while (static_cast<int>(chain.size()) < reps) {
+    std::vector<std::size_t> candidates;
+    if (chain.size() == 1) {
+      // Replica 2: different rack, unused node preferred.
+      candidates = filter_vms(cluster, [&](const VmInstance& v) {
+        return topology.rack_of(v.node) != rack1 &&
+               !node_used(chain, cluster, v.node);
+      });
+    } else if (chain.size() == 2) {
+      // Replica 3: same rack as replica 2, different (unused) node.
+      const std::size_t rack2 = topology.rack_of(cluster.vm(chain[1]).node);
+      candidates = filter_vms(cluster, [&](const VmInstance& v) {
+        return topology.rack_of(v.node) == rack2 &&
+               !node_used(chain, cluster, v.node);
+      });
+    }
+    if (candidates.empty()) {
+      // Fallbacks, in order: any unused node; any VM not already a replica.
+      candidates = filter_vms(cluster, [&](const VmInstance& v) {
+        return !node_used(chain, cluster, v.node);
+      });
+    }
+    if (candidates.empty()) {
+      candidates = filter_vms(cluster, [&](const VmInstance& v) {
+        return std::find(chain.begin(), chain.end(), v.vm) == chain.end();
+      });
+    }
+    if (candidates.empty()) break;  // fewer VMs than replicas
+    chain.push_back(pick(candidates, rng));
+  }
+  return chain;
+}
+
+HdfsPlacement::HdfsPlacement(const VirtualCluster& cluster,
+                             const cluster::Topology& topology,
+                             std::size_t blocks, int replication,
+                             util::Rng& rng) {
+  replicas_.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    replicas_.push_back(place_block(cluster, topology, replication, rng));
+  }
+}
+
+const BlockReplicas& HdfsPlacement::replicas(std::size_t block) const {
+  if (block >= replicas_.size()) throw std::out_of_range("HdfsPlacement::replicas");
+  return replicas_[block];
+}
+
+std::vector<std::size_t> HdfsPlacement::replica_nodes(
+    std::size_t block, const VirtualCluster& cluster) const {
+  std::vector<std::size_t> nodes;
+  for (std::size_t r : replicas(block)) nodes.push_back(cluster.vm(r).node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,45 @@
+// HDFS-style block placement over the VMs of a virtual cluster.  Each input
+// split has `replication` replicas placed by the classic HDFS default
+// policy: first replica on the (randomly chosen) writer VM, second on a VM
+// in a *different* rack, third on a different VM in the second replica's
+// rack; further replicas land on random VMs.  Replicas prefer distinct
+// physical nodes.  When the cluster spans a single rack the off-rack rule
+// degrades to distinct-node placement, exactly as Hadoop does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "mapreduce/virtual_cluster.h"
+#include "util/rng.h"
+
+namespace vcopt::mapreduce {
+
+/// Replica locations of one block/split: indices into the virtual cluster's
+/// VM list (not physical nodes).
+using BlockReplicas = std::vector<std::size_t>;
+
+class HdfsPlacement {
+ public:
+  /// Places `blocks` blocks with `replication` replicas each.
+  HdfsPlacement(const VirtualCluster& cluster, const cluster::Topology& topology,
+                std::size_t blocks, int replication, util::Rng& rng);
+
+  std::size_t block_count() const { return replicas_.size(); }
+  const BlockReplicas& replicas(std::size_t block) const;
+
+  /// Physical nodes hosting replicas of `block` (deduplicated).
+  std::vector<std::size_t> replica_nodes(std::size_t block,
+                                         const VirtualCluster& cluster) const;
+
+ private:
+  std::vector<BlockReplicas> replicas_;
+};
+
+/// Picks the replica chain for one new block (exposed for unit tests).
+BlockReplicas place_block(const VirtualCluster& cluster,
+                          const cluster::Topology& topology, int replication,
+                          util::Rng& rng);
+
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,42 @@
+#include "mapreduce/job.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vcopt::mapreduce {
+
+int JobConfig::num_maps() const {
+  return static_cast<int>(std::ceil(input_bytes / split_bytes));
+}
+
+double JobConfig::intermediate_per_map() const {
+  return split_bytes * intermediate_ratio;
+}
+
+void JobConfig::validate() const {
+  if (input_bytes <= 0) throw std::invalid_argument("JobConfig: input_bytes <= 0");
+  if (split_bytes <= 0) throw std::invalid_argument("JobConfig: split_bytes <= 0");
+  if (num_reduces < 1) throw std::invalid_argument("JobConfig: num_reduces < 1");
+  if (map_cost_per_byte < 0 || reduce_cost_per_byte < 0) {
+    throw std::invalid_argument("JobConfig: negative compute cost");
+  }
+  if (intermediate_ratio < 0 || output_ratio < 0) {
+    throw std::invalid_argument("JobConfig: negative data ratio");
+  }
+  if (replication < 1) throw std::invalid_argument("JobConfig: replication < 1");
+  if (map_slots_per_vm < 1 || reduce_slots_per_vm < 1) {
+    throw std::invalid_argument("JobConfig: slots must be >= 1");
+  }
+  if (locality_wait < 0) {
+    throw std::invalid_argument("JobConfig: negative locality_wait");
+  }
+  for (int s : map_slots_per_type) {
+    if (s < 1) throw std::invalid_argument("JobConfig: per-type slots must be >= 1");
+  }
+  if (in_network_aggregation <= 0 || in_network_aggregation > 1.0) {
+    throw std::invalid_argument(
+        "JobConfig: in_network_aggregation must be in (0, 1]");
+  }
+}
+
+}  // namespace vcopt::mapreduce

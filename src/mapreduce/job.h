@@ -1,0 +1,88 @@
+// MapReduce job model.  A job is characterised by the parameters that drive
+// its dataflow: input volume, split size (which fixes the number of map
+// tasks), reducer count, per-byte compute costs, and the intermediate /
+// output data ratios.  These are exactly the knobs through which different
+// applications (WordCount, TeraSort, Grep, ...) differ in the simulation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vcopt::mapreduce {
+
+struct JobConfig {
+  std::string name = "job";
+
+  double input_bytes = 2.0e9;       ///< total DFS input
+  double split_bytes = 64.0e6;      ///< input split = one map task
+  int num_reduces = 1;
+
+  /// Seconds of compute per input byte in a map task (includes sort/spill).
+  double map_cost_per_byte = 8.0e-9;
+  /// Seconds of compute per shuffled byte in a reduce task (merge + reduce).
+  double reduce_cost_per_byte = 6.0e-9;
+
+  /// Map-output bytes per map-input byte (after the combiner, if any).
+  double intermediate_ratio = 0.2;
+  /// Reduce-output bytes per reduce-input byte.
+  double output_ratio = 1.0;
+
+  /// DFS replication factor for job output (input replicas are governed by
+  /// the HDFS placement policy).
+  int replication = 3;
+
+  /// Concurrent task slots per VM (Hadoop's mapred.tasktracker.*.maximum).
+  int map_slots_per_vm = 2;
+  int reduce_slots_per_vm = 1;
+
+  /// Optional per-VM-TYPE map slot counts (index = VM type).  When set,
+  /// overrides map_slots_per_vm: bigger instances run more concurrent maps
+  /// and therefore source proportionally more traffic — the load model
+  /// behind the weighted-distance refinement (§VII).
+  std::vector<int> map_slots_per_type;
+
+  /// Delay-scheduling wait (seconds): a freed map slot whose best pending
+  /// task is NOT node-local holds back this long, giving other VMs a chance
+  /// to claim their node-local tasks first, then accepts whatever is left
+  /// (Zaharia et al.'s delay scheduling, simplified).  0 disables.
+  double locality_wait = 0;
+
+  /// Hadoop-style speculative execution: once no map task is pending, idle
+  /// map slots launch backup copies of still-running maps; the first copy
+  /// to finish wins (the loser's completion is ignored).  Mitigates
+  /// stragglers on heterogeneous/slow nodes.
+  bool speculative_execution = false;
+
+  /// Where reducers are hosted (the paper's Fig. 4 point: master/aggregator
+  /// placement shifts the effective distance of a master-slave job).
+  enum class ReducerPlacement {
+    kDensestNode,  ///< VMs on the node hosting the most VMs first (default —
+                   ///< the "master at the central node" rule)
+    kSpread,       ///< breadth-first over VMs in index order (Hadoop's
+                   ///< any-free-slot behaviour)
+    kSparsestNode, ///< VMs on the least-populated node first (adversarial)
+  };
+  ReducerPlacement reducer_placement = ReducerPlacement::kDensestNode;
+
+  /// Pins the FIRST reducer to a specific VM of the virtual cluster
+  /// (index into the VM list; -1 = use reducer_placement).  Used to put the
+  /// aggregator on the placement's central node, closing the loop with the
+  /// paper's Fig. 4 master-at-central-node argument.
+  int pinned_reducer_vm = -1;
+
+  /// Camdoop-style in-network aggregation (paper §VI(3)): shuffle segments
+  /// that cross a rack (or cloud) boundary are combined inside the network,
+  /// shrinking to this fraction of their size.  1.0 = off (plain Hadoop);
+  /// e.g. 0.25 models an aggregation tree that folds 4:1 at the switches.
+  double in_network_aggregation = 1.0;
+
+  /// Number of map tasks = ceil(input/split).
+  int num_maps() const;
+  /// Map-output bytes produced by one (full) split.
+  double intermediate_per_map() const;
+
+  void validate() const;
+};
+
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,62 @@
+// Closed-loop cloud simulation (paper §VII: "the integration of ...
+// virtual cluster provisioning methods and MapReduce scheduling strategies
+// needs to be explored"): tenants request a virtual cluster, run a
+// MapReduce job on the cluster they were GIVEN, and release it when the
+// job finishes.  Placement quality therefore feeds back into capacity:
+// tighter clusters finish sooner, free capacity earlier, and shrink the
+// waiting of everyone behind them.
+//
+// Each job runs in its own MapReduceEngine (own network) — tenants contend
+// for capacity, not for each other's links.  Cross-tenant network
+// interference can be layered on with add_background_flow in bespoke
+// set-ups; here the feedback of interest is through hold times.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cloud.h"
+#include "mapreduce/job.h"
+#include "placement/policy.h"
+
+namespace vcopt::mapreduce {
+
+/// A tenant: arrival instant, the virtual cluster they want, and the job
+/// they will run on it.
+struct JobRequest {
+  cluster::Request request;
+  JobConfig job;
+  double arrival_time = 0;
+};
+
+struct JobRecord {
+  std::uint64_t request_id = 0;
+  double arrival = 0;
+  double granted = 0;
+  double finished = 0;   ///< grant + simulated job runtime
+  double distance = 0;   ///< DC of the granted cluster
+  double job_runtime = 0;
+
+  double wait() const { return granted - arrival; }
+};
+
+struct JobsSimResult {
+  std::vector<JobRecord> jobs;
+  std::uint64_t rejected = 0;
+  std::uint64_t unserved = 0;
+  double makespan = 0;
+  double mean_wait = 0;
+  double mean_runtime = 0;
+  double mean_distance = 0;
+  /// Jobs completed per simulated second.
+  double throughput = 0;
+};
+
+/// Runs the closed loop to completion.  `seed` feeds each job's HDFS
+/// placement (jobs are deterministic given seed + request id).
+JobsSimResult run_jobs_sim(cluster::Cloud& cloud,
+                           std::unique_ptr<placement::PlacementPolicy> policy,
+                           const std::vector<JobRequest>& tenants,
+                           std::uint64_t seed);
+
+}  // namespace vcopt::mapreduce

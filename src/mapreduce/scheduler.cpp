@@ -1,0 +1,122 @@
+#include "mapreduce/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace vcopt::mapreduce {
+
+const char* to_string(Locality l) {
+  switch (l) {
+    case Locality::kNodeLocal: return "node-local";
+    case Locality::kRackLocal: return "rack-local";
+    case Locality::kRemote: return "remote";
+  }
+  return "?";
+}
+
+Locality classify_locality(const HdfsPlacement& placement,
+                           const VirtualCluster& cluster,
+                           const cluster::Topology& topology, std::size_t block,
+                           std::size_t vm) {
+  const std::size_t here = cluster.vm(vm).node;
+  Locality best = Locality::kRemote;
+  for (std::size_t r : placement.replicas(block)) {
+    const std::size_t rn = cluster.vm(r).node;
+    if (rn == here) return Locality::kNodeLocal;
+    if (topology.same_rack(rn, here)) best = Locality::kRackLocal;
+  }
+  return best;
+}
+
+std::optional<std::size_t> pick_map_task(const std::vector<std::size_t>& pending,
+                                         const HdfsPlacement& placement,
+                                         const VirtualCluster& cluster,
+                                         const cluster::Topology& topology,
+                                         std::size_t vm) {
+  if (pending.empty()) return std::nullopt;
+  std::size_t best_idx = 0;
+  Locality best = Locality::kRemote;
+  bool found = false;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const Locality l =
+        classify_locality(placement, cluster, topology, pending[i], vm);
+    if (!found || static_cast<int>(l) < static_cast<int>(best)) {
+      found = true;
+      best = l;
+      best_idx = i;
+      if (best == Locality::kNodeLocal) break;  // cannot improve
+    }
+  }
+  return best_idx;
+}
+
+std::size_t choose_replica(const HdfsPlacement& placement,
+                           const VirtualCluster& cluster,
+                           const cluster::Topology& topology, std::size_t block,
+                           std::size_t vm) {
+  const std::size_t here = cluster.vm(vm).node;
+  const BlockReplicas& reps = placement.replicas(block);
+  if (reps.empty()) throw std::logic_error("choose_replica: block has no replicas");
+  std::size_t best = reps[0];
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t r : reps) {
+    const double d = topology.distance(cluster.vm(r).node, here);
+    if (d < best_d) {
+      best_d = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> assign_reducers(const VirtualCluster& cluster,
+                                         int num_reduces,
+                                         int reduce_slots_per_vm,
+                                         JobConfig::ReducerPlacement placement) {
+  if (cluster.size() == 0) {
+    throw std::invalid_argument("assign_reducers: empty cluster");
+  }
+  const std::size_t capacity = cluster.size() * static_cast<std::size_t>(reduce_slots_per_vm);
+  if (static_cast<std::size_t>(num_reduces) > capacity) {
+    throw std::invalid_argument("assign_reducers: not enough reduce slots");
+  }
+  // Visit order by placement strategy; ties break on VM index (stable), so
+  // single-density clusters stay FIFO.
+  std::map<std::size_t, int> node_density;
+  for (const VmInstance& v : cluster.vms()) ++node_density[v.node];
+  std::vector<std::size_t> order(cluster.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  switch (placement) {
+    case JobConfig::ReducerPlacement::kDensestNode:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return node_density[cluster.vm(a).node] >
+                                node_density[cluster.vm(b).node];
+                       });
+      break;
+    case JobConfig::ReducerPlacement::kSparsestNode:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return node_density[cluster.vm(a).node] <
+                                node_density[cluster.vm(b).node];
+                       });
+      break;
+    case JobConfig::ReducerPlacement::kSpread:
+      break;  // plain VM index order
+  }
+
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(num_reduces));
+  // Breadth-first over the ordered VMs so reducers spread before doubling up.
+  for (int round = 0; round < reduce_slots_per_vm; ++round) {
+    for (std::size_t v : order) {
+      if (out.size() == static_cast<std::size_t>(num_reduces)) return out;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,54 @@
+// Locality-aware map-task scheduling, Hadoop-style: when a map slot frees on
+// a VM, the scheduler hands it the pending task with the best data locality
+// relative to that VM — node-local first, then rack-local, then remote —
+// FIFO within each class.  These are the mechanisms behind the paper's
+// Fig. 8 (data-local vs non-local map tasks).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "mapreduce/hdfs.h"
+#include "mapreduce/job.h"
+#include "mapreduce/virtual_cluster.h"
+
+namespace vcopt::mapreduce {
+
+enum class Locality { kNodeLocal = 0, kRackLocal = 1, kRemote = 2 };
+
+const char* to_string(Locality l);
+
+/// Best achievable locality for running `block`'s map task on `vm`.
+Locality classify_locality(const HdfsPlacement& placement,
+                           const VirtualCluster& cluster,
+                           const cluster::Topology& topology, std::size_t block,
+                           std::size_t vm);
+
+/// Picks the index *into `pending`* of the best task for a free slot on
+/// `vm`; nullopt if `pending` is empty.
+std::optional<std::size_t> pick_map_task(const std::vector<std::size_t>& pending,
+                                         const HdfsPlacement& placement,
+                                         const VirtualCluster& cluster,
+                                         const cluster::Topology& topology,
+                                         std::size_t vm);
+
+/// The replica of `block` a map task on `vm` should read: the one whose
+/// hosting node is nearest to `vm`'s node (ties: lowest replica position).
+std::size_t choose_replica(const HdfsPlacement& placement,
+                           const VirtualCluster& cluster,
+                           const cluster::Topology& topology, std::size_t block,
+                           std::size_t vm);
+
+/// Reducer-to-VM assignment.  VMs are visited in an order determined by
+/// `placement` (densest node first by default — reducers aggregate the
+/// whole cluster's output, so they belong where the most maps are
+/// co-located), breadth-first so reducers spread across VMs before a VM
+/// takes its second reducer.  Deterministic.
+std::vector<std::size_t> assign_reducers(
+    const VirtualCluster& cluster, int num_reduces, int reduce_slots_per_vm,
+    JobConfig::ReducerPlacement placement =
+        JobConfig::ReducerPlacement::kDensestNode);
+
+}  // namespace vcopt::mapreduce

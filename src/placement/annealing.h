@@ -1,0 +1,35 @@
+// Simulated-annealing batch placement: a stronger (slower) global optimiser
+// than Algorithm 2, used to quantify how much the paper's Theorem-2-only
+// adjustment leaves on the table (see bench/ablation_annealing).
+//
+// Starts from Algorithm 2's solution and explores two move kinds:
+//   * relocate — move one VM of one cluster to free capacity elsewhere,
+//   * exchange — swap two same-type VMs between two clusters
+// accepting worsening moves with the Metropolis criterion under a geometric
+// cooling schedule.  All moves preserve per-request counts and capacity
+// feasibility by construction; the final solution is therefore always
+// feasible and never worse than the best state visited.
+#pragma once
+
+#include <cstdint>
+
+#include "placement/global_subopt.h"
+
+namespace vcopt::placement {
+
+struct AnnealOptions {
+  std::size_t iterations = 20000;
+  double initial_temperature = 2.0;
+  double cooling = 0.9995;  ///< geometric factor per iteration
+  std::uint64_t seed = 1;
+};
+
+/// Anneals the batch placement.  Returns the best feasible solution found
+/// (>= Algorithm 2's quality by construction: the search starts there and
+/// tracks the incumbent).  Admission set matches GlobalSubOpt's.
+BatchPlacement anneal_batch(const std::vector<cluster::Request>& batch,
+                            const util::IntMatrix& remaining,
+                            const cluster::Topology& topology,
+                            const AnnealOptions& options = {});
+
+}  // namespace vcopt::placement

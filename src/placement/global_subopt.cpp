@@ -1,0 +1,106 @@
+#include "placement/global_subopt.h"
+
+#include <stdexcept>
+
+namespace vcopt::placement {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+// One directional scan: move a VM that `a` parked on b's central node to a
+// node where `b` holds a VM of the same type, and vice versa, whenever the
+// triangle condition of Theorem 2 says the summed distance drops.
+std::size_t transfer_directed(Placement& a, Placement& b,
+                              const util::DoubleMatrix& dist) {
+  const std::size_t x = a.central;
+  const std::size_t y = b.central;
+  if (x == y) return 0;
+  const std::size_t n = a.allocation.node_count();
+  const std::size_t m = a.allocation.type_count();
+  std::size_t swaps = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    while (a.allocation.at(y, r) > 0) {
+      // Find b's VM of type r on the node q (!= y) farthest from y: that is
+      // the swap with the largest gain D(x,y) + D(y,q) - D(x,q).
+      std::size_t best_q = n;
+      double best_gain = kEps;
+      for (std::size_t q = 0; q < n; ++q) {
+        if (q == y || b.allocation.at(q, r) == 0) continue;
+        const double gain = dist(x, y) + dist(y, q) - dist(x, q);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_q = q;
+        }
+      }
+      if (best_q == n) break;
+      // Swap the two VMs (conserves per-node/type totals across a+b).
+      a.allocation.at(y, r) -= 1;
+      a.allocation.at(best_q, r) += 1;
+      b.allocation.at(best_q, r) -= 1;
+      b.allocation.at(y, r) += 1;
+      a.distance += dist(x, best_q) - dist(x, y);
+      b.distance += dist(y, y) - dist(y, best_q);
+      ++swaps;
+    }
+  }
+  return swaps;
+}
+}  // namespace
+
+std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
+                                   const util::DoubleMatrix& dist) {
+  std::size_t swaps = transfer_directed(a, b, dist);
+  swaps += transfer_directed(b, a, dist);
+  if (swaps > 0) {
+    // Allocations changed; the optimal central may have moved.
+    const cluster::CentralNode ca = a.allocation.best_central(dist);
+    a.central = ca.node;
+    a.distance = ca.distance;
+    const cluster::CentralNode cb = b.allocation.best_central(dist);
+    b.central = cb.node;
+    b.distance = cb.distance;
+  }
+  return swaps;
+}
+
+BatchPlacement GlobalSubOpt::place_batch(
+    const std::vector<cluster::Request>& batch, const util::IntMatrix& remaining,
+    const cluster::Topology& topology) {
+  BatchPlacement out;
+  util::IntMatrix avail = remaining;
+  OnlineHeuristic online;
+
+  // Steps 1+2: FIFO admission + per-request online placement, debiting
+  // capacity after each grant.
+  for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+    auto placed = online.place(batch[idx], avail, topology);
+    if (!placed) continue;  // not enough capacity left: stays queued
+    avail -= placed->allocation.counts();
+    if (!avail.all_nonnegative()) {
+      throw std::logic_error("GlobalSubOpt: policy oversubscribed capacity");
+    }
+    out.placements.push_back(std::move(*placed));
+    out.admitted.push_back(idx);
+  }
+
+  // Step 3: pairwise Theorem-2 adjustment until a full pass applies no swap.
+  if (options_.apply_transfers && out.placements.size() > 1) {
+    for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+      std::size_t swaps = 0;
+      for (std::size_t i = 0; i < out.placements.size(); ++i) {
+        for (std::size_t j = i + 1; j < out.placements.size(); ++j) {
+          swaps += transfer(out.placements[i], out.placements[j],
+                            topology.distance_matrix());
+        }
+      }
+      out.transfers_applied += swaps;
+      if (swaps == 0) break;
+    }
+  }
+
+  out.total_distance = 0;
+  for (const Placement& pl : out.placements) out.total_distance += pl.distance;
+  return out;
+}
+
+}  // namespace vcopt::placement

@@ -1,0 +1,84 @@
+#include "placement/migration.h"
+
+#include <stdexcept>
+
+namespace vcopt::placement {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+// Best single Theorem-1 move for a FIXED central node x over ALL
+// (donor, receiver, type) triples: relocating one VM of `type` from `donor`
+// to free capacity on `receiver` changes the distance by exactly
+// D(receiver, x) - D(donor, x) (Theorem 1's exchange).  Returns true and
+// fills `move`/`gain` when a strictly improving move exists.
+bool best_move_for_central(const cluster::Allocation& alloc,
+                           const util::IntMatrix& remaining,
+                           const util::DoubleMatrix& dist, std::size_t x,
+                           Migration& move, double& gain) {
+  const std::size_t n = alloc.node_count();
+  const std::size_t m = alloc.type_count();
+  bool found = false;
+  for (std::size_t donor = 0; donor < n; ++donor) {
+    if (alloc.vms_on_node(donor) == 0) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (alloc.at(donor, j) == 0) continue;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == donor || remaining(r, j) <= 0) continue;
+        const double g = dist(donor, x) - dist(r, x);
+        if (g > kEps && (!found || g > gain)) {
+          found = true;
+          gain = g;
+          move = Migration{donor, r, j};
+        }
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+ConsolidationResult consolidate(Placement& placement,
+                                util::IntMatrix& remaining,
+                                const util::DoubleMatrix& dist,
+                                const ConsolidateOptions& options) {
+  cluster::Allocation& alloc = placement.allocation;
+  if (remaining.rows() != alloc.node_count() ||
+      remaining.cols() != alloc.type_count()) {
+    throw std::invalid_argument("consolidate: remaining shape mismatch");
+  }
+
+  ConsolidationResult out;
+  {
+    const cluster::CentralNode c = alloc.best_central(dist);
+    placement.central = c.node;
+    placement.distance = c.distance;
+  }
+  out.distance_before = placement.distance;
+
+  while (out.migrations.size() < options.max_migrations) {
+    Migration move;
+    double gain = 0;
+    if (!best_move_for_central(alloc, remaining, dist, placement.central, move,
+                               gain)) {
+      break;
+    }
+    // Apply: the vacated slot becomes free capacity, the target slot is
+    // consumed.
+    alloc.at(move.from_node, move.type) -= 1;
+    alloc.at(move.to_node, move.type) += 1;
+    remaining(move.from_node, move.type) += 1;
+    remaining(move.to_node, move.type) -= 1;
+    out.migrations.push_back(move);
+    // The optimal central may shift after a move; re-evaluate (only ever
+    // lowers the distance further).
+    const cluster::CentralNode c = alloc.best_central(dist);
+    placement.central = c.node;
+    placement.distance = c.distance;
+  }
+  out.distance_after = placement.distance;
+  return out;
+}
+
+}  // namespace vcopt::placement

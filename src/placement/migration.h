@@ -1,0 +1,50 @@
+// Affinity-aware VM migration (paper §VI(2): "affinity-aware virtual
+// cluster VM migration technology is used to minimize the communication
+// overhead"; §VII: recomputing placements when VMs are down/reconfigured).
+//
+// After churn, a virtual cluster can usually be tightened: capacity freed by
+// departed tenants opens slots nearer its central node.  consolidate() hill-
+// climbs with Theorem-1 moves — relocate one VM from the node farthest from
+// the central node into free capacity on a strictly nearer node — until no
+// improving move remains, re-evaluating the central node after each move.
+// Every accepted move strictly reduces DC, so termination is guaranteed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "placement/policy.h"
+
+namespace vcopt::placement {
+
+/// One VM relocation.
+struct Migration {
+  std::size_t from_node = 0;
+  std::size_t to_node = 0;
+  std::size_t type = 0;
+};
+
+struct ConsolidationResult {
+  std::vector<Migration> migrations;
+  double distance_before = 0;
+  double distance_after = 0;
+
+  double improvement() const { return distance_before - distance_after; }
+};
+
+struct ConsolidateOptions {
+  /// Upper bound on migrations per cluster (live migration is not free);
+  /// SIZE_MAX = unbounded.
+  std::size_t max_migrations = SIZE_MAX;
+};
+
+/// Tightens `placement` in place, consuming/freeing capacity in `remaining`
+/// (the matrix is updated to reflect the moves).  Returns the migration
+/// plan.  The allocation keeps satisfying its request (moves preserve
+/// per-type totals) and never oversubscribes `remaining`.
+ConsolidationResult consolidate(Placement& placement,
+                                util::IntMatrix& remaining,
+                                const util::DoubleMatrix& dist,
+                                const ConsolidateOptions& options = {});
+
+}  // namespace vcopt::placement

@@ -1,0 +1,148 @@
+#include "placement/online_heuristic.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace vcopt::placement {
+
+namespace {
+
+// The paper's com(A, B): element-wise minimum.
+std::vector<int> com(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out(a.size());
+  for (std::size_t j = 0; j < a.size(); ++j) out[j] = std::min(a[j], b[j]);
+  return out;
+}
+
+std::vector<int> row_of(const util::IntMatrix& m, std::size_t i) {
+  std::vector<int> out(m.cols());
+  for (std::size_t j = 0; j < m.cols(); ++j) out[j] = m(i, j);
+  return out;
+}
+
+// The paper's getList(D, x, flag) ordering key: nodes sorted by
+// sum_j com(L[x], L[i])[j] in descending order (nodes whose free capacity
+// best overlaps the central node's profile first).  Ties by index for
+// determinism.
+std::vector<std::size_t> sorted_candidates(const util::IntMatrix& remaining,
+                                           std::size_t central,
+                                           const std::vector<std::size_t>& nodes) {
+  const std::vector<int> lx = row_of(remaining, central);
+  std::vector<std::size_t> order = nodes;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto ka = com(lx, row_of(remaining, a));
+    const auto kb = com(lx, row_of(remaining, b));
+    return std::accumulate(ka.begin(), ka.end(), 0) >
+           std::accumulate(kb.begin(), kb.end(), 0);
+  });
+  return order;
+}
+
+// Takes min(remaining[node], need) of each type onto `alloc`.
+void take(cluster::Allocation& alloc, std::vector<int>& need,
+          const util::IntMatrix& remaining, std::size_t node) {
+  for (std::size_t j = 0; j < remaining.cols(); ++j) {
+    const int t = std::min(need[j], remaining(node, j));
+    if (t > 0) {
+      alloc.at(node, j) += t;
+      need[j] -= t;
+    }
+  }
+}
+
+bool satisfied(const std::vector<int>& need) {
+  return std::all_of(need.begin(), need.end(), [](int v) { return v == 0; });
+}
+
+}  // namespace
+
+std::optional<cluster::Allocation> OnlineHeuristic::fill_from_central(
+    const cluster::Request& request, const util::IntMatrix& remaining,
+    const cluster::Topology& topology, std::size_t central) {
+  const std::size_t n = remaining.rows();
+  const std::size_t m = remaining.cols();
+  if (topology.node_count() != n || request.type_count() != m) {
+    throw std::invalid_argument("fill_from_central: shape mismatch");
+  }
+
+  cluster::Allocation alloc(n, m);
+  std::vector<int> need = request.counts();
+
+  // Step 1: the central node itself (com(L[x], R)).
+  take(alloc, need, remaining, central);
+  if (satisfied(need)) return alloc;
+
+  // Step 2: rack-mates — getList(D, x, 0).
+  std::vector<std::size_t> rack_mates;
+  for (std::size_t i : topology.nodes_in_rack(topology.rack_of(central))) {
+    if (i != central) rack_mates.push_back(i);
+  }
+  for (std::size_t i : sorted_candidates(remaining, central, rack_mates)) {
+    take(alloc, need, remaining, i);
+    if (satisfied(need)) return alloc;
+  }
+
+  // Step 3: off-rack nodes — getList(D, x, 1).  Visit nearer tiers first
+  // (same cloud before cross-cloud) so Theorem 1 keeps applying, then the
+  // capacity-overlap ordering inside each tier.
+  std::vector<std::size_t> off_rack;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!topology.same_rack(i, central)) off_rack.push_back(i);
+  }
+  std::vector<std::size_t> sorted = sorted_candidates(remaining, central, off_rack);
+  std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+    return topology.distance(a, central) < topology.distance(b, central);
+  });
+  for (std::size_t i : sorted) {
+    take(alloc, need, remaining, i);
+    if (satisfied(need)) return alloc;
+  }
+  return std::nullopt;
+}
+
+std::optional<Placement> OnlineHeuristic::place(
+    const cluster::Request& request, const util::IntMatrix& remaining,
+    const cluster::Topology& topology) {
+  const std::size_t n = remaining.rows();
+  // Admission precheck (lines 1-5 of Algorithm 1): total availability.
+  for (std::size_t j = 0; j < remaining.cols(); ++j) {
+    if (request.count(j) > remaining.col_sum(j)) return std::nullopt;
+  }
+
+  const util::DoubleMatrix& dist = topology.distance_matrix();
+
+  // Lines 9-14: if one node can host everything, distance is 0 — take it.
+  for (std::size_t i = 0; i < n; ++i) {
+    bool whole = true;
+    for (std::size_t j = 0; j < remaining.cols(); ++j) {
+      if (remaining(i, j) < request.count(j)) {
+        whole = false;
+        break;
+      }
+    }
+    if (whole) {
+      cluster::Allocation alloc(n, remaining.cols());
+      for (std::size_t j = 0; j < remaining.cols(); ++j) {
+        alloc.at(i, j) = request.count(j);
+      }
+      return Placement{std::move(alloc), i, 0.0};
+    }
+  }
+
+  std::optional<Placement> best;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (remaining.row_sum(x) == 0) continue;  // empty node: useless start
+    auto alloc = fill_from_central(request, remaining, topology, x);
+    if (!alloc) continue;
+    const double d = alloc->distance_from(x, dist);
+    if (!best || d < best->distance) {
+      best = Placement{std::move(*alloc), x, d};
+      if (mode_ == Mode::kFirstImprovement) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace vcopt::placement

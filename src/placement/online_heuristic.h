@@ -1,0 +1,45 @@
+// Algorithm 1 of the paper: the online greedy VM placement heuristic.
+//
+// For each candidate central node x:
+//   1. take com(L[x], R) from x itself,
+//   2. fill the rest from x's rack-mates, visited in descending
+//      co-provisionable capacity (the paper's getList(D, x, 0) ordering),
+//   3. then from off-rack nodes in the same ordering (getList(D, x, 1)),
+// and keep the candidate whose completed allocation has the smallest
+// distance.  Theorem 1 (moving one VM from a farther to a nearer node
+// shrinks DC) justifies the nearest-first fill.
+//
+// The pseudocode's outer loop breaks on the first candidate that improves on
+// the incumbent; `Mode::kBestOfAllStarts` (default) evaluates every start
+// instead, which matches the text's stated intent of picking "the most
+// appropriate central node" and is never worse.  kFirstImprovement
+// reproduces the literal break-on-improvement behaviour.
+#pragma once
+
+#include "placement/policy.h"
+
+namespace vcopt::placement {
+
+class OnlineHeuristic : public PlacementPolicy {
+ public:
+  enum class Mode { kBestOfAllStarts, kFirstImprovement };
+
+  explicit OnlineHeuristic(Mode mode = Mode::kBestOfAllStarts) : mode_(mode) {}
+
+  std::optional<Placement> place(const cluster::Request& request,
+                                 const util::IntMatrix& remaining,
+                                 const cluster::Topology& topology) override;
+
+  std::string name() const override { return "online-heuristic"; }
+
+  /// The greedy fill for one fixed candidate central node; exposed for
+  /// tests.  Returns nullopt if the request cannot be completed.
+  static std::optional<cluster::Allocation> fill_from_central(
+      const cluster::Request& request, const util::IntMatrix& remaining,
+      const cluster::Topology& topology, std::size_t central);
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace vcopt::placement

@@ -1,0 +1,117 @@
+#include "placement/provisioner.h"
+
+#include <stdexcept>
+
+namespace vcopt::placement {
+
+const char* to_string(QueueDiscipline d) {
+  switch (d) {
+    case QueueDiscipline::kFifo: return "fifo";
+    case QueueDiscipline::kPriority: return "priority";
+    case QueueDiscipline::kSmallestFirst: return "smallest-first";
+  }
+  return "?";
+}
+
+Provisioner::Provisioner(cluster::Cloud& cloud,
+                         std::unique_ptr<PlacementPolicy> policy,
+                         QueueDiscipline discipline)
+    : cloud_(cloud), policy_(std::move(policy)), discipline_(discipline) {
+  if (!policy_) throw std::invalid_argument("Provisioner: null policy");
+}
+
+std::size_t Provisioner::next_in_queue() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    switch (discipline_) {
+      case QueueDiscipline::kFifo:
+        return 0;
+      case QueueDiscipline::kPriority:
+        if (queue_[i].priority() > queue_[best].priority()) best = i;
+        break;
+      case QueueDiscipline::kSmallestFirst:
+        if (queue_[i].total_vms() < queue_[best].total_vms()) best = i;
+        break;
+    }
+  }
+  return best;
+}
+
+std::optional<Grant> Provisioner::try_place_and_grant(const cluster::Request& r) {
+  auto placed = policy_->place(r, cloud_.remaining(), cloud_.topology());
+  if (!placed) return std::nullopt;
+  const cluster::LeaseId lease = cloud_.grant(r, placed->allocation);
+  return Grant{lease, r.id(), std::move(*placed)};
+}
+
+std::optional<Grant> Provisioner::request(const cluster::Request& r) {
+  switch (cloud_.admit(r)) {
+    case cluster::Admission::kReject:
+      ++rejected_;
+      return std::nullopt;
+    case cluster::Admission::kWait:
+      queue_.push_back(r);
+      return std::nullopt;
+    case cluster::Admission::kAccept:
+      break;
+  }
+  // Strict FIFO fairness: while earlier requests are waiting, later arrivals
+  // may not jump the queue even if they would fit right now.
+  if (!queue_.empty()) {
+    queue_.push_back(r);
+    return std::nullopt;
+  }
+  auto grant = try_place_and_grant(r);
+  if (!grant) {
+    // Aggregate availability was sufficient but the policy could not build
+    // an allocation (should not happen for the built-in policies; keep the
+    // request queued rather than dropping it).
+    queue_.push_back(r);
+    return std::nullopt;
+  }
+  return grant;
+}
+
+std::vector<Grant> Provisioner::release(cluster::LeaseId lease) {
+  cloud_.release(lease);
+  std::vector<Grant> grants;
+  // Drain in discipline order; stop at the first candidate that still
+  // cannot be served (head-of-line blocking within the discipline keeps the
+  // service order starvation-transparent).
+  while (!queue_.empty()) {
+    const std::size_t pick = next_in_queue();
+    const cluster::Request& head = queue_[pick];
+    if (cloud_.admit(head) != cluster::Admission::kAccept) break;
+    auto grant = try_place_and_grant(head);
+    if (!grant) break;
+    grants.push_back(std::move(*grant));
+    queue_.erase(queue_.begin() + static_cast<long>(pick));
+  }
+  return grants;
+}
+
+std::vector<Grant> Provisioner::drain_batch_global() {
+  if (queue_.empty()) return {};
+  std::vector<cluster::Request> batch(queue_.begin(), queue_.end());
+  GlobalSubOpt global;
+  BatchPlacement placed =
+      global.place_batch(batch, cloud_.remaining(), cloud_.topology());
+
+  std::vector<Grant> grants;
+  std::vector<bool> served(batch.size(), false);
+  for (std::size_t t = 0; t < placed.admitted.size(); ++t) {
+    const std::size_t idx = placed.admitted[t];
+    const cluster::LeaseId lease =
+        cloud_.grant(batch[idx], placed.placements[t].allocation);
+    grants.push_back(Grant{lease, batch[idx].id(), placed.placements[t]});
+    served[idx] = true;
+  }
+  std::deque<cluster::Request> rest;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!served[i]) rest.push_back(batch[i]);
+  }
+  queue_ = std::move(rest);
+  return grants;
+}
+
+}  // namespace vcopt::placement

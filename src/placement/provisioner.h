@@ -1,0 +1,72 @@
+// Provisioner: ties a placement policy to a live Cloud.  Serves single
+// requests (granting leases), keeps a FIFO wait queue for requests that do
+// not fit, and drains the queue on release — optionally as a batch through
+// Algorithm 2.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cloud.h"
+#include "placement/global_subopt.h"
+#include "placement/policy.h"
+
+namespace vcopt::placement {
+
+/// Result of a grant: the lease plus the evaluated placement.
+struct Grant {
+  cluster::LeaseId lease = 0;
+  std::uint64_t request_id = 0;  ///< id of the Request this grant serves
+  Placement placement;
+};
+
+/// Wait-queue service order (§III.C mentions FIFO and priority-based).
+enum class QueueDiscipline {
+  kFifo,           ///< arrival order, strict head-of-line blocking
+  kPriority,       ///< highest Request::priority first (ties: arrival order)
+  kSmallestFirst,  ///< fewest VMs first (reduces head-of-line blocking)
+};
+
+const char* to_string(QueueDiscipline d);
+
+class Provisioner {
+ public:
+  Provisioner(cluster::Cloud& cloud, std::unique_ptr<PlacementPolicy> policy,
+              QueueDiscipline discipline = QueueDiscipline::kFifo);
+
+  /// Tries to serve a request immediately.  Returns the grant, or nullopt —
+  /// the request was then either queued (admission kWait, or earlier
+  /// requests are still waiting: strict FIFO, no queue-jumping) or rejected
+  /// outright (admission kReject, counted in rejected_count()).
+  std::optional<Grant> request(const cluster::Request& r);
+
+  /// Releases a lease and drains the wait queue in discipline order,
+  /// stopping at the first unservable candidate (head-of-line blocking
+  /// within the discipline).  Returns the grants made while draining.
+  std::vector<Grant> release(cluster::LeaseId lease);
+
+  /// Drains the wait queue as one batch via Algorithm 2 instead of FIFO
+  /// single-request placement.
+  std::vector<Grant> drain_batch_global();
+
+  std::size_t queue_length() const { return queue_.size(); }
+  std::uint64_t rejected_count() const { return rejected_; }
+  QueueDiscipline discipline() const { return discipline_; }
+  const cluster::Cloud& cloud() const { return cloud_; }
+  const PlacementPolicy& policy() const { return *policy_; }
+
+ private:
+  std::optional<Grant> try_place_and_grant(const cluster::Request& r);
+  /// Index into queue_ of the next request under the discipline.
+  std::size_t next_in_queue() const;
+
+  cluster::Cloud& cloud_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  QueueDiscipline discipline_;
+  std::deque<cluster::Request> queue_;  // in arrival order
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace vcopt::placement

@@ -1,0 +1,63 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace vcopt::sim {
+
+EventId EventQueue::schedule(double time, Callback cb) {
+  if (time < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (callbacks_.count(id)) {
+    cancelled_.insert(id);
+    callbacks_.erase(id);
+  }
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(e.id)) continue;  // lazily dropped
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.time;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t EventQueue::run_until(double t) {
+  std::size_t count = 0;
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    if (cancelled_.count(e.id)) {
+      heap_.pop();
+      cancelled_.erase(e.id);
+      continue;
+    }
+    if (e.time > t) break;
+    step();
+    ++count;
+  }
+  if (now_ < t) now_ = t;
+  return count;
+}
+
+}  // namespace vcopt::sim

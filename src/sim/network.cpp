@@ -1,0 +1,280 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vcopt::sim {
+
+namespace {
+constexpr double kRateEps = 1e-9;
+}
+
+void NetworkConfig::validate() const {
+  if (node_bw <= 0 || disk_bw <= 0 || rack_bw <= 0 || wan_bw <= 0) {
+    throw std::invalid_argument("NetworkConfig: bandwidths must be positive");
+  }
+  if (latency_per_distance < 0) {
+    throw std::invalid_argument("NetworkConfig: negative latency");
+  }
+}
+
+double TrafficStats::non_local_fraction() const {
+  const double t = total();
+  if (t == 0) return 0;
+  return (t - local_bytes) / t;
+}
+
+Network::Network(const cluster::Topology& topology, NetworkConfig config,
+                 EventQueue& queue)
+    : topo_(topology), cfg_(config), queue_(queue) {
+  cfg_.validate();
+  const std::size_t n = topo_.node_count();
+  const std::size_t r = topo_.rack_count();
+  const std::size_t c = topo_.cloud_count();
+  disk_base_ = 0;
+  up_base_ = disk_base_ + n;
+  down_base_ = up_base_ + n;
+  rack_up_base_ = down_base_ + n;
+  rack_down_base_ = rack_up_base_ + r;
+  wan_up_base_ = rack_down_base_ + r;
+  wan_down_base_ = wan_up_base_ + c;
+  link_capacity_.assign(wan_down_base_ + c, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    link_capacity_[disk_base_ + i] = cfg_.disk_bw;
+    link_capacity_[up_base_ + i] = cfg_.node_bw;
+    link_capacity_[down_base_ + i] = cfg_.node_bw;
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    link_capacity_[rack_up_base_ + i] = cfg_.rack_bw;
+    link_capacity_[rack_down_base_ + i] = cfg_.rack_bw;
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    link_capacity_[wan_up_base_ + i] = cfg_.wan_bw;
+    link_capacity_[wan_down_base_ + i] = cfg_.wan_bw;
+  }
+}
+
+std::vector<std::size_t> Network::path_links(std::size_t src,
+                                             std::size_t dst) const {
+  if (src >= topo_.node_count() || dst >= topo_.node_count()) {
+    throw std::out_of_range("Network: node id out of range");
+  }
+  std::vector<std::size_t> links;
+  if (src == dst) {
+    links.push_back(disk_base_ + src);
+    return links;
+  }
+  links.push_back(up_base_ + src);
+  if (!topo_.same_rack(src, dst)) {
+    links.push_back(rack_up_base_ + topo_.rack_of(src));
+    if (!topo_.same_cloud(src, dst)) {
+      links.push_back(wan_up_base_ + topo_.cloud_of(src));
+      links.push_back(wan_down_base_ + topo_.cloud_of(dst));
+    }
+    links.push_back(rack_down_base_ + topo_.rack_of(dst));
+  }
+  links.push_back(down_base_ + dst);
+  return links;
+}
+
+double Network::path_min_bw(std::size_t src, std::size_t dst) const {
+  double bw = std::numeric_limits<double>::infinity();
+  for (std::size_t l : path_links(src, dst)) bw = std::min(bw, link_capacity_[l]);
+  return bw;
+}
+
+std::vector<Network::LinkUtilization> Network::link_utilization() const {
+  std::vector<double> usage(link_capacity_.size(), 0.0);
+  for (const Flow& f : flows_) {
+    for (std::size_t l : f.links) usage[l] += f.rate;
+  }
+  auto name_of = [this](std::size_t l) -> std::string {
+    if (l >= wan_down_base_) return "cloud" + std::to_string(l - wan_down_base_) + ".down";
+    if (l >= wan_up_base_) return "cloud" + std::to_string(l - wan_up_base_) + ".up";
+    if (l >= rack_down_base_) return "rack" + std::to_string(l - rack_down_base_) + ".down";
+    if (l >= rack_up_base_) return "rack" + std::to_string(l - rack_up_base_) + ".up";
+    if (l >= down_base_) return "node" + std::to_string(l - down_base_) + ".down";
+    if (l >= up_base_) return "node" + std::to_string(l - up_base_) + ".up";
+    return "node" + std::to_string(l - disk_base_) + ".disk";
+  };
+  std::vector<LinkUtilization> out;
+  out.reserve(link_capacity_.size());
+  for (std::size_t l = 0; l < link_capacity_.size(); ++l) {
+    out.push_back(LinkUtilization{name_of(l), link_capacity_[l], usage[l]});
+  }
+  return out;
+}
+
+double Network::residual_path_bandwidth(std::size_t a, std::size_t b) const {
+  std::vector<double> usage(link_capacity_.size(), 0.0);
+  for (const Flow& f : flows_) {
+    for (std::size_t l : f.links) usage[l] += f.rate;
+  }
+  double residual = std::numeric_limits<double>::infinity();
+  for (std::size_t l : path_links(a, b)) {
+    residual = std::min(residual, std::max(0.0, link_capacity_[l] - usage[l]));
+  }
+  return residual;
+}
+
+double Network::measured_distance(std::size_t a, std::size_t b,
+                                  double probe_bytes) const {
+  // A probe on a saturated path would still get a max-min share once it
+  // joins, so floor the residual at an equal share of the narrowest link.
+  const double residual = residual_path_bandwidth(a, b);
+  const double share =
+      path_min_bw(a, b) / static_cast<double>(flows_.size() + 1);
+  const double effective = std::max(residual, share);
+  return cfg_.latency_per_distance * topo_.distance(a, b) +
+         probe_bytes / effective;
+}
+
+util::DoubleMatrix Network::measured_distance_matrix(double probe_bytes) const {
+  const std::size_t n = topo_.node_count();
+  util::DoubleMatrix d(n, n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      d(a, b) = a == b ? 0.0 : measured_distance(a, b, probe_bytes);
+    }
+  }
+  return d;
+}
+
+FlowId Network::start_flow(std::size_t src, std::size_t dst, double bytes,
+                           FlowCallback on_complete) {
+  if (bytes < 0) throw std::invalid_argument("Network::start_flow: bytes < 0");
+  advance_flows();
+
+  // Account traffic by tier up front (flows always run to completion).
+  if (src == dst) stats_.local_bytes += bytes;
+  else if (topo_.same_rack(src, dst)) stats_.rack_bytes += bytes;
+  else if (topo_.same_cloud(src, dst)) stats_.cross_rack_bytes += bytes;
+  else stats_.cross_cloud_bytes += bytes;
+
+  const FlowId id = next_flow_++;
+  const double latency = cfg_.latency_per_distance * topo_.distance(src, dst);
+  if (bytes == 0) {
+    queue_.schedule_in(latency, [cb = std::move(on_complete), id] { cb(id); });
+    return id;
+  }
+  Flow f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.remaining = bytes;
+  f.links = path_links(src, dst);
+  // Fold the propagation latency in as a (tiny) fixed extra amount of time:
+  // the completion event fires `latency` after the last byte is sent.
+  f.on_complete = [this, latency, cb = std::move(on_complete)](FlowId fid) {
+    if (latency > 0) {
+      queue_.schedule_in(latency, [cb, fid] { cb(fid); });
+    } else {
+      cb(fid);
+    }
+  };
+  flows_.push_back(std::move(f));
+  recompute_rates();
+  schedule_next_completion();
+  return id;
+}
+
+double Network::flow_rate(FlowId id) const {
+  for (const Flow& f : flows_) {
+    if (f.id == id) return f.rate;
+  }
+  return 0;
+}
+
+void Network::advance_flows() {
+  const double now = queue_.now();
+  const double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0) return;
+  for (Flow& f : flows_) {
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+}
+
+void Network::recompute_rates() {
+  // Progressive filling: raise every unfrozen flow's rate uniformly until a
+  // link saturates; freeze its flows; repeat.
+  std::vector<double> remcap = link_capacity_;
+  std::vector<bool> frozen(flows_.size(), false);
+  for (Flow& f : flows_) f.rate = 0;
+  std::size_t unfrozen = flows_.size();
+  while (unfrozen > 0) {
+    // Count unfrozen flows per link.
+    std::vector<std::size_t> load(link_capacity_.size(), 0);
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (frozen[i]) continue;
+      for (std::size_t l : flows_[i].links) ++load[l];
+    }
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_capacity_.size(); ++l) {
+      if (load[l] > 0) {
+        inc = std::min(inc, remcap[l] / static_cast<double>(load[l]));
+      }
+    }
+    if (!std::isfinite(inc)) break;  // no unfrozen flow uses any link
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (!frozen[i]) flows_[i].rate += inc;
+    }
+    for (std::size_t l = 0; l < link_capacity_.size(); ++l) {
+      remcap[l] -= inc * static_cast<double>(load[l]);
+    }
+    // Freeze flows crossing a saturated link.
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (frozen[i]) continue;
+      for (std::size_t l : flows_[i].links) {
+        if (remcap[l] <= kRateEps * link_capacity_[l]) {
+          frozen[i] = true;
+          --unfrozen;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Network::schedule_next_completion() {
+  if (pending_event_ != 0) {
+    queue_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  if (flows_.empty()) return;
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows_) {
+    if (f.rate > kRateEps) {
+      earliest = std::min(earliest, f.remaining / f.rate);
+    }
+  }
+  if (!std::isfinite(earliest)) {
+    throw std::logic_error("Network: active flows but no positive rate");
+  }
+  pending_event_ =
+      queue_.schedule_in(earliest, [this] { on_completion_event(); });
+}
+
+void Network::on_completion_event() {
+  pending_event_ = 0;
+  advance_flows();
+  // Collect and remove finished flows, then fire their callbacks (callbacks
+  // may start new flows, so mutate the flow table first).
+  std::vector<Flow> done;
+  for (std::size_t i = 0; i < flows_.size();) {
+    if (flows_[i].remaining <= kRateEps * std::max(1.0, flows_[i].rate)) {
+      done.push_back(std::move(flows_[i]));
+      flows_[i] = std::move(flows_.back());
+      flows_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  recompute_rates();
+  schedule_next_completion();
+  for (Flow& f : done) f.on_complete(f.id);
+}
+
+}  // namespace vcopt::sim

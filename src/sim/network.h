@@ -1,0 +1,139 @@
+// Flow-level network model over the hierarchical topology.
+//
+// Links: per-node full-duplex NIC (up/down), per-node disk channel for
+// same-node transfers, per-rack switch uplink/downlink, per-cloud WAN
+// uplink/downlink.  A transfer is a fluid flow along the link path between
+// two nodes; concurrent flows share links by max-min fairness (progressive
+// filling), recomputed whenever the flow set changes.  Completion time is
+// bytes / achieved-rate plus a propagation latency proportional to the
+// topology distance — the paper's "distance indicates latency" premise.
+//
+// This is the simulated substitute for the paper's physical testbed: it
+// reproduces the property the evaluation depends on — transfers between
+// distant nodes are slower and contend on shared uplinks — without modelling
+// packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "sim/event_queue.h"
+
+namespace vcopt::sim {
+
+struct NetworkConfig {
+  // Defaults model a 2012-era virtualised cluster: 1 Gb/s NICs shared by the
+  // VMs of a node, rack uplinks oversubscribed >10:1 against ten 1 Gb/s
+  // nodes (a single cross-rack flow already runs below NIC line rate — the
+  // "slow link" of the paper's §I), a thinner inter-site pipe, and local
+  // disk reads (page cache + sequential HDFS I/O) well above NIC speed so
+  // that co-locating VMs is not punished on local reads.
+  double node_bw = 125e6;        ///< NIC bandwidth, bytes/s (1 Gb/s)
+  double disk_bw = 1000e6;       ///< same-node (disk/page-cache) channel, bytes/s
+  double rack_bw = 100e6;        ///< rack switch up/downlink, bytes/s
+  double wan_bw = 40e6;          ///< per-cloud WAN up/downlink, bytes/s
+  double latency_per_distance = 0.0005;  ///< propagation s per unit distance
+
+  void validate() const;
+};
+
+/// Byte counters split by how far the traffic travelled.
+struct TrafficStats {
+  double local_bytes = 0;        ///< same node
+  double rack_bytes = 0;         ///< same rack, different node
+  double cross_rack_bytes = 0;   ///< same cloud, different rack
+  double cross_cloud_bytes = 0;
+
+  double total() const {
+    return local_bytes + rack_bytes + cross_rack_bytes + cross_cloud_bytes;
+  }
+  /// Fraction of traffic that left its source node.
+  double non_local_fraction() const;
+};
+
+using FlowId = std::uint64_t;
+
+class Network {
+ public:
+  using FlowCallback = std::function<void(FlowId)>;
+
+  Network(const cluster::Topology& topology, NetworkConfig config,
+          EventQueue& queue);
+
+  /// Starts a fluid transfer of `bytes` from node `src` to node `dst`;
+  /// `on_complete` fires (as a queue event) when the last byte lands.
+  /// Zero-byte flows complete after just the propagation latency.
+  FlowId start_flow(std::size_t src, std::size_t dst, double bytes,
+                    FlowCallback on_complete);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  const TrafficStats& stats() const { return stats_; }
+
+  /// Current max-min rate of a flow (0 if unknown/finished).  For tests.
+  double flow_rate(FlowId id) const;
+
+  /// Future-work hook (paper §VII): an effective pairwise distance derived
+  /// from the modelled transfer time of one `probe_bytes` transfer given the
+  /// network's CURRENT load — latency plus serialisation through the
+  /// narrowest *residual* capacity on the path (links saturated by active
+  /// flows make their paths look far).  On an idle network this reduces to
+  /// the static capacity estimate.
+  double measured_distance(std::size_t a, std::size_t b,
+                           double probe_bytes = 64e6) const;
+
+  /// The full n x n measured-distance matrix under current load; a drop-in
+  /// replacement for Topology::distance_matrix() in the exact SD solver,
+  /// enabling load-aware placement (see bench/ext_dynamic_distance).
+  util::DoubleMatrix measured_distance_matrix(double probe_bytes = 64e6) const;
+
+  /// Bytes/s of residual (unclaimed) capacity on the narrowest link of the
+  /// a -> b path, given the current max-min rate allocation.
+  double residual_path_bandwidth(std::size_t a, std::size_t b) const;
+
+  /// Snapshot of every link's capacity and currently claimed rate — the
+  /// observability hook a bandwidth-aware controller would scrape.
+  struct LinkUtilization {
+    std::string name;    ///< e.g. "node3.up", "rack1.down", "cloud0.up"
+    double capacity = 0; ///< bytes/s
+    double used = 0;     ///< sum of max-min rates of flows crossing it
+  };
+  std::vector<LinkUtilization> link_utilization() const;
+
+ private:
+  struct Flow {
+    FlowId id;
+    std::size_t src;
+    std::size_t dst;
+    double remaining;
+    double rate = 0;
+    std::vector<std::size_t> links;
+    FlowCallback on_complete;
+  };
+
+  std::vector<std::size_t> path_links(std::size_t src, std::size_t dst) const;
+  double path_min_bw(std::size_t src, std::size_t dst) const;
+  void advance_flows();       // debit elapsed-time progress at current rates
+  void recompute_rates();     // progressive-filling max-min fairness
+  void schedule_next_completion();
+  void on_completion_event();
+
+  const cluster::Topology& topo_;
+  NetworkConfig cfg_;
+  EventQueue& queue_;
+
+  // Link capacity table; index = link id.
+  std::vector<double> link_capacity_;
+  std::size_t disk_base_, up_base_, down_base_, rack_up_base_, rack_down_base_,
+      wan_up_base_, wan_down_base_;
+
+  std::vector<Flow> flows_;
+  FlowId next_flow_ = 1;
+  double last_advance_ = 0;
+  EventId pending_event_ = 0;
+  TrafficStats stats_;
+};
+
+}  // namespace vcopt::sim

@@ -1,0 +1,137 @@
+#include "solver/branch_bound.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "solver/simplex.h"
+
+namespace vcopt::solver {
+
+namespace {
+
+struct Node {
+  // Bound overrides per integer variable (index -> [lo, hi]); stored densely
+  // over all variables for simplicity (models here are small).
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound = -std::numeric_limits<double>::infinity();
+
+  bool operator<(const Node& o) const {
+    // priority_queue is a max-heap; we want the *smallest* bound on top.
+    return bound > o.bound;
+  }
+};
+
+// Index of the integer variable whose value is farthest from integral,
+// or SIZE_MAX if all integer variables are integral within tol.
+std::size_t most_fractional(const LpModel& model, const std::vector<double>& x,
+                            double tol) {
+  std::size_t best = SIZE_MAX;
+  double best_frac_dist = tol;
+  for (std::size_t i = 0; i < model.variable_count(); ++i) {
+    if (!model.variable(i).integral) continue;
+    const double frac = x[i] - std::floor(x[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
+  IlpSolution out;
+  const std::size_t n = model.variable_count();
+
+  // Working copy whose bounds we mutate per node.
+  LpModel work = model;
+
+  Node root;
+  root.lower.resize(n);
+  root.upper.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    root.lower[i] = model.variable(i).lower;
+    root.upper[i] = model.variable(i).upper;
+  }
+
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_x;
+  bool any_lp_solved = false;
+
+  std::priority_queue<Node> open;
+  open.push(std::move(root));
+
+  while (!open.empty()) {
+    if (out.nodes_explored >= opt.max_nodes) {
+      out.node_limit_hit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent - opt.gap_tol &&
+        std::isfinite(incumbent)) {
+      continue;  // pruned by bound
+    }
+    ++out.nodes_explored;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      work.variable(i).lower = node.lower[i];
+      work.variable(i).upper = node.upper[i];
+    }
+    const LpSolution relax = solve_lp(work);
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the ILP is unbounded
+      // (bounded integer models in this repo never trigger this).
+      out.status = SolveStatus::kUnbounded;
+      return out;
+    }
+    if (relax.status != SolveStatus::kOptimal) continue;  // infeasible branch
+    any_lp_solved = true;
+    if (relax.objective >= incumbent - opt.gap_tol) continue;
+
+    const std::size_t branch_var =
+        most_fractional(model, relax.x, opt.integrality_tol);
+    if (branch_var == SIZE_MAX) {
+      // Integral: new incumbent.  Snap integer variables exactly.
+      std::vector<double> x = relax.x;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (model.variable(i).integral) x[i] = std::round(x[i]);
+      }
+      const double obj = model.objective_value(x);
+      if (obj < incumbent) {
+        incumbent = obj;
+        incumbent_x = std::move(x);
+      }
+      continue;
+    }
+
+    const double v = relax.x[branch_var];
+    Node down = node;
+    down.upper[branch_var] = std::floor(v);
+    down.bound = relax.objective;
+    if (down.lower[branch_var] <= down.upper[branch_var]) open.push(std::move(down));
+
+    Node up = node;
+    up.lower[branch_var] = std::ceil(v);
+    up.bound = relax.objective;
+    if (up.lower[branch_var] <= up.upper[branch_var]) open.push(std::move(up));
+  }
+
+  if (incumbent_x.empty()) {
+    out.status = any_lp_solved && out.node_limit_hit
+                     ? SolveStatus::kIterationLimit
+                     : SolveStatus::kInfeasible;
+    return out;
+  }
+  out.status = SolveStatus::kOptimal;
+  out.objective = incumbent;
+  out.x = std::move(incumbent_x);
+  return out;
+}
+
+}  // namespace vcopt::solver

@@ -1,0 +1,32 @@
+// Branch-and-bound integer linear programming on top of the simplex solver.
+//
+// Best-first search on the LP relaxation bound, branching on the most
+// fractional integer variable with floor/ceil bound splits.  Exact for the
+// small ILPs in this repo (SD and small GSD instances); the node budget
+// guards against pathological models.
+#pragma once
+
+#include <cstddef>
+
+#include "solver/lp_model.h"
+
+namespace vcopt::solver {
+
+struct IlpOptions {
+  std::size_t max_nodes = 100000;     ///< B&B node budget
+  double integrality_tol = 1e-6;      ///< |x - round(x)| below this is integral
+  double gap_tol = 1e-9;              ///< prune bound >= incumbent - gap_tol
+};
+
+struct IlpSolution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;
+  std::size_t nodes_explored = 0;
+  bool node_limit_hit = false;  ///< true if search stopped early (solution may be suboptimal)
+};
+
+/// Minimises the model treating variables flagged `integral` as integers.
+IlpSolution solve_ilp(const LpModel& model, const IlpOptions& options = {});
+
+}  // namespace vcopt::solver

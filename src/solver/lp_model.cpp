@@ -1,0 +1,75 @@
+#include "solver/lp_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vcopt::solver {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+std::size_t LpModel::add_variable(double lower, double upper, double objective,
+                                  bool integral, std::string name) {
+  if (lower > upper) throw std::invalid_argument("LpModel: lower > upper");
+  vars_.push_back(Variable{lower, upper, objective, integral, std::move(name)});
+  return vars_.size() - 1;
+}
+
+std::size_t LpModel::add_constraint(Constraint c) {
+  if (c.vars.size() != c.coeffs.size()) {
+    throw std::invalid_argument("LpModel: vars/coeffs size mismatch");
+  }
+  for (std::size_t v : c.vars) {
+    if (v >= vars_.size()) throw std::invalid_argument("LpModel: unknown variable");
+  }
+  cons_.push_back(std::move(c));
+  return cons_.size() - 1;
+}
+
+bool LpModel::has_integer_variables() const {
+  for (const auto& v : vars_) {
+    if (v.integral) return true;
+  }
+  return false;
+}
+
+double LpModel::objective_value(const std::vector<double>& x) const {
+  if (x.size() != vars_.size()) {
+    throw std::invalid_argument("LpModel::objective_value: size mismatch");
+  }
+  double obj = 0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) obj += vars_[i].objective * x[i];
+  return obj;
+}
+
+bool LpModel::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (x[i] < vars_[i].lower - tol || x[i] > vars_[i].upper + tol) return false;
+  }
+  for (const auto& c : cons_) {
+    double lhs = 0;
+    for (std::size_t t = 0; t < c.vars.size(); ++t) lhs += c.coeffs[t] * x[c.vars[t]];
+    switch (c.relation) {
+      case Relation::kLessEqual:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Relation::kEqual:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace vcopt::solver

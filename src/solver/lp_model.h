@@ -1,0 +1,78 @@
+// Declarative linear-program model: bounded variables, linear constraints,
+// minimisation objective.  Consumed by the simplex solver and the
+// branch-and-bound ILP solver.  Kept deliberately dense/simple — every LP in
+// this repo has at most a few hundred variables.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vcopt::solver {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: sum(coeffs[i] * x[var_index[i]]) REL rhs.
+struct Constraint {
+  std::vector<std::size_t> vars;
+  std::vector<double> coeffs;
+  Relation relation = Relation::kEqual;
+  double rhs = 0;
+  std::string name;
+};
+
+/// A variable with box bounds.  `integral` marks it for branch-and-bound.
+struct Variable {
+  double lower = 0;
+  double upper = kInfinity;
+  double objective = 0;  ///< coefficient in the minimised objective
+  bool integral = false;
+  std::string name;
+};
+
+class LpModel {
+ public:
+  /// Adds a variable, returns its index.
+  std::size_t add_variable(double lower, double upper, double objective,
+                           bool integral = false, std::string name = {});
+
+  /// Adds a constraint, returns its index.  All variable indices must exist.
+  std::size_t add_constraint(Constraint c);
+
+  std::size_t variable_count() const { return vars_.size(); }
+  std::size_t constraint_count() const { return cons_.size(); }
+
+  const Variable& variable(std::size_t i) const { return vars_.at(i); }
+  Variable& variable(std::size_t i) { return vars_.at(i); }
+  const Constraint& constraint(std::size_t i) const { return cons_.at(i); }
+
+  const std::vector<Variable>& variables() const { return vars_; }
+  const std::vector<Constraint>& constraints() const { return cons_; }
+
+  bool has_integer_variables() const;
+
+  /// Objective value of a candidate point.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Checks primal feasibility of a point within `tol`.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> cons_;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* to_string(SolveStatus s);
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;
+};
+
+}  // namespace vcopt::solver

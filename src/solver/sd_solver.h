@@ -1,0 +1,95 @@
+// Exact solvers for the paper's Shortest Distance (SD, Definition 2) and
+// Global Shortest Distance (GSD, Definition 4) problems.
+//
+// Structure exploited: once the central node k is FIXED, the SD objective
+// sum_i (sum_j x_ij) * D_ik prices every VM on node i at D_ik regardless of
+// type, and the constraints (sum_i x_ij = R_j, 0 <= x_ij <= L_ij) are
+// independent across types.  Nearest-node-first greedy filling is therefore
+// optimal for fixed k (an exchange argument: moving one VM from a farther
+// node to spare capacity on a nearer node strictly reduces the objective —
+// exactly Theorem 1 of the paper).  Scanning all n central nodes yields the
+// global optimum in O(n^2 m + n^2 log n), making the ILP unnecessary for SD;
+// we keep the ILP path for cross-validation and for GSD, whose coupling
+// across requests does not decompose.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cluster/allocation.h"
+#include "cluster/request.h"
+#include "solver/branch_bound.h"
+#include "solver/lp_model.h"
+#include "util/matrix.h"
+
+namespace vcopt::solver {
+
+struct SdResult {
+  bool feasible = false;
+  cluster::Allocation allocation;
+  std::size_t central = 0;
+  double distance = 0;
+};
+
+/// Optimal allocation for a FIXED central node k (nearest-first fill), or
+/// nullopt if L cannot satisfy R.
+std::optional<cluster::Allocation> fill_for_central(
+    const cluster::Request& request, const util::IntMatrix& remaining,
+    const util::DoubleMatrix& dist, std::size_t central);
+
+/// Exact SD solution by scanning all central nodes.
+SdResult solve_sd_exact(const cluster::Request& request,
+                        const util::IntMatrix& remaining,
+                        const util::DoubleMatrix& dist);
+
+/// Weighted-distance variant (§VII fine-grained provisioning): VM types are
+/// priced by `weights[type]` (e.g. compute units as a traffic proxy).  For
+/// a fixed central node, nearest-first filling remains optimal per type —
+/// positive weights scale each type's cost uniformly — so the scan stays
+/// exact; only the objective and hence the chosen central node change.
+SdResult solve_sd_exact_weighted(const cluster::Request& request,
+                                 const util::IntMatrix& remaining,
+                                 const util::DoubleMatrix& dist,
+                                 const std::vector<double>& weights);
+
+/// Builds the integer program of §III.B for a fixed central node:
+/// min sum_ij x_ij D_ik  s.t.  sum_i x_ij = R_j, 0 <= x_ij <= L_ij.
+/// Variable order: x_ij at index i * m + j.
+LpModel build_sd_model(const cluster::Request& request,
+                       const util::IntMatrix& remaining,
+                       const util::DoubleMatrix& dist, std::size_t central);
+
+/// Exact SD solution via branch-and-bound over every central node.
+/// Slower than solve_sd_exact; used to cross-validate it.
+SdResult solve_sd_ilp(const cluster::Request& request,
+                      const util::IntMatrix& remaining,
+                      const util::DoubleMatrix& dist,
+                      const IlpOptions& options = {});
+
+struct GsdResult {
+  bool feasible = false;
+  std::vector<cluster::Allocation> allocations;
+  std::vector<std::size_t> centrals;
+  double total_distance = 0;
+};
+
+/// Builds the coupled integer program of Definition 4 for FIXED central
+/// nodes (one per request): min sum_k sum_ij x^k_ij D(i, T_k) subject to
+/// per-request demand and shared capacity sum_k x^k_ij <= L_ij.
+/// Variable order: x^k_ij at index (k * n + i) * m + j.
+LpModel build_gsd_model(const std::vector<cluster::Request>& requests,
+                        const util::IntMatrix& remaining,
+                        const util::DoubleMatrix& dist,
+                        const std::vector<std::size_t>& centrals);
+
+/// Exact GSD by enumerating all central-node tuples (n^p combinations) and
+/// solving the coupled ILP for each.  Only viable for small instances; the
+/// caller must keep n^p under `max_tuples` or the call throws.
+GsdResult solve_gsd_exact(const std::vector<cluster::Request>& requests,
+                          const util::IntMatrix& remaining,
+                          const util::DoubleMatrix& dist,
+                          std::size_t max_tuples = 100000,
+                          const IlpOptions& options = {});
+
+}  // namespace vcopt::solver

@@ -1,0 +1,244 @@
+#include "solver/simplex.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vcopt::solver {
+
+namespace {
+
+// Internal standard-form problem:
+//   minimize c.x  s.t.  T x = b,  x >= 0,  b >= 0
+// built from the user model by shifting lower bounds to zero, turning finite
+// upper bounds into rows, and adding slack/surplus/artificial columns.
+struct Tableau {
+  std::size_t rows = 0;
+  std::size_t cols = 0;           // structural + slack + artificial
+  std::size_t structural = 0;     // shifted user variables
+  std::size_t artificial_begin = 0;
+  std::vector<double> body;       // rows x cols
+  std::vector<double> rhs;        // rows
+  std::vector<std::size_t> basis; // rows -> basic column
+
+  double& at(std::size_t r, std::size_t c) { return body[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return body[r * cols + c]; }
+};
+
+struct Row {
+  std::vector<double> coeffs;  // dense over structural variables
+  Relation relation;
+  double rhs;
+};
+
+void pivot(Tableau& t, std::size_t pr, std::size_t pc) {
+  const double p = t.at(pr, pc);
+  for (std::size_t c = 0; c < t.cols; ++c) t.at(pr, c) /= p;
+  t.rhs[pr] /= p;
+  for (std::size_t r = 0; r < t.rows; ++r) {
+    if (r == pr) continue;
+    const double f = t.at(r, pc);
+    if (f == 0) continue;
+    for (std::size_t c = 0; c < t.cols; ++c) t.at(r, c) -= f * t.at(pr, c);
+    t.rhs[r] -= f * t.rhs[pr];
+  }
+  t.basis[pr] = pc;
+}
+
+// Reduced-cost row for the cost vector `cost` (length t.cols) under the
+// current basis: red[j] = cost[j] - sum_i cost[basis[i]] * body[i][j].
+std::vector<double> reduced_costs(const Tableau& t, const std::vector<double>& cost) {
+  std::vector<double> red = cost;
+  for (std::size_t r = 0; r < t.rows; ++r) {
+    const double cb = cost[t.basis[r]];
+    if (cb == 0) continue;
+    for (std::size_t c = 0; c < t.cols; ++c) red[c] -= cb * t.at(r, c);
+  }
+  return red;
+}
+
+// One simplex phase minimising `cost`.  `allowed(c)` filters entering
+// columns (used to bar artificials in phase 2).  Bland's rule throughout.
+SolveStatus run_phase(Tableau& t, const std::vector<double>& cost,
+                      const SimplexOptions& opt, bool bar_artificials,
+                      std::size_t& iterations_left) {
+  while (true) {
+    if (iterations_left-- == 0) return SolveStatus::kIterationLimit;
+    const std::vector<double> red = reduced_costs(t, cost);
+
+    // Bland: smallest-index column with negative reduced cost.
+    std::size_t enter = t.cols;
+    for (std::size_t c = 0; c < t.cols; ++c) {
+      if (bar_artificials && c >= t.artificial_begin) break;
+      if (red[c] < -opt.tolerance) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == t.cols) return SolveStatus::kOptimal;
+
+    // Ratio test; Bland tie-break on the basic variable's column index.
+    std::size_t leave = t.rows;
+    double best_ratio = 0;
+    for (std::size_t r = 0; r < t.rows; ++r) {
+      const double a = t.at(r, enter);
+      if (a > opt.tolerance) {
+        const double ratio = t.rhs[r] / a;
+        if (leave == t.rows || ratio < best_ratio - opt.tolerance ||
+            (std::abs(ratio - best_ratio) <= opt.tolerance &&
+             t.basis[r] < t.basis[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == t.rows) return SolveStatus::kUnbounded;
+    pivot(t, leave, enter);
+  }
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& opt) {
+  const std::size_t nvars = model.variable_count();
+  LpSolution out;
+
+  // --- Shift lower bounds to zero; reject unbounded-below variables. ---
+  std::vector<double> shift(nvars);
+  for (std::size_t i = 0; i < nvars; ++i) {
+    const Variable& v = model.variable(i);
+    if (!std::isfinite(v.lower)) {
+      throw std::invalid_argument("solve_lp: variables need finite lower bounds");
+    }
+    shift[i] = v.lower;
+  }
+
+  // --- Collect rows: user constraints (rhs adjusted by shift) + finite
+  //     upper bounds as x'_i <= ub - lo. ---
+  std::vector<Row> rows;
+  for (std::size_t ci = 0; ci < model.constraint_count(); ++ci) {
+    const Constraint& c = model.constraint(ci);
+    Row row{std::vector<double>(nvars, 0.0), c.relation, c.rhs};
+    for (std::size_t t = 0; t < c.vars.size(); ++t) {
+      row.coeffs[c.vars[t]] += c.coeffs[t];
+      row.rhs -= c.coeffs[t] * shift[c.vars[t]];
+    }
+    rows.push_back(std::move(row));
+  }
+  for (std::size_t i = 0; i < nvars; ++i) {
+    const Variable& v = model.variable(i);
+    if (std::isfinite(v.upper)) {
+      Row row{std::vector<double>(nvars, 0.0), Relation::kLessEqual,
+              v.upper - v.lower};
+      row.coeffs[i] = 1.0;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Normalise to rhs >= 0.
+  for (Row& r : rows) {
+    if (r.rhs < 0) {
+      for (double& a : r.coeffs) a = -a;
+      r.rhs = -r.rhs;
+      if (r.relation == Relation::kLessEqual) r.relation = Relation::kGreaterEqual;
+      else if (r.relation == Relation::kGreaterEqual) r.relation = Relation::kLessEqual;
+    }
+  }
+
+  // --- Count slack & artificial columns. ---
+  std::size_t slacks = 0;
+  std::size_t artificials = 0;
+  for (const Row& r : rows) {
+    if (r.relation != Relation::kEqual) ++slacks;
+    if (r.relation != Relation::kLessEqual) ++artificials;
+  }
+
+  Tableau t;
+  t.rows = rows.size();
+  t.structural = nvars;
+  t.artificial_begin = nvars + slacks;
+  t.cols = nvars + slacks + artificials;
+  t.body.assign(t.rows * t.cols, 0.0);
+  t.rhs.resize(t.rows);
+  t.basis.assign(t.rows, 0);
+
+  std::size_t next_slack = nvars;
+  std::size_t next_art = t.artificial_begin;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Row& row = rows[r];
+    for (std::size_t c = 0; c < nvars; ++c) t.at(r, c) = row.coeffs[c];
+    t.rhs[r] = row.rhs;
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        t.at(r, next_slack) = 1.0;
+        t.basis[r] = next_slack++;
+        break;
+      case Relation::kGreaterEqual:
+        t.at(r, next_slack) = -1.0;
+        ++next_slack;
+        t.at(r, next_art) = 1.0;
+        t.basis[r] = next_art++;
+        break;
+      case Relation::kEqual:
+        t.at(r, next_art) = 1.0;
+        t.basis[r] = next_art++;
+        break;
+    }
+  }
+
+  std::size_t iterations_left = opt.max_iterations;
+
+  // --- Phase 1: minimise the sum of artificials. ---
+  if (artificials > 0) {
+    std::vector<double> cost1(t.cols, 0.0);
+    for (std::size_t c = t.artificial_begin; c < t.cols; ++c) cost1[c] = 1.0;
+    const SolveStatus st = run_phase(t, cost1, opt, /*bar_artificials=*/false,
+                                     iterations_left);
+    if (st == SolveStatus::kIterationLimit) {
+      out.status = st;
+      return out;
+    }
+    // Phase-1 objective = sum of artificial values.
+    double art_sum = 0;
+    for (std::size_t r = 0; r < t.rows; ++r) {
+      if (t.basis[r] >= t.artificial_begin) art_sum += t.rhs[r];
+    }
+    if (art_sum > 1e-7) {
+      out.status = SolveStatus::kInfeasible;
+      return out;
+    }
+    // Drive any zero-valued basic artificials out of the basis when a
+    // non-artificial pivot exists; otherwise the row is redundant and the
+    // artificial can stay at zero (it is barred from re-entering).
+    for (std::size_t r = 0; r < t.rows; ++r) {
+      if (t.basis[r] < t.artificial_begin) continue;
+      for (std::size_t c = 0; c < t.artificial_begin; ++c) {
+        if (std::abs(t.at(r, c)) > opt.tolerance) {
+          pivot(t, r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: original objective over structural columns. ---
+  std::vector<double> cost2(t.cols, 0.0);
+  for (std::size_t c = 0; c < nvars; ++c) cost2[c] = model.variable(c).objective;
+  const SolveStatus st =
+      run_phase(t, cost2, opt, /*bar_artificials=*/true, iterations_left);
+  if (st != SolveStatus::kOptimal) {
+    out.status = st;
+    return out;
+  }
+
+  out.status = SolveStatus::kOptimal;
+  out.x.assign(nvars, 0.0);
+  for (std::size_t r = 0; r < t.rows; ++r) {
+    if (t.basis[r] < nvars) out.x[t.basis[r]] = t.rhs[r];
+  }
+  for (std::size_t i = 0; i < nvars; ++i) out.x[i] += shift[i];
+  out.objective = model.objective_value(out.x);
+  return out;
+}
+
+}  // namespace vcopt::solver

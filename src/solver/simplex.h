@@ -1,0 +1,24 @@
+// Two-phase primal simplex on a dense full tableau.
+//
+// Scope: the LPs in this repo (SD/GSD relaxations) are small — at most a few
+// hundred variables — so a dense tableau with Bland's anti-cycling rule is
+// the simplest implementation that is provably terminating and exact enough.
+// Finite lower bounds are shifted to zero and finite upper bounds become
+// explicit rows, keeping the core in textbook standard form.
+#pragma once
+
+#include "solver/lp_model.h"
+
+namespace vcopt::solver {
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  double tolerance = 1e-9;
+};
+
+/// Solves the LP relaxation of `model` (integrality flags are ignored).
+/// Returns an optimal basic solution, or kInfeasible / kUnbounded /
+/// kIterationLimit.
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace vcopt::solver

@@ -1,0 +1,82 @@
+// Minimal JSON value, recursive-descent parser and serializer — enough to
+// load/store cloud descriptions and scenario configs (no external
+// dependencies are available offline).  Supports the full JSON grammar
+// except \u escapes beyond basic-multilingual-plane passthrough.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcopt::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// Immutable-ish JSON value with value semantics.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), num_(n) {}
+  Json(int n) : type_(Type::kNumber), num_(n) {}
+  Json(long n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(std::size_t n) : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  int as_int() const;  ///< rejects non-integral numbers
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member access; throws if not an object or key missing.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  /// Object member with fallback when absent.
+  double number_or(const std::string& key, double fallback) const;
+
+  /// Array element access; throws on type mismatch / out of range.
+  const Json& at(std::size_t index) const;
+  std::size_t size() const;  ///< array/object element count
+
+  /// Serialises; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document; throws std::invalid_argument with a
+  /// byte offset on malformed input.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& o) const;
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace vcopt::util

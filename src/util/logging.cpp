@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace vcopt::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::set_level(LogLevel level) { g_level.store(level); }
+LogLevel Logger::level() { return g_level.load(); }
+bool Logger::enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load()) &&
+         level != LogLevel::kOff;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace vcopt::util

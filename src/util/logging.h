@@ -1,0 +1,46 @@
+// Minimal leveled logger.  Levels are filtered at runtime via
+// Logger::set_level; the default (kWarn) keeps test/bench output clean while
+// examples can turn on kInfo/kDebug for narrated runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vcopt::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level);
+  /// Writes one line ("[LEVEL] msg") to stderr.  Thread-safe.
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (Logger::enabled(level_)) Logger::write(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Logger::enabled(level_)) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace vcopt::util

@@ -1,0 +1,164 @@
+// Dense row-major matrix used for the paper's M/C/L capacity matrices and
+// the inter-node distance matrix D.  Header-only so it can hold any numeric
+// cell type without dragging in template instantiation boilerplate.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace vcopt::util {
+
+/// Dense row-major matrix with bounds-checked access via at() and
+/// assert-checked access via operator().
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+      if (r.size() != cols_) {
+        throw std::invalid_argument("Matrix: ragged initializer list");
+      }
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Sum of the entries of row r (e.g. number of VMs a node hosts).
+  T row_sum(std::size_t r) const {
+    check(r, 0);
+    T s{};
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c);
+    return s;
+  }
+
+  /// Sum of the entries of column c (e.g. cluster-wide count of one VM type).
+  T col_sum(std::size_t c) const {
+    check(0, c);
+    T s{};
+    for (std::size_t r = 0; r < rows_; ++r) s += (*this)(r, c);
+    return s;
+  }
+
+  T total() const {
+    T s{};
+    for (const T& v : data_) s += v;
+    return s;
+  }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  /// Element-wise difference; shapes must match (used for L = M - C).
+  Matrix operator-(const Matrix& o) const {
+    require_same_shape(o);
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - o.data_[i];
+    return out;
+  }
+
+  Matrix operator+(const Matrix& o) const {
+    require_same_shape(o);
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + o.data_[i];
+    return out;
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+
+  Matrix& operator-=(const Matrix& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// True if every entry is >= the corresponding entry of o.
+  bool dominates(const Matrix& o) const {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (data_[i] < o.data_[i]) return false;
+    }
+    return true;
+  }
+
+  bool all_nonnegative() const {
+    for (const T& v : data_) {
+      if (v < T{}) return false;
+    }
+    return true;
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+  friend std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+    for (std::size_t r = 0; r < m.rows_; ++r) {
+      os << (r == 0 ? "[" : " ");
+      for (std::size_t c = 0; c < m.cols_; ++c) {
+        os << m(r, c) << (c + 1 < m.cols_ ? " " : "");
+      }
+      os << (r + 1 < m.rows_ ? "\n" : "]");
+    }
+    return os;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw std::out_of_range("Matrix index out of range");
+    }
+  }
+  void require_same_shape(const Matrix& o) const {
+    if (rows_ != o.rows_ || cols_ != o.cols_) {
+      throw std::invalid_argument("Matrix shape mismatch");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using IntMatrix = Matrix<int>;
+using DoubleMatrix = Matrix<double>;
+
+}  // namespace vcopt::util

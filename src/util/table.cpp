@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcopt::util {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TableWriter: no headers");
+}
+
+TableWriter& TableWriter::row() {
+  if (!rows_.empty() && rows_.back().size() != headers_.size()) {
+    throw std::logic_error("TableWriter: previous row incomplete");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+TableWriter& TableWriter::cell(const std::string& v) {
+  if (rows_.empty()) throw std::logic_error("TableWriter: cell before row");
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("TableWriter: too many cells in row");
+  }
+  rows_.back().push_back(v);
+  return *this;
+}
+
+TableWriter& TableWriter::cell(const char* v) { return cell(std::string(v)); }
+TableWriter& TableWriter::cell(double v, int precision) {
+  return cell(format_double(v, precision));
+}
+TableWriter& TableWriter::cell(int v) { return cell(std::to_string(v)); }
+TableWriter& TableWriter::cell(long v) { return cell(std::to_string(v)); }
+TableWriter& TableWriter::cell(std::size_t v) { return cell(std::to_string(v)); }
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      os << " " << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& r : rows_) print_row(r);
+}
+
+void TableWriter::print_csv(std::ostream& os) const {
+  auto esc = [](const std::string& v) {
+    if (v.find_first_of(",\"\n") == std::string::npos) return v;
+    std::string out = "\"";
+    for (char ch : v) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c ? "," : "") << esc(r[c]);
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace vcopt::util

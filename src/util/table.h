@@ -1,0 +1,43 @@
+// Aligned ASCII table and CSV emitters.  Every bench binary reports its
+// figure/table series through TableWriter so the output format is uniform
+// (and greppable in bench_output.txt).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcopt::util {
+
+/// Collects rows of stringified cells, then renders either an aligned ASCII
+/// table or CSV.  Cell helpers format doubles with a fixed precision.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Starts a new row; returns *this for chaining cell().
+  TableWriter& row();
+  TableWriter& cell(const std::string& v);
+  TableWriter& cell(const char* v);
+  TableWriter& cell(double v, int precision = 3);
+  TableWriter& cell(int v);
+  TableWriter& cell(long v);
+  TableWriter& cell(std::size_t v);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders an aligned, pipe-separated table.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with log lines).
+std::string format_double(double v, int precision = 3);
+
+}  // namespace vcopt::util

@@ -1,0 +1,201 @@
+#include "workload/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcopt::workload {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+CloudSpec cloud_from_json(const Json& json) {
+  // Distances (all optional, defaulting to the paper's model).
+  cluster::DistanceConfig dist;
+  if (json.contains("distances")) {
+    const Json& d = json.at("distances");
+    dist.same_node = d.number_or("same_node", dist.same_node);
+    dist.same_rack = d.number_or("same_rack", dist.same_rack);
+    dist.cross_rack = d.number_or("cross_rack", dist.cross_rack);
+    dist.cross_cloud = d.number_or("cross_cloud", dist.cross_cloud);
+  }
+
+  // VM catalogue.
+  std::vector<cluster::VmType> types;
+  for (const Json& t : json.at("vm_types").as_array()) {
+    cluster::VmType vt;
+    vt.name = t.at("name").as_string();
+    vt.memory_gb = t.number_or("memory_gb", 0);
+    vt.compute_units = static_cast<int>(t.number_or("compute_units", 1));
+    vt.storage_gb = static_cast<int>(t.number_or("storage_gb", 0));
+    vt.platform_bits = static_cast<int>(t.number_or("platform_bits", 64));
+    types.push_back(std::move(vt));
+  }
+  cluster::VmCatalog catalog(std::move(types));
+
+  // Racks and nodes.
+  std::vector<std::size_t> node_rack;
+  std::vector<std::size_t> rack_cloud;
+  std::vector<std::vector<int>> rows;
+  for (const Json& rack : json.at("racks").as_array()) {
+    const std::size_t rack_id = rack_cloud.size();
+    rack_cloud.push_back(
+        static_cast<std::size_t>(rack.number_or("cloud", 0)));
+    for (const Json& node : rack.at("nodes").as_array()) {
+      node_rack.push_back(rack_id);
+      const JsonArray& cap = node.at("capacity").as_array();
+      if (cap.size() != catalog.size()) {
+        throw std::invalid_argument(
+            "cloud_from_json: node capacity length != vm_types length");
+      }
+      std::vector<int> row;
+      for (const Json& c : cap) {
+        row.push_back(c.as_int());
+        if (row.back() < 0) {
+          throw std::invalid_argument("cloud_from_json: negative capacity");
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  if (node_rack.empty()) {
+    throw std::invalid_argument("cloud_from_json: no nodes");
+  }
+
+  cluster::Topology topo(std::move(node_rack), std::move(rack_cloud), dist);
+  util::IntMatrix capacity(rows.size(), catalog.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < catalog.size(); ++j) {
+      capacity(i, j) = rows[i][j];
+    }
+  }
+  return CloudSpec{std::move(topo), std::move(catalog), std::move(capacity)};
+}
+
+Json cloud_to_json(const cluster::Topology& topology,
+                   const cluster::VmCatalog& catalog,
+                   const util::IntMatrix& capacity) {
+  if (capacity.rows() != topology.node_count() ||
+      capacity.cols() != catalog.size()) {
+    throw std::invalid_argument("cloud_to_json: capacity shape mismatch");
+  }
+  JsonObject root;
+
+  JsonObject distances;
+  distances["same_node"] = Json(topology.distances().same_node);
+  distances["same_rack"] = Json(topology.distances().same_rack);
+  distances["cross_rack"] = Json(topology.distances().cross_rack);
+  distances["cross_cloud"] = Json(topology.distances().cross_cloud);
+  root["distances"] = Json(std::move(distances));
+
+  JsonArray vm_types;
+  for (const cluster::VmType& t : catalog) {
+    JsonObject vt;
+    vt["name"] = Json(t.name);
+    vt["memory_gb"] = Json(t.memory_gb);
+    vt["compute_units"] = Json(t.compute_units);
+    vt["storage_gb"] = Json(t.storage_gb);
+    vt["platform_bits"] = Json(t.platform_bits);
+    vm_types.push_back(Json(std::move(vt)));
+  }
+  root["vm_types"] = Json(std::move(vm_types));
+
+  JsonArray racks;
+  for (std::size_t r = 0; r < topology.rack_count(); ++r) {
+    JsonObject rack;
+    if (topology.nodes_in_rack(r).empty()) {
+      // A rack without nodes carries no capacity; round-tripping it would
+      // only shift rack indices, so refuse loudly instead.
+      throw std::invalid_argument("cloud_to_json: rack " + std::to_string(r) +
+                                  " has no nodes");
+    }
+    rack["cloud"] = Json(topology.cloud_of(topology.nodes_in_rack(r).front()));
+    JsonArray nodes;
+    for (std::size_t i : topology.nodes_in_rack(r)) {
+      JsonObject node;
+      JsonArray cap;
+      for (std::size_t j = 0; j < catalog.size(); ++j) {
+        cap.push_back(Json(capacity(i, j)));
+      }
+      node["capacity"] = Json(std::move(cap));
+      nodes.push_back(Json(std::move(node)));
+    }
+    rack["nodes"] = Json(std::move(nodes));
+    racks.push_back(Json(std::move(rack)));
+  }
+  root["racks"] = Json(std::move(racks));
+  return Json(std::move(root));
+}
+
+Json trace_to_json(const std::vector<cluster::TimedRequest>& trace) {
+  JsonArray entries;
+  for (const cluster::TimedRequest& tr : trace) {
+    JsonObject e;
+    e["id"] = Json(tr.request.id());
+    JsonArray counts;
+    for (int c : tr.request.counts()) counts.push_back(Json(c));
+    e["counts"] = Json(std::move(counts));
+    e["priority"] = Json(tr.request.priority());
+    e["arrival"] = Json(tr.arrival_time);
+    e["hold"] = Json(tr.hold_time);
+    entries.push_back(Json(std::move(e)));
+  }
+  JsonObject root;
+  root["trace"] = Json(std::move(entries));
+  return Json(std::move(root));
+}
+
+std::vector<cluster::TimedRequest> trace_from_json(const Json& json) {
+  std::vector<cluster::TimedRequest> trace;
+  for (const Json& e : json.at("trace").as_array()) {
+    std::vector<int> counts;
+    for (const Json& c : e.at("counts").as_array()) counts.push_back(c.as_int());
+    cluster::Request request(
+        std::move(counts),
+        static_cast<std::uint64_t>(e.number_or("id", trace.size())),
+        static_cast<int>(e.number_or("priority", 0)));
+    cluster::TimedRequest tr;
+    tr.request = std::move(request);
+    tr.arrival_time = e.number_or("arrival", 0);
+    tr.hold_time = e.number_or("hold", 0);
+    if (tr.arrival_time < 0 || tr.hold_time < 0) {
+      throw std::invalid_argument("trace_from_json: negative time");
+    }
+    trace.push_back(std::move(tr));
+  }
+  return trace;
+}
+
+std::vector<cluster::TimedRequest> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return trace_from_json(Json::parse(buf.str()));
+}
+
+void save_trace_file(const std::string& path,
+                     const std::vector<cluster::TimedRequest>& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_file: cannot open " + path);
+  out << trace_to_json(trace).dump(2) << "\n";
+}
+
+CloudSpec load_cloud_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_cloud_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return cloud_from_json(Json::parse(buf.str()));
+}
+
+void save_cloud_file(const std::string& path, const cluster::Topology& topology,
+                     const cluster::VmCatalog& catalog,
+                     const util::IntMatrix& capacity) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_cloud_file: cannot open " + path);
+  out << cloud_to_json(topology, catalog, capacity).dump(2) << "\n";
+}
+
+}  // namespace vcopt::workload

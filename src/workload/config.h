@@ -1,0 +1,60 @@
+// JSON (de)serialisation of cloud descriptions, so operators can feed real
+// inventories to the tools instead of generated ones.
+//
+// Schema:
+// {
+//   "distances": {"same_node": 0, "same_rack": 1, "cross_rack": 2,
+//                 "cross_cloud": 4},                        // optional
+//   "vm_types": [{"name": "small", "memory_gb": 1.7, "compute_units": 1,
+//                 "storage_gb": 160, "platform_bits": 32}, ...],
+//   "racks": [{"cloud": 0,
+//              "nodes": [{"capacity": [2, 3, 0]}, ...]}, ...]
+// }
+// Each node's "capacity" lists how many VMs of each catalogue type it can
+// host (the row of the M matrix).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/request.h"
+#include "cluster/topology.h"
+#include "cluster/vm_type.h"
+#include "util/json.h"
+#include "util/matrix.h"
+
+namespace vcopt::workload {
+
+struct CloudSpec {
+  cluster::Topology topology;
+  cluster::VmCatalog catalog;
+  util::IntMatrix capacity;
+};
+
+/// Parses a cloud description; throws std::invalid_argument /
+/// std::out_of_range / std::logic_error on schema violations.
+CloudSpec cloud_from_json(const util::Json& json);
+
+/// Serialises a cloud description (round-trips through cloud_from_json).
+util::Json cloud_to_json(const cluster::Topology& topology,
+                         const cluster::VmCatalog& catalog,
+                         const util::IntMatrix& capacity);
+
+/// File convenience wrappers.
+CloudSpec load_cloud_file(const std::string& path);
+void save_cloud_file(const std::string& path, const cluster::Topology& topology,
+                     const cluster::VmCatalog& catalog,
+                     const util::IntMatrix& capacity);
+
+// --- Request traces -------------------------------------------------------
+// Schema: {"trace": [{"id": 0, "counts": [2,4,1], "priority": 0,
+//                     "arrival": 1.5, "hold": 30.0}, ...]}
+// so a workload can be replayed bit-identically across tools and policies.
+
+util::Json trace_to_json(const std::vector<cluster::TimedRequest>& trace);
+std::vector<cluster::TimedRequest> trace_from_json(const util::Json& json);
+std::vector<cluster::TimedRequest> load_trace_file(const std::string& path);
+void save_trace_file(const std::string& path,
+                     const std::vector<cluster::TimedRequest>& trace);
+
+}  // namespace vcopt::workload

@@ -1,0 +1,68 @@
+#include "workload/generator.h"
+
+#include <stdexcept>
+
+namespace vcopt::workload {
+
+util::IntMatrix random_inventory(const cluster::Topology& topology,
+                                 const cluster::VmCatalog& catalog,
+                                 util::Rng& rng, int min_per_type,
+                                 int max_per_type) {
+  if (min_per_type < 0 || min_per_type > max_per_type) {
+    throw std::invalid_argument("random_inventory: bad per-type range");
+  }
+  util::IntMatrix m(topology.node_count(), catalog.size());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      m(i, j) = static_cast<int>(rng.uniform_int(min_per_type, max_per_type));
+    }
+  }
+  return m;
+}
+
+cluster::Request random_request(const cluster::VmCatalog& catalog,
+                                util::Rng& rng, int min_per_type,
+                                int max_per_type, std::uint64_t id) {
+  if (min_per_type < 0 || min_per_type > max_per_type) {
+    throw std::invalid_argument("random_request: bad per-type range");
+  }
+  if (max_per_type == 0) {
+    throw std::invalid_argument("random_request: max_per_type must be >= 1");
+  }
+  while (true) {
+    std::vector<int> counts(catalog.size());
+    int total = 0;
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      counts[j] = static_cast<int>(rng.uniform_int(min_per_type, max_per_type));
+      total += counts[j];
+    }
+    if (total > 0) return cluster::Request(std::move(counts), id);
+  }
+}
+
+std::vector<cluster::Request> random_requests(const cluster::VmCatalog& catalog,
+                                              util::Rng& rng, std::size_t n,
+                                              int min_per_type,
+                                              int max_per_type) {
+  std::vector<cluster::Request> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(random_request(catalog, rng, min_per_type, max_per_type, i));
+  }
+  return out;
+}
+
+std::vector<cluster::TimedRequest> poisson_trace(
+    const std::vector<cluster::Request>& requests, util::Rng& rng,
+    double mean_interarrival, double mean_hold) {
+  std::vector<cluster::TimedRequest> out;
+  out.reserve(requests.size());
+  double t = 0;
+  for (const cluster::Request& r : requests) {
+    t += rng.exponential(mean_interarrival);
+    out.push_back(cluster::TimedRequest{r, t, rng.exponential(mean_hold)});
+  }
+  return out;
+}
+
+}  // namespace vcopt::workload

@@ -1,0 +1,43 @@
+// Random workload generation: node capacity matrices, request vectors, and
+// timed arrival traces.  All draws go through a caller-supplied Rng so every
+// experiment is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/request.h"
+#include "cluster/topology.h"
+#include "cluster/vm_type.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace vcopt::workload {
+
+/// Per-node capacities drawn uniformly in [min_per_type, max_per_type] for
+/// each VM type ("the instances on each physical node are distributed
+/// randomly", §V.A).
+util::IntMatrix random_inventory(const cluster::Topology& topology,
+                                 const cluster::VmCatalog& catalog,
+                                 util::Rng& rng, int min_per_type,
+                                 int max_per_type);
+
+/// A request with each type count uniform in [min_per_type, max_per_type];
+/// redrawn until at least one VM is requested.
+cluster::Request random_request(const cluster::VmCatalog& catalog,
+                                util::Rng& rng, int min_per_type,
+                                int max_per_type, std::uint64_t id);
+
+/// `n` independent random requests with ids 0..n-1.
+std::vector<cluster::Request> random_requests(const cluster::VmCatalog& catalog,
+                                              util::Rng& rng, std::size_t n,
+                                              int min_per_type,
+                                              int max_per_type);
+
+/// Wraps requests in a Poisson arrival process with exponential hold times
+/// ("requests will arrive and their job will finish randomly", §V.A).
+std::vector<cluster::TimedRequest> poisson_trace(
+    const std::vector<cluster::Request>& requests, util::Rng& rng,
+    double mean_interarrival, double mean_hold);
+
+}  // namespace vcopt::workload

@@ -1,0 +1,61 @@
+// Named experiment scenarios.
+//
+// paper_sim_scenario reproduces the simulation setup of §V.A: one cloud of
+// 3 racks x 10 nodes, random per-node instance inventories, and 20 random
+// requests (the "big" variant matches Fig. 5; the "small" variant — requests
+// with few VMs — matches Fig. 6).
+//
+// fig7_clusters builds the experimental setup of §V.B: several virtual
+// clusters of identical capability (same VM count and types) but different
+// topologies, hence different cluster distances, for the WordCount runtime
+// and locality experiments (Figs. 7-8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/allocation.h"
+#include "cluster/cloud.h"
+#include "cluster/request.h"
+#include "cluster/topology.h"
+#include "cluster/vm_type.h"
+#include "util/matrix.h"
+
+namespace vcopt::workload {
+
+struct SimScenario {
+  cluster::Topology topology;
+  cluster::VmCatalog catalog;
+  util::IntMatrix capacity;                 ///< matrix M
+  std::vector<cluster::Request> requests;   ///< 20 random requests
+  std::uint64_t seed = 0;
+};
+
+enum class RequestScale {
+  kBig,     ///< Fig. 5 scenario: per-type counts in [4, 10], inventory [0, 4]
+  kSmall,   ///< Fig. 6 scenario: per-type counts in [1, 2], inventory [0, 2]
+  kMedium,  ///< Figs. 2-4 scenario: per-type counts in [0, 6], inventory [0, 4]
+};
+
+SimScenario paper_sim_scenario(std::uint64_t seed,
+                               RequestScale scale = RequestScale::kBig,
+                               std::size_t num_requests = 20);
+
+/// One fixed virtual cluster for the Fig. 7/8 experiment.
+struct ExperimentCluster {
+  std::string name;
+  cluster::Allocation allocation;  ///< 8 medium VMs in a fixed layout
+  double distance = 0;             ///< DC under the experiment's topology
+};
+
+/// The shared physical topology of the Fig. 7/8 experiment (4 racks x 4
+/// nodes, d1 = 1, d2 = 2 — the metric configuration of §V.B).
+cluster::Topology fig7_topology();
+
+/// Four equal-capability clusters of increasing distance.  The middle two
+/// are chosen so the paper's anomaly can appear: the farther of the pair
+/// packs VMs more densely per node, which buys better data/shuffle locality.
+std::vector<ExperimentCluster> fig7_clusters();
+
+}  // namespace vcopt::workload

@@ -1,0 +1,90 @@
+#include "cluster/cloud.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::cluster {
+namespace {
+
+Cloud make_cloud() {
+  // 2 racks x 2 nodes, 3 EC2 types, 2 of each type per node.
+  return Cloud(Topology::uniform(2, 2), VmCatalog::ec2_default(),
+               util::IntMatrix(4, 3, 2));
+}
+
+TEST(Cloud, ConstructionValidation) {
+  EXPECT_THROW(Cloud(Topology::uniform(2, 2), VmCatalog::ec2_default(),
+                     util::IntMatrix(3, 3, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(Cloud(Topology::uniform(2, 2), VmCatalog::ec2_default(),
+                     util::IntMatrix(4, 2, 1)),
+               std::invalid_argument);
+}
+
+TEST(Cloud, GrantAndRelease) {
+  Cloud cloud = make_cloud();
+  Request r({1, 1, 0});
+  Allocation a(4, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 1;
+  const LeaseId id = cloud.grant(r, a);
+  EXPECT_TRUE(cloud.has_lease(id));
+  EXPECT_EQ(cloud.lease_count(), 1u);
+  EXPECT_EQ(cloud.remaining()(0, 0), 1);
+  EXPECT_EQ(cloud.lease_allocation(id).total_vms(), 2);
+  cloud.release(id);
+  EXPECT_FALSE(cloud.has_lease(id));
+  EXPECT_EQ(cloud.remaining()(0, 0), 2);
+}
+
+TEST(Cloud, GrantRequiresSatisfyingAllocation) {
+  Cloud cloud = make_cloud();
+  Request r({2, 0, 0});
+  Allocation a(4, 3);
+  a.at(0, 0) = 1;  // only 1 of the 2 requested
+  EXPECT_THROW(cloud.grant(r, a), std::invalid_argument);
+}
+
+TEST(Cloud, GrantRequiresCapacity) {
+  Cloud cloud = make_cloud();
+  Request r({3, 0, 0});
+  Allocation a(4, 3);
+  a.at(0, 0) = 3;  // node 0 only has 2 smalls
+  EXPECT_THROW(cloud.grant(r, a), std::invalid_argument);
+}
+
+TEST(Cloud, ReleaseUnknownLeaseThrows) {
+  Cloud cloud = make_cloud();
+  EXPECT_THROW(cloud.release(99), std::invalid_argument);
+  EXPECT_THROW(cloud.lease_allocation(99), std::invalid_argument);
+}
+
+TEST(Cloud, LeaseIdsAreUnique) {
+  Cloud cloud = make_cloud();
+  Request r({1, 0, 0});
+  Allocation a(4, 3);
+  a.at(0, 0) = 1;
+  const LeaseId id1 = cloud.grant(r, a);
+  Allocation b(4, 3);
+  b.at(1, 0) = 1;
+  const LeaseId id2 = cloud.grant(r, b);
+  EXPECT_NE(id1, id2);
+  cloud.release(id1);
+  // Releasing id1 must not disturb id2's resources.
+  EXPECT_EQ(cloud.remaining()(1, 0), 1);
+}
+
+TEST(Cloud, AdmitDelegatesToInventory) {
+  Cloud cloud = make_cloud();
+  EXPECT_EQ(cloud.admit(Request({8, 0, 0})), Admission::kAccept);
+  EXPECT_EQ(cloud.admit(Request({9, 0, 0})), Admission::kReject);
+}
+
+TEST(Cloud, Describe) {
+  Cloud cloud = make_cloud();
+  const std::string d = cloud.describe();
+  EXPECT_NE(d.find("2 racks"), std::string::npos);
+  EXPECT_NE(d.find("0 active leases"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cloud.h"
+#include "cluster/inventory.h"
+
+namespace vcopt::cluster {
+namespace {
+
+Inventory make_inventory() {
+  return Inventory(util::IntMatrix{{2, 2}, {2, 2}, {2, 2}});
+}
+
+TEST(Drain, DrainedNodeOffersNoCapacity) {
+  Inventory inv = make_inventory();
+  inv.drain_node(1);
+  EXPECT_TRUE(inv.is_drained(1));
+  EXPECT_FALSE(inv.is_drained(0));
+  EXPECT_EQ(inv.remaining_at(1, 0), 0);
+  EXPECT_EQ(inv.remaining_at(0, 0), 2);
+  EXPECT_EQ(inv.remaining()(1, 1), 0);
+  EXPECT_EQ(inv.available_of(0), 4);  // nodes 0 and 2 only
+  EXPECT_EQ(inv.drained_count(), 1u);
+}
+
+TEST(Drain, AllocationOnDrainedNodeRejected) {
+  Inventory inv = make_inventory();
+  inv.drain_node(0);
+  Allocation a(3, 2);
+  a.at(0, 0) = 1;
+  EXPECT_THROW(inv.allocate(a), std::invalid_argument);
+}
+
+TEST(Drain, ExistingAllocationSurvivesDrainAndRelease) {
+  Inventory inv = make_inventory();
+  Allocation a(3, 2);
+  a.at(1, 0) = 2;
+  inv.allocate(a);
+  inv.drain_node(1);
+  // The lease persists and can still be released while drained.
+  EXPECT_NO_THROW(inv.release(a));
+  // Still drained: the freed capacity is not offered.
+  EXPECT_EQ(inv.remaining_at(1, 0), 0);
+  inv.undrain_node(1);
+  EXPECT_EQ(inv.remaining_at(1, 0), 2);
+}
+
+TEST(Drain, UndrainRestoresCapacity) {
+  Inventory inv = make_inventory();
+  inv.drain_node(2);
+  inv.undrain_node(2);
+  EXPECT_FALSE(inv.is_drained(2));
+  EXPECT_EQ(inv.remaining_at(2, 1), 2);
+}
+
+TEST(Drain, DrainIsIdempotent) {
+  Inventory inv = make_inventory();
+  inv.drain_node(0);
+  inv.drain_node(0);
+  EXPECT_EQ(inv.drained_count(), 1u);
+  inv.undrain_node(0);
+  inv.undrain_node(0);
+  EXPECT_EQ(inv.drained_count(), 0u);
+}
+
+TEST(Drain, AdmissionSeesDrainedCapacityAsBusy) {
+  Inventory inv = make_inventory();
+  // 6 of type 0 in total; draining one node leaves 4 available now.
+  inv.drain_node(0);
+  EXPECT_EQ(inv.admit(Request({5, 0})), Admission::kWait);
+  // But rejection still uses TOTAL capacity (drain is temporary).
+  EXPECT_EQ(inv.admit(Request({7, 0})), Admission::kReject);
+}
+
+TEST(Drain, OutOfRangeThrows) {
+  Inventory inv = make_inventory();
+  EXPECT_THROW(inv.drain_node(3), std::out_of_range);
+  EXPECT_THROW(inv.undrain_node(3), std::out_of_range);
+  EXPECT_THROW(inv.is_drained(3), std::out_of_range);
+}
+
+TEST(Drain, CloudPassThrough) {
+  Cloud cloud(Topology::uniform(1, 3), VmCatalog({{"m", 1, 1, 1, 64}}),
+              util::IntMatrix(3, 1, 2));
+  cloud.drain_node(0);
+  EXPECT_TRUE(cloud.is_drained(0));
+  EXPECT_EQ(cloud.remaining()(0, 0), 0);
+  cloud.undrain_node(0);
+  EXPECT_EQ(cloud.remaining()(0, 0), 2);
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

@@ -1,0 +1,79 @@
+#include "cluster/fragmentation.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::cluster {
+namespace {
+
+TEST(Fragmentation, AllFreeOnOneNodeIsFullyConcentrated) {
+  const Topology topo = Topology::uniform(2, 2);
+  Inventory inv(util::IntMatrix{{4, 2}, {0, 0}, {0, 0}, {0, 0}});
+  const FragmentationStats s = fragmentation(inv, topo);
+  EXPECT_DOUBLE_EQ(s.node_concentration, 1.0);
+  EXPECT_DOUBLE_EQ(s.rack_concentration, 1.0);
+  EXPECT_EQ(s.largest_single_node_request, 6);
+  EXPECT_EQ(s.largest_single_rack_request, 6);
+  EXPECT_EQ(s.free_vms, 6);
+}
+
+TEST(Fragmentation, EvenSpreadIsDust) {
+  const Topology topo = Topology::uniform(2, 2);
+  Inventory inv(util::IntMatrix(4, 1, 1));  // 1 VM free on each of 4 nodes
+  const FragmentationStats s = fragmentation(inv, topo);
+  EXPECT_DOUBLE_EQ(s.node_concentration, 0.25);
+  EXPECT_DOUBLE_EQ(s.rack_concentration, 0.5);
+  EXPECT_EQ(s.largest_single_node_request, 1);
+  EXPECT_EQ(s.largest_single_rack_request, 2);
+}
+
+TEST(Fragmentation, AllocationsReduceConcentration) {
+  const Topology topo = Topology::uniform(1, 3);
+  Inventory inv(util::IntMatrix{{4}, {1}, {1}});
+  const double before = fragmentation(inv, topo).node_concentration;
+  // Consume the big node: the free capacity left is the scattered dust.
+  Allocation a(3, 1);
+  a.at(0, 0) = 4;
+  inv.allocate(a);
+  const FragmentationStats after = fragmentation(inv, topo);
+  EXPECT_LT(after.node_concentration, before);
+  EXPECT_EQ(after.free_vms, 2);
+}
+
+TEST(Fragmentation, DrainedNodesContributeNothing) {
+  const Topology topo = Topology::uniform(1, 2);
+  Inventory inv(util::IntMatrix{{4}, {1}});
+  inv.drain_node(0);
+  const FragmentationStats s = fragmentation(inv, topo);
+  EXPECT_EQ(s.free_vms, 1);
+  EXPECT_EQ(s.largest_single_node_request, 1);
+}
+
+TEST(Fragmentation, EmptyTypesIgnored) {
+  const Topology topo = Topology::uniform(1, 2);
+  // Type 1 has zero capacity anywhere: it must not poison the means.
+  Inventory inv(util::IntMatrix{{2, 0}, {2, 0}});
+  const FragmentationStats s = fragmentation(inv, topo);
+  EXPECT_DOUBLE_EQ(s.node_concentration, 0.5);
+}
+
+TEST(Fragmentation, FullyAllocatedCloud) {
+  const Topology topo = Topology::uniform(1, 2);
+  Inventory inv(util::IntMatrix{{1}, {1}});
+  Allocation a(2, 1);
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 1;
+  inv.allocate(a);
+  const FragmentationStats s = fragmentation(inv, topo);
+  EXPECT_EQ(s.free_vms, 0);
+  EXPECT_DOUBLE_EQ(s.node_concentration, 0.0);
+  EXPECT_EQ(s.largest_single_rack_request, 0);
+}
+
+TEST(Fragmentation, ShapeMismatchThrows) {
+  const Topology topo = Topology::uniform(1, 3);
+  Inventory inv(util::IntMatrix(2, 1, 1));
+  EXPECT_THROW(fragmentation(inv, topo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

@@ -1,0 +1,59 @@
+// Topologies with irregular rack sizes (the general constructor), and the
+// core algorithms running on them.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "placement/online_heuristic.h"
+#include "solver/sd_solver.h"
+
+namespace vcopt::cluster {
+namespace {
+
+TEST(IrregularTopology, MixedRackSizes) {
+  // Rack 0: nodes 0-3; rack 1: node 4; rack 2: nodes 5-6.  Two clouds.
+  const Topology topo({0, 0, 0, 0, 1, 2, 2}, {0, 0, 1});
+  EXPECT_EQ(topo.node_count(), 7u);
+  EXPECT_EQ(topo.rack_count(), 3u);
+  EXPECT_EQ(topo.cloud_count(), 2u);
+  EXPECT_EQ(topo.nodes_in_rack(0).size(), 4u);
+  EXPECT_EQ(topo.nodes_in_rack(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(topo.distance(0, 3), 1.0);   // same rack
+  EXPECT_DOUBLE_EQ(topo.distance(0, 4), 2.0);   // same cloud, other rack
+  EXPECT_DOUBLE_EQ(topo.distance(0, 5), 4.0);   // other cloud
+  EXPECT_TRUE(topo.same_cloud(0, 4));
+  EXPECT_FALSE(topo.same_cloud(4, 5));
+}
+
+TEST(IrregularTopology, SingleNodeRackIsItsOwnNeighbourhood) {
+  const Topology topo({0, 1, 1}, {0, 0});
+  EXPECT_EQ(topo.nodes_in_rack(0), (std::vector<std::size_t>{0}));
+  EXPECT_DOUBLE_EQ(topo.distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(topo.distance(0, 1), 2.0);  // no rack-mates: always d2
+}
+
+TEST(IrregularTopology, HeuristicMatchesExactOnIrregularShapes) {
+  const Topology topo({0, 0, 0, 0, 1, 2, 2}, {0, 0, 1});
+  // Capacity concentrated in the big rack.
+  util::IntMatrix remaining{{2}, {2}, {1}, {0}, {3}, {2}, {2}};
+  placement::OnlineHeuristic h;
+  for (int want = 1; want <= 9; ++want) {
+    const Request r({want});
+    const auto placed = h.place(r, remaining, topo);
+    const auto exact = solver::solve_sd_exact(r, remaining,
+                                              topo.distance_matrix());
+    ASSERT_EQ(placed.has_value(), exact.feasible) << want << " VMs";
+    if (!exact.feasible) continue;
+    EXPECT_TRUE(placed->allocation.satisfies(r));
+    EXPECT_GE(placed->distance, exact.distance - 1e-9) << want << " VMs";
+  }
+}
+
+TEST(IrregularTopology, EmptyRackRejected) {
+  // Rack 1 referenced by rack_cloud but hosting no nodes is allowed
+  // structurally; nodes_in_rack just returns empty.
+  const Topology topo({0, 0}, {0, 0});
+  EXPECT_TRUE(topo.nodes_in_rack(1).empty());
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

@@ -1,0 +1,44 @@
+#include "cluster/request.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::cluster {
+namespace {
+
+TEST(Request, BasicAccess) {
+  Request r({2, 4, 1}, 7);
+  EXPECT_EQ(r.id(), 7u);
+  EXPECT_EQ(r.type_count(), 3u);
+  EXPECT_EQ(r.count(0), 2);
+  EXPECT_EQ(r[1], 4);
+  EXPECT_EQ(r.total_vms(), 7);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Request, EmptyRequest) {
+  Request r({0, 0});
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.total_vms(), 0);
+}
+
+TEST(Request, Validation) {
+  EXPECT_THROW(Request(std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(Request({1, -1}), std::invalid_argument);
+  Request r({1});
+  EXPECT_THROW(r.count(1), std::out_of_range);
+}
+
+TEST(Request, Describe) {
+  Request r({2, 4, 1}, 3);
+  EXPECT_EQ(r.describe(), "R3(2,4,1)");
+}
+
+TEST(TimedRequest, CarriesTiming) {
+  TimedRequest tr{Request({1, 0}), 2.5, 10.0};
+  EXPECT_DOUBLE_EQ(tr.arrival_time, 2.5);
+  EXPECT_DOUBLE_EQ(tr.hold_time, 10.0);
+  EXPECT_EQ(tr.request.total_vms(), 1);
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

@@ -1,0 +1,60 @@
+#include "cluster/vm_type.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::cluster {
+namespace {
+
+TEST(VmCatalog, Ec2DefaultMatchesTableOne) {
+  const VmCatalog cat = VmCatalog::ec2_default();
+  ASSERT_EQ(cat.size(), 3u);
+  EXPECT_EQ(cat[0].name, "small");
+  EXPECT_DOUBLE_EQ(cat[0].memory_gb, 1.7);
+  EXPECT_EQ(cat[0].compute_units, 1);
+  EXPECT_EQ(cat[0].storage_gb, 160);
+  EXPECT_EQ(cat[0].platform_bits, 32);
+  EXPECT_EQ(cat[1].name, "medium");
+  EXPECT_DOUBLE_EQ(cat[1].memory_gb, 3.75);
+  EXPECT_EQ(cat[1].compute_units, 2);
+  EXPECT_EQ(cat[2].name, "large");
+  EXPECT_EQ(cat[2].storage_gb, 850);
+  EXPECT_EQ(cat[2].platform_bits, 64);
+}
+
+TEST(VmCatalog, IndexOf) {
+  const VmCatalog cat = VmCatalog::ec2_default();
+  EXPECT_EQ(cat.index_of("medium"), 1u);
+  EXPECT_EQ(cat.index_of("nonexistent"), std::nullopt);
+}
+
+TEST(VmCatalog, TypeOutOfRangeThrows) {
+  const VmCatalog cat = VmCatalog::ec2_default();
+  EXPECT_THROW(cat.type(3), std::out_of_range);
+}
+
+TEST(VmCatalog, RejectsEmpty) {
+  EXPECT_THROW(VmCatalog(std::vector<VmType>{}), std::invalid_argument);
+}
+
+TEST(VmCatalog, RejectsDuplicateNames) {
+  EXPECT_THROW(VmCatalog({{"a", 1, 1, 1, 64}, {"a", 2, 2, 2, 64}}),
+               std::invalid_argument);
+}
+
+TEST(VmCatalog, RejectsUnnamedType) {
+  EXPECT_THROW(VmCatalog({{"", 1, 1, 1, 64}}), std::invalid_argument);
+}
+
+TEST(VmCatalog, RejectsBadPlatform) {
+  EXPECT_THROW(VmCatalog({{"x", 1, 1, 1, 16}}), std::invalid_argument);
+}
+
+TEST(VmCatalog, IterationOrderStable) {
+  const VmCatalog cat = VmCatalog::ec2_default();
+  std::vector<std::string> names;
+  for (const VmType& t : cat) names.push_back(t.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"small", "medium", "large"}));
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

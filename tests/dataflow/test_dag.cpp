@@ -1,0 +1,126 @@
+#include "dataflow/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::dataflow {
+namespace {
+
+Stage source(double bytes, int tasks = 2) {
+  Stage s;
+  s.name = "src";
+  s.tasks = tasks;
+  s.source_bytes = bytes;
+  return s;
+}
+
+Stage sink(int tasks = 2) {
+  Stage s;
+  s.name = "sink";
+  s.tasks = tasks;
+  return s;
+}
+
+TEST(Dag, AddStagesAndEdges) {
+  Dag dag;
+  const auto a = dag.add_stage(source(100));
+  const auto b = dag.add_stage(sink());
+  dag.add_edge(a, b, EdgeKind::kShuffle);
+  EXPECT_EQ(dag.stage_count(), 2u);
+  EXPECT_EQ(dag.edges().size(), 1u);
+  EXPECT_TRUE(dag.is_source(a));
+  EXPECT_FALSE(dag.is_source(b));
+  EXPECT_NO_THROW(dag.validate());
+}
+
+TEST(Dag, StageValidation) {
+  Dag dag;
+  Stage bad;
+  bad.tasks = 0;
+  EXPECT_THROW(dag.add_stage(bad), std::invalid_argument);
+  Stage neg;
+  neg.compute_cost_per_byte = -1;
+  EXPECT_THROW(dag.add_stage(neg), std::invalid_argument);
+}
+
+TEST(Dag, EdgeValidation) {
+  Dag dag;
+  const auto a = dag.add_stage(source(100, 2));
+  const auto b = dag.add_stage(sink(3));
+  EXPECT_THROW(dag.add_edge(a, 5, EdgeKind::kShuffle), std::invalid_argument);
+  EXPECT_THROW(dag.add_edge(a, a, EdgeKind::kShuffle), std::invalid_argument);
+  // one-to-one with mismatched task counts (2 vs 3).
+  EXPECT_THROW(dag.add_edge(a, b, EdgeKind::kOneToOne), std::invalid_argument);
+  EXPECT_NO_THROW(dag.add_edge(a, b, EdgeKind::kShuffle));
+}
+
+TEST(Dag, ValidateCatchesEmptyAndSourcelessAndCycles) {
+  Dag empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  Dag no_bytes;
+  no_bytes.add_stage(sink());  // source stage without source bytes
+  EXPECT_THROW(no_bytes.validate(), std::invalid_argument);
+
+  Dag cyclic;
+  const auto a = cyclic.add_stage(source(100));
+  const auto b = cyclic.add_stage(sink());
+  const auto c = cyclic.add_stage(sink());
+  cyclic.add_edge(a, b, EdgeKind::kShuffle);
+  cyclic.add_edge(b, c, EdgeKind::kShuffle);
+  cyclic.add_edge(c, b, EdgeKind::kShuffle);
+  EXPECT_THROW(cyclic.validate(), std::invalid_argument);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag dag;
+  const auto a = dag.add_stage(source(100));
+  const auto b = dag.add_stage(source(100));
+  const auto join = dag.add_stage(sink());
+  const auto out = dag.add_stage(sink());
+  dag.add_edge(a, join, EdgeKind::kShuffle);
+  dag.add_edge(b, join, EdgeKind::kShuffle);
+  dag.add_edge(join, out, EdgeKind::kShuffle);
+  const auto order = dag.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](std::size_t s) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == s) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos(a), pos(join));
+  EXPECT_LT(pos(b), pos(join));
+  EXPECT_LT(pos(join), pos(out));
+}
+
+TEST(Dag, InOutEdges) {
+  Dag dag;
+  const auto a = dag.add_stage(source(100));
+  const auto b = dag.add_stage(sink());
+  const auto c = dag.add_stage(sink());
+  dag.add_edge(a, b, EdgeKind::kShuffle);
+  dag.add_edge(a, c, EdgeKind::kBroadcast);
+  EXPECT_EQ(dag.out_edges(a).size(), 2u);
+  EXPECT_EQ(dag.in_edges(b).size(), 1u);
+  EXPECT_EQ(dag.in_edges(a).size(), 0u);
+}
+
+TEST(Dag, MakeMapReduceDag) {
+  const Dag dag = make_mapreduce_dag(2048e6, 32, 4, 0.2, 8e-9, 6e-9);
+  EXPECT_EQ(dag.stage_count(), 2u);
+  EXPECT_EQ(dag.stage(0).tasks, 32);
+  EXPECT_EQ(dag.stage(1).tasks, 4);
+  EXPECT_DOUBLE_EQ(dag.stage(0).output_ratio, 0.2);
+  ASSERT_EQ(dag.edges().size(), 1u);
+  EXPECT_EQ(dag.edges()[0].kind, EdgeKind::kShuffle);
+  EXPECT_NO_THROW(dag.validate());
+}
+
+TEST(Dag, EdgeKindNames) {
+  EXPECT_STREQ(to_string(EdgeKind::kShuffle), "shuffle");
+  EXPECT_STREQ(to_string(EdgeKind::kOneToOne), "one-to-one");
+  EXPECT_STREQ(to_string(EdgeKind::kBroadcast), "broadcast");
+}
+
+}  // namespace
+}  // namespace vcopt::dataflow

@@ -1,0 +1,105 @@
+#include "dataflow/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "dataflow/dag_engine.h"
+
+namespace vcopt::dataflow {
+namespace {
+
+using cluster::Topology;
+using mapreduce::VirtualCluster;
+
+VirtualCluster small_cluster() {
+  cluster::Allocation alloc(6, 1);
+  alloc.at(0, 0) = 2;
+  alloc.at(1, 0) = 2;
+  return VirtualCluster::from_allocation(alloc);
+}
+
+TEST(Patterns, IterationDagShape) {
+  const Dag dag = make_iteration_dag(100e6, 4, 3);
+  EXPECT_EQ(dag.stage_count(), 3u);
+  EXPECT_EQ(dag.edges().size(), 2u);
+  for (const Edge& e : dag.edges()) EXPECT_EQ(e.kind, EdgeKind::kShuffle);
+  EXPECT_THROW(make_iteration_dag(100, 2, 0), std::invalid_argument);
+}
+
+TEST(Patterns, StarJoinShape) {
+  const Dag dag = make_star_join_dag(1024e6, 32e6, 16, 8);
+  EXPECT_EQ(dag.stage_count(), 4u);
+  ASSERT_EQ(dag.edges().size(), 3u);
+  EXPECT_EQ(dag.edges()[1].kind, EdgeKind::kBroadcast);
+  EXPECT_EQ(dag.stage(2).tasks, 8);
+}
+
+TEST(Patterns, PipelineShape) {
+  const Dag dag = make_pipeline_dag(100e6, 8, 3);
+  EXPECT_EQ(dag.stage_count(), 4u);
+  for (const Edge& e : dag.edges()) EXPECT_EQ(e.kind, EdgeKind::kOneToOne);
+  // Depth 0 is just the ingest stage.
+  EXPECT_EQ(make_pipeline_dag(100e6, 8, 0).stage_count(), 1u);
+}
+
+TEST(Patterns, TreeAggregationHalvesWidth) {
+  const Dag dag = make_tree_aggregation_dag(100e6, 8);
+  // leaves(8) -> 4 -> 2 -> 1: 4 stages.
+  ASSERT_EQ(dag.stage_count(), 4u);
+  EXPECT_EQ(dag.stage(0).tasks, 8);
+  EXPECT_EQ(dag.stage(1).tasks, 4);
+  EXPECT_EQ(dag.stage(3).tasks, 1);
+}
+
+TEST(Patterns, TreeAggregationSingleLeaf) {
+  const Dag dag = make_tree_aggregation_dag(10e6, 1);
+  EXPECT_EQ(dag.stage_count(), 1u);  // nothing to combine
+}
+
+TEST(Patterns, AllPatternsRunToCompletion) {
+  const Topology topo = Topology::uniform(2, 3);
+  const VirtualCluster vc = small_cluster();
+  for (const Dag& dag :
+       {make_iteration_dag(64e6, 4, 3), make_star_join_dag(128e6, 8e6, 8, 4),
+        make_pipeline_dag(64e6, 4, 2), make_tree_aggregation_dag(64e6, 4)}) {
+    DagEngine eng(topo, sim::NetworkConfig{}, vc, dag, 3);
+    const DagMetrics m = eng.run();
+    EXPECT_GT(m.runtime, 0);
+    EXPECT_GT(m.traffic.total(), 0);
+  }
+}
+
+TEST(Patterns, TreeBeatsFlatConvergenceOnWideFanIn) {
+  // With many leaves converging to one task, the log-depth tree spreads the
+  // fan-in over levels; the flat shuffle funnels everything into one NIC.
+  const Topology topo = Topology::uniform(3, 10);
+  cluster::Allocation alloc(30, 1);
+  for (std::size_t node : {0u, 1u, 2u, 3u, 10u, 11u, 12u, 13u}) {
+    alloc.at(node, 0) = 2;
+  }
+  const auto vc = VirtualCluster::from_allocation(alloc);
+  const double bytes = 1024e6;
+  Dag flat;
+  {
+    Stage leaves;
+    leaves.name = "leaves";
+    leaves.tasks = 16;
+    leaves.source_bytes = bytes;
+    leaves.output_ratio = 0.5;
+    const auto l = flat.add_stage(std::move(leaves));
+    Stage root;
+    root.name = "root";
+    root.tasks = 1;
+    const auto r = flat.add_stage(std::move(root));
+    flat.add_edge(l, r, EdgeKind::kShuffle);
+  }
+  const Dag tree = make_tree_aggregation_dag(bytes, 16);
+  DagEngine flat_eng(topo, sim::NetworkConfig{}, vc, flat, 5);
+  DagEngine tree_eng(topo, sim::NetworkConfig{}, vc, tree, 5);
+  // The tree moves less total data into any single node even though it has
+  // more stages; with a 0.5 reduction per level it should not be slower.
+  EXPECT_LE(tree_eng.run().runtime, flat_eng.run().runtime * 1.5);
+}
+
+}  // namespace
+}  // namespace vcopt::dataflow

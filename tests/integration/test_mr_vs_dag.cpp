@@ -1,0 +1,73 @@
+// Cross-engine consistency: the Dryad-style DAG engine, given the
+// two-stage MapReduce DAG, must agree with the dedicated MapReduce engine
+// on the qualitative orderings the paper relies on — both engines model the
+// same network, so affinity effects must point the same way.
+#include <gtest/gtest.h>
+
+#include "dataflow/dag_engine.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "workload/scenario.h"
+
+namespace vcopt {
+namespace {
+
+mapreduce::VirtualCluster cluster_on(
+    const std::vector<std::pair<std::size_t, int>>& layout, std::size_t nodes) {
+  cluster::Allocation alloc(nodes, 1);
+  for (const auto& [node, vms] : layout) alloc.at(node, 0) = vms;
+  return mapreduce::VirtualCluster::from_allocation(alloc);
+}
+
+struct EnginePair {
+  double mr_runtime = 0;
+  double dag_runtime = 0;
+};
+
+EnginePair run_both(const cluster::Topology& topo,
+                    const mapreduce::VirtualCluster& vc, double input,
+                    double ratio, std::uint64_t seed) {
+  mapreduce::JobConfig job = mapreduce::wordcount(input);
+  job.intermediate_ratio = ratio;
+  mapreduce::MapReduceEngine mr(topo, sim::NetworkConfig{}, vc, job, seed);
+
+  const dataflow::Dag dag = dataflow::make_mapreduce_dag(
+      input, job.num_maps(), job.num_reduces, ratio, job.map_cost_per_byte,
+      job.reduce_cost_per_byte);
+  dataflow::DagEngine dg(topo, sim::NetworkConfig{}, vc, dag, seed);
+  return EnginePair{mr.run().runtime, dg.run().runtime};
+}
+
+TEST(MrVsDag, BothPreferTheCompactCluster) {
+  const cluster::Topology topo = workload::fig7_topology();
+  const auto compact = cluster_on({{0, 4}, {1, 4}}, 30);
+  const auto scattered = cluster_on(
+      {{0, 1}, {1, 1}, {2, 1}, {10, 1}, {11, 1}, {12, 1}, {20, 1}, {21, 1}},
+      30);
+  const EnginePair near = run_both(topo, compact, 32 * 64.0e6, 0.5, 3);
+  const EnginePair far = run_both(topo, scattered, 32 * 64.0e6, 0.5, 3);
+  EXPECT_LT(near.mr_runtime, far.mr_runtime);
+  EXPECT_LT(near.dag_runtime, far.dag_runtime);
+}
+
+TEST(MrVsDag, BothSlowWithShuffleVolume) {
+  const cluster::Topology topo = workload::fig7_topology();
+  const auto vc = cluster_on({{0, 4}, {10, 4}}, 30);
+  const EnginePair lean = run_both(topo, vc, 16 * 64.0e6, 0.05, 5);
+  const EnginePair heavy = run_both(topo, vc, 16 * 64.0e6, 1.0, 5);
+  EXPECT_LT(lean.mr_runtime, heavy.mr_runtime);
+  EXPECT_LT(lean.dag_runtime, heavy.dag_runtime);
+}
+
+TEST(MrVsDag, RuntimesAreSameOrderOfMagnitude) {
+  // The engines differ (slots + eager shuffle vs barrier + 1 vertex/VM),
+  // but on the same job they must land within a small factor.
+  const cluster::Topology topo = workload::fig7_topology();
+  const auto vc = cluster_on({{0, 4}, {1, 4}}, 30);
+  const EnginePair pair = run_both(topo, vc, 32 * 64.0e6, 0.2, 7);
+  EXPECT_LT(pair.mr_runtime, pair.dag_runtime * 5);
+  EXPECT_LT(pair.dag_runtime, pair.mr_runtime * 5);
+}
+
+}  // namespace
+}  // namespace vcopt

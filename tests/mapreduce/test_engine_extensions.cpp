@@ -1,0 +1,141 @@
+// Tests for the engine extensions: delay scheduling (locality_wait) and
+// background (cross-tenant) traffic injection.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+VirtualCluster cluster_on(const std::vector<std::pair<std::size_t, int>>& layout,
+                          std::size_t nodes) {
+  cluster::Allocation alloc(nodes, 1);
+  for (const auto& [node, vms] : layout) alloc.at(node, 0) = vms;
+  return VirtualCluster::from_allocation(alloc);
+}
+
+TEST(DelayScheduling, ValidationRejectsNegativeWait) {
+  JobConfig j = wordcount();
+  j.locality_wait = -1;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+}
+
+TEST(DelayScheduling, JobStillCompletesWithWait) {
+  const Topology topo = Topology::uniform(2, 3);
+  JobConfig j = wordcount(8 * 64.0e6);
+  j.locality_wait = 0.5;
+  MapReduceEngine eng(topo, sim::NetworkConfig{},
+                      cluster_on({{0, 2}, {3, 2}}, 6), j, 3);
+  const JobMetrics m = eng.run();
+  EXPECT_EQ(m.maps_node_local + m.maps_rack_local + m.maps_remote, 8);
+  EXPECT_GT(m.runtime, 0);
+}
+
+TEST(DelayScheduling, ImprovesOrPreservesLocality) {
+  const Topology topo = Topology::uniform(3, 10);
+  const auto vc = cluster_on(
+      {{0, 1}, {1, 1}, {2, 1}, {10, 1}, {11, 1}, {20, 1}, {21, 1}, {22, 1}},
+      30);
+  int local_without = 0, local_with = 0, waits = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    JobConfig plain = wordcount();
+    MapReduceEngine a(topo, sim::NetworkConfig{}, vc, plain, seed);
+    local_without += a.run().maps_node_local;
+
+    JobConfig delayed = wordcount();
+    delayed.locality_wait = 1.0;
+    MapReduceEngine b(topo, sim::NetworkConfig{}, vc, delayed, seed);
+    const JobMetrics mb = b.run();
+    local_with += mb.maps_node_local;
+    waits += mb.locality_waits;
+  }
+  EXPECT_GE(local_with, local_without);
+  EXPECT_GT(waits, 0);  // the mechanism actually fired
+}
+
+TEST(DelayScheduling, ZeroWaitNeverHolds) {
+  const Topology topo = Topology::uniform(2, 3);
+  MapReduceEngine eng(topo, sim::NetworkConfig{},
+                      cluster_on({{0, 2}, {3, 2}}, 6), wordcount(8 * 64.0e6),
+                      3);
+  EXPECT_EQ(eng.run().locality_waits, 0);
+}
+
+TEST(BackgroundFlows, SlowTheJobDown) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 4}, {3, 4}}, 6);
+  MapReduceEngine idle(topo, sim::NetworkConfig{}, vc, wordcount(), 5);
+  const double idle_rt = idle.run().runtime;
+
+  MapReduceEngine busy(topo, sim::NetworkConfig{}, vc, wordcount(), 5);
+  busy.add_background_flow(0, 3, 1e10);
+  busy.add_background_flow(3, 0, 1e10);
+  const double busy_rt = busy.run().runtime;
+  EXPECT_GT(busy_rt, idle_rt);
+}
+
+TEST(BackgroundFlows, ExcludedFromJobTraffic) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 4}, {3, 4}}, 6);
+  MapReduceEngine plain(topo, sim::NetworkConfig{}, vc, wordcount(), 5);
+  const JobMetrics m_plain = plain.run();
+
+  MapReduceEngine busy(topo, sim::NetworkConfig{}, vc, wordcount(), 5);
+  busy.add_background_flow(1, 2, 5e9);  // rack-local background
+  const JobMetrics m_busy = busy.run();
+  // The job moves the same number of ITS OWN bytes either way.
+  EXPECT_NEAR(m_busy.traffic.total(), m_plain.traffic.total(), 1.0);
+}
+
+TEST(InNetworkAggregation, ValidationRange) {
+  JobConfig j = wordcount();
+  j.in_network_aggregation = 0;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+  j.in_network_aggregation = 1.5;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+  j.in_network_aggregation = 0.25;
+  EXPECT_NO_THROW(j.validate());
+}
+
+TEST(InNetworkAggregation, ShrinksCrossRackShuffleOnly) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 4}, {3, 4}}, 6);  // two racks
+  // 16 splits: both nodes run maps, so cross-rack shuffle actually exists.
+  JobConfig plain = terasort(16 * 64.0e6, 1);
+  JobConfig agg = plain;
+  agg.in_network_aggregation = 0.25;
+  MapReduceEngine a(topo, sim::NetworkConfig{}, vc, plain, 5);
+  MapReduceEngine b(topo, sim::NetworkConfig{}, vc, agg, 5);
+  const JobMetrics ma = a.run();
+  const JobMetrics mb = b.run();
+  // Cross-rack shuffle bytes shrink 4:1; node-local bytes are untouched.
+  EXPECT_NEAR(mb.shuffle_bytes_remote, ma.shuffle_bytes_remote * 0.25, 1.0);
+  EXPECT_NEAR(mb.shuffle_bytes_node_local, ma.shuffle_bytes_node_local, 1.0);
+  EXPECT_LT(mb.runtime, ma.runtime);
+}
+
+TEST(InNetworkAggregation, NoEffectOnSingleRackCluster) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 4}, {1, 4}}, 6);  // one rack
+  JobConfig plain = terasort(16 * 64.0e6, 1);
+  JobConfig agg = plain;
+  agg.in_network_aggregation = 0.25;
+  MapReduceEngine a(topo, sim::NetworkConfig{}, vc, plain, 5);
+  MapReduceEngine b(topo, sim::NetworkConfig{}, vc, agg, 5);
+  EXPECT_DOUBLE_EQ(a.run().runtime, b.run().runtime);
+}
+
+TEST(BackgroundFlows, AddAfterRunThrows) {
+  const Topology topo = Topology::uniform(1, 2);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, cluster_on({{0, 4}}, 2),
+                      wordcount(8 * 64.0e6), 1);
+  eng.run();
+  EXPECT_THROW(eng.add_background_flow(0, 1, 100), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

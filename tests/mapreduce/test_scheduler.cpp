@@ -1,0 +1,159 @@
+#include "mapreduce/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+// Fixed fixture: 2 racks x 3 nodes; VMs 0..3 on nodes 0, 1, 3, 4.
+struct Fixture {
+  Topology topo = Topology::uniform(2, 3);
+  VirtualCluster vc;
+  Fixture() {
+    cluster::Allocation alloc(6, 1);
+    alloc.at(0, 0) = 1;
+    alloc.at(1, 0) = 1;
+    alloc.at(3, 0) = 1;
+    alloc.at(4, 0) = 1;
+    vc = VirtualCluster::from_allocation(alloc);
+  }
+};
+
+TEST(Scheduler, LocalityToString) {
+  EXPECT_STREQ(to_string(Locality::kNodeLocal), "node-local");
+  EXPECT_STREQ(to_string(Locality::kRackLocal), "rack-local");
+  EXPECT_STREQ(to_string(Locality::kRemote), "remote");
+}
+
+TEST(Scheduler, ClassifyLocalityTiers) {
+  Fixture f;
+  util::Rng rng(42);
+  const HdfsPlacement p(f.vc, f.topo, 12, 3, rng);
+  for (std::size_t b = 0; b < p.block_count(); ++b) {
+    for (std::size_t vm = 0; vm < f.vc.size(); ++vm) {
+      const Locality l = classify_locality(p, f.vc, f.topo, b, vm);
+      // Cross-check against the raw replica distances.
+      double best = 1e18;
+      for (std::size_t r : p.replicas(b)) {
+        best = std::min(best, f.topo.distance(f.vc.vm(r).node, f.vc.vm(vm).node));
+      }
+      if (best == 0) EXPECT_EQ(l, Locality::kNodeLocal);
+      else if (best == 1) EXPECT_EQ(l, Locality::kRackLocal);
+      else EXPECT_EQ(l, Locality::kRemote);
+    }
+  }
+}
+
+TEST(Scheduler, PickPrefersNodeLocal) {
+  Fixture f;
+  util::Rng rng(7);
+  const HdfsPlacement p(f.vc, f.topo, 20, 3, rng);
+  const std::size_t vm = 0;
+  std::vector<std::size_t> pending;
+  for (std::size_t b = 0; b < 20; ++b) pending.push_back(b);
+  const auto pick = pick_map_task(pending, p, f.vc, f.topo, vm);
+  ASSERT_TRUE(pick.has_value());
+  const Locality chosen =
+      classify_locality(p, f.vc, f.topo, pending[*pick], vm);
+  for (std::size_t b : pending) {
+    const Locality l = classify_locality(p, f.vc, f.topo, b, vm);
+    EXPECT_LE(static_cast<int>(chosen), static_cast<int>(l));
+  }
+}
+
+TEST(Scheduler, PickEmptyPending) {
+  Fixture f;
+  util::Rng rng(7);
+  const HdfsPlacement p(f.vc, f.topo, 1, 3, rng);
+  EXPECT_EQ(pick_map_task({}, p, f.vc, f.topo, 0), std::nullopt);
+}
+
+TEST(Scheduler, PickIsFifoWithinClass) {
+  Fixture f;
+  util::Rng rng(7);
+  const HdfsPlacement p(f.vc, f.topo, 20, 3, rng);
+  const std::size_t vm = 2;
+  std::vector<std::size_t> pending;
+  for (std::size_t b = 0; b < 20; ++b) pending.push_back(b);
+  const auto pick = pick_map_task(pending, p, f.vc, f.topo, vm);
+  ASSERT_TRUE(pick.has_value());
+  const Locality chosen = classify_locality(p, f.vc, f.topo, pending[*pick], vm);
+  // Nothing before the pick has the same (or better) class.
+  for (std::size_t i = 0; i < *pick; ++i) {
+    EXPECT_GT(static_cast<int>(
+                  classify_locality(p, f.vc, f.topo, pending[i], vm)),
+              static_cast<int>(chosen));
+  }
+}
+
+TEST(Scheduler, ChooseReplicaPicksNearest) {
+  Fixture f;
+  util::Rng rng(13);
+  const HdfsPlacement p(f.vc, f.topo, 30, 3, rng);
+  for (std::size_t b = 0; b < 30; ++b) {
+    for (std::size_t vm = 0; vm < f.vc.size(); ++vm) {
+      const std::size_t rep = choose_replica(p, f.vc, f.topo, b, vm);
+      const double chosen_d =
+          f.topo.distance(f.vc.vm(rep).node, f.vc.vm(vm).node);
+      for (std::size_t r : p.replicas(b)) {
+        EXPECT_LE(chosen_d, f.topo.distance(f.vc.vm(r).node, f.vc.vm(vm).node));
+      }
+    }
+  }
+}
+
+TEST(Scheduler, AssignReducersSpreadsBreadthFirst) {
+  Fixture f;
+  const auto one = assign_reducers(f.vc, 1, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+  const auto four = assign_reducers(f.vc, 4, 2);
+  EXPECT_EQ(four, (std::vector<std::size_t>{0, 1, 2, 3}));
+  const auto six = assign_reducers(f.vc, 6, 2);
+  EXPECT_EQ(six, (std::vector<std::size_t>{0, 1, 2, 3, 0, 1}));
+}
+
+TEST(Scheduler, AssignReducersDensestNodeFirst) {
+  // VMs: 0 on node 0 (density 1), 1..3 on node 3 (density 3).
+  Fixture f;
+  cluster::Allocation alloc(6, 1);
+  alloc.at(0, 0) = 1;
+  alloc.at(3, 0) = 3;
+  const VirtualCluster vc = VirtualCluster::from_allocation(alloc);
+  const auto dense =
+      assign_reducers(vc, 1, 1, JobConfig::ReducerPlacement::kDensestNode);
+  EXPECT_EQ(vc.vm(dense[0]).node, 3u);
+  const auto sparse =
+      assign_reducers(vc, 1, 1, JobConfig::ReducerPlacement::kSparsestNode);
+  EXPECT_EQ(vc.vm(sparse[0]).node, 0u);
+  const auto spread =
+      assign_reducers(vc, 1, 1, JobConfig::ReducerPlacement::kSpread);
+  EXPECT_EQ(spread[0], 0u);  // plain VM index order
+}
+
+TEST(Scheduler, AssignReducersBreadthFirstWithinStrategy) {
+  Fixture f;
+  cluster::Allocation alloc(6, 1);
+  alloc.at(0, 0) = 1;
+  alloc.at(3, 0) = 2;
+  const VirtualCluster vc = VirtualCluster::from_allocation(alloc);
+  // Densest first: both node-3 VMs (indices 1, 2), then the node-0 VM, then
+  // wrap for the second slot round.
+  const auto four =
+      assign_reducers(vc, 4, 2, JobConfig::ReducerPlacement::kDensestNode);
+  EXPECT_EQ(four, (std::vector<std::size_t>{1, 2, 0, 1}));
+}
+
+TEST(Scheduler, AssignReducersCapacityCheck) {
+  Fixture f;
+  EXPECT_THROW(assign_reducers(f.vc, 9, 2), std::invalid_argument);
+  VirtualCluster empty;
+  EXPECT_THROW(assign_reducers(empty, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

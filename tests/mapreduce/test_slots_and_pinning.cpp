@@ -1,0 +1,95 @@
+// Tests for per-type map slots and reducer pinning.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+TEST(PerTypeSlots, ValidationRejectsZeroSlots) {
+  JobConfig j = wordcount();
+  j.map_slots_per_type = {1, 0, 2};
+  EXPECT_THROW(j.validate(), std::invalid_argument);
+}
+
+TEST(PerTypeSlots, MissingTypeEntryRejected) {
+  const Topology topo = Topology::uniform(1, 2);
+  cluster::Allocation alloc(2, 3);
+  alloc.at(0, 2) = 2;  // large VMs (type index 2)
+  const auto vc = VirtualCluster::from_allocation(alloc);
+  JobConfig j = wordcount();
+  j.map_slots_per_type = {1, 2};  // no entry for type 2
+  EXPECT_THROW(MapReduceEngine(topo, sim::NetworkConfig{}, vc, j, 1),
+               std::invalid_argument);
+}
+
+TEST(PerTypeSlots, MoreSlotsFinishComputeBoundJobsFaster) {
+  const Topology topo = Topology::uniform(1, 2);
+  cluster::Allocation alloc(2, 1);
+  alloc.at(0, 0) = 2;
+  alloc.at(1, 0) = 2;
+  const auto vc = VirtualCluster::from_allocation(alloc);
+  JobConfig narrow = wordcount();
+  narrow.map_cost_per_byte = 60e-9;  // compute-bound
+  narrow.map_slots_per_type = {1};
+  JobConfig wide = narrow;
+  wide.map_slots_per_type = {4};
+  MapReduceEngine a(topo, sim::NetworkConfig{}, vc, narrow, 3);
+  MapReduceEngine b(topo, sim::NetworkConfig{}, vc, wide, 3);
+  EXPECT_GT(a.run().runtime, b.run().runtime);
+}
+
+TEST(PinnedReducer, OutOfRangeRejected) {
+  const Topology topo = Topology::uniform(1, 2);
+  cluster::Allocation alloc(2, 1);
+  alloc.at(0, 0) = 2;
+  const auto vc = VirtualCluster::from_allocation(alloc);
+  JobConfig j = wordcount();
+  j.pinned_reducer_vm = 7;
+  EXPECT_THROW(MapReduceEngine(topo, sim::NetworkConfig{}, vc, j, 1),
+               std::invalid_argument);
+}
+
+TEST(PinnedReducer, PinDeterminesShuffleLocality) {
+  const Topology topo = Topology::uniform(2, 2);
+  // VMs 0-3 on node 0, VM 4 alone on cross-rack node 2.
+  cluster::Allocation alloc(4, 1);
+  alloc.at(0, 0) = 4;
+  alloc.at(2, 0) = 1;
+  const auto vc = VirtualCluster::from_allocation(alloc);
+
+  JobConfig good = wordcount(8 * 64.0e6);
+  good.pinned_reducer_vm = 0;  // with the pack
+  JobConfig bad = good;
+  bad.pinned_reducer_vm = 4;  // isolated VM
+  MapReduceEngine a(topo, sim::NetworkConfig{}, vc, good, 5);
+  MapReduceEngine b(topo, sim::NetworkConfig{}, vc, bad, 5);
+  const JobMetrics ma = a.run();
+  const JobMetrics mb = b.run();
+  EXPECT_LT(ma.non_local_shuffle_fraction(), mb.non_local_shuffle_fraction());
+  EXPECT_LT(ma.runtime, mb.runtime);
+}
+
+TEST(PinnedReducer, DefaultUnpinnedUsesPlacementRule) {
+  const Topology topo = Topology::uniform(2, 2);
+  cluster::Allocation alloc(4, 1);
+  alloc.at(0, 0) = 4;
+  alloc.at(2, 0) = 1;
+  const auto vc = VirtualCluster::from_allocation(alloc);
+  JobConfig j = wordcount(8 * 64.0e6);  // kDensestNode default
+  MapReduceEngine pinned(topo, sim::NetworkConfig{}, vc, [&] {
+    JobConfig p = j;
+    p.pinned_reducer_vm = 0;
+    return p;
+  }(), 5);
+  MapReduceEngine unpinned(topo, sim::NetworkConfig{}, vc, j, 5);
+  // Densest-node rule already picks VM 0; both runs should agree exactly.
+  EXPECT_DOUBLE_EQ(pinned.run().runtime, unpinned.run().runtime);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

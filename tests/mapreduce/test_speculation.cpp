@@ -1,0 +1,106 @@
+// Tests for heterogeneous node speeds and speculative execution.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+VirtualCluster cluster_on(const std::vector<std::pair<std::size_t, int>>& layout,
+                          std::size_t nodes) {
+  cluster::Allocation alloc(nodes, 1);
+  for (const auto& [node, vms] : layout) alloc.at(node, 0) = vms;
+  return VirtualCluster::from_allocation(alloc);
+}
+
+TEST(NodeSpeed, ValidationErrors) {
+  const Topology topo = Topology::uniform(1, 2);
+  const auto vc = cluster_on({{0, 2}}, 2);
+  EXPECT_THROW(MapReduceEngine(topo, sim::NetworkConfig{}, vc, wordcount(), 1,
+                               {1.0}),
+               std::invalid_argument);  // size mismatch (2 nodes)
+  EXPECT_THROW(MapReduceEngine(topo, sim::NetworkConfig{}, vc, wordcount(), 1,
+                               {1.0, 0.0}),
+               std::invalid_argument);  // non-positive speed
+}
+
+TEST(NodeSpeed, SlowNodeLengthensRuntime) {
+  const Topology topo = Topology::uniform(1, 2);
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 2);
+  MapReduceEngine fast(topo, sim::NetworkConfig{}, vc, wordcount(), 3,
+                       {1.0, 1.0});
+  MapReduceEngine slow(topo, sim::NetworkConfig{}, vc, wordcount(), 3,
+                       {1.0, 0.25});
+  EXPECT_GT(slow.run().runtime, fast.run().runtime);
+}
+
+TEST(NodeSpeed, EmptyVectorMeansHomogeneous) {
+  const Topology topo = Topology::uniform(1, 2);
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 2);
+  MapReduceEngine a(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  MapReduceEngine b(topo, sim::NetworkConfig{}, vc, wordcount(), 3,
+                    {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.run().runtime, b.run().runtime);
+}
+
+TEST(Speculation, MitigatesStraggler) {
+  const Topology topo = Topology::uniform(1, 4);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {2, 2}, {3, 2}}, 4);
+  const std::vector<double> speeds = {1.0, 1.0, 1.0, 0.2};  // node 3 crawls
+
+  JobConfig plain = wordcount();
+  MapReduceEngine without(topo, sim::NetworkConfig{}, vc, plain, 5, speeds);
+  const JobMetrics m_without = without.run();
+
+  JobConfig spec = wordcount();
+  spec.speculative_execution = true;
+  MapReduceEngine with(topo, sim::NetworkConfig{}, vc, spec, 5, speeds);
+  const JobMetrics m_with = with.run();
+
+  EXPECT_GT(m_with.speculative_launched, 0);
+  EXPECT_GT(m_with.speculative_wins, 0);
+  EXPECT_LT(m_with.runtime, m_without.runtime);
+}
+
+TEST(Speculation, NoBackupsOnHomogeneousIdleFreeCluster) {
+  // Homogeneous speeds: backups may launch (tail tasks) but wins must not
+  // exceed launches, and the job must still produce every map exactly once.
+  const Topology topo = Topology::uniform(1, 2);
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 2);
+  JobConfig spec = wordcount(8 * 64.0e6);
+  spec.speculative_execution = true;
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, spec, 7);
+  const JobMetrics m = eng.run();
+  EXPECT_LE(m.speculative_wins, m.speculative_launched);
+  EXPECT_EQ(m.maps_node_local + m.maps_rack_local + m.maps_remote,
+            m.maps_total);
+}
+
+TEST(Speculation, OffByDefault) {
+  const Topology topo = Topology::uniform(1, 2);
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 2);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(8 * 64.0e6), 7);
+  const JobMetrics m = eng.run();
+  EXPECT_EQ(m.speculative_launched, 0);
+  EXPECT_EQ(m.speculative_wins, 0);
+}
+
+TEST(Speculation, ShuffleBytesNotDoubleCounted) {
+  const Topology topo = Topology::uniform(1, 4);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {2, 2}, {3, 2}}, 4);
+  JobConfig spec = wordcount();
+  spec.speculative_execution = true;
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, spec, 9,
+                      {1.0, 1.0, 1.0, 0.2});
+  const JobMetrics m = eng.run();
+  // Each block shuffles exactly once regardless of how many copies ran.
+  EXPECT_NEAR(m.shuffle_bytes_total,
+              spec.input_bytes * spec.intermediate_ratio, 1e-3);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

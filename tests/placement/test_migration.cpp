@@ -1,0 +1,166 @@
+#include "placement/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "placement/baselines.h"
+#include "placement/online_heuristic.h"
+#include "solver/sd_solver.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vcopt::placement {
+namespace {
+
+using cluster::Request;
+using cluster::Topology;
+using util::IntMatrix;
+
+Placement make_placement(const cluster::Allocation& alloc,
+                         const util::DoubleMatrix& dist) {
+  return evaluate(alloc, dist);
+}
+
+TEST(Consolidate, PullsVmIntoFreedNearbySlot) {
+  const Topology topo = Topology::uniform(2, 2);
+  const auto& d = topo.distance_matrix();
+  // Cluster: 2 VMs on node 0, 1 VM stranded cross-rack on node 2.
+  cluster::Allocation alloc(4, 1);
+  alloc.at(0, 0) = 2;
+  alloc.at(2, 0) = 1;
+  Placement p = make_placement(alloc, d);
+  EXPECT_DOUBLE_EQ(p.distance, 2.0);
+  // Capacity freed on node 1 (same rack as the central node).
+  IntMatrix remaining(4, 1, 0);
+  remaining(1, 0) = 1;
+
+  const ConsolidationResult res = consolidate(p, remaining, d);
+  ASSERT_EQ(res.migrations.size(), 1u);
+  EXPECT_EQ(res.migrations[0].from_node, 2u);
+  EXPECT_EQ(res.migrations[0].to_node, 1u);
+  EXPECT_DOUBLE_EQ(res.distance_before, 2.0);
+  EXPECT_DOUBLE_EQ(res.distance_after, 1.0);
+  EXPECT_DOUBLE_EQ(p.distance, 1.0);
+  // Capacity bookkeeping: node 2's slot freed, node 1's consumed.
+  EXPECT_EQ(remaining(1, 0), 0);
+  EXPECT_EQ(remaining(2, 0), 1);
+}
+
+TEST(Consolidate, NoopWhenNoFreeCapacity) {
+  const Topology topo = Topology::uniform(2, 2);
+  cluster::Allocation alloc(4, 1);
+  alloc.at(0, 0) = 1;
+  alloc.at(2, 0) = 1;
+  Placement p = make_placement(alloc, topo.distance_matrix());
+  IntMatrix remaining(4, 1, 0);
+  const ConsolidationResult res =
+      consolidate(p, remaining, topo.distance_matrix());
+  EXPECT_TRUE(res.migrations.empty());
+  EXPECT_DOUBLE_EQ(res.improvement(), 0.0);
+}
+
+TEST(Consolidate, NoopWhenAlreadyTight) {
+  const Topology topo = Topology::uniform(2, 2);
+  cluster::Allocation alloc(4, 1);
+  alloc.at(0, 0) = 3;
+  Placement p = make_placement(alloc, topo.distance_matrix());
+  IntMatrix remaining(4, 1, 5);
+  const ConsolidationResult res =
+      consolidate(p, remaining, topo.distance_matrix());
+  EXPECT_TRUE(res.migrations.empty());
+}
+
+TEST(Consolidate, RespectsMigrationBudget) {
+  const Topology topo = Topology::uniform(2, 2);
+  cluster::Allocation alloc(4, 1);
+  alloc.at(2, 0) = 1;
+  alloc.at(3, 0) = 1;
+  alloc.at(0, 0) = 2;
+  Placement p = make_placement(alloc, topo.distance_matrix());
+  IntMatrix remaining(4, 1, 0);
+  remaining(0, 0) = 5;
+  remaining(1, 0) = 5;
+  ConsolidateOptions opt;
+  opt.max_migrations = 1;
+  const ConsolidationResult res =
+      consolidate(p, remaining, topo.distance_matrix(), opt);
+  EXPECT_EQ(res.migrations.size(), 1u);
+}
+
+TEST(Consolidate, TypeMatters) {
+  const Topology topo = Topology::uniform(2, 2);
+  cluster::Allocation alloc(4, 2);
+  alloc.at(0, 0) = 2;
+  alloc.at(2, 1) = 1;  // stranded VM is of type 1
+  Placement p = make_placement(alloc, topo.distance_matrix());
+  IntMatrix remaining(4, 2, 0);
+  remaining(1, 0) = 3;  // free capacity of the WRONG type nearby
+  const ConsolidationResult res =
+      consolidate(p, remaining, topo.distance_matrix());
+  EXPECT_TRUE(res.migrations.empty());
+  remaining(1, 1) = 1;  // now the right type
+  const ConsolidationResult res2 =
+      consolidate(p, remaining, topo.distance_matrix());
+  EXPECT_EQ(res2.migrations.size(), 1u);
+  EXPECT_EQ(res2.migrations[0].type, 1u);
+}
+
+// Property sweep: consolidation never increases distance, never breaks the
+// request, never oversubscribes, ends at a local optimum for its final
+// central node, and is bounded below by the exact SD optimum of the
+// COMBINED capacity (own allocation + free slots).
+class ConsolidateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsolidateSweep, InvariantsAndBounds) {
+  util::Rng rng(GetParam());
+  const Topology topo = Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  IntMatrix capacity = workload::random_inventory(topo, catalog, rng, 0, 3);
+  const Request r = workload::random_request(catalog, rng, 0, 4, 0);
+
+  // Degrade the initial placement with the random policy.
+  RandomPolicy random(GetParam() + 1);
+  auto placed = random.place(r, capacity, topo);
+  if (!placed) return;
+  IntMatrix remaining = capacity;
+  remaining -= placed->allocation.counts();
+  Placement p = *placed;
+  const Request req_copy = r;
+
+  const double before = p.distance;
+  const ConsolidationResult res =
+      consolidate(p, remaining, topo.distance_matrix());
+  EXPECT_LE(p.distance, before + 1e-9);
+  EXPECT_DOUBLE_EQ(res.distance_after, p.distance);
+  EXPECT_TRUE(p.allocation.satisfies(req_copy));
+  EXPECT_TRUE(remaining.all_nonnegative());
+  // Combined conservation: allocation + remaining == original capacity.
+  EXPECT_EQ(p.allocation.counts() + remaining, capacity);
+
+  // Local optimality at the final central: no single VM has a strictly
+  // nearer free slot (otherwise consolidate would have kept going).
+  const auto& d = topo.distance_matrix();
+  for (std::size_t donor = 0; donor < remaining.rows(); ++donor) {
+    for (std::size_t j = 0; j < remaining.cols(); ++j) {
+      if (p.allocation.at(donor, j) == 0) continue;
+      for (std::size_t recv = 0; recv < remaining.rows(); ++recv) {
+        if (recv == donor || remaining(recv, j) <= 0) continue;
+        EXPECT_LE(d(donor, p.central) - d(recv, p.central), 1e-9)
+            << "seed=" << GetParam() << " improving move left on the table";
+      }
+    }
+  }
+
+  // Hill climbing is local (recentring can strand it), so the exact SD
+  // optimum of the combined capacity is only a LOWER bound.
+  const solver::SdResult opt =
+      solver::solve_sd_exact(req_copy, capacity, topo.distance_matrix());
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_GE(p.distance, opt.distance - 1e-9) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsolidateSweep,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace vcopt::placement

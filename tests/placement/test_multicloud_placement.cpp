@@ -1,0 +1,114 @@
+// Placement behaviour across the d3 (multi-cloud) tier and option edges of
+// the core algorithms.
+#include <gtest/gtest.h>
+
+#include "placement/global_subopt.h"
+#include "placement/online_heuristic.h"
+#include "solver/sd_solver.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vcopt::placement {
+namespace {
+
+using cluster::Request;
+using cluster::Topology;
+using util::IntMatrix;
+
+TEST(MultiCloudPlacement, HeuristicPrefersSameCloudOverCrossCloud) {
+  // 2 clouds x 1 rack x 3 nodes.  Central candidates in cloud 0 can finish
+  // within the cloud; crossing the WAN would cost d3 = 4 per VM.
+  const Topology topo = Topology::multi_cloud(2, 1, 3);
+  IntMatrix remaining(6, 1, 2);
+  OnlineHeuristic h;
+  const auto placed = h.place(Request({6}), remaining, topo);
+  ASSERT_TRUE(placed.has_value());
+  for (std::size_t node : placed->allocation.used_nodes()) {
+    EXPECT_EQ(topo.cloud_of(node), topo.cloud_of(placed->central));
+  }
+}
+
+TEST(MultiCloudPlacement, HeuristicCrossesWanOnlyWhenForced) {
+  const Topology topo = Topology::multi_cloud(2, 1, 2);
+  // Cloud 0 (nodes 0,1) offers 3 VMs; the 5-VM request must cross.
+  IntMatrix remaining{{2}, {1}, {2}, {2}};
+  OnlineHeuristic h;
+  const auto placed = h.place(Request({5}), remaining, topo);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_TRUE(placed->allocation.satisfies(Request({5})));
+  // Exactly the overflow crosses the WAN (the heuristic never crosses more
+  // than the exact optimum forces).
+  const auto exact = solver::solve_sd_exact(Request({5}), remaining,
+                                            topo.distance_matrix());
+  int cross_heur = 0, cross_exact = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (topo.cloud_of(i) != topo.cloud_of(placed->central)) {
+      cross_heur += placed->allocation.vms_on_node(i);
+    }
+    if (topo.cloud_of(i) != topo.cloud_of(exact.central)) {
+      cross_exact += exact.allocation.vms_on_node(i);
+    }
+  }
+  EXPECT_EQ(cross_heur, cross_exact);
+}
+
+TEST(MultiCloudPlacement, HeuristicMatchesExactOnRandomMultiCloud) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    util::Rng rng(seed);
+    const Topology topo = Topology::multi_cloud(2, 2, 3);
+    const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+    const IntMatrix remaining =
+        workload::random_inventory(topo, catalog, rng, 0, 3);
+    const Request r = workload::random_request(catalog, rng, 0, 4, 0);
+    OnlineHeuristic h;
+    const auto placed = h.place(r, remaining, topo);
+    const auto exact =
+        solver::solve_sd_exact(r, remaining, topo.distance_matrix());
+    ASSERT_EQ(placed.has_value(), exact.feasible) << "seed=" << seed;
+    if (!exact.feasible) continue;
+    EXPECT_GE(placed->distance, exact.distance - 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(GlobalSubOptOptions, ZeroRoundsDisablesTransfers) {
+  util::Rng rng(4);
+  const Topology topo = Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+  const auto batch = workload::random_requests(catalog, rng, 8, 1, 4);
+
+  GlobalSubOpt::Options zero_rounds;
+  zero_rounds.max_rounds = 0;
+  GlobalSubOpt limited(zero_rounds);
+  GlobalSubOpt::Options no_transfers;
+  no_transfers.apply_transfers = false;
+  GlobalSubOpt off(no_transfers);
+
+  const auto a = limited.place_batch(batch, remaining, topo);
+  const auto b = off.place_batch(batch, remaining, topo);
+  EXPECT_EQ(a.transfers_applied, 0u);
+  EXPECT_DOUBLE_EQ(a.total_distance, b.total_distance);
+}
+
+TEST(GlobalSubOptOptions, OneRoundIsBetweenOffAndFull) {
+  util::Rng rng(8);
+  const Topology topo = Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+  const auto batch = workload::random_requests(catalog, rng, 10, 2, 6);
+
+  GlobalSubOpt::Options one;
+  one.max_rounds = 1;
+  GlobalSubOpt::Options off_opt;
+  off_opt.apply_transfers = false;
+  const auto full = GlobalSubOpt().place_batch(batch, remaining, topo);
+  const auto single = GlobalSubOpt(one).place_batch(batch, remaining, topo);
+  const auto off = GlobalSubOpt(off_opt).place_batch(batch, remaining, topo);
+  EXPECT_LE(full.total_distance, single.total_distance + 1e-9);
+  EXPECT_LE(single.total_distance, off.total_distance + 1e-9);
+}
+
+}  // namespace
+}  // namespace vcopt::placement

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "placement/online_heuristic.h"
+#include "placement/provisioner.h"
+
+namespace vcopt::placement {
+namespace {
+
+using cluster::Cloud;
+using cluster::Request;
+using cluster::Topology;
+
+Cloud small_cloud() {
+  return Cloud(Topology::uniform(2, 2),
+               cluster::VmCatalog({{"m", 4, 2, 100, 64}}),
+               util::IntMatrix(4, 1, 2));  // 8 VMs total
+}
+
+TEST(QueueDiscipline, ToStringNames) {
+  EXPECT_STREQ(to_string(QueueDiscipline::kFifo), "fifo");
+  EXPECT_STREQ(to_string(QueueDiscipline::kPriority), "priority");
+  EXPECT_STREQ(to_string(QueueDiscipline::kSmallestFirst), "smallest-first");
+}
+
+TEST(QueueDiscipline, PriorityServesUrgentFirst) {
+  Cloud cloud = small_cloud();
+  Provisioner prov(cloud, std::make_unique<OnlineHeuristic>(),
+                   QueueDiscipline::kPriority);
+  const auto g = prov.request(Request({8}, 1));
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(prov.request(Request({2}, 2, /*priority=*/0)), std::nullopt);
+  EXPECT_EQ(prov.request(Request({2}, 3, /*priority=*/5)), std::nullopt);
+  EXPECT_EQ(prov.request(Request({2}, 4, /*priority=*/2)), std::nullopt);
+  const auto drained = prov.release(g->lease);
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].request_id, 3u);  // priority 5
+  EXPECT_EQ(drained[1].request_id, 4u);  // priority 2
+  EXPECT_EQ(drained[2].request_id, 2u);  // priority 0
+}
+
+TEST(QueueDiscipline, PriorityTiesBreakByArrival) {
+  Cloud cloud = small_cloud();
+  Provisioner prov(cloud, std::make_unique<OnlineHeuristic>(),
+                   QueueDiscipline::kPriority);
+  const auto g = prov.request(Request({8}, 1));
+  ASSERT_TRUE(g.has_value());
+  prov.request(Request({1}, 2, 3));
+  prov.request(Request({1}, 3, 3));
+  const auto drained = prov.release(g->lease);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].request_id, 2u);
+  EXPECT_EQ(drained[1].request_id, 3u);
+}
+
+TEST(QueueDiscipline, SmallestFirstAvoidsHeadOfLineBlocking) {
+  Cloud cloud = small_cloud();
+  Provisioner prov(cloud, std::make_unique<OnlineHeuristic>(),
+                   QueueDiscipline::kSmallestFirst);
+  const auto g1 = prov.request(Request({4}, 1));
+  const auto g2 = prov.request(Request({4}, 2));
+  ASSERT_TRUE(g1.has_value());
+  ASSERT_TRUE(g2.has_value());
+  // Big request arrives first, small one after.
+  EXPECT_EQ(prov.request(Request({7}, 3)), std::nullopt);
+  EXPECT_EQ(prov.request(Request({1}, 4)), std::nullopt);
+  // Release 4 VMs: the 7-VM request still blocks, but smallest-first lets
+  // the 1-VM request slip past it.
+  const auto drained = prov.release(g1->lease);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].request_id, 4u);
+  EXPECT_EQ(prov.queue_length(), 1u);
+}
+
+TEST(QueueDiscipline, FifoBlocksOnHead) {
+  Cloud cloud = small_cloud();
+  Provisioner prov(cloud, std::make_unique<OnlineHeuristic>(),
+                   QueueDiscipline::kFifo);
+  const auto g1 = prov.request(Request({4}, 1));
+  const auto g2 = prov.request(Request({4}, 2));
+  ASSERT_TRUE(g1.has_value());
+  ASSERT_TRUE(g2.has_value());
+  prov.request(Request({7}, 3));
+  prov.request(Request({1}, 4));
+  // Only 4 VMs come free: the 7-VM head cannot be served, and under FIFO
+  // nothing behind it may jump the queue.
+  const auto drained = prov.release(g1->lease);
+  EXPECT_TRUE(drained.empty());
+  EXPECT_EQ(prov.queue_length(), 2u);
+}
+
+TEST(QueueDiscipline, DefaultIsFifo) {
+  Cloud cloud = small_cloud();
+  Provisioner prov(cloud, std::make_unique<OnlineHeuristic>());
+  EXPECT_EQ(prov.discipline(), QueueDiscipline::kFifo);
+}
+
+TEST(QueueDiscipline, RequestPriorityDefaultZero) {
+  const Request r({1});
+  EXPECT_EQ(r.priority(), 0);
+  const Request urgent({1}, 9, 7);
+  EXPECT_EQ(urgent.priority(), 7);
+}
+
+}  // namespace
+}  // namespace vcopt::placement

@@ -1,0 +1,81 @@
+// Randomised stress test of the event queue against a reference model: a
+// plain sorted list of (time, id) pairs with the same FIFO tie-break.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace vcopt::sim {
+namespace {
+
+struct RefEvent {
+  double time;
+  EventId id;     // queue-issued id (monotone = arrival order)
+  int label;
+};
+
+class EventQueueStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueStress, MatchesReferenceModel) {
+  util::Rng rng(GetParam());
+  EventQueue q;
+  std::vector<RefEvent> reference;
+  std::vector<int> fired;
+
+  int next_label = 0;
+  // Interleave scheduling, cancellation and stepping.
+  for (int round = 0; round < 300; ++round) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55) {
+      const double t = q.now() + rng.uniform(0, 10);
+      const int label = next_label++;
+      const EventId id = q.schedule(t, [&fired, label] { fired.push_back(label); });
+      reference.push_back(RefEvent{t, id, label});
+    } else if (roll < 0.7 && !reference.empty()) {
+      // Cancel a random still-pending event.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(reference.size()) - 1));
+      q.cancel(reference[pick].id);
+      reference.erase(reference.begin() + static_cast<long>(pick));
+    } else {
+      // Step once; the earliest (time, id) reference event must fire.
+      if (reference.empty()) {
+        EXPECT_FALSE(q.step());
+        continue;
+      }
+      auto it = std::min_element(
+          reference.begin(), reference.end(), [](const RefEvent& a, const RefEvent& b) {
+            return a.time != b.time ? a.time < b.time : a.id < b.id;
+          });
+      const int expect_label = it->label;
+      const double expect_time = it->time;
+      reference.erase(it);
+      ASSERT_TRUE(q.step());
+      ASSERT_FALSE(fired.empty());
+      EXPECT_EQ(fired.back(), expect_label);
+      EXPECT_DOUBLE_EQ(q.now(), expect_time);
+    }
+    EXPECT_EQ(q.pending(), reference.size());
+  }
+
+  // Drain: remaining events fire in reference order.
+  std::sort(reference.begin(), reference.end(),
+            [](const RefEvent& a, const RefEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.id < b.id;
+            });
+  const std::size_t base = fired.size();
+  q.run();
+  ASSERT_EQ(fired.size(), base + reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(fired[base + i], reference[i].label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueStress,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace vcopt::sim

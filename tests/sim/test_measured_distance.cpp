@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "sim/network.h"
+#include "solver/sd_solver.h"
+
+namespace vcopt::sim {
+namespace {
+
+using cluster::Topology;
+
+NetworkConfig cfg() {
+  NetworkConfig c;
+  c.node_bw = 100;
+  c.disk_bw = 400;
+  c.rack_bw = 300;
+  c.wan_bw = 50;
+  c.latency_per_distance = 0;
+  return c;
+}
+
+TEST(MeasuredDistance, IdleNetworkMatchesCapacityEstimate) {
+  const Topology topo = Topology::uniform(2, 2);
+  EventQueue q;
+  Network net(topo, cfg(), q);
+  // Idle: residual = full capacity -> probe/100.
+  EXPECT_DOUBLE_EQ(net.residual_path_bandwidth(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(net.measured_distance(0, 1, 1000), 10.0);
+}
+
+TEST(MeasuredDistance, LoadRaisesDistance) {
+  const Topology topo = Topology::uniform(2, 2);
+  EventQueue q;
+  Network net(topo, cfg(), q);
+  const double idle = net.measured_distance(0, 1, 1000);
+  net.start_flow(0, 1, 1e9, [](FlowId) {});  // saturates node 0's uplink
+  const double busy = net.measured_distance(0, 1, 1000);
+  EXPECT_GT(busy, idle);
+  // Residual is zero; the estimate falls back to an equal max-min share.
+  EXPECT_DOUBLE_EQ(net.residual_path_bandwidth(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(busy, 1000.0 / (100.0 / 2));
+}
+
+TEST(MeasuredDistance, UnrelatedPathsUnaffected) {
+  const Topology topo = Topology::uniform(2, 2);
+  EventQueue q;
+  Network net(topo, cfg(), q);
+  net.start_flow(0, 1, 1e9, [](FlowId) {});
+  // Nodes 2 -> 3 share no link with the 0 -> 1 flow.
+  EXPECT_DOUBLE_EQ(net.residual_path_bandwidth(2, 3), 100.0);
+  EXPECT_DOUBLE_EQ(net.measured_distance(2, 3, 1000), 10.0);
+}
+
+TEST(MeasuredDistance, PartialLoadReducesResidual) {
+  const Topology topo = Topology::uniform(2, 3);
+  EventQueue q;
+  Network net(topo, cfg(), q);
+  // Two cross-rack flows share the 300-capacity rack uplink at 100 each
+  // (NIC-limited), leaving 100 residual on the uplink.
+  net.start_flow(0, 3, 1e9, [](FlowId) {});
+  net.start_flow(1, 4, 1e9, [](FlowId) {});
+  // Path 2 -> 5 crosses the rack uplink (residual 100) and its own idle NICs.
+  EXPECT_DOUBLE_EQ(net.residual_path_bandwidth(2, 5), 100.0);
+}
+
+TEST(MeasuredDistance, MatrixHasZeroDiagonalAndLoadAwareness) {
+  const Topology topo = Topology::uniform(2, 2);
+  EventQueue q;
+  Network net(topo, cfg(), q);
+  net.start_flow(0, 1, 1e9, [](FlowId) {});
+  const util::DoubleMatrix d = net.measured_distance_matrix(1000);
+  ASSERT_EQ(d.rows(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+  // Congested direction is farther than the untouched reverse direction
+  // going through different links (up_1/down_0 are idle).
+  EXPECT_GT(d(0, 1), d(1, 0));
+}
+
+TEST(MeasuredDistance, PlacementSteersAwayFromCongestion) {
+  const Topology topo = Topology::uniform(2, 2);
+  EventQueue q;
+  Network net(topo, cfg(), q);
+  // Saturate both directions of rack 0 (nodes 0, 1).
+  net.start_flow(0, 1, 1e9, [](FlowId) {});
+  net.start_flow(1, 0, 1e9, [](FlowId) {});
+  util::IntMatrix remaining(4, 1, 2);
+  const solver::SdResult placed = solver::solve_sd_exact(
+      cluster::Request({4}), remaining, net.measured_distance_matrix(1000));
+  ASSERT_TRUE(placed.feasible);
+  // The 4-VM cluster needs two nodes; the idle rack (nodes 2, 3) wins.
+  EXPECT_EQ(placed.allocation.used_nodes(), (std::vector<std::size_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace vcopt::sim

@@ -1,0 +1,229 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+
+namespace vcopt::sim {
+namespace {
+
+using cluster::Topology;
+
+NetworkConfig simple_config() {
+  NetworkConfig cfg;
+  cfg.node_bw = 100;  // bytes/s, tiny numbers keep arithmetic exact
+  cfg.disk_bw = 50;
+  cfg.rack_bw = 1000;
+  cfg.wan_bw = 400;
+  cfg.latency_per_distance = 0;  // most tests want pure serialisation time
+  return cfg;
+}
+
+TEST(NetworkConfig, Validation) {
+  NetworkConfig cfg = simple_config();
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.node_bw = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = simple_config();
+  cfg.latency_per_distance = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Network, SingleFlowCompletesAtLineRate) {
+  const Topology topo = Topology::uniform(2, 2);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  double done = -1;
+  net.start_flow(0, 1, 500, [&](FlowId) { done = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);  // 500 bytes at node_bw=100
+}
+
+TEST(Network, SameNodeUsesDiskBandwidth) {
+  const Topology topo = Topology::uniform(1, 2);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  double done = -1;
+  net.start_flow(0, 0, 500, [&](FlowId) { done = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(done, 10.0);  // disk_bw = 50
+}
+
+TEST(Network, TwoFlowsShareSenderNic) {
+  const Topology topo = Topology::uniform(1, 3);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  std::vector<double> done;
+  net.start_flow(0, 1, 500, [&](FlowId) { done.push_back(q.now()); });
+  net.start_flow(0, 2, 500, [&](FlowId) { done.push_back(q.now()); });
+  q.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both share node 0's 100 B/s uplink -> 50 B/s each -> 10 s.
+  EXPECT_DOUBLE_EQ(done[0], 10.0);
+  EXPECT_DOUBLE_EQ(done[1], 10.0);
+}
+
+TEST(Network, IndependentFlowsDoNotInterfere) {
+  const Topology topo = Topology::uniform(1, 4);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  std::vector<double> done(2, -1);
+  net.start_flow(0, 1, 500, [&](FlowId) { done[0] = q.now(); });
+  net.start_flow(2, 3, 500, [&](FlowId) { done[1] = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(done[0], 5.0);
+  EXPECT_DOUBLE_EQ(done[1], 5.0);
+}
+
+TEST(Network, RateRecomputedWhenFlowFinishes) {
+  const Topology topo = Topology::uniform(1, 3);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  double short_done = -1, long_done = -1;
+  // Both leave node 0: share 100 B/s until the short one finishes.
+  net.start_flow(0, 1, 100, [&](FlowId) { short_done = q.now(); });
+  net.start_flow(0, 2, 500, [&](FlowId) { long_done = q.now(); });
+  q.run();
+  // Short: 100 bytes at 50 B/s = 2 s.  Long: 100 bytes by t=2, remaining 400
+  // at full 100 B/s = 4 s more -> 6 s.
+  EXPECT_DOUBLE_EQ(short_done, 2.0);
+  EXPECT_DOUBLE_EQ(long_done, 6.0);
+}
+
+TEST(Network, CrossRackTraversesRackUplink) {
+  const Topology topo = Topology::uniform(2, 2);
+  NetworkConfig cfg = simple_config();
+  cfg.rack_bw = 60;  // slower than the NIC: rack uplink is the bottleneck
+  EventQueue q;
+  Network net(topo, cfg, q);
+  double done = -1;
+  net.start_flow(0, 2, 600, [&](FlowId) { done = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(done, 10.0);  // 600 / 60
+}
+
+TEST(Network, ManyCrossRackFlowsCongestUplink) {
+  const Topology topo = Topology::uniform(2, 3);
+  NetworkConfig cfg = simple_config();
+  cfg.rack_bw = 150;
+  EventQueue q;
+  Network net(topo, cfg, q);
+  std::vector<double> done;
+  // Three flows from distinct rack-0 nodes to distinct rack-1 nodes: NICs
+  // allow 100 each but the shared rack-0 uplink caps the sum at 150.
+  for (std::size_t i = 0; i < 3; ++i) {
+    net.start_flow(i, 3 + i, 500, [&](FlowId) { done.push_back(q.now()); });
+  }
+  q.run();
+  ASSERT_EQ(done.size(), 3u);
+  for (double t : done) EXPECT_DOUBLE_EQ(t, 10.0);  // 500 / 50 each
+}
+
+TEST(Network, LatencyAddsToCompletion) {
+  const Topology topo = Topology::uniform(2, 2);
+  NetworkConfig cfg = simple_config();
+  cfg.latency_per_distance = 0.1;
+  EventQueue q;
+  Network net(topo, cfg, q);
+  double done_rack = -1, done_cross = -1;
+  net.start_flow(0, 1, 100, [&](FlowId) { done_rack = q.now(); });
+  q.run();
+  net.start_flow(0, 2, 100, [&](FlowId) { done_cross = q.now(); });
+  q.run();
+  // Same-rack: 1 s serialisation + 0.1 * d1(=1); cross-rack flow started at
+  // t = 1.1 and takes 1 s + 0.2 latency.
+  EXPECT_DOUBLE_EQ(done_rack, 1.0 + 0.1);
+  EXPECT_NEAR(done_cross, done_rack + 1.0 + 0.2, 1e-9);
+}
+
+TEST(Network, ZeroByteFlowTakesOnlyLatency) {
+  const Topology topo = Topology::uniform(2, 2);
+  NetworkConfig cfg = simple_config();
+  cfg.latency_per_distance = 0.5;
+  EventQueue q;
+  Network net(topo, cfg, q);
+  double done = -1;
+  net.start_flow(0, 2, 0, [&](FlowId) { done = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(done, 1.0);  // 0.5 * d2(=2)
+}
+
+TEST(Network, TrafficStatsByTier) {
+  const Topology topo = Topology::multi_cloud(2, 2, 2);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  net.start_flow(0, 0, 10, [](FlowId) {});
+  net.start_flow(0, 1, 20, [](FlowId) {});
+  net.start_flow(0, 2, 30, [](FlowId) {});
+  net.start_flow(0, 4, 40, [](FlowId) {});
+  q.run();
+  const TrafficStats& s = net.stats();
+  EXPECT_DOUBLE_EQ(s.local_bytes, 10);
+  EXPECT_DOUBLE_EQ(s.rack_bytes, 20);
+  EXPECT_DOUBLE_EQ(s.cross_rack_bytes, 30);
+  EXPECT_DOUBLE_EQ(s.cross_cloud_bytes, 40);
+  EXPECT_DOUBLE_EQ(s.total(), 100);
+  EXPECT_DOUBLE_EQ(s.non_local_fraction(), 0.9);
+}
+
+TEST(Network, CrossCloudBottleneck) {
+  const Topology topo = Topology::multi_cloud(2, 1, 2);
+  NetworkConfig cfg = simple_config();
+  cfg.wan_bw = 25;
+  EventQueue q;
+  Network net(topo, cfg, q);
+  double done = -1;
+  net.start_flow(0, 2, 100, [&](FlowId) { done = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(done, 4.0);  // 100 / 25
+}
+
+TEST(Network, FlowRateVisible) {
+  const Topology topo = Topology::uniform(1, 2);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  const FlowId id = net.start_flow(0, 1, 1000, [](FlowId) {});
+  EXPECT_DOUBLE_EQ(net.flow_rate(id), 100.0);
+  EXPECT_DOUBLE_EQ(net.flow_rate(id + 77), 0.0);
+  EXPECT_EQ(net.active_flows(), 1u);
+  q.run();
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(Network, MeasuredDistanceOrdersByTier) {
+  const Topology topo = Topology::multi_cloud(2, 2, 2);
+  EventQueue q;
+  NetworkConfig cfg = simple_config();
+  cfg.latency_per_distance = 0.1;  // tiers differ through latency
+  Network net(topo, cfg, q);
+  const double local = net.measured_distance(0, 0);
+  const double rack = net.measured_distance(0, 1);
+  const double cross = net.measured_distance(0, 2);
+  const double wan = net.measured_distance(0, 4);
+  EXPECT_LT(rack, cross + 1e-12);
+  EXPECT_LT(cross, wan);
+  EXPECT_GT(local, 0);  // disk still costs serialisation time
+}
+
+TEST(Network, InvalidFlowArgumentsThrow) {
+  const Topology topo = Topology::uniform(1, 2);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  EXPECT_THROW(net.start_flow(0, 9, 10, [](FlowId) {}), std::out_of_range);
+  EXPECT_THROW(net.start_flow(0, 1, -5, [](FlowId) {}), std::invalid_argument);
+}
+
+TEST(Network, CompletionCallbackCanStartNewFlow) {
+  const Topology topo = Topology::uniform(1, 3);
+  EventQueue q;
+  Network net(topo, simple_config(), q);
+  double second_done = -1;
+  net.start_flow(0, 1, 100, [&](FlowId) {
+    net.start_flow(1, 2, 100, [&](FlowId) { second_done = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(second_done, 2.0);
+}
+
+}  // namespace
+}  // namespace vcopt::sim

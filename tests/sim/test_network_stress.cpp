@@ -1,0 +1,96 @@
+// Randomised network stress: many overlapping flows on a multi-cloud
+// topology.  Invariants checked continuously: every flow completes exactly
+// once, max-min rates never oversubscribe any link, rates are non-negative,
+// and completion times are consistent with per-flow byte conservation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/topology.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace vcopt::sim {
+namespace {
+
+using cluster::Topology;
+
+class NetworkStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkStress, InvariantsUnderRandomLoad) {
+  util::Rng rng(GetParam());
+  const Topology topo = Topology::multi_cloud(2, 2, 3);  // 12 nodes
+  NetworkConfig cfg;
+  cfg.node_bw = 100;
+  cfg.disk_bw = 300;
+  cfg.rack_bw = 150;
+  cfg.wan_bw = 60;
+  cfg.latency_per_distance = 0.01;
+  EventQueue q;
+  Network net(topo, cfg, q);
+
+  std::map<FlowId, double> started_bytes;
+  int completions = 0;
+
+  auto check_links = [&] {
+    for (const auto& link : net.link_utilization()) {
+      EXPECT_GE(link.used, -1e-9) << link.name;
+      EXPECT_LE(link.used, link.capacity * (1 + 1e-6)) << link.name;
+    }
+  };
+
+  const int kFlows = 60;
+  double expected_bytes = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const auto dst = static_cast<std::size_t>(rng.uniform_int(0, 11));
+    const double bytes = rng.uniform(10, 500);
+    expected_bytes += bytes;
+    const FlowId id =
+        net.start_flow(src, dst, bytes, [&](FlowId) { ++completions; });
+    started_bytes[id] = bytes;
+    check_links();
+    // Randomly let some simulated time pass (runs a few completions).
+    if (rng.bernoulli(0.3)) {
+      q.run_until(q.now() + rng.uniform(0, 2));
+      check_links();
+    }
+  }
+
+  q.run();
+  EXPECT_EQ(completions, kFlows);
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_NEAR(net.stats().total(), expected_bytes, 1e-6);
+  check_links();  // idle: all usage zero
+  for (const auto& link : net.link_utilization()) {
+    EXPECT_DOUBLE_EQ(link.used, 0.0) << link.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkStress,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(NetworkLinkUtilization, NamesAndUsage) {
+  const Topology topo = Topology::multi_cloud(2, 1, 2);
+  NetworkConfig cfg;
+  cfg.node_bw = 100;
+  cfg.disk_bw = 100;
+  cfg.rack_bw = 500;
+  cfg.wan_bw = 40;
+  cfg.latency_per_distance = 0;
+  EventQueue q;
+  Network net(topo, cfg, q);
+  net.start_flow(0, 2, 1000, [](FlowId) {});  // cross-cloud, WAN-limited
+
+  std::map<std::string, Network::LinkUtilization> by_name;
+  for (const auto& l : net.link_utilization()) by_name[l.name] = l;
+  EXPECT_DOUBLE_EQ(by_name.at("node0.up").used, 40.0);
+  EXPECT_DOUBLE_EQ(by_name.at("node2.down").used, 40.0);
+  EXPECT_DOUBLE_EQ(by_name.at("cloud0.up").used, 40.0);
+  EXPECT_DOUBLE_EQ(by_name.at("cloud1.down").used, 40.0);
+  EXPECT_DOUBLE_EQ(by_name.at("node1.up").used, 0.0);
+  EXPECT_DOUBLE_EQ(by_name.at("node0.disk").capacity, 100.0);
+}
+
+}  // namespace
+}  // namespace vcopt::sim

@@ -1,0 +1,83 @@
+// Structural checks of the GSD integer-program encoder and its LP
+// relaxation behaviour.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "solver/sd_solver.h"
+#include "solver/simplex.h"
+
+namespace vcopt::solver {
+namespace {
+
+using cluster::Request;
+using cluster::Topology;
+using util::IntMatrix;
+
+TEST(GsdModel, StructureMatchesFormulation) {
+  const Topology topo = Topology::uniform(1, 3);  // n=3
+  IntMatrix remaining(3, 2, 2);                   // m=2
+  const std::vector<Request> batch = {Request({1, 1}, 0), Request({2, 0}, 1)};
+  const LpModel m = build_gsd_model(batch, remaining, topo.distance_matrix(),
+                                    {0, 1});
+  // Variables: p * n * m = 2 * 3 * 2 = 12.
+  EXPECT_EQ(m.variable_count(), 12u);
+  // Constraints: demand p*m = 4, shared capacity n*m = 6.
+  EXPECT_EQ(m.constraint_count(), 10u);
+  EXPECT_TRUE(m.has_integer_variables());
+  // Objective coefficient of x^k_ij is D(i, central_k).
+  // Request 0, node 1, type 0 (index (0*3+1)*2+0 = 2): D(1,0) = 1.
+  EXPECT_DOUBLE_EQ(m.variable(2).objective, 1.0);
+  // Request 1, node 1, type 0 (index (1*3+1)*2+0 = 8): D(1,1) = 0.
+  EXPECT_DOUBLE_EQ(m.variable(8).objective, 0.0);
+}
+
+TEST(GsdModel, Validation) {
+  const Topology topo = Topology::uniform(1, 2);
+  IntMatrix remaining(2, 1, 1);
+  EXPECT_THROW(
+      build_gsd_model({}, remaining, topo.distance_matrix(), {}),
+      std::invalid_argument);
+  EXPECT_THROW(build_gsd_model({Request({1})}, remaining,
+                               topo.distance_matrix(), {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(build_gsd_model({Request({1})}, remaining,
+                               topo.distance_matrix(), {5}),
+               std::out_of_range);
+}
+
+TEST(GsdModel, LpRelaxationLowerBoundsIlp) {
+  const Topology topo = Topology::uniform(2, 2);
+  IntMatrix remaining{{1, 1}, {1, 0}, {2, 1}, {0, 1}};
+  const std::vector<Request> batch = {Request({2, 1}, 0), Request({1, 1}, 1)};
+  const std::vector<std::size_t> centrals = {0, 2};
+  const LpModel model =
+      build_gsd_model(batch, remaining, topo.distance_matrix(), centrals);
+  const LpSolution lp = solve_lp(model);
+  const IlpSolution ilp = solve_ilp(model);
+  ASSERT_EQ(lp.status, SolveStatus::kOptimal);
+  ASSERT_EQ(ilp.status, SolveStatus::kOptimal);
+  EXPECT_LE(lp.objective, ilp.objective + 1e-9);
+}
+
+TEST(GsdModel, InfeasibleWhenDemandExceedsSharedCapacity) {
+  const Topology topo = Topology::uniform(1, 2);
+  IntMatrix remaining(2, 1, 1);  // 2 VMs total
+  const std::vector<Request> batch = {Request({2}, 0), Request({1}, 1)};
+  const LpModel model =
+      build_gsd_model(batch, remaining, topo.distance_matrix(), {0, 0});
+  EXPECT_EQ(solve_ilp(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(GsdExact, SingleRequestReducesToSd) {
+  const Topology topo = Topology::uniform(2, 2);
+  IntMatrix remaining{{1, 1}, {2, 0}, {1, 1}, {0, 2}};
+  const Request r({2, 2});
+  const auto sd = solve_sd_exact(r, remaining, topo.distance_matrix());
+  const auto gsd = solve_gsd_exact({r}, remaining, topo.distance_matrix());
+  ASSERT_TRUE(sd.feasible);
+  ASSERT_TRUE(gsd.feasible);
+  EXPECT_NEAR(gsd.total_distance, sd.distance, 1e-9);
+}
+
+}  // namespace
+}  // namespace vcopt::solver

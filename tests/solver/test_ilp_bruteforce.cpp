@@ -1,0 +1,84 @@
+// Exhaustive cross-check of the branch-and-bound: random bounded integer
+// programs small enough to enumerate completely.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "solver/branch_bound.h"
+#include "util/rng.h"
+
+namespace vcopt::solver {
+namespace {
+
+// Random ILP: 5 integer variables in [0, 3], two <= constraints with
+// non-negative coefficients (always feasible: x = 0), random objective with
+// mixed signs.  Brute force enumerates 4^5 = 1024 points.
+struct Instance {
+  LpModel model;
+  double brute_optimum = std::numeric_limits<double>::infinity();
+};
+
+Instance make_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  constexpr int kVars = 5, kUb = 3;
+  Instance out;
+  std::vector<double> obj(kVars);
+  for (int v = 0; v < kVars; ++v) {
+    obj[v] = rng.uniform(-5, 5);
+    out.model.add_variable(0, kUb, obj[v], /*integral=*/true);
+  }
+  double coeff[2][kVars];
+  double rhs[2];
+  for (int c = 0; c < 2; ++c) {
+    Constraint con;
+    con.relation = Relation::kLessEqual;
+    rhs[c] = rng.uniform(2, 12);
+    con.rhs = rhs[c];
+    for (int v = 0; v < kVars; ++v) {
+      coeff[c][v] = rng.uniform(0, 3);
+      con.vars.push_back(static_cast<std::size_t>(v));
+      con.coeffs.push_back(coeff[c][v]);
+    }
+    out.model.add_constraint(std::move(con));
+  }
+
+  // Brute force.
+  int x[kVars];
+  for (int p = 0; p < 1024; ++p) {
+    int rest = p;
+    for (int v = 0; v < kVars; ++v) {
+      x[v] = rest % (kUb + 1);
+      rest /= (kUb + 1);
+    }
+    bool ok = true;
+    for (int c = 0; c < 2 && ok; ++c) {
+      double lhs = 0;
+      for (int v = 0; v < kVars; ++v) lhs += coeff[c][v] * x[v];
+      ok = lhs <= rhs[c] + 1e-12;
+    }
+    if (!ok) continue;
+    double val = 0;
+    for (int v = 0; v < kVars; ++v) val += obj[v] * x[v];
+    out.brute_optimum = std::min(out.brute_optimum, val);
+  }
+  return out;
+}
+
+class IlpBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpBruteForce, BranchAndBoundMatchesEnumeration) {
+  const Instance in = make_instance(GetParam());
+  const IlpSolution sol = solve_ilp(in.model);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "seed=" << GetParam();
+  EXPECT_NEAR(sol.objective, in.brute_optimum, 1e-6) << "seed=" << GetParam();
+  // The returned point is integral and feasible.
+  EXPECT_TRUE(in.model.is_feasible(sol.x, 1e-6));
+  for (double v : sol.x) EXPECT_NEAR(v, std::round(v), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace vcopt::solver

@@ -1,0 +1,140 @@
+// Brute-force verification of the exact SD solver: on tiny instances we
+// enumerate EVERY feasible allocation matrix and take the true minimum of
+// DC(C) (Definition 2 verbatim), then require solve_sd_exact to match it.
+// This is the strongest evidence that the per-central-node greedy
+// decomposition is exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "cluster/topology.h"
+#include "solver/sd_solver.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vcopt::solver {
+namespace {
+
+using cluster::Allocation;
+using cluster::Request;
+using cluster::Topology;
+using util::IntMatrix;
+
+// Enumerates all allocations satisfying the request within `remaining` and
+// returns the minimal DC (Definition 1), or +inf if none exists.
+double brute_force_sd(const Request& request, const IntMatrix& remaining,
+                      const util::DoubleMatrix& dist) {
+  const std::size_t n = remaining.rows();
+  const std::size_t m = remaining.cols();
+  Allocation current(n, m);
+  double best = std::numeric_limits<double>::infinity();
+
+  // Recurse over (type, node) cells choosing how many VMs of type j node i
+  // hosts; prune when a type's demand cannot be completed.
+  std::function<void(std::size_t, std::size_t, int)> rec =
+      [&](std::size_t j, std::size_t i, int still_needed) {
+        if (j == m) {
+          best = std::min(best, current.best_central(dist).distance);
+          return;
+        }
+        if (i == n) {
+          if (still_needed == 0) {
+            rec(j + 1, 0, j + 1 < m ? request.count(j + 1) : 0);
+          }
+          return;
+        }
+        const int cap = remaining(i, j);
+        for (int take = 0; take <= std::min(cap, still_needed); ++take) {
+          current.at(i, j) = take;
+          rec(j, i + 1, still_needed - take);
+        }
+        current.at(i, j) = 0;
+      };
+  rec(0, 0, request.count(0));
+  return best;
+}
+
+TEST(SdBruteForce, HandVerifiedTiny) {
+  const Topology topo = Topology::uniform(2, 2);
+  IntMatrix remaining{{1, 1}, {1, 0}, {2, 1}, {0, 0}};
+  const Request r({2, 1});
+  const double expect = brute_force_sd(r, remaining, topo.distance_matrix());
+  const SdResult got = solve_sd_exact(r, remaining, topo.distance_matrix());
+  ASSERT_TRUE(got.feasible);
+  EXPECT_DOUBLE_EQ(got.distance, expect);
+}
+
+class SdBruteForceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SdBruteForceSweep, ExactSolverMatchesExhaustiveEnumeration) {
+  util::Rng rng(GetParam());
+  // Keep the enumeration tractable: 4 nodes, 2 types, small counts.
+  const Topology topo = Topology::uniform(2, 2);
+  const cluster::VmCatalog catalog({{"a", 1, 1, 1, 64}, {"b", 2, 2, 2, 64}});
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 2);
+  const Request r = workload::random_request(catalog, rng, 0, 2, 0);
+
+  const double expect = brute_force_sd(r, remaining, topo.distance_matrix());
+  const SdResult got = solve_sd_exact(r, remaining, topo.distance_matrix());
+  if (!std::isfinite(expect)) {
+    EXPECT_FALSE(got.feasible) << "seed=" << GetParam();
+    return;
+  }
+  ASSERT_TRUE(got.feasible) << "seed=" << GetParam();
+  EXPECT_DOUBLE_EQ(got.distance, expect)
+      << "seed=" << GetParam() << " request=" << r.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdBruteForceSweep,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+// The same exhaustive check on a multi-cloud metric (three distance tiers).
+class SdBruteForceMultiCloud : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SdBruteForceMultiCloud, ExactAcrossClouds) {
+  util::Rng rng(GetParam() * 31 + 5);
+  const Topology topo = Topology::multi_cloud(2, 1, 2);  // 4 nodes, 2 clouds
+  const cluster::VmCatalog catalog({{"a", 1, 1, 1, 64}});
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 3);
+  const Request r = workload::random_request(catalog, rng, 1, 4, 0);
+
+  const double expect = brute_force_sd(r, remaining, topo.distance_matrix());
+  const SdResult got = solve_sd_exact(r, remaining, topo.distance_matrix());
+  if (!std::isfinite(expect)) {
+    EXPECT_FALSE(got.feasible);
+    return;
+  }
+  ASSERT_TRUE(got.feasible);
+  EXPECT_DOUBLE_EQ(got.distance, expect) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdBruteForceMultiCloud,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+// Brute force also bounds Algorithm 1 from below (sanity of the heuristic
+// claim: heuristic >= optimum, tested at the definition level).
+TEST(SdBruteForce, DefinitionLevelLowerBoundsHoldForIlpToo) {
+  util::Rng rng(1234);
+  const Topology topo = Topology::uniform(2, 2);
+  const cluster::VmCatalog catalog({{"a", 1, 1, 1, 64}, {"b", 2, 2, 2, 64}});
+  for (int trial = 0; trial < 10; ++trial) {
+    const IntMatrix remaining =
+        workload::random_inventory(topo, catalog, rng, 0, 2);
+    const Request r = workload::random_request(catalog, rng, 0, 2, 0);
+    const double expect = brute_force_sd(r, remaining, topo.distance_matrix());
+    const SdResult ilp = solve_sd_ilp(r, remaining, topo.distance_matrix());
+    if (!std::isfinite(expect)) {
+      EXPECT_FALSE(ilp.feasible);
+      continue;
+    }
+    ASSERT_TRUE(ilp.feasible);
+    EXPECT_NEAR(ilp.distance, expect, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace vcopt::solver

@@ -1,0 +1,173 @@
+#include "solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/lp_model.h"
+
+namespace vcopt::solver {
+namespace {
+
+TEST(Simplex, TrivialBoundsOnlyMinimum) {
+  LpModel m;
+  m.add_variable(2, 10, 1.0);  // min x, x in [2,10]
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, MaximizeViaNegation) {
+  LpModel m;
+  m.add_variable(0, 5, -1.0);  // min -x == max x
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, TwoVariableTextbook) {
+  // min -3x - 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Classic Dantzig example: optimum at (2, 6), objective -36.
+  LpModel m;
+  const auto x = m.add_variable(0, kInfinity, -3.0);
+  const auto y = m.add_variable(0, kInfinity, -5.0);
+  m.add_constraint({{x}, {1.0}, Relation::kLessEqual, 4.0, ""});
+  m.add_constraint({{y}, {2.0}, Relation::kLessEqual, 12.0, ""});
+  m.add_constraint({{x, y}, {3.0, 2.0}, Relation::kLessEqual, 18.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-8);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y  s.t.  x + y = 10, x <= 4.
+  LpModel m;
+  const auto x = m.add_variable(0, 4, 1.0);
+  const auto y = m.add_variable(0, kInfinity, 2.0);
+  m.add_constraint({{x, y}, {1.0, 1.0}, Relation::kEqual, 10.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-8);
+  EXPECT_NEAR(s.objective, 16.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min 2x + 3y  s.t.  x + y >= 5.
+  LpModel m;
+  const auto x = m.add_variable(0, kInfinity, 2.0);
+  const auto y = m.add_variable(0, kInfinity, 3.0);
+  m.add_constraint({{x, y}, {1.0, 1.0}, Relation::kGreaterEqual, 5.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 5.0, 1e-8);
+  EXPECT_NEAR(s.objective, 10.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 2 and x >= 5 cannot hold together.
+  LpModel m;
+  const auto x = m.add_variable(0, 2, 1.0);
+  m.add_constraint({{x}, {1.0}, Relation::kGreaterEqual, 5.0, ""});
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpModel m;
+  m.add_variable(0, kInfinity, -1.0);  // min -x, x unbounded above
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalisation) {
+  // -x <= -3  ==  x >= 3.
+  LpModel m;
+  const auto x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x}, {-1.0}, Relation::kLessEqual, -3.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-8);
+}
+
+TEST(Simplex, ShiftedLowerBounds) {
+  // min x + y  s.t.  x + y >= 12, x >= 3, y >= 4 (via bounds).
+  LpModel m;
+  const auto x = m.add_variable(3, kInfinity, 1.0);
+  const auto y = m.add_variable(4, 10, 1.0);
+  m.add_constraint({{x, y}, {1.0, 1.0}, Relation::kGreaterEqual, 12.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-8);
+  EXPECT_GE(s.x[0], 3.0 - 1e-9);
+  EXPECT_GE(s.x[1], 4.0 - 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (degeneracy —
+  // Bland's rule must still terminate).
+  LpModel m;
+  const auto x = m.add_variable(0, kInfinity, -1.0);
+  const auto y = m.add_variable(0, kInfinity, -1.0);
+  m.add_constraint({{x, y}, {1.0, 1.0}, Relation::kLessEqual, 1.0, ""});
+  m.add_constraint({{x, y}, {2.0, 2.0}, Relation::kLessEqual, 2.0, ""});
+  m.add_constraint({{x, y}, {1.0, 2.0}, Relation::kLessEqual, 2.0, ""});
+  m.add_constraint({{x, y}, {2.0, 1.0}, Relation::kLessEqual, 2.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-8);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 4 stated twice: phase 1 must cope with the dependent row.
+  LpModel m;
+  const auto x = m.add_variable(0, kInfinity, 1.0);
+  const auto y = m.add_variable(0, kInfinity, 3.0);
+  m.add_constraint({{x, y}, {1.0, 1.0}, Relation::kEqual, 4.0, ""});
+  m.add_constraint({{x, y}, {1.0, 1.0}, Relation::kEqual, 4.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-8);
+  EXPECT_NEAR(s.objective, 4.0, 1e-8);
+}
+
+TEST(Simplex, SolutionIsFeasible) {
+  LpModel m;
+  const auto x = m.add_variable(0, 7, 1.0);
+  const auto y = m.add_variable(0, 7, -2.0);
+  const auto z = m.add_variable(1, 5, 0.5);
+  m.add_constraint({{x, y, z}, {1.0, 1.0, 1.0}, Relation::kLessEqual, 9.0, ""});
+  m.add_constraint({{x, y}, {1.0, -1.0}, Relation::kGreaterEqual, -4.0, ""});
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(m.is_feasible(s.x, 1e-7));
+}
+
+TEST(Simplex, RejectsMinusInfinityLowerBound) {
+  LpModel m;
+  m.add_variable(-kInfinity, 0, 1.0);
+  EXPECT_THROW(solve_lp(m), std::invalid_argument);
+}
+
+TEST(LpModel, ObjectiveAndFeasibilityHelpers) {
+  LpModel m;
+  const auto x = m.add_variable(0, 10, 2.0);
+  m.add_constraint({{x}, {1.0}, Relation::kLessEqual, 5.0, ""});
+  EXPECT_DOUBLE_EQ(m.objective_value({3.0}), 6.0);
+  EXPECT_TRUE(m.is_feasible({3.0}));
+  EXPECT_FALSE(m.is_feasible({6.0}));   // violates constraint
+  EXPECT_FALSE(m.is_feasible({11.0}));  // violates bound
+  EXPECT_THROW(m.objective_value({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LpModel, Validation) {
+  LpModel m;
+  EXPECT_THROW(m.add_variable(5, 4, 0.0), std::invalid_argument);
+  m.add_variable(0, 1, 0.0);
+  EXPECT_THROW(m.add_constraint({{5}, {1.0}, Relation::kEqual, 0.0, ""}),
+               std::invalid_argument);
+  EXPECT_THROW(m.add_constraint({{0}, {1.0, 2.0}, Relation::kEqual, 0.0, ""}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcopt::solver

@@ -1,0 +1,140 @@
+// Property sweeps for the simplex on families of LPs with closed-form
+// optima, plus feasibility checks on random models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "solver/simplex.h"
+#include "util/rng.h"
+
+namespace vcopt::solver {
+namespace {
+
+// Family 1: min c.x  s.t.  sum x_i >= b, 0 <= x_i <= u_i with c > 0.
+// Optimal: fill variables in increasing-cost order until b is covered.
+class CoverageLp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoverageLp, MatchesGreedyClosedForm) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+  std::vector<double> cost(n), ub(n);
+  double total_ub = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cost[i] = rng.uniform(0.1, 5.0);
+    ub[i] = static_cast<double>(rng.uniform_int(0, 5));
+    total_ub += ub[i];
+  }
+  if (total_ub <= 0) return;
+  const double b = rng.uniform(0.0, total_ub);
+
+  LpModel m;
+  Constraint cover;
+  cover.relation = Relation::kGreaterEqual;
+  cover.rhs = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.add_variable(0, ub[i], cost[i]);
+    cover.vars.push_back(i);
+    cover.coeffs.push_back(1.0);
+  }
+  m.add_constraint(std::move(cover));
+
+  // Closed form greedy.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t c) { return cost[a] < cost[c]; });
+  double need = b, expect = 0;
+  for (std::size_t i : order) {
+    const double take = std::min(need, ub[i]);
+    expect += take * cost[i];
+    need -= take;
+    if (need <= 0) break;
+  }
+
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal) << "seed=" << GetParam();
+  EXPECT_NEAR(s.objective, expect, 1e-6) << "seed=" << GetParam();
+  EXPECT_TRUE(m.is_feasible(s.x, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverageLp,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+// Family 2: transportation problems min sum c_ij x_ij with row supplies and
+// column demands; the LP optimum must match a brute-force over integer
+// vertices (transportation polytopes have integral vertices, so the LP and
+// integer optima coincide).
+class TransportLp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransportLp, LpEqualsIntegerBruteForce) {
+  util::Rng rng(GetParam() * 7 + 1);
+  constexpr std::size_t kSrc = 2, kDst = 3;
+  double cost[kSrc][kDst];
+  int supply[kSrc], demand[kDst];
+  int total_supply = 0;
+  for (auto& s : supply) {
+    s = static_cast<int>(rng.uniform_int(0, 4));
+    total_supply += s;
+  }
+  // Random demands that exactly absorb the supply.
+  demand[0] = static_cast<int>(rng.uniform_int(0, total_supply));
+  demand[1] = static_cast<int>(rng.uniform_int(0, total_supply - demand[0]));
+  demand[2] = total_supply - demand[0] - demand[1];
+  for (auto& row : cost) {
+    for (auto& c : row) c = static_cast<double>(rng.uniform_int(1, 9));
+  }
+
+  LpModel m;
+  for (std::size_t i = 0; i < kSrc; ++i) {
+    for (std::size_t j = 0; j < kDst; ++j) {
+      m.add_variable(0, kInfinity, cost[i][j]);
+    }
+  }
+  for (std::size_t i = 0; i < kSrc; ++i) {
+    Constraint c;
+    c.relation = Relation::kEqual;
+    c.rhs = supply[i];
+    for (std::size_t j = 0; j < kDst; ++j) {
+      c.vars.push_back(i * kDst + j);
+      c.coeffs.push_back(1.0);
+    }
+    m.add_constraint(std::move(c));
+  }
+  for (std::size_t j = 0; j < kDst; ++j) {
+    Constraint c;
+    c.relation = Relation::kEqual;
+    c.rhs = demand[j];
+    for (std::size_t i = 0; i < kSrc; ++i) {
+      c.vars.push_back(i * kDst + j);
+      c.coeffs.push_back(1.0);
+    }
+    m.add_constraint(std::move(c));
+  }
+
+  // Brute force over integer flows.
+  double best = 1e300;
+  for (int a0 = 0; a0 <= supply[0]; ++a0) {
+    for (int a1 = 0; a1 + a0 <= supply[0]; ++a1) {
+      const int a2 = supply[0] - a0 - a1;
+      const int b0 = demand[0] - a0;
+      const int b1 = demand[1] - a1;
+      const int b2 = demand[2] - a2;
+      if (b0 < 0 || b1 < 0 || b2 < 0) continue;
+      if (b0 + b1 + b2 != supply[1]) continue;
+      const double v = a0 * cost[0][0] + a1 * cost[0][1] + a2 * cost[0][2] +
+                       b0 * cost[1][0] + b1 * cost[1][1] + b2 * cost[1][2];
+      best = std::min(best, v);
+    }
+  }
+
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal) << "seed=" << GetParam();
+  EXPECT_NEAR(s.objective, best, 1e-6) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportLp,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace vcopt::solver

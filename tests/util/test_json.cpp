@@ -1,0 +1,112 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::util {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseContainers) {
+  const Json v = Json::parse(R"({"a": [1, 2, 3], "b": {"c": "d"}, "e": null})");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").at(1).as_number(), 2.0);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "d");
+  EXPECT_TRUE(v.at("e").is_null());
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const Json v = Json::parse("  {\n\t\"a\" :\r [ ] }  ");
+  EXPECT_TRUE(v.at("a").is_array());
+  EXPECT_EQ(v.at("a").size(), 0u);
+}
+
+TEST(Json, StringEscapes) {
+  const Json v = Json::parse(R"("line\nquote\"back\\slash\ttab")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"back\\slash\ttab");
+  const Json u = Json::parse(R"("Aé中")");
+  EXPECT_EQ(u.as_string(), "A\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("01"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"bad\\q\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\u12g4\""), std::invalid_argument);
+}
+
+TEST(Json, TypeErrors) {
+  const Json v = Json::parse("[1]");
+  EXPECT_THROW(v.as_object(), std::logic_error);
+  EXPECT_THROW(v.as_string(), std::logic_error);
+  EXPECT_THROW(v.at("x"), std::logic_error);
+  EXPECT_THROW(v.at(5), std::out_of_range);
+  EXPECT_THROW(Json::parse("{}").at("missing"), std::out_of_range);
+  EXPECT_THROW(Json::parse("1.5").as_int(), std::logic_error);
+  EXPECT_EQ(Json::parse("7").as_int(), 7);
+}
+
+TEST(Json, NumberOr) {
+  const Json v = Json::parse(R"({"x": 3})");
+  EXPECT_DOUBLE_EQ(v.number_or("x", 9), 3.0);
+  EXPECT_DOUBLE_EQ(v.number_or("y", 9), 9.0);
+}
+
+TEST(Json, DumpCompact) {
+  JsonObject obj;
+  obj["b"] = Json(true);
+  obj["n"] = Json(1.5);
+  obj["s"] = Json("x\"y");
+  obj["a"] = Json(JsonArray{Json(1), Json(nullptr)});
+  const std::string s = Json(obj).dump();
+  EXPECT_EQ(s, R"({"a":[1,null],"b":true,"n":1.5,"s":"x\"y"})");
+}
+
+TEST(Json, DumpIntegersWithoutDecimals) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7.0).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(Json, RoundTrip) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"three",false],"nested":{"deep":[{"k":null}]}})";
+  const Json v = Json::parse(doc);
+  const Json again = Json::parse(v.dump());
+  EXPECT_EQ(v, again);
+}
+
+TEST(Json, PrettyPrintRoundTrips) {
+  const Json v = Json::parse(R"({"a": [1, {"b": 2}], "c": "d"})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), v);
+}
+
+TEST(Json, Equality) {
+  EXPECT_EQ(Json::parse("[1,2]"), Json::parse("[1, 2]"));
+  EXPECT_FALSE(Json::parse("[1,2]") == Json::parse("[2,1]"));
+  EXPECT_FALSE(Json(1) == Json("1"));
+}
+
+}  // namespace
+}  // namespace vcopt::util

@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::set_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, OffDisablesEverything) {
+  Logger::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kError));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kOff));
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  Logger::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  EXPECT_TRUE(Logger::enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, LogLineStreamsDoNotThrow) {
+  Logger::set_level(LogLevel::kOff);
+  EXPECT_NO_THROW(log_debug() << "d" << 1);
+  EXPECT_NO_THROW(log_info() << "i" << 2.5);
+  EXPECT_NO_THROW(log_warn() << "w");
+  EXPECT_NO_THROW(log_error() << "e");
+}
+
+}  // namespace
+}  // namespace vcopt::util

@@ -1,0 +1,118 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vcopt::util {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  IntMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  IntMatrix m(2, 3, 7);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 7);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  IntMatrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(2, 0), 5);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((IntMatrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  IntMatrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowColSums) {
+  IntMatrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row_sum(0), 6);
+  EXPECT_EQ(m.row_sum(1), 15);
+  EXPECT_EQ(m.col_sum(0), 5);
+  EXPECT_EQ(m.col_sum(2), 9);
+  EXPECT_EQ(m.total(), 21);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  IntMatrix b{{1, 1}, {1, 1}};
+  IntMatrix diff = a - b;
+  EXPECT_EQ(diff(0, 0), 0);
+  EXPECT_EQ(diff(1, 1), 3);
+  IntMatrix sum = a + b;
+  EXPECT_EQ(sum(1, 0), 4);
+  a += b;
+  EXPECT_EQ(a(0, 0), 2);
+  a -= b;
+  EXPECT_EQ(a(0, 0), 1);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  IntMatrix a(2, 2);
+  IntMatrix b(2, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Matrix, Dominates) {
+  IntMatrix a{{2, 2}, {2, 2}};
+  IntMatrix b{{1, 2}, {2, 0}};
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_TRUE(a.dominates(a));
+}
+
+TEST(Matrix, AllNonnegative) {
+  IntMatrix a{{0, 1}, {2, 3}};
+  EXPECT_TRUE(a.all_nonnegative());
+  a(1, 0) = -1;
+  EXPECT_FALSE(a.all_nonnegative());
+}
+
+TEST(Matrix, Equality) {
+  IntMatrix a{{1, 2}};
+  IntMatrix b{{1, 2}};
+  IntMatrix c{{2, 1}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, FillResetsValues) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  a.fill(9);
+  EXPECT_EQ(a.total(), 36);
+}
+
+TEST(Matrix, StreamOutput) {
+  IntMatrix a{{1, 2}};
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "[1 2]");
+}
+
+TEST(Matrix, DoubleMatrixWorks) {
+  DoubleMatrix d(2, 2, 0.5);
+  EXPECT_DOUBLE_EQ(d.total(), 2.0);
+}
+
+}  // namespace
+}  // namespace vcopt::util

@@ -1,0 +1,83 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vcopt::util {
+namespace {
+
+TEST(TableWriter, RequiresHeaders) {
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriter, AlignedOutput) {
+  TableWriter t({"name", "value"});
+  t.row().cell("alpha").cell(42);
+  t.row().cell("b").cell(7);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 42    |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 7     |"), std::string::npos);
+}
+
+TEST(TableWriter, DoubleFormatting) {
+  TableWriter t({"x"});
+  t.row().cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TableWriter, CellBeforeRowThrows) {
+  TableWriter t({"x"});
+  EXPECT_THROW(t.cell("v"), std::logic_error);
+}
+
+TEST(TableWriter, TooManyCellsThrows) {
+  TableWriter t({"x"});
+  t.row().cell("1");
+  EXPECT_THROW(t.cell("2"), std::logic_error);
+}
+
+TEST(TableWriter, IncompleteRowDetectedOnNextRow) {
+  TableWriter t({"a", "b"});
+  t.row().cell("1");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter t({"a", "b"});
+  t.row().cell("with,comma").cell("with\"quote");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableWriter, CsvPlainCellsUnquoted) {
+  TableWriter t({"a"});
+  t.row().cell("plain");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\nplain\n");
+}
+
+TEST(TableWriter, RowCount) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(2.5, 0), "2");  // std::fixed with 0 digits rounds
+}
+
+}  // namespace
+}  // namespace vcopt::util

@@ -1,0 +1,175 @@
+#include "workload/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/generator.h"
+
+namespace vcopt::workload {
+namespace {
+
+const char* kDoc = R"({
+  "distances": {"same_rack": 1, "cross_rack": 2, "cross_cloud": 4},
+  "vm_types": [
+    {"name": "small", "memory_gb": 1.7, "compute_units": 1,
+     "storage_gb": 160, "platform_bits": 32},
+    {"name": "medium", "memory_gb": 3.75, "compute_units": 2,
+     "storage_gb": 410}
+  ],
+  "racks": [
+    {"cloud": 0, "nodes": [{"capacity": [2, 1]}, {"capacity": [0, 3]}]},
+    {"cloud": 0, "nodes": [{"capacity": [1, 1]}]},
+    {"cloud": 1, "nodes": [{"capacity": [4, 0]}]}
+  ]
+})";
+
+TEST(Config, ParsesFullDescription) {
+  const CloudSpec spec = cloud_from_json(util::Json::parse(kDoc));
+  EXPECT_EQ(spec.topology.node_count(), 4u);
+  EXPECT_EQ(spec.topology.rack_count(), 3u);
+  EXPECT_EQ(spec.topology.cloud_count(), 2u);
+  EXPECT_EQ(spec.catalog.size(), 2u);
+  EXPECT_EQ(spec.catalog[1].name, "medium");
+  EXPECT_EQ(spec.catalog[1].platform_bits, 64);  // defaulted
+  EXPECT_EQ(spec.capacity(0, 0), 2);
+  EXPECT_EQ(spec.capacity(1, 1), 3);
+  EXPECT_EQ(spec.capacity(3, 0), 4);
+  EXPECT_DOUBLE_EQ(spec.topology.distance(0, 1), 1.0);   // same rack
+  EXPECT_DOUBLE_EQ(spec.topology.distance(0, 2), 2.0);   // cross rack
+  EXPECT_DOUBLE_EQ(spec.topology.distance(0, 3), 4.0);   // cross cloud
+}
+
+TEST(Config, DefaultDistancesWhenAbsent) {
+  const CloudSpec spec = cloud_from_json(util::Json::parse(R"({
+    "vm_types": [{"name": "m"}],
+    "racks": [{"nodes": [{"capacity": [1]}, {"capacity": [2]}]}]
+  })"));
+  EXPECT_DOUBLE_EQ(spec.topology.distance(0, 1), 1.0);
+}
+
+TEST(Config, SchemaErrors) {
+  // Capacity row length mismatch.
+  EXPECT_THROW(cloud_from_json(util::Json::parse(R"({
+    "vm_types": [{"name": "a"}, {"name": "b"}],
+    "racks": [{"nodes": [{"capacity": [1]}]}]
+  })")),
+               std::invalid_argument);
+  // Negative capacity.
+  EXPECT_THROW(cloud_from_json(util::Json::parse(R"({
+    "vm_types": [{"name": "a"}],
+    "racks": [{"nodes": [{"capacity": [-1]}]}]
+  })")),
+               std::invalid_argument);
+  // No nodes at all.
+  EXPECT_THROW(cloud_from_json(util::Json::parse(R"({
+    "vm_types": [{"name": "a"}], "racks": []
+  })")),
+               std::invalid_argument);
+  // Missing vm_types.
+  EXPECT_THROW(cloud_from_json(util::Json::parse(R"({"racks": []})")),
+               std::out_of_range);
+}
+
+TEST(Config, RoundTripThroughJson) {
+  const cluster::Topology topo = cluster::Topology::multi_cloud(2, 2, 3);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  util::Rng rng(5);
+  const util::IntMatrix capacity = random_inventory(topo, catalog, rng, 0, 4);
+
+  const util::Json json = cloud_to_json(topo, catalog, capacity);
+  const CloudSpec spec = cloud_from_json(json);
+  EXPECT_EQ(spec.topology.node_count(), topo.node_count());
+  EXPECT_EQ(spec.topology.rack_count(), topo.rack_count());
+  EXPECT_EQ(spec.topology.cloud_count(), topo.cloud_count());
+  EXPECT_EQ(spec.capacity, capacity);
+  ASSERT_EQ(spec.catalog.size(), catalog.size());
+  for (std::size_t j = 0; j < catalog.size(); ++j) {
+    EXPECT_EQ(spec.catalog[j].name, catalog[j].name);
+    EXPECT_DOUBLE_EQ(spec.catalog[j].memory_gb, catalog[j].memory_gb);
+  }
+  for (std::size_t a = 0; a < topo.node_count(); ++a) {
+    for (std::size_t b = 0; b < topo.node_count(); ++b) {
+      EXPECT_DOUBLE_EQ(spec.topology.distance(a, b), topo.distance(a, b));
+    }
+  }
+}
+
+TEST(Config, EmptyRackRefusedOnSerialise) {
+  // A rack with no nodes cannot round-trip (its index would vanish).
+  const cluster::Topology topo({0, 0}, {0, 0});  // rack 1 is empty
+  EXPECT_THROW(cloud_to_json(topo, cluster::VmCatalog::ec2_default(),
+                             util::IntMatrix(2, 3, 1)),
+               std::invalid_argument);
+}
+
+TEST(Config, ShapeMismatchOnSerialise) {
+  const cluster::Topology topo = cluster::Topology::uniform(1, 2);
+  EXPECT_THROW(cloud_to_json(topo, cluster::VmCatalog::ec2_default(),
+                             util::IntMatrix(2, 2, 1)),
+               std::invalid_argument);
+}
+
+TEST(Config, FileRoundTrip) {
+  const std::string path = "/tmp/vcopt_config_test.json";
+  const cluster::Topology topo = cluster::Topology::uniform(2, 2);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const util::IntMatrix capacity(4, 3, 2);
+  save_cloud_file(path, topo, catalog, capacity);
+  const CloudSpec spec = load_cloud_file(path);
+  EXPECT_EQ(spec.capacity, capacity);
+  std::remove(path.c_str());
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(load_cloud_file("/nonexistent/path.json"), std::runtime_error);
+  EXPECT_THROW(load_trace_file("/nonexistent/path.json"), std::runtime_error);
+}
+
+TEST(Config, TraceRoundTrip) {
+  util::Rng rng(11);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  auto reqs = random_requests(catalog, rng, 12, 0, 4);
+  auto trace = poisson_trace(reqs, rng, 5.0, 20.0);
+  trace[3].request = cluster::Request(trace[3].request.counts(), 3, /*prio=*/7);
+
+  const auto again = trace_from_json(trace_to_json(trace));
+  ASSERT_EQ(again.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(again[i].request.counts(), trace[i].request.counts());
+    EXPECT_EQ(again[i].request.id(), trace[i].request.id());
+    EXPECT_EQ(again[i].request.priority(), trace[i].request.priority());
+    EXPECT_DOUBLE_EQ(again[i].arrival_time, trace[i].arrival_time);
+    EXPECT_DOUBLE_EQ(again[i].hold_time, trace[i].hold_time);
+  }
+}
+
+TEST(Config, TraceDefaultsAndValidation) {
+  const auto trace = trace_from_json(util::Json::parse(R"({
+    "trace": [{"counts": [1, 0]}, {"counts": [0, 2], "arrival": 3}]
+  })"));
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].request.id(), 0u);  // defaults to position
+  EXPECT_EQ(trace[1].request.id(), 1u);
+  EXPECT_DOUBLE_EQ(trace[1].arrival_time, 3.0);
+  EXPECT_THROW(trace_from_json(util::Json::parse(
+                   R"({"trace": [{"counts": [1], "arrival": -1}]})")),
+               std::invalid_argument);
+}
+
+TEST(Config, TraceFileRoundTrip) {
+  const std::string path = "/tmp/vcopt_trace_test.json";
+  util::Rng rng(3);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const auto trace =
+      poisson_trace(random_requests(catalog, rng, 5, 1, 2), rng, 2.0, 9.0);
+  save_trace_file(path, trace);
+  const auto again = load_trace_file(path);
+  ASSERT_EQ(again.size(), 5u);
+  EXPECT_DOUBLE_EQ(again[4].hold_time, trace[4].hold_time);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vcopt::workload

@@ -1,0 +1,96 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace vcopt::workload {
+namespace {
+
+using cluster::Topology;
+using cluster::VmCatalog;
+
+TEST(Generator, InventoryBoundsRespected) {
+  util::Rng rng(1);
+  const Topology topo = Topology::uniform(3, 10);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  const util::IntMatrix m = random_inventory(topo, cat, rng, 1, 4);
+  EXPECT_EQ(m.rows(), 30u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_GE(m(i, j), 1);
+      EXPECT_LE(m(i, j), 4);
+    }
+  }
+}
+
+TEST(Generator, InventoryDeterministicPerSeed) {
+  const Topology topo = Topology::uniform(2, 2);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  util::Rng a(9), b(9);
+  EXPECT_EQ(random_inventory(topo, cat, a, 0, 5),
+            random_inventory(topo, cat, b, 0, 5));
+}
+
+TEST(Generator, InventoryRangeValidation) {
+  util::Rng rng(1);
+  const Topology topo = Topology::uniform(1, 2);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  EXPECT_THROW(random_inventory(topo, cat, rng, 3, 2), std::invalid_argument);
+  EXPECT_THROW(random_inventory(topo, cat, rng, -1, 2), std::invalid_argument);
+}
+
+TEST(Generator, RequestsNonEmptyAndBounded) {
+  util::Rng rng(2);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  for (int i = 0; i < 100; ++i) {
+    const cluster::Request r = random_request(cat, rng, 0, 3, i);
+    EXPECT_GT(r.total_vms(), 0);
+    for (std::size_t j = 0; j < r.type_count(); ++j) EXPECT_LE(r.count(j), 3);
+    EXPECT_EQ(r.id(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Generator, RequestValidation) {
+  util::Rng rng(1);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  EXPECT_THROW(random_request(cat, rng, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(random_request(cat, rng, 2, 1, 0), std::invalid_argument);
+}
+
+TEST(Generator, RandomRequestsAssignSequentialIds) {
+  util::Rng rng(3);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  const auto reqs = random_requests(cat, rng, 20, 0, 6);
+  ASSERT_EQ(reqs.size(), 20u);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].id(), i);
+  }
+}
+
+TEST(Generator, PoissonTraceMonotoneArrivals) {
+  util::Rng rng(4);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  const auto reqs = random_requests(cat, rng, 30, 0, 3);
+  const auto trace = poisson_trace(reqs, rng, 10.0, 50.0);
+  ASSERT_EQ(trace.size(), 30u);
+  double prev = 0;
+  for (const auto& tr : trace) {
+    EXPECT_GT(tr.arrival_time, prev);
+    EXPECT_GT(tr.hold_time, 0);
+    prev = tr.arrival_time;
+  }
+}
+
+TEST(Generator, PoissonTraceMeansApproximatelyRight) {
+  util::Rng rng(5);
+  const VmCatalog cat = VmCatalog::ec2_default();
+  const auto reqs = random_requests(cat, rng, 2000, 0, 2);
+  const auto trace = poisson_trace(reqs, rng, 10.0, 50.0);
+  double hold_sum = 0;
+  for (const auto& tr : trace) hold_sum += tr.hold_time;
+  EXPECT_NEAR(trace.back().arrival_time / 2000.0, 10.0, 1.0);
+  EXPECT_NEAR(hold_sum / 2000.0, 50.0, 5.0);
+}
+
+}  // namespace
+}  // namespace vcopt::workload

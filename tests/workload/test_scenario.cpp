@@ -1,0 +1,92 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/inventory.h"
+
+namespace vcopt::workload {
+namespace {
+
+TEST(Scenario, PaperSimShape) {
+  const SimScenario sc = paper_sim_scenario(42);
+  EXPECT_EQ(sc.topology.rack_count(), 3u);
+  EXPECT_EQ(sc.topology.node_count(), 30u);
+  EXPECT_EQ(sc.catalog.size(), 3u);
+  EXPECT_EQ(sc.capacity.rows(), 30u);
+  EXPECT_EQ(sc.requests.size(), 20u);
+  EXPECT_EQ(sc.seed, 42u);
+}
+
+TEST(Scenario, DeterministicPerSeed) {
+  const SimScenario a = paper_sim_scenario(7);
+  const SimScenario b = paper_sim_scenario(7);
+  EXPECT_EQ(a.capacity, b.capacity);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].counts(), b.requests[i].counts());
+  }
+  const SimScenario c = paper_sim_scenario(8);
+  EXPECT_FALSE(a.capacity == c.capacity);
+}
+
+TEST(Scenario, SmallScaleRequestsAreSmaller) {
+  const SimScenario big = paper_sim_scenario(3, RequestScale::kBig);
+  const SimScenario small = paper_sim_scenario(3, RequestScale::kSmall);
+  int big_total = 0, small_total = 0;
+  for (const auto& r : big.requests) big_total += r.total_vms();
+  for (const auto& r : small.requests) small_total += r.total_vms();
+  EXPECT_LT(small_total, big_total);
+  for (const auto& r : small.requests) {
+    for (std::size_t j = 0; j < r.type_count(); ++j) EXPECT_LE(r.count(j), 2);
+  }
+}
+
+TEST(Scenario, RequestsAdmissibleAgainstCapacity) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const SimScenario sc = paper_sim_scenario(seed);
+    cluster::Inventory inv(sc.capacity);
+    for (const auto& r : sc.requests) {
+      EXPECT_NE(inv.admit(r), cluster::Admission::kReject)
+          << "seed=" << seed << " " << r.describe();
+    }
+  }
+}
+
+TEST(Scenario, Fig7ClustersHaveEqualCapability) {
+  const auto clusters = fig7_clusters();
+  ASSERT_EQ(clusters.size(), 4u);
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.allocation.total_vms(), 8) << c.name;
+    // All capacity is medium VMs.
+    EXPECT_EQ(c.allocation.vms_of_type(1), 8) << c.name;
+  }
+}
+
+TEST(Scenario, Fig7DistancesStrictlyIncrease) {
+  const auto clusters = fig7_clusters();
+  for (std::size_t i = 1; i < clusters.size(); ++i) {
+    EXPECT_LT(clusters[i - 1].distance, clusters[i].distance)
+        << clusters[i - 1].name << " vs " << clusters[i].name;
+  }
+}
+
+TEST(Scenario, Fig7KnownDistances) {
+  const auto clusters = fig7_clusters();
+  EXPECT_DOUBLE_EQ(clusters[0].distance, 4.0);   // packed-pair
+  EXPECT_DOUBLE_EQ(clusters[1].distance, 7.0);   // rack-sparse
+  EXPECT_DOUBLE_EQ(clusters[2].distance, 8.0);   // cross-rack-packed
+  EXPECT_DOUBLE_EQ(clusters[3].distance, 12.0);  // three-rack-sparse
+}
+
+TEST(Scenario, Fig7TopologyMatchesClusters) {
+  const cluster::Topology topo = fig7_topology();
+  const auto clusters = fig7_clusters();
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.allocation.node_count(), topo.node_count());
+    EXPECT_DOUBLE_EQ(
+        c.allocation.best_central(topo.distance_matrix()).distance,
+        c.distance);
+  }
+}
+
+}  // namespace
+}  // namespace vcopt::workload

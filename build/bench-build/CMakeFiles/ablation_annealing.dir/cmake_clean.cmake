@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_annealing"
+  "../bench/ablation_annealing.pdb"
+  "CMakeFiles/ablation_annealing.dir/ablation_annealing.cpp.o"
+  "CMakeFiles/ablation_annealing.dir/ablation_annealing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gsd_gap"
+  "../bench/ablation_gsd_gap.pdb"
+  "CMakeFiles/ablation_gsd_gap.dir/ablation_gsd_gap.cpp.o"
+  "CMakeFiles/ablation_gsd_gap.dir/ablation_gsd_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gsd_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

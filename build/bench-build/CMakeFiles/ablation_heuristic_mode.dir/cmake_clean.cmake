@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_heuristic_mode"
+  "../bench/ablation_heuristic_mode.pdb"
+  "CMakeFiles/ablation_heuristic_mode.dir/ablation_heuristic_mode.cpp.o"
+  "CMakeFiles/ablation_heuristic_mode.dir/ablation_heuristic_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heuristic_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reducer_placement"
+  "../bench/ablation_reducer_placement.pdb"
+  "CMakeFiles/ablation_reducer_placement.dir/ablation_reducer_placement.cpp.o"
+  "CMakeFiles/ablation_reducer_placement.dir/ablation_reducer_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reducer_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/apps_sweep"
+  "../bench/apps_sweep.pdb"
+  "CMakeFiles/apps_sweep.dir/apps_sweep.cpp.o"
+  "CMakeFiles/apps_sweep.dir/apps_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

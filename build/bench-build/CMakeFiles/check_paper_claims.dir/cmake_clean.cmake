@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/check_paper_claims"
+  "../bench/check_paper_claims.pdb"
+  "CMakeFiles/check_paper_claims.dir/check_paper_claims.cpp.o"
+  "CMakeFiles/check_paper_claims.dir/check_paper_claims.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_paper_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

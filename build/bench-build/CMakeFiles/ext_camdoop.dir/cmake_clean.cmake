@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_camdoop"
+  "../bench/ext_camdoop.pdb"
+  "CMakeFiles/ext_camdoop.dir/ext_camdoop.cpp.o"
+  "CMakeFiles/ext_camdoop.dir/ext_camdoop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_camdoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

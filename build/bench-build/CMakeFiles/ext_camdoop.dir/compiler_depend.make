@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_camdoop.
+# This may be replaced when dependencies are built.

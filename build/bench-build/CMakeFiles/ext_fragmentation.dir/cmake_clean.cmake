@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_fragmentation"
+  "../bench/ext_fragmentation.pdb"
+  "CMakeFiles/ext_fragmentation.dir/ext_fragmentation.cpp.o"
+  "CMakeFiles/ext_fragmentation.dir/ext_fragmentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

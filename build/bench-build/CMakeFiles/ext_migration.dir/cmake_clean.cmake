@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_migration"
+  "../bench/ext_migration.pdb"
+  "CMakeFiles/ext_migration.dir/ext_migration.cpp.o"
+  "CMakeFiles/ext_migration.dir/ext_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multicloud"
+  "../bench/ext_multicloud.pdb"
+  "CMakeFiles/ext_multicloud.dir/ext_multicloud.cpp.o"
+  "CMakeFiles/ext_multicloud.dir/ext_multicloud.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

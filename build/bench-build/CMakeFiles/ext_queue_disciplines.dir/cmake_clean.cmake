@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_queue_disciplines"
+  "../bench/ext_queue_disciplines.pdb"
+  "CMakeFiles/ext_queue_disciplines.dir/ext_queue_disciplines.cpp.o"
+  "CMakeFiles/ext_queue_disciplines.dir/ext_queue_disciplines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_queue_disciplines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_stragglers"
+  "../bench/ext_stragglers.pdb"
+  "CMakeFiles/ext_stragglers.dir/ext_stragglers.cpp.o"
+  "CMakeFiles/ext_stragglers.dir/ext_stragglers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_weighted_distance.cpp" "bench-build/CMakeFiles/ext_weighted_distance.dir/ext_weighted_distance.cpp.o" "gcc" "bench-build/CMakeFiles/ext_weighted_distance.dir/ext_weighted_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vcopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vcopt_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/vcopt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

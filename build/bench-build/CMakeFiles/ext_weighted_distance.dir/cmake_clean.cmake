@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_weighted_distance"
+  "../bench/ext_weighted_distance.pdb"
+  "CMakeFiles/ext_weighted_distance.dir/ext_weighted_distance.cpp.o"
+  "CMakeFiles/ext_weighted_distance.dir/ext_weighted_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weighted_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

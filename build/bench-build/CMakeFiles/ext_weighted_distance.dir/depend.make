@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_weighted_distance.
+# This may be replaced when dependencies are built.

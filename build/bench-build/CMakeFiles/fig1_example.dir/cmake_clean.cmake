@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_example"
+  "../bench/fig1_example.pdb"
+  "CMakeFiles/fig1_example.dir/fig1_example.cpp.o"
+  "CMakeFiles/fig1_example.dir/fig1_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

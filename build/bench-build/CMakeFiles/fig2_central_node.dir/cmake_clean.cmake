@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_central_node"
+  "../bench/fig2_central_node.pdb"
+  "CMakeFiles/fig2_central_node.dir/fig2_central_node.cpp.o"
+  "CMakeFiles/fig2_central_node.dir/fig2_central_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_central_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

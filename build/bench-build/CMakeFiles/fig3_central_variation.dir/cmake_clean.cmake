@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_central_variation"
+  "../bench/fig3_central_variation.pdb"
+  "CMakeFiles/fig3_central_variation.dir/fig3_central_variation.cpp.o"
+  "CMakeFiles/fig3_central_variation.dir/fig3_central_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_central_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_distance_by_central"
+  "../bench/fig4_distance_by_central.pdb"
+  "CMakeFiles/fig4_distance_by_central.dir/fig4_distance_by_central.cpp.o"
+  "CMakeFiles/fig4_distance_by_central.dir/fig4_distance_by_central.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_distance_by_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

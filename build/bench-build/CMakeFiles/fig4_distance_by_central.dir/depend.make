@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_distance_by_central.
+# This may be replaced when dependencies are built.

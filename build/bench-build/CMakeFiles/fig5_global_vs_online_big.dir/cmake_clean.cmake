@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_global_vs_online_big"
+  "../bench/fig5_global_vs_online_big.pdb"
+  "CMakeFiles/fig5_global_vs_online_big.dir/fig5_global_vs_online_big.cpp.o"
+  "CMakeFiles/fig5_global_vs_online_big.dir/fig5_global_vs_online_big.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_global_vs_online_big.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

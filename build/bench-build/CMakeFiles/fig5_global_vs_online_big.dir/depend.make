@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_global_vs_online_big.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_global_vs_online_small"
+  "../bench/fig6_global_vs_online_small.pdb"
+  "CMakeFiles/fig6_global_vs_online_small.dir/fig6_global_vs_online_small.cpp.o"
+  "CMakeFiles/fig6_global_vs_online_small.dir/fig6_global_vs_online_small.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_global_vs_online_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_wordcount_runtime"
+  "../bench/fig7_wordcount_runtime.pdb"
+  "CMakeFiles/fig7_wordcount_runtime.dir/fig7_wordcount_runtime.cpp.o"
+  "CMakeFiles/fig7_wordcount_runtime.dir/fig7_wordcount_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_wordcount_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_simulation"
+  "../bench/perf_simulation.pdb"
+  "CMakeFiles/perf_simulation.dir/perf_simulation.cpp.o"
+  "CMakeFiles/perf_simulation.dir/perf_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

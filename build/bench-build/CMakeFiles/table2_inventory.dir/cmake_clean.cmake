@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_inventory"
+  "../bench/table2_inventory.pdb"
+  "CMakeFiles/table2_inventory.dir/table2_inventory.cpp.o"
+  "CMakeFiles/table2_inventory.dir/table2_inventory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

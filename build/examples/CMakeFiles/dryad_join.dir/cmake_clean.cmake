@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dryad_join.dir/dryad_join.cpp.o"
+  "CMakeFiles/dryad_join.dir/dryad_join.cpp.o.d"
+  "dryad_join"
+  "dryad_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dryad_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_jobs.dir/iterative_jobs.cpp.o"
+  "CMakeFiles/iterative_jobs.dir/iterative_jobs.cpp.o.d"
+  "iterative_jobs"
+  "iterative_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_cli.dir/vcopt_cli.cpp.o"
+  "CMakeFiles/vcopt_cli.dir/vcopt_cli.cpp.o.d"
+  "vcopt_cli"
+  "vcopt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

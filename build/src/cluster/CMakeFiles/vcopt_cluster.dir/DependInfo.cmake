@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocation.cpp" "src/cluster/CMakeFiles/vcopt_cluster.dir/allocation.cpp.o" "gcc" "src/cluster/CMakeFiles/vcopt_cluster.dir/allocation.cpp.o.d"
+  "/root/repo/src/cluster/cloud.cpp" "src/cluster/CMakeFiles/vcopt_cluster.dir/cloud.cpp.o" "gcc" "src/cluster/CMakeFiles/vcopt_cluster.dir/cloud.cpp.o.d"
+  "/root/repo/src/cluster/fragmentation.cpp" "src/cluster/CMakeFiles/vcopt_cluster.dir/fragmentation.cpp.o" "gcc" "src/cluster/CMakeFiles/vcopt_cluster.dir/fragmentation.cpp.o.d"
+  "/root/repo/src/cluster/inventory.cpp" "src/cluster/CMakeFiles/vcopt_cluster.dir/inventory.cpp.o" "gcc" "src/cluster/CMakeFiles/vcopt_cluster.dir/inventory.cpp.o.d"
+  "/root/repo/src/cluster/request.cpp" "src/cluster/CMakeFiles/vcopt_cluster.dir/request.cpp.o" "gcc" "src/cluster/CMakeFiles/vcopt_cluster.dir/request.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/cluster/CMakeFiles/vcopt_cluster.dir/topology.cpp.o" "gcc" "src/cluster/CMakeFiles/vcopt_cluster.dir/topology.cpp.o.d"
+  "/root/repo/src/cluster/vm_type.cpp" "src/cluster/CMakeFiles/vcopt_cluster.dir/vm_type.cpp.o" "gcc" "src/cluster/CMakeFiles/vcopt_cluster.dir/vm_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_cluster.dir/allocation.cpp.o"
+  "CMakeFiles/vcopt_cluster.dir/allocation.cpp.o.d"
+  "CMakeFiles/vcopt_cluster.dir/cloud.cpp.o"
+  "CMakeFiles/vcopt_cluster.dir/cloud.cpp.o.d"
+  "CMakeFiles/vcopt_cluster.dir/fragmentation.cpp.o"
+  "CMakeFiles/vcopt_cluster.dir/fragmentation.cpp.o.d"
+  "CMakeFiles/vcopt_cluster.dir/inventory.cpp.o"
+  "CMakeFiles/vcopt_cluster.dir/inventory.cpp.o.d"
+  "CMakeFiles/vcopt_cluster.dir/request.cpp.o"
+  "CMakeFiles/vcopt_cluster.dir/request.cpp.o.d"
+  "CMakeFiles/vcopt_cluster.dir/topology.cpp.o"
+  "CMakeFiles/vcopt_cluster.dir/topology.cpp.o.d"
+  "CMakeFiles/vcopt_cluster.dir/vm_type.cpp.o"
+  "CMakeFiles/vcopt_cluster.dir/vm_type.cpp.o.d"
+  "libvcopt_cluster.a"
+  "libvcopt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

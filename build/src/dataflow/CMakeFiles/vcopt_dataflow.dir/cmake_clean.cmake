@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_dataflow.dir/dag.cpp.o"
+  "CMakeFiles/vcopt_dataflow.dir/dag.cpp.o.d"
+  "CMakeFiles/vcopt_dataflow.dir/dag_engine.cpp.o"
+  "CMakeFiles/vcopt_dataflow.dir/dag_engine.cpp.o.d"
+  "CMakeFiles/vcopt_dataflow.dir/patterns.cpp.o"
+  "CMakeFiles/vcopt_dataflow.dir/patterns.cpp.o.d"
+  "libvcopt_dataflow.a"
+  "libvcopt_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/apps.cpp" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/apps.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/apps.cpp.o.d"
+  "/root/repo/src/mapreduce/engine.cpp" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/engine.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/engine.cpp.o.d"
+  "/root/repo/src/mapreduce/hdfs.cpp" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/hdfs.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/hdfs.cpp.o.d"
+  "/root/repo/src/mapreduce/job.cpp" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/job.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/job.cpp.o.d"
+  "/root/repo/src/mapreduce/jobs_sim.cpp" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/jobs_sim.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/jobs_sim.cpp.o.d"
+  "/root/repo/src/mapreduce/scheduler.cpp" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/scheduler.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/scheduler.cpp.o.d"
+  "/root/repo/src/mapreduce/virtual_cluster.cpp" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/virtual_cluster.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/virtual_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/vcopt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

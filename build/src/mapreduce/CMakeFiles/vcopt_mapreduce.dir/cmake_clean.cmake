@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_mapreduce.dir/apps.cpp.o"
+  "CMakeFiles/vcopt_mapreduce.dir/apps.cpp.o.d"
+  "CMakeFiles/vcopt_mapreduce.dir/engine.cpp.o"
+  "CMakeFiles/vcopt_mapreduce.dir/engine.cpp.o.d"
+  "CMakeFiles/vcopt_mapreduce.dir/hdfs.cpp.o"
+  "CMakeFiles/vcopt_mapreduce.dir/hdfs.cpp.o.d"
+  "CMakeFiles/vcopt_mapreduce.dir/job.cpp.o"
+  "CMakeFiles/vcopt_mapreduce.dir/job.cpp.o.d"
+  "CMakeFiles/vcopt_mapreduce.dir/jobs_sim.cpp.o"
+  "CMakeFiles/vcopt_mapreduce.dir/jobs_sim.cpp.o.d"
+  "CMakeFiles/vcopt_mapreduce.dir/scheduler.cpp.o"
+  "CMakeFiles/vcopt_mapreduce.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vcopt_mapreduce.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/vcopt_mapreduce.dir/virtual_cluster.cpp.o.d"
+  "libvcopt_mapreduce.a"
+  "libvcopt_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/annealing.cpp" "src/placement/CMakeFiles/vcopt_placement.dir/annealing.cpp.o" "gcc" "src/placement/CMakeFiles/vcopt_placement.dir/annealing.cpp.o.d"
+  "/root/repo/src/placement/baselines.cpp" "src/placement/CMakeFiles/vcopt_placement.dir/baselines.cpp.o" "gcc" "src/placement/CMakeFiles/vcopt_placement.dir/baselines.cpp.o.d"
+  "/root/repo/src/placement/global_subopt.cpp" "src/placement/CMakeFiles/vcopt_placement.dir/global_subopt.cpp.o" "gcc" "src/placement/CMakeFiles/vcopt_placement.dir/global_subopt.cpp.o.d"
+  "/root/repo/src/placement/migration.cpp" "src/placement/CMakeFiles/vcopt_placement.dir/migration.cpp.o" "gcc" "src/placement/CMakeFiles/vcopt_placement.dir/migration.cpp.o.d"
+  "/root/repo/src/placement/online_heuristic.cpp" "src/placement/CMakeFiles/vcopt_placement.dir/online_heuristic.cpp.o" "gcc" "src/placement/CMakeFiles/vcopt_placement.dir/online_heuristic.cpp.o.d"
+  "/root/repo/src/placement/policy.cpp" "src/placement/CMakeFiles/vcopt_placement.dir/policy.cpp.o" "gcc" "src/placement/CMakeFiles/vcopt_placement.dir/policy.cpp.o.d"
+  "/root/repo/src/placement/provisioner.cpp" "src/placement/CMakeFiles/vcopt_placement.dir/provisioner.cpp.o" "gcc" "src/placement/CMakeFiles/vcopt_placement.dir/provisioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_placement.dir/annealing.cpp.o"
+  "CMakeFiles/vcopt_placement.dir/annealing.cpp.o.d"
+  "CMakeFiles/vcopt_placement.dir/baselines.cpp.o"
+  "CMakeFiles/vcopt_placement.dir/baselines.cpp.o.d"
+  "CMakeFiles/vcopt_placement.dir/global_subopt.cpp.o"
+  "CMakeFiles/vcopt_placement.dir/global_subopt.cpp.o.d"
+  "CMakeFiles/vcopt_placement.dir/migration.cpp.o"
+  "CMakeFiles/vcopt_placement.dir/migration.cpp.o.d"
+  "CMakeFiles/vcopt_placement.dir/online_heuristic.cpp.o"
+  "CMakeFiles/vcopt_placement.dir/online_heuristic.cpp.o.d"
+  "CMakeFiles/vcopt_placement.dir/policy.cpp.o"
+  "CMakeFiles/vcopt_placement.dir/policy.cpp.o.d"
+  "CMakeFiles/vcopt_placement.dir/provisioner.cpp.o"
+  "CMakeFiles/vcopt_placement.dir/provisioner.cpp.o.d"
+  "libvcopt_placement.a"
+  "libvcopt_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

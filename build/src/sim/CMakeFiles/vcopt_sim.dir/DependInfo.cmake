@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_sim.cpp" "src/sim/CMakeFiles/vcopt_sim.dir/cluster_sim.cpp.o" "gcc" "src/sim/CMakeFiles/vcopt_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/vcopt_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/vcopt_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/vcopt_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/vcopt_sim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/vcopt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/vcopt_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/vcopt_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vcopt_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vcopt_sim.dir/network.cpp.o"
+  "CMakeFiles/vcopt_sim.dir/network.cpp.o.d"
+  "libvcopt_sim.a"
+  "libvcopt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/branch_bound.cpp" "src/solver/CMakeFiles/vcopt_solver.dir/branch_bound.cpp.o" "gcc" "src/solver/CMakeFiles/vcopt_solver.dir/branch_bound.cpp.o.d"
+  "/root/repo/src/solver/lp_model.cpp" "src/solver/CMakeFiles/vcopt_solver.dir/lp_model.cpp.o" "gcc" "src/solver/CMakeFiles/vcopt_solver.dir/lp_model.cpp.o.d"
+  "/root/repo/src/solver/sd_solver.cpp" "src/solver/CMakeFiles/vcopt_solver.dir/sd_solver.cpp.o" "gcc" "src/solver/CMakeFiles/vcopt_solver.dir/sd_solver.cpp.o.d"
+  "/root/repo/src/solver/simplex.cpp" "src/solver/CMakeFiles/vcopt_solver.dir/simplex.cpp.o" "gcc" "src/solver/CMakeFiles/vcopt_solver.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

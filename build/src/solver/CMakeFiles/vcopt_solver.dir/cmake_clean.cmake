@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_solver.dir/branch_bound.cpp.o"
+  "CMakeFiles/vcopt_solver.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/vcopt_solver.dir/lp_model.cpp.o"
+  "CMakeFiles/vcopt_solver.dir/lp_model.cpp.o.d"
+  "CMakeFiles/vcopt_solver.dir/sd_solver.cpp.o"
+  "CMakeFiles/vcopt_solver.dir/sd_solver.cpp.o.d"
+  "CMakeFiles/vcopt_solver.dir/simplex.cpp.o"
+  "CMakeFiles/vcopt_solver.dir/simplex.cpp.o.d"
+  "libvcopt_solver.a"
+  "libvcopt_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_util.dir/json.cpp.o"
+  "CMakeFiles/vcopt_util.dir/json.cpp.o.d"
+  "CMakeFiles/vcopt_util.dir/logging.cpp.o"
+  "CMakeFiles/vcopt_util.dir/logging.cpp.o.d"
+  "CMakeFiles/vcopt_util.dir/rng.cpp.o"
+  "CMakeFiles/vcopt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vcopt_util.dir/stats.cpp.o"
+  "CMakeFiles/vcopt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vcopt_util.dir/table.cpp.o"
+  "CMakeFiles/vcopt_util.dir/table.cpp.o.d"
+  "libvcopt_util.a"
+  "libvcopt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

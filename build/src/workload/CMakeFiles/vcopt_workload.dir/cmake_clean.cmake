@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcopt_workload.dir/config.cpp.o"
+  "CMakeFiles/vcopt_workload.dir/config.cpp.o.d"
+  "CMakeFiles/vcopt_workload.dir/generator.cpp.o"
+  "CMakeFiles/vcopt_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/vcopt_workload.dir/scenario.cpp.o"
+  "CMakeFiles/vcopt_workload.dir/scenario.cpp.o.d"
+  "libvcopt_workload.a"
+  "libvcopt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcopt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

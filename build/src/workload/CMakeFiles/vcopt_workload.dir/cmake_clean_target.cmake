@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcopt_workload.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_allocation.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_allocation.cpp.o.d"
+  "/root/repo/tests/cluster/test_cloud.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_cloud.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_cloud.cpp.o.d"
+  "/root/repo/tests/cluster/test_drain.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_drain.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_drain.cpp.o.d"
+  "/root/repo/tests/cluster/test_fragmentation.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_fragmentation.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_fragmentation.cpp.o.d"
+  "/root/repo/tests/cluster/test_inventory.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_inventory.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_inventory.cpp.o.d"
+  "/root/repo/tests/cluster/test_irregular_topology.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_irregular_topology.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_irregular_topology.cpp.o.d"
+  "/root/repo/tests/cluster/test_request.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_request.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_request.cpp.o.d"
+  "/root/repo/tests/cluster/test_topology.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_topology.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_topology.cpp.o.d"
+  "/root/repo/tests/cluster/test_vm_type.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_vm_type.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_vm_type.cpp.o.d"
+  "/root/repo/tests/cluster/test_weighted_distance.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/test_weighted_distance.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/test_weighted_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vcopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vcopt_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/vcopt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tests.dir/cluster/test_allocation.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_allocation.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_cloud.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_cloud.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_drain.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_drain.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_fragmentation.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_fragmentation.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_inventory.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_inventory.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_irregular_topology.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_irregular_topology.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_request.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_request.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_topology.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_topology.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_vm_type.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_vm_type.cpp.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/test_weighted_distance.cpp.o"
+  "CMakeFiles/cluster_tests.dir/cluster/test_weighted_distance.cpp.o.d"
+  "cluster_tests"
+  "cluster_tests.pdb"
+  "cluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

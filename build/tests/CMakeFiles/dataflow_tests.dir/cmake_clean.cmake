@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_tests.dir/dataflow/test_dag.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/test_dag.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/test_dag_engine.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/test_dag_engine.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/test_patterns.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/test_patterns.cpp.o.d"
+  "dataflow_tests"
+  "dataflow_tests.pdb"
+  "dataflow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapreduce/test_engine.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_engine_extensions.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_extensions.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_extensions.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_engine_properties.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_properties.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_properties.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_failures.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_failures_chaos.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures_chaos.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures_chaos.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_hdfs.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_hdfs.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_hdfs.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_job.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_job.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_job.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_jobs_sim.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_jobs_sim.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_jobs_sim.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_scheduler.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_scheduler.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_slots_and_pinning.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_slots_and_pinning.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_slots_and_pinning.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_speculation.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_speculation.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_speculation.cpp.o.d"
+  "/root/repo/tests/mapreduce/test_virtual_cluster.cpp" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_virtual_cluster.cpp.o" "gcc" "tests/CMakeFiles/mapreduce_tests.dir/mapreduce/test_virtual_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vcopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vcopt_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/vcopt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_extensions.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_extensions.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_properties.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_engine_properties.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures_chaos.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_failures_chaos.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_hdfs.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_hdfs.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_job.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_job.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_jobs_sim.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_jobs_sim.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_scheduler.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_scheduler.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_slots_and_pinning.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_slots_and_pinning.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_speculation.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_speculation.cpp.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_virtual_cluster.cpp.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_virtual_cluster.cpp.o.d"
+  "mapreduce_tests"
+  "mapreduce_tests.pdb"
+  "mapreduce_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

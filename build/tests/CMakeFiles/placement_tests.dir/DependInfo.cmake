@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/placement/test_annealing.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_annealing.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_annealing.cpp.o.d"
+  "/root/repo/tests/placement/test_baselines.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_baselines.cpp.o.d"
+  "/root/repo/tests/placement/test_global_subopt.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_global_subopt.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_global_subopt.cpp.o.d"
+  "/root/repo/tests/placement/test_migration.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_migration.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_migration.cpp.o.d"
+  "/root/repo/tests/placement/test_multicloud_placement.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_multicloud_placement.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_multicloud_placement.cpp.o.d"
+  "/root/repo/tests/placement/test_online_heuristic.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_online_heuristic.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_online_heuristic.cpp.o.d"
+  "/root/repo/tests/placement/test_provisioner.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_provisioner.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_provisioner.cpp.o.d"
+  "/root/repo/tests/placement/test_provisioner_fuzz.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_provisioner_fuzz.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_provisioner_fuzz.cpp.o.d"
+  "/root/repo/tests/placement/test_queue_disciplines.cpp" "tests/CMakeFiles/placement_tests.dir/placement/test_queue_disciplines.cpp.o" "gcc" "tests/CMakeFiles/placement_tests.dir/placement/test_queue_disciplines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vcopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vcopt_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/vcopt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

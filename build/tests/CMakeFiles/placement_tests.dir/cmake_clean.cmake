@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_tests.dir/placement/test_annealing.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_annealing.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_baselines.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_baselines.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_global_subopt.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_global_subopt.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_migration.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_migration.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_multicloud_placement.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_multicloud_placement.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_online_heuristic.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_online_heuristic.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_provisioner.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_provisioner.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_provisioner_fuzz.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_provisioner_fuzz.cpp.o.d"
+  "CMakeFiles/placement_tests.dir/placement/test_queue_disciplines.cpp.o"
+  "CMakeFiles/placement_tests.dir/placement/test_queue_disciplines.cpp.o.d"
+  "placement_tests"
+  "placement_tests.pdb"
+  "placement_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/test_cluster_sim.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_cluster_sim.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue_stress.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue_stress.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_measured_distance.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_measured_distance.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_network.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_network.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_network_stress.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_network_stress.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solver/test_branch_bound.cpp" "tests/CMakeFiles/solver_tests.dir/solver/test_branch_bound.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/test_branch_bound.cpp.o.d"
+  "/root/repo/tests/solver/test_gsd_model.cpp" "tests/CMakeFiles/solver_tests.dir/solver/test_gsd_model.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/test_gsd_model.cpp.o.d"
+  "/root/repo/tests/solver/test_ilp_bruteforce.cpp" "tests/CMakeFiles/solver_tests.dir/solver/test_ilp_bruteforce.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/test_ilp_bruteforce.cpp.o.d"
+  "/root/repo/tests/solver/test_sd_bruteforce.cpp" "tests/CMakeFiles/solver_tests.dir/solver/test_sd_bruteforce.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/test_sd_bruteforce.cpp.o.d"
+  "/root/repo/tests/solver/test_sd_solver.cpp" "tests/CMakeFiles/solver_tests.dir/solver/test_sd_solver.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/test_sd_solver.cpp.o.d"
+  "/root/repo/tests/solver/test_simplex.cpp" "tests/CMakeFiles/solver_tests.dir/solver/test_simplex.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/test_simplex.cpp.o.d"
+  "/root/repo/tests/solver/test_simplex_property.cpp" "tests/CMakeFiles/solver_tests.dir/solver/test_simplex_property.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/test_simplex_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vcopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/vcopt_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vcopt_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vcopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/vcopt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vcopt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vcopt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

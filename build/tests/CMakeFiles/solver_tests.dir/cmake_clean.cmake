@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_tests.dir/solver/test_branch_bound.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/test_branch_bound.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/test_gsd_model.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/test_gsd_model.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/test_ilp_bruteforce.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/test_ilp_bruteforce.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/test_sd_bruteforce.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/test_sd_bruteforce.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/test_sd_solver.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/test_sd_solver.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/test_simplex.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/test_simplex.cpp.o.d"
+  "CMakeFiles/solver_tests.dir/solver/test_simplex_property.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/test_simplex_property.cpp.o.d"
+  "solver_tests"
+  "solver_tests.pdb"
+  "solver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/test_json.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_json.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_logging.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_logging.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_matrix.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_matrix.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_rng.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_stats.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_table.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_table.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -8,9 +8,13 @@
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace vcopt::bench {
 
-/// Prints the standard experiment banner.
+/// Prints the standard experiment banner.  When metrics collection is on
+/// (VCOPT_METRICS=1), also arranges for a "<id>.metrics.json" sidecar dump
+/// next to the bench's stdout capture at process exit.
 inline void banner(const std::string& id, const std::string& title,
                    std::uint64_t seed) {
   std::cout << "==================================================\n"
@@ -18,6 +22,7 @@ inline void banner(const std::string& id, const std::string& title,
             << "(reproduction of Yan et al., CLUSTER 2012; seed=" << seed
             << ")\n"
             << "==================================================\n";
+  obs::register_metrics_sidecar(id + "_" + title);
 }
 
 /// Seed from argv[1] if present, else the default.

@@ -4,6 +4,7 @@
 
 #include <iostream>
 
+#include "obs/metrics.h"
 #include "placement/global_subopt.h"
 #include "util/table.h"
 #include "workload/scenario.h"
@@ -44,6 +45,13 @@ inline void run_fig56(const workload::SimScenario& sc) {
             << "  global=" << opt.total_distance << "  ("
             << util::format_double(saving, 1) << " % shorter, "
             << opt.transfers_applied << " Theorem-2 transfers)\n";
+
+  // With VCOPT_METRICS=1 the registry replaces any per-bench accumulation:
+  // candidates scanned, transfer attempts/gains and solver work all come out
+  // of the same instruments the production paths update.
+  if (obs::MetricsRegistry::global().enabled()) {
+    std::cout << "\n" << obs::MetricsRegistry::global().render_table();
+  }
 }
 
 }  // namespace vcopt::bench

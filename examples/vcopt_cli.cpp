@@ -16,13 +16,26 @@
 //   vcopt_cli export [--seed N] [--out cloud.json]
 //       write the generated random cloud as a JSON description that
 //       `place --cloud` accepts (edit it to match a real inventory).
+//
+//   vcopt_cli quickstart
+//       end-to-end narrated run (provisioner grants + ILP cross-check +
+//       churn sim) — the scenario docs/observability.md profiles.
+//
+// Observability (any subcommand): --metrics-out=FILE dumps a metrics
+// snapshot as JSON on exit, --trace-out=FILE writes a Chrome trace_event
+// file loadable in chrome://tracing / Perfetto.  The same collection can be
+// forced globally with VCOPT_METRICS=1 / VCOPT_TRACE=FILE.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cluster_sim.h"
+#include "sim/timeline_writer.h"
+#include "solver/sd_solver.h"
 #include "util/table.h"
 #include "workload/config.h"
 #include "workload/generator.h"
@@ -39,7 +52,10 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
     arg = arg.substr(2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    // Both --key=value and --key value are accepted.
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       flags[arg] = argv[++i];
     } else {
       flags[arg] = "1";
@@ -145,14 +161,18 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
       trace, opt);
 
   if (flags.count("timeline")) {
-    util::TableWriter t({"time", "allocated_vms", "queue_length",
-                         "active_leases"});
-    for (const sim::TimelineSample& s : res.timeline) {
-      t.row().cell(s.time, 3).cell(s.allocated_vms).cell(s.queue_length).cell(
-          s.active_leases);
-    }
-    t.print_csv(std::cout);
+    sim::TimelineWriter(res.timeline,
+                        cloud.inventory().max_capacity().total())
+        .write_csv(std::cout);
     return 0;
+  }
+  if (flags.count("timeline-out")) {
+    sim::TimelineWriter writer(res.timeline,
+                               cloud.inventory().max_capacity().total());
+    if (!writer.write_csv_file(flags.at("timeline-out"))) {
+      std::cerr << "could not write " << flags.at("timeline-out") << "\n";
+      return 1;
+    }
   }
 
   if (flags.count("csv")) {
@@ -188,26 +208,130 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// End-to-end quickstart: the README's 2x4 cloud, a burst of requests
+// through the provisioner (some queue, so release-time drains happen), an
+// ILP cross-check of the first placement, and a short churn sim.  Exercises
+// every instrumented layer, which makes it the canonical scenario for
+// --metrics-out / --trace-out.
+int cmd_quickstart(const std::map<std::string, std::string>& flags) {
+  const std::uint64_t seed = std::stoull(flag(flags, "seed", "2"));
+  cluster::Topology topology = cluster::Topology::uniform(2, 4);
+  cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  util::IntMatrix capacity(topology.node_count(), catalog.size());
+  for (std::size_t i = 0; i < capacity.rows(); ++i) {
+    capacity(i, 0) = 2;
+    capacity(i, 1) = 2;
+    capacity(i, 2) = 1;
+  }
+  cluster::Cloud cloud(std::move(topology), std::move(catalog),
+                       std::move(capacity));
+  std::cout << "cloud: " << cloud.describe() << "\n";
+
+  placement::Provisioner prov(cloud,
+                              std::make_unique<placement::OnlineHeuristic>());
+  // Fig. 1's request plus two more; the third overcommits the free pool and
+  // waits in the queue until a release drains it.
+  const std::vector<cluster::Request> burst{
+      cluster::Request({2, 4, 1}, 1), cluster::Request({4, 6, 2}, 2),
+      cluster::Request({8, 4, 4}, 3)};
+  std::vector<cluster::LeaseId> leases;
+  for (const cluster::Request& r : burst) {
+    if (const auto g = prov.request(r)) {
+      std::cout << "granted " << r.describe() << ": central N"
+                << g->placement.central << ", DC=" << g->placement.distance
+                << "\n";
+      leases.push_back(g->lease);
+    } else {
+      std::cout << "queued  " << r.describe() << " (queue depth "
+                << prov.queue_length() << ")\n";
+    }
+  }
+  // Cross-validate the greedy SD solution against the exact ILP.
+  const solver::SdResult exact = solver::solve_sd_ilp(
+      burst[0], cloud.remaining(), cloud.topology().distance_matrix());
+  std::cout << "ILP cross-check on a follow-up request: "
+            << (exact.feasible
+                    ? "DC=" + util::format_double(exact.distance, 1)
+                    : std::string("infeasible (pool is busy)"))
+            << "\n";
+  for (const cluster::LeaseId lease : leases) {
+    for (const auto& g : prov.release(lease)) {
+      std::cout << "drained request " << g.request_id << " on release\n";
+    }
+  }
+
+  // A short churn sim over the same cloud shape.
+  const workload::SimScenario sc =
+      workload::paper_sim_scenario(seed, workload::RequestScale::kSmall);
+  util::Rng rng(seed ^ 0xc11ULL);
+  const auto requests = workload::random_requests(sc.catalog, rng, 40, 0, 2);
+  const auto trace = workload::poisson_trace(requests, rng, 3.0, 30.0);
+  cluster::Cloud sim_cloud(sc.topology, sc.catalog, sc.capacity);
+  const sim::ClusterSimResult res = sim::run_cluster_sim(
+      sim_cloud, std::make_unique<placement::OnlineHeuristic>(), trace);
+  std::cout << "sim: served " << res.grants.size() << "/" << trace.size()
+            << ", mean wait " << util::format_double(res.mean_wait, 2)
+            << " s, utilisation "
+            << util::format_double(res.mean_utilization * 100, 1) << " %\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: vcopt_cli <place|sim> [--flags]\n"
+    std::cerr << "usage: vcopt_cli <place|sim|export|quickstart> [--flags]\n"
                  "  place: --policy P --seed N --small S --medium M --large L\n"
                  "  sim:   --policy P --seed N --requests K --scale big|medium|small\n"
-                 "         --discipline fifo|priority|smallest-first --csv\n";
+                 "         --discipline fifo|priority|smallest-first --csv\n"
+                 "         --timeline | --timeline-out=FILE\n"
+                 "  any:   --metrics-out=FILE --trace-out=FILE\n";
     return 2;
   }
-  const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
+  // Flags with no subcommand run the quickstart scenario, so
+  // `vcopt_cli --metrics-out=m.json --trace-out=t.json` profiles it directly.
+  const bool bare_flags = std::strncmp(argv[1], "--", 2) == 0;
+  const std::string cmd = bare_flags ? "quickstart" : argv[1];
+  const auto flags = parse_flags(argc, argv, bare_flags ? 1 : 2);
+  // Observability must be armed before the command runs so the hot paths
+  // record into the global registry/tracer.
+  if (flags.count("metrics-out")) {
+    obs::MetricsRegistry::global().set_enabled(true);
+  }
+  if (flags.count("trace-out")) obs::Tracer::global().set_enabled(true);
+
+  int rc = 2;
   try {
-    if (cmd == "place") return cmd_place(flags);
-    if (cmd == "sim") return cmd_sim(flags);
-    if (cmd == "export") return cmd_export(flags);
+    if (cmd == "place") rc = cmd_place(flags);
+    else if (cmd == "sim") rc = cmd_sim(flags);
+    else if (cmd == "export") rc = cmd_export(flags);
+    else if (cmd == "quickstart") rc = cmd_quickstart(flags);
+    else {
+      std::cerr << "unknown command '" << cmd << "'\n";
+      return 2;
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
-  std::cerr << "unknown command '" << cmd << "'\n";
-  return 2;
+
+  if (flags.count("metrics-out")) {
+    const std::string& path = flags.at("metrics-out");
+    if (obs::MetricsRegistry::global().write_json_file(path)) {
+      std::cerr << "metrics written to " << path << "\n";
+    } else {
+      std::cerr << "could not write metrics to " << path << "\n";
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (flags.count("trace-out")) {
+    const std::string& path = flags.at("trace-out");
+    if (obs::Tracer::global().write_file(path)) {
+      std::cerr << "trace written to " << path << "\n";
+    } else {
+      std::cerr << "could not write trace to " << path << "\n";
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }

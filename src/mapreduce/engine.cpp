@@ -6,6 +6,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vcopt::mapreduce {
 
 double JobMetrics::non_local_map_fraction() const {
@@ -478,6 +481,7 @@ void MapReduceEngine::handle_failure(std::size_t node) {
 }
 
 JobMetrics MapReduceEngine::run() {
+  VCOPT_TRACE_SPAN("mapreduce/run");
   if (ran_) throw std::logic_error("MapReduceEngine::run: already ran");
   ran_ = true;
   for (const BackgroundFlow& bf : background_) {
@@ -499,6 +503,29 @@ JobMetrics MapReduceEngine::run() {
   metrics_.traffic.rack_bytes -= baseline.rack_bytes;
   metrics_.traffic.cross_rack_bytes -= baseline.cross_rack_bytes;
   metrics_.traffic.cross_cloud_bytes -= baseline.cross_cloud_bytes;
+
+  // Project the job's simulated phases into the trace on their own process
+  // lane (pid 2): phases overlap (shuffle starts while maps still run), so
+  // each gets its own tid row.  Timestamps are simulated seconds as µs.
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.complete("mapreduce/map_phase", 0,
+                    metrics_.map_phase_end * 1e6, /*pid=*/2, /*tid=*/1);
+    tracer.complete("mapreduce/shuffle_phase", 0,
+                    metrics_.shuffle_end * 1e6, /*pid=*/2, /*tid=*/2);
+    tracer.complete("mapreduce/reduce_phase", metrics_.shuffle_end * 1e6,
+                    (metrics_.runtime - metrics_.shuffle_end) * 1e6,
+                    /*pid=*/2, /*tid=*/3);
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("mapreduce/jobs_run").add();
+    reg.counter("mapreduce/maps_run").add(
+        static_cast<std::uint64_t>(metrics_.maps_total));
+    reg.counter("mapreduce/maps_reexecuted")
+        .add(static_cast<std::uint64_t>(metrics_.maps_reexecuted));
+    reg.gauge("mapreduce/last_runtime_seconds").set(metrics_.runtime);
+  }
   return metrics_;
 }
 

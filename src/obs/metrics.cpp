@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace vcopt::obs {
+
+void Gauge::set(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = v;
+  max_ = touched_ ? std::max(max_, v) : v;
+  touched_ = true;
+}
+
+void Gauge::add(double delta) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ += delta;
+  max_ = touched_ ? std::max(max_, value_) : value_;
+  touched_ = true;
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+double Gauge::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+HistogramMetric::HistogramMetric(const std::atomic<bool>* enabled,
+                                 std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("HistogramMetric: no bucket bounds");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("HistogramMetric: bounds must be ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void HistogramMetric::observe(double x) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  stats_.add(x);
+}
+
+std::size_t HistogramMetric::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double HistogramMetric::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.sum();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = [] {
+    auto* r = new MetricsRegistry();
+    const char* env = std::getenv("VCOPT_METRICS");
+    if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+      r->set_enabled(true);
+    }
+    return r;
+  }();
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter(&enabled_));
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge(&enabled_));
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new HistogramMetric(&enabled_, std::move(bounds)));
+  return *slot;
+}
+
+std::vector<double> MetricsRegistry::linear_buckets(double lo, double hi,
+                                                    std::size_t n) {
+  if (n == 0 || hi <= lo) {
+    throw std::invalid_argument("linear_buckets: need n > 0 and hi > lo");
+  }
+  std::vector<double> out(n);
+  const double width = (hi - lo) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + width * static_cast<double>(i + 1);
+  }
+  return out;
+}
+
+std::vector<double> MetricsRegistry::exponential_buckets(double start,
+                                                         double factor,
+                                                         std::size_t n) {
+  if (n == 0 || start <= 0 || factor <= 1) {
+    throw std::invalid_argument(
+        "exponential_buckets: need n > 0, start > 0, factor > 1");
+  }
+  std::vector<double> out(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = b;
+    b *= factor;
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    std::lock_guard<std::mutex> glock(g->mu_);
+    g->value_ = 0;
+    g->max_ = 0;
+    g->touched_ = false;
+  }
+  for (auto& [name, h] : histograms_) {
+    std::lock_guard<std::mutex> hlock(h->mu_);
+    std::fill(h->counts_.begin(), h->counts_.end(), 0);
+    h->stats_ = util::RunningStats{};
+  }
+}
+
+util::Json MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonObject counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = util::Json(c->value());
+  }
+  util::JsonObject gauges;
+  for (const auto& [name, g] : gauges_) {
+    std::lock_guard<std::mutex> glock(g->mu_);
+    gauges[name] = util::Json(
+        util::JsonObject{{"value", g->value_}, {"max", g->max_}});
+  }
+  util::JsonObject histograms;
+  for (const auto& [name, h] : histograms_) {
+    std::lock_guard<std::mutex> hlock(h->mu_);
+    util::JsonArray buckets;
+    for (std::size_t i = 0; i < h->bounds_.size(); ++i) {
+      buckets.push_back(util::Json(util::JsonObject{
+          {"le", h->bounds_[i]}, {"count", h->counts_[i]}}));
+    }
+    buckets.push_back(util::Json(util::JsonObject{
+        {"le", "inf"}, {"count", h->counts_.back()}}));
+    util::JsonObject entry{{"count", h->stats_.count()},
+                           {"sum", h->stats_.sum()},
+                           {"buckets", std::move(buckets)}};
+    if (h->stats_.count() > 0) {
+      entry["mean"] = h->stats_.mean();
+      entry["min"] = h->stats_.min();
+      entry["max"] = h->stats_.max();
+      entry["stddev"] = h->stats_.stddev();
+    }
+    histograms[name] = util::Json(std::move(entry));
+  }
+  return util::Json(util::JsonObject{{"counters", std::move(counters)},
+                                     {"gauges", std::move(gauges)},
+                                     {"histograms", std::move(histograms)}});
+}
+
+std::string MetricsRegistry::render_table() const {
+  util::TableWriter t({"Metric", "Kind", "Value", "Detail"});
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    t.row().cell(name).cell("counter").cell(c->value()).cell("");
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::lock_guard<std::mutex> glock(g->mu_);
+    t.row().cell(name).cell("gauge").cell(g->value_, 3).cell(
+        "max=" + util::format_double(g->max_, 3));
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::lock_guard<std::mutex> hlock(h->mu_);
+    std::string detail;
+    if (h->stats_.count() > 0) {
+      detail = "mean=" + util::format_double(h->stats_.mean(), 3) +
+               " min=" + util::format_double(h->stats_.min(), 3) +
+               " max=" + util::format_double(h->stats_.max(), 3);
+    }
+    t.row().cell(name).cell("histogram").cell(h->stats_.count()).cell(detail);
+  }
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << snapshot_json().dump(2) << "\n";
+  return bool(out);
+}
+
+namespace {
+std::string g_sidecar_path;  // set once by register_metrics_sidecar
+}
+
+void register_metrics_sidecar(const std::string& id) {
+  if (!MetricsRegistry::global().enabled() || !g_sidecar_path.empty()) return;
+  std::string slug;
+  for (const char ch : id) {
+    slug += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '_';
+  }
+  if (slug.empty()) slug = "bench";
+  g_sidecar_path = slug + ".metrics.json";
+  std::atexit([] {
+    MetricsRegistry::global().write_json_file(g_sidecar_path);
+  });
+}
+
+}  // namespace vcopt::obs

@@ -1,0 +1,135 @@
+// Thread-safe metrics registry: named counters, gauges and histograms with a
+// stable `subsystem/name` naming scheme (see docs/observability.md).  All
+// instruments are cheap no-ops while the owning registry is disabled, so the
+// hot paths can stay instrumented unconditionally; the global registry is
+// switched on by VCOPT_METRICS=1 or programmatically (vcopt_cli
+// --metrics-out).  Snapshots serialise to JSON (util/json.h) and to an
+// aligned text table (util/table.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace vcopt::obs {
+
+class MetricsRegistry;
+
+/// Monotonic event counter.  add() is lock-free (one relaxed atomic add).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge that also remembers the largest value ever set (peak
+/// tracking, e.g. high-water queue depth).
+class Gauge {
+ public:
+  void set(double v);
+  void add(double delta);
+  double value() const;
+  double max() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  mutable std::mutex mu_;
+  double value_ = 0;
+  double max_ = 0;
+  bool touched_ = false;
+};
+
+/// Bucketed distribution plus Welford summary stats (util::RunningStats).
+/// Bucket i counts samples <= bounds[i]; one implicit overflow bucket holds
+/// the rest.  Construct bounds with MetricsRegistry::linear_buckets or
+/// exponential_buckets.
+class HistogramMetric {
+ public:
+  void observe(double x);
+  std::size_t count() const;
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramMetric(const std::atomic<bool>* enabled, std::vector<double> bounds);
+  const std::atomic<bool>* enabled_;
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;           // ascending inclusive upper bounds
+  std::vector<std::uint64_t> counts_;    // bounds_.size() + 1 (overflow last)
+  util::RunningStats stats_;
+};
+
+/// Registry of named instruments.  Registration returns stable references,
+/// so instrumented code can cache them (`static Counter& c = ...`).  The
+/// process-wide instance is MetricsRegistry::global(); separate instances
+/// can be constructed for tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry; enabled at startup when VCOPT_METRICS=1.
+  static MetricsRegistry& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Find-or-create by name.  Re-registering a histogram keeps the original
+  /// bucket layout.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name,
+                             std::vector<double> bounds);
+
+  /// `n` equal-width bucket bounds covering [lo, hi].
+  static std::vector<double> linear_buckets(double lo, double hi,
+                                            std::size_t n);
+  /// `n` bounds start, start*factor, start*factor^2, ... (factor > 1).
+  static std::vector<double> exponential_buckets(double start, double factor,
+                                                 std::size_t n);
+
+  /// Zeroes every registered instrument (instruments stay registered).
+  void reset();
+
+  /// Point-in-time dump: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}.
+  util::Json snapshot_json() const;
+  /// Aligned text table of every instrument (one row per metric).
+  std::string render_table() const;
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Bench support: when the global registry is enabled, arranges for a
+/// metrics snapshot to be written to "<slug(id)>.metrics.json" at process
+/// exit (the sidecar next to the bench's stdout capture).  No-op otherwise.
+void register_metrics_sidecar(const std::string& id);
+
+}  // namespace vcopt::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+namespace vcopt::obs {
+
+namespace {
+
+int current_tid() {
+  static std::atomic<int> next{1};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::string g_trace_path;  // set when VCOPT_TRACE names an output file
+
+}  // namespace
+
+Tracer::Tracer() {
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    const char* env = std::getenv("VCOPT_TRACE");
+    if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+      t->set_enabled(true);
+      g_trace_path = env;
+      std::atexit([] { Tracer::global().write_file(g_trace_path); });
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+double Tracer::now_us() const {
+  const long long ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  return static_cast<double>(ns - epoch_ns_) / 1000.0;
+}
+
+void Tracer::push(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::begin(const char* name) {
+  if (!enabled()) return;
+  push(TraceEvent{name, 'B', now_us(), 0, 1, current_tid()});
+}
+
+void Tracer::end(const char* name) {
+  if (!enabled()) return;
+  push(TraceEvent{name, 'E', now_us(), 0, 1, current_tid()});
+}
+
+void Tracer::complete(const std::string& name, double ts_us, double dur_us,
+                      int pid, int tid) {
+  if (!enabled()) return;
+  push(TraceEvent{name, 'X', ts_us, dur_us, pid, tid});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+util::Json Tracer::events_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonArray out;
+  out.reserve(events_.size());
+  for (const TraceEvent& ev : events_) {
+    util::JsonObject o{{"name", ev.name},
+                       {"ph", std::string(1, ev.ph)},
+                       {"ts", ev.ts},
+                       {"pid", ev.pid},
+                       {"tid", ev.tid}};
+    if (ev.ph == 'X') o["dur"] = ev.dur;
+    out.push_back(util::Json(std::move(o)));
+  }
+  return util::Json(std::move(out));
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << events_json().dump(1) << "\n";
+  return bool(out);
+}
+
+}  // namespace vcopt::obs

@@ -1,0 +1,94 @@
+// Scoped-span tracer producing Chrome trace_event JSON (loadable in
+// chrome://tracing and Perfetto).  Spans are RAII timers declared with
+// VCOPT_TRACE_SPAN("subsystem/name"); they nest naturally per thread and
+// cost one relaxed atomic load when tracing is disabled (the common case).
+// The global tracer is switched on by VCOPT_TRACE=FILE (the trace is written
+// to FILE at process exit) or programmatically (vcopt_cli --trace-out).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace vcopt::obs {
+
+/// One trace_event record.  ph is "B"/"E" for span begin/end (nesting is
+/// explicit in the event order) or "X" for a complete event with a duration.
+struct TraceEvent {
+  std::string name;
+  char ph = 'B';
+  double ts = 0;   ///< microseconds since the tracer's epoch
+  double dur = 0;  ///< microseconds; only meaningful for ph == 'X'
+  int pid = 1;
+  int tid = 1;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer; enabled at startup when VCOPT_TRACE is set.
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Span boundaries on the calling thread's lane (wall-clock timestamps).
+  void begin(const char* name);
+  void end(const char* name);
+  /// Complete ("X") event with explicit coordinates — used to project
+  /// simulated-time phases (pid 2) next to the wall-clock lanes (pid 1).
+  void complete(const std::string& name, double ts_us, double dur_us,
+                int pid = 1, int tid = 1);
+
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Serialises the Chrome trace format: a JSON array of
+  /// {name, ph, ts, dur?, pid, tid} objects.
+  util::Json events_json() const;
+  bool write_file(const std::string& path) const;
+
+ private:
+  double now_us() const;
+  void push(TraceEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  long long epoch_ns_ = 0;
+};
+
+/// RAII span: records a "B" event on construction and the matching "E" on
+/// destruction.  Does nothing (and stores nothing) while tracing is off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (Tracer::global().enabled()) {
+      name_ = name;
+      Tracer::global().begin(name);
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) Tracer::global().end(name_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+#define VCOPT_OBS_CONCAT_INNER(a, b) a##b
+#define VCOPT_OBS_CONCAT(a, b) VCOPT_OBS_CONCAT_INNER(a, b)
+/// Declares an anonymous scoped span covering the rest of the block.
+#define VCOPT_TRACE_SPAN(name) \
+  ::vcopt::obs::ScopedSpan VCOPT_OBS_CONCAT(vcopt_obs_span_, __LINE__) { name }
+
+}  // namespace vcopt::obs

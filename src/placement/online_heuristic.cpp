@@ -5,6 +5,9 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vcopt::placement {
 
 namespace {
@@ -102,13 +105,32 @@ std::optional<cluster::Allocation> OnlineHeuristic::fill_from_central(
   return std::nullopt;
 }
 
+namespace {
+
+// One flush per place() call; the candidate scan itself stays atomics-free.
+void record_place_metrics(std::size_t candidates, bool found) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static obs::Counter& placements = reg.counter("placement/placements");
+  static obs::Counter& infeasible = reg.counter("placement/infeasible");
+  static obs::Counter& evaluated = reg.counter("placement/candidates_evaluated");
+  evaluated.add(candidates);
+  (found ? placements : infeasible).add();
+}
+
+}  // namespace
+
 std::optional<Placement> OnlineHeuristic::place(
     const cluster::Request& request, const util::IntMatrix& remaining,
     const cluster::Topology& topology) {
+  VCOPT_TRACE_SPAN("placement/online_place");
   const std::size_t n = remaining.rows();
   // Admission precheck (lines 1-5 of Algorithm 1): total availability.
   for (std::size_t j = 0; j < remaining.cols(); ++j) {
-    if (request.count(j) > remaining.col_sum(j)) return std::nullopt;
+    if (request.count(j) > remaining.col_sum(j)) {
+      record_place_metrics(0, false);
+      return std::nullopt;
+    }
   }
 
   const util::DoubleMatrix& dist = topology.distance_matrix();
@@ -127,13 +149,16 @@ std::optional<Placement> OnlineHeuristic::place(
       for (std::size_t j = 0; j < remaining.cols(); ++j) {
         alloc.at(i, j) = request.count(j);
       }
+      record_place_metrics(1, true);
       return Placement{std::move(alloc), i, 0.0};
     }
   }
 
   std::optional<Placement> best;
+  std::size_t candidates = 0;
   for (std::size_t x = 0; x < n; ++x) {
     if (remaining.row_sum(x) == 0) continue;  // empty node: useless start
+    ++candidates;
     auto alloc = fill_from_central(request, remaining, topology, x);
     if (!alloc) continue;
     const double d = alloc->distance_from(x, dist);
@@ -142,6 +167,7 @@ std::optional<Placement> OnlineHeuristic::place(
       if (mode_ == Mode::kFirstImprovement) break;
     }
   }
+  record_place_metrics(candidates, best.has_value());
   return best;
 }
 

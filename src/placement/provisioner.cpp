@@ -2,7 +2,32 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vcopt::placement {
+
+namespace {
+
+struct ProvisionerMetrics {
+  obs::Counter& grants;
+  obs::Counter& rejections;
+  obs::Counter& queued;
+  obs::Gauge& queue_depth;
+
+  static ProvisionerMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ProvisionerMetrics m{
+        reg.counter("provisioner/grants"),
+        reg.counter("provisioner/rejections"),
+        reg.counter("provisioner/queued"),
+        reg.gauge("provisioner/queue_depth"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* to_string(QueueDiscipline d) {
   switch (d) {
@@ -41,16 +66,26 @@ std::optional<Grant> Provisioner::try_place_and_grant(const cluster::Request& r)
   auto placed = policy_->place(r, cloud_.remaining(), cloud_.topology());
   if (!placed) return std::nullopt;
   const cluster::LeaseId lease = cloud_.grant(r, placed->allocation);
+  ProvisionerMetrics::get().grants.add();
   return Grant{lease, r.id(), std::move(*placed)};
 }
 
+void Provisioner::enqueue(const cluster::Request& r) {
+  queue_.push_back(r);
+  auto& m = ProvisionerMetrics::get();
+  m.queued.add();
+  m.queue_depth.set(static_cast<double>(queue_.size()));
+}
+
 std::optional<Grant> Provisioner::request(const cluster::Request& r) {
+  VCOPT_TRACE_SPAN("provisioner/request");
   switch (cloud_.admit(r)) {
     case cluster::Admission::kReject:
       ++rejected_;
+      ProvisionerMetrics::get().rejections.add();
       return std::nullopt;
     case cluster::Admission::kWait:
-      queue_.push_back(r);
+      enqueue(r);
       return std::nullopt;
     case cluster::Admission::kAccept:
       break;
@@ -58,7 +93,7 @@ std::optional<Grant> Provisioner::request(const cluster::Request& r) {
   // Strict FIFO fairness: while earlier requests are waiting, later arrivals
   // may not jump the queue even if they would fit right now.
   if (!queue_.empty()) {
-    queue_.push_back(r);
+    enqueue(r);
     return std::nullopt;
   }
   auto grant = try_place_and_grant(r);
@@ -66,13 +101,14 @@ std::optional<Grant> Provisioner::request(const cluster::Request& r) {
     // Aggregate availability was sufficient but the policy could not build
     // an allocation (should not happen for the built-in policies; keep the
     // request queued rather than dropping it).
-    queue_.push_back(r);
+    enqueue(r);
     return std::nullopt;
   }
   return grant;
 }
 
 std::vector<Grant> Provisioner::release(cluster::LeaseId lease) {
+  VCOPT_TRACE_SPAN("provisioner/release");
   cloud_.release(lease);
   std::vector<Grant> grants;
   // Drain in discipline order; stop at the first candidate that still
@@ -87,6 +123,7 @@ std::vector<Grant> Provisioner::release(cluster::LeaseId lease) {
     grants.push_back(std::move(*grant));
     queue_.erase(queue_.begin() + static_cast<long>(pick));
   }
+  ProvisionerMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
   return grants;
 }
 
@@ -111,6 +148,9 @@ std::vector<Grant> Provisioner::drain_batch_global() {
     if (!served[i]) rest.push_back(batch[i]);
   }
   queue_ = std::move(rest);
+  auto& m = ProvisionerMetrics::get();
+  m.grants.add(grants.size());
+  m.queue_depth.set(static_cast<double>(queue_.size()));
   return grants;
 }
 

@@ -59,6 +59,8 @@ class Provisioner {
 
  private:
   std::optional<Grant> try_place_and_grant(const cluster::Request& r);
+  /// Appends to the wait queue and updates the queue-depth gauge.
+  void enqueue(const cluster::Request& r);
   /// Index into queue_ of the next request under the discipline.
   std::size_t next_in_queue() const;
 

@@ -4,12 +4,40 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vcopt::sim {
+
+namespace {
+
+// Distributions are over SIMULATED seconds (the trace clock, not wall time).
+void record_sim_metrics(const ClusterSimResult& res) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static obs::Counter& runs = reg.counter("sim/runs");
+  static obs::HistogramMetric& wait = reg.histogram(
+      "sim/wait_seconds",
+      obs::MetricsRegistry::exponential_buckets(0.5, 2.0, 14));
+  static obs::HistogramMetric& hold = reg.histogram(
+      "sim/hold_seconds",
+      obs::MetricsRegistry::exponential_buckets(0.5, 2.0, 14));
+  static obs::Gauge& utilization = reg.gauge("sim/mean_utilization");
+  runs.add();
+  for (const GrantRecord& g : res.grants) {
+    wait.observe(g.wait());
+    hold.observe(g.released - g.granted);
+  }
+  utilization.set(res.mean_utilization);
+}
+
+}  // namespace
 
 ClusterSimResult run_cluster_sim(
     cluster::Cloud& cloud, std::unique_ptr<placement::PlacementPolicy> policy,
     const std::vector<cluster::TimedRequest>& trace,
     const ClusterSimOptions& options) {
+  VCOPT_TRACE_SPAN("sim/cluster_sim");
   placement::Provisioner prov(cloud, std::move(policy), options.discipline);
 
   EventQueue queue;
@@ -111,6 +139,7 @@ ClusterSimResult run_cluster_sim(
           ? vm_seconds / (out.makespan * static_cast<double>(capacity))
           : 0;
   out.timeline = std::move(timeline);
+  record_sim_metrics(out);
   return out;
 }
 

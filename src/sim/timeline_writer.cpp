@@ -1,0 +1,39 @@
+#include "sim/timeline_writer.h"
+
+#include <fstream>
+
+namespace vcopt::sim {
+
+TimelineWriter::TimelineWriter(const std::vector<TimelineSample>& timeline,
+                               int capacity_vms)
+    : timeline_(timeline), capacity_vms_(capacity_vms) {}
+
+util::TableWriter TimelineWriter::to_table() const {
+  std::vector<std::string> headers{"time", "allocated_vms", "queue_length",
+                                   "active_leases"};
+  if (capacity_vms_ > 0) headers.push_back("utilization");
+  util::TableWriter t(std::move(headers));
+  for (const TimelineSample& s : timeline_) {
+    t.row().cell(s.time, 3).cell(s.allocated_vms).cell(s.queue_length).cell(
+        s.active_leases);
+    if (capacity_vms_ > 0) {
+      t.cell(static_cast<double>(s.allocated_vms) /
+                 static_cast<double>(capacity_vms_),
+             4);
+    }
+  }
+  return t;
+}
+
+void TimelineWriter::write_csv(std::ostream& os) const {
+  to_table().print_csv(os);
+}
+
+bool TimelineWriter::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return bool(out);
+}
+
+}  // namespace vcopt::sim

@@ -1,10 +1,13 @@
 #include "solver/branch_bound.h"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/simplex.h"
 
 namespace vcopt::solver {
@@ -42,9 +45,39 @@ std::size_t most_fractional(const LpModel& model, const std::vector<double>& x,
   return best;
 }
 
+// Metrics are accumulated locally during the search and published once per
+// solve, keeping the node loop free of atomic traffic.
+void record_solve_metrics(const IlpSolution& out, std::size_t prunes,
+                          std::size_t incumbent_updates,
+                          std::chrono::steady_clock::time_point t0) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static obs::Counter& solves = reg.counter("solver/bb_solves");
+  static obs::Counter& nodes = reg.counter("solver/bb_nodes_explored");
+  static obs::Counter& pruned = reg.counter("solver/bb_prunes");
+  static obs::Counter& incumbents = reg.counter("solver/bb_incumbent_updates");
+  static obs::Counter& truncations = reg.counter("solver/bb_budget_truncations");
+  static obs::HistogramMetric& wall = reg.histogram(
+      "solver/bb_solve_seconds",
+      obs::MetricsRegistry::exponential_buckets(1e-6, 4.0, 16));
+  solves.add();
+  nodes.add(out.nodes_explored);
+  pruned.add(prunes);
+  incumbents.add(incumbent_updates);
+  if (out.node_limit_hit) truncations.add();
+  wall.observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count());
+}
+
 }  // namespace
 
 IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
+  VCOPT_TRACE_SPAN("solver/ilp_solve");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t prunes = 0;
+  std::size_t incumbent_updates = 0;
+
   IlpSolution out;
   const std::size_t n = model.variable_count();
 
@@ -75,6 +108,7 @@ IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
     open.pop();
     if (node.bound >= incumbent - opt.gap_tol &&
         std::isfinite(incumbent)) {
+      ++prunes;
       continue;  // pruned by bound
     }
     ++out.nodes_explored;
@@ -92,7 +126,10 @@ IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
     }
     if (relax.status != SolveStatus::kOptimal) continue;  // infeasible branch
     any_lp_solved = true;
-    if (relax.objective >= incumbent - opt.gap_tol) continue;
+    if (relax.objective >= incumbent - opt.gap_tol) {
+      ++prunes;
+      continue;
+    }
 
     const std::size_t branch_var =
         most_fractional(model, relax.x, opt.integrality_tol);
@@ -106,6 +143,7 @@ IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
       if (obj < incumbent) {
         incumbent = obj;
         incumbent_x = std::move(x);
+        ++incumbent_updates;
       }
       continue;
     }
@@ -126,11 +164,16 @@ IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
     out.status = any_lp_solved && out.node_limit_hit
                      ? SolveStatus::kIterationLimit
                      : SolveStatus::kInfeasible;
+    record_solve_metrics(out, prunes, incumbent_updates, t0);
     return out;
   }
-  out.status = SolveStatus::kOptimal;
+  // An incumbent found under a truncated search is feasible but not proven
+  // optimal — callers that require optimality must not mistake it for one.
+  out.status = out.node_limit_hit ? SolveStatus::kFeasibleBudget
+                                  : SolveStatus::kOptimal;
   out.objective = incumbent;
   out.x = std::move(incumbent_x);
+  record_solve_metrics(out, prunes, incumbent_updates, t0);
   return out;
 }
 

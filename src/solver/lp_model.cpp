@@ -11,6 +11,7 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kFeasibleBudget: return "feasible-budget";
   }
   return "?";
 }

@@ -65,7 +65,16 @@ class LpModel {
   std::vector<Constraint> cons_;
 };
 
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+/// kFeasibleBudget marks an integer solution found before the B&B node
+/// budget truncated the search: feasible, but NOT proven optimal.  Callers
+/// that only accept proven optima must check for kOptimal specifically.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kFeasibleBudget
+};
 
 const char* to_string(SolveStatus s);
 

@@ -6,9 +6,31 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
 namespace vcopt::solver {
 
 namespace {
+
+// Accepts proven optima and budget-truncated incumbents; the latter are
+// surfaced (warn-once + counter) so a silently suboptimal answer cannot
+// masquerade as exact.
+bool usable_ilp_solution(const IlpSolution& sol, const char* where) {
+  if (sol.status == SolveStatus::kOptimal) return true;
+  if (sol.status == SolveStatus::kFeasibleBudget) {
+    obs::MetricsRegistry::global()
+        .counter("solver/budget_truncated_solves")
+        .add();
+    util::log_warn_once(std::string("sd_solver/budget/") + where)
+        << where << ": B&B node budget truncated the search after "
+        << sol.nodes_explored
+        << " nodes; using the best incumbent (NOT proven optimal)";
+    return true;
+  }
+  return false;
+}
 
 void check_shapes(const cluster::Request& request,
                   const util::IntMatrix& remaining,
@@ -65,6 +87,7 @@ std::optional<cluster::Allocation> fill_for_central(
 SdResult solve_sd_exact(const cluster::Request& request,
                         const util::IntMatrix& remaining,
                         const util::DoubleMatrix& dist) {
+  VCOPT_TRACE_SPAN("solver/sd_exact");
   check_shapes(request, remaining, dist);
   SdResult best;
   best.distance = std::numeric_limits<double>::infinity();
@@ -138,6 +161,7 @@ LpModel build_sd_model(const cluster::Request& request,
 SdResult solve_sd_ilp(const cluster::Request& request,
                       const util::IntMatrix& remaining,
                       const util::DoubleMatrix& dist, const IlpOptions& options) {
+  VCOPT_TRACE_SPAN("solver/sd_ilp");
   check_shapes(request, remaining, dist);
   const std::size_t n = remaining.rows();
   const std::size_t m = remaining.cols();
@@ -146,7 +170,7 @@ SdResult solve_sd_ilp(const cluster::Request& request,
   for (std::size_t k = 0; k < n; ++k) {
     const LpModel model = build_sd_model(request, remaining, dist, k);
     const IlpSolution sol = solve_ilp(model, options);
-    if (sol.status != SolveStatus::kOptimal) continue;
+    if (!usable_ilp_solution(sol, "solve_sd_ilp")) continue;
     if (!best.feasible || sol.objective < best.distance) {
       cluster::Allocation alloc(n, m);
       for (std::size_t i = 0; i < n; ++i) {
@@ -225,6 +249,7 @@ GsdResult solve_gsd_exact(const std::vector<cluster::Request>& requests,
                           const util::IntMatrix& remaining,
                           const util::DoubleMatrix& dist,
                           std::size_t max_tuples, const IlpOptions& options) {
+  VCOPT_TRACE_SPAN("solver/gsd_exact");
   if (requests.empty()) throw std::invalid_argument("solve_gsd_exact: no requests");
   const std::size_t n = remaining.rows();
   const std::size_t m = remaining.cols();
@@ -245,7 +270,7 @@ GsdResult solve_gsd_exact(const std::vector<cluster::Request>& requests,
   while (true) {
     const LpModel model = build_gsd_model(requests, remaining, dist, centrals);
     const IlpSolution sol = solve_ilp(model, options);
-    if (sol.status == SolveStatus::kOptimal &&
+    if (usable_ilp_solution(sol, "solve_gsd_exact") &&
         sol.objective < best.total_distance) {
       best.feasible = true;
       best.total_distance = sol.objective;

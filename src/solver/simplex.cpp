@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace vcopt::solver {
 
 namespace {
@@ -61,7 +63,7 @@ std::vector<double> reduced_costs(const Tableau& t, const std::vector<double>& c
 // columns (used to bar artificials in phase 2).  Bland's rule throughout.
 SolveStatus run_phase(Tableau& t, const std::vector<double>& cost,
                       const SimplexOptions& opt, bool bar_artificials,
-                      std::size_t& iterations_left) {
+                      std::size_t& iterations_left, std::size_t& pivots) {
   while (true) {
     if (iterations_left-- == 0) return SolveStatus::kIterationLimit;
     const std::vector<double> red = reduced_costs(t, cost);
@@ -93,8 +95,20 @@ SolveStatus run_phase(Tableau& t, const std::vector<double>& cost,
       }
     }
     if (leave == t.rows) return SolveStatus::kUnbounded;
+    ++pivots;
     pivot(t, leave, enter);
   }
+}
+
+// Local tallies are flushed once per solve so the pivot loop itself carries
+// no atomic traffic.
+void record_lp_metrics(std::size_t pivots) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static obs::Counter& solves = reg.counter("solver/lp_solves");
+  static obs::Counter& total_pivots = reg.counter("solver/simplex_pivots");
+  solves.add();
+  total_pivots.add(pivots);
 }
 
 }  // namespace
@@ -187,15 +201,17 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& opt) {
   }
 
   std::size_t iterations_left = opt.max_iterations;
+  std::size_t pivots = 0;
 
   // --- Phase 1: minimise the sum of artificials. ---
   if (artificials > 0) {
     std::vector<double> cost1(t.cols, 0.0);
     for (std::size_t c = t.artificial_begin; c < t.cols; ++c) cost1[c] = 1.0;
     const SolveStatus st = run_phase(t, cost1, opt, /*bar_artificials=*/false,
-                                     iterations_left);
+                                     iterations_left, pivots);
     if (st == SolveStatus::kIterationLimit) {
       out.status = st;
+      record_lp_metrics(pivots);
       return out;
     }
     // Phase-1 objective = sum of artificial values.
@@ -205,6 +221,7 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& opt) {
     }
     if (art_sum > 1e-7) {
       out.status = SolveStatus::kInfeasible;
+      record_lp_metrics(pivots);
       return out;
     }
     // Drive any zero-valued basic artificials out of the basis when a
@@ -225,7 +242,9 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& opt) {
   std::vector<double> cost2(t.cols, 0.0);
   for (std::size_t c = 0; c < nvars; ++c) cost2[c] = model.variable(c).objective;
   const SolveStatus st =
-      run_phase(t, cost2, opt, /*bar_artificials=*/true, iterations_left);
+      run_phase(t, cost2, opt, /*bar_artificials=*/true, iterations_left,
+                pivots);
+  record_lp_metrics(pivots);
   if (st != SolveStatus::kOptimal) {
     out.status = st;
     return out;

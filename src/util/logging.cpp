@@ -1,13 +1,49 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <unordered_set>
 
 namespace vcopt::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("VCOPT_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string v;
+  for (const char* p = env; *p != '\0'; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;  // unknown value: keep the default
+}
+
+bool timestamps_from_env() {
+  const char* env = std::getenv("VCOPT_LOG_TIMESTAMPS");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::atomic<LogLevel>& level_atomic() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
+std::atomic<bool>& timestamps_atomic() {
+  static std::atomic<bool> on{timestamps_from_env()};
+  return on;
+}
+
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -20,18 +56,50 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// "2026-08-06T12:34:56.789Z" (UTC, millisecond resolution).
+std::string iso8601_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
 }  // namespace
 
-void Logger::set_level(LogLevel level) { g_level.store(level); }
-LogLevel Logger::level() { return g_level.load(); }
+void Logger::set_level(LogLevel level) { level_atomic().store(level); }
+LogLevel Logger::level() { return level_atomic().load(); }
 bool Logger::enabled(LogLevel level) {
-  return static_cast<int>(level) >= static_cast<int>(g_level.load()) &&
+  return static_cast<int>(level) >= static_cast<int>(level_atomic().load()) &&
          level != LogLevel::kOff;
 }
 
+void Logger::set_timestamps(bool on) { timestamps_atomic().store(on); }
+bool Logger::timestamps() { return timestamps_atomic().load(); }
+
 void Logger::write(LogLevel level, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_mutex);
+  if (timestamps()) std::cerr << iso8601_now() << " ";
   std::cerr << "[" << level_name(level) << "] " << msg << "\n";
 }
+
+namespace detail {
+
+bool first_occurrence(const std::string& key) {
+  static std::mutex mu;
+  static std::unordered_set<std::string> seen;
+  std::lock_guard<std::mutex> lock(mu);
+  return seen.insert(key).second;
+}
+
+}  // namespace detail
 
 }  // namespace vcopt::util

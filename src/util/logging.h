@@ -1,6 +1,9 @@
 // Minimal leveled logger.  Levels are filtered at runtime via
 // Logger::set_level; the default (kWarn) keeps test/bench output clean while
-// examples can turn on kInfo/kDebug for narrated runs.
+// examples can turn on kInfo/kDebug for narrated runs.  The initial level
+// can also be set from the environment (VCOPT_LOG_LEVEL=debug|info|warn|
+// error|off), and VCOPT_LOG_TIMESTAMPS=1 prefixes every line with an
+// ISO-8601 UTC timestamp.
 #pragma once
 
 #include <sstream>
@@ -15,6 +18,9 @@ class Logger {
   static void set_level(LogLevel level);
   static LogLevel level();
   static bool enabled(LogLevel level);
+  /// ISO-8601 UTC timestamps on every line (also VCOPT_LOG_TIMESTAMPS=1).
+  static void set_timestamps(bool on);
+  static bool timestamps();
   /// Writes one line ("[LEVEL] msg") to stderr.  Thread-safe.
   static void write(LogLevel level, const std::string& msg);
 };
@@ -36,11 +42,22 @@ class LogLine {
   LogLevel level_;
   std::ostringstream os_;
 };
+
+/// True exactly once per distinct key (process lifetime).
+bool first_occurrence(const std::string& key);
 }  // namespace detail
 
 inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
 inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
 inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
 inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+/// Warn-once helper for hot loops: only the first call with a given key
+/// emits anything; later calls return a muted line (streaming into it is
+/// skipped entirely, so repeated calls stay cheap).
+inline detail::LogLine log_warn_once(const std::string& key) {
+  return detail::LogLine(detail::first_occurrence(key) ? LogLevel::kWarn
+                                                       : LogLevel::kOff);
+}
 
 }  // namespace vcopt::util

@@ -1,0 +1,154 @@
+// Tracer semantics: scoped-span nesting order, disabled no-op behaviour,
+// complete ("X") events, and the Chrome trace_event JSON schema.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace vcopt::obs {
+namespace {
+
+// The ScopedSpan macro records through Tracer::global(); each fixture run
+// starts from a clean, enabled tracer and leaves it disabled again.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TracerTest, NestedSpansEmitBalancedBeginEndInOrder) {
+  {
+    VCOPT_TRACE_SPAN("outer");
+    {
+      VCOPT_TRACE_SPAN("inner");
+    }
+    VCOPT_TRACE_SPAN("sibling");
+  }
+  const std::vector<TraceEvent> ev = Tracer::global().events();
+  ASSERT_EQ(ev.size(), 6u);
+  const char* names[] = {"outer", "inner", "inner", "sibling", "sibling",
+                         "outer"};
+  const char phs[] = {'B', 'B', 'E', 'B', 'E', 'E'};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ev[i].name, names[i]) << "event " << i;
+    EXPECT_EQ(ev[i].ph, phs[i]) << "event " << i;
+  }
+  // Timestamps are monotone within a thread.
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_GE(ev[i].ts, ev[i - 1].ts);
+  }
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::global().set_enabled(false);
+  {
+    VCOPT_TRACE_SPAN("ghost");
+    Tracer::global().begin("manual");
+    Tracer::global().end("manual");
+    Tracer::global().complete("also-ghost", 0, 10);
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST_F(TracerTest, SpansFromDifferentThreadsLandOnDifferentLanes) {
+  std::thread other([] {
+    VCOPT_TRACE_SPAN("worker");
+  });
+  other.join();
+  {
+    VCOPT_TRACE_SPAN("main");
+  }
+  const std::vector<TraceEvent> ev = Tracer::global().events();
+  ASSERT_EQ(ev.size(), 4u);
+  int worker_tid = 0;
+  int main_tid = 0;
+  for (const TraceEvent& e : ev) {
+    if (e.name == "worker") worker_tid = e.tid;
+    if (e.name == "main") main_tid = e.tid;
+  }
+  EXPECT_GT(worker_tid, 0);
+  EXPECT_GT(main_tid, 0);
+  EXPECT_NE(worker_tid, main_tid);
+}
+
+TEST_F(TracerTest, CompleteEventCarriesExplicitCoordinates) {
+  Tracer::global().complete("mapreduce/map_phase", 1000.0, 2500.0, /*pid=*/2,
+                            /*tid=*/3);
+  const std::vector<TraceEvent> ev = Tracer::global().events();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].ph, 'X');
+  EXPECT_DOUBLE_EQ(ev[0].ts, 1000.0);
+  EXPECT_DOUBLE_EQ(ev[0].dur, 2500.0);
+  EXPECT_EQ(ev[0].pid, 2);
+  EXPECT_EQ(ev[0].tid, 3);
+}
+
+TEST_F(TracerTest, EventsJsonMatchesChromeTraceSchema) {
+  {
+    VCOPT_TRACE_SPAN("solver/ilp_solve");
+  }
+  Tracer::global().complete("mapreduce/map_phase", 0.0, 42.0, 2, 1);
+
+  const util::Json doc =
+      util::Json::parse(Tracer::global().events_json().dump());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.size(), 3u);
+
+  const util::Json& b = doc.at(std::size_t{0});
+  EXPECT_EQ(b.at("name").as_string(), "solver/ilp_solve");
+  EXPECT_EQ(b.at("ph").as_string(), "B");
+  EXPECT_TRUE(b.at("ts").is_number());
+  EXPECT_TRUE(b.at("pid").is_number());
+  EXPECT_TRUE(b.at("tid").is_number());
+
+  const util::Json& e = doc.at(std::size_t{1});
+  EXPECT_EQ(e.at("ph").as_string(), "E");
+  EXPECT_EQ(e.at("name").as_string(), "solver/ilp_solve");
+
+  const util::Json& x = doc.at(std::size_t{2});
+  EXPECT_EQ(x.at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(x.at("dur").as_number(), 42.0);
+  EXPECT_EQ(x.at("pid").as_int(), 2);
+}
+
+TEST_F(TracerTest, WriteFileProducesParsableTrace) {
+  {
+    VCOPT_TRACE_SPAN("placement/online_place");
+  }
+  const std::string path = "test_trace_out.json";
+  ASSERT_TRUE(Tracer::global().write_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const util::Json doc = util::Json::parse(buf.str());
+  ASSERT_TRUE(doc.is_array());
+  EXPECT_EQ(doc.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, ClearDropsBufferedEvents) {
+  {
+    VCOPT_TRACE_SPAN("x");
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 2u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vcopt::obs

@@ -1,0 +1,77 @@
+// TimelineWriter: column layout, derived utilization column and CSV output.
+#include "sim/timeline_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace vcopt::sim {
+namespace {
+
+std::vector<TimelineSample> sample_timeline() {
+  return {
+      {0.0, 0, 0, 0},
+      {1.5, 4, 1, 2},
+      {3.0, 8, 0, 3},
+  };
+}
+
+TEST(TimelineWriter, CsvHasHeaderAndOneLinePerSample) {
+  const std::vector<TimelineSample> tl = sample_timeline();
+  TimelineWriter w(tl);
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string csv = os.str();
+
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "time,allocated_vms,queue_length,active_leases");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, tl.size());
+  EXPECT_NE(csv.find("1.500,4,1,2"), std::string::npos);
+}
+
+TEST(TimelineWriter, CapacityAddsUtilizationColumn) {
+  const std::vector<TimelineSample> tl = sample_timeline();
+  TimelineWriter w(tl, /*capacity_vms=*/8);
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string csv = os.str();
+
+  std::istringstream lines(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "time,allocated_vms,queue_length,active_leases,utilization");
+  // 4/8 and 8/8 utilization at 4-digit precision.
+  EXPECT_NE(csv.find("0.5000"), std::string::npos);
+  EXPECT_NE(csv.find("1.0000"), std::string::npos);
+}
+
+TEST(TimelineWriter, ToTableRowCountMatchesTimeline) {
+  const std::vector<TimelineSample> tl = sample_timeline();
+  EXPECT_EQ(TimelineWriter(tl).to_table().row_count(), tl.size());
+  EXPECT_EQ(TimelineWriter({}).to_table().row_count(), 0u);
+}
+
+TEST(TimelineWriter, WriteCsvFileRoundTrip) {
+  const std::vector<TimelineSample> tl = sample_timeline();
+  const std::string path = "test_timeline.csv";
+  ASSERT_TRUE(TimelineWriter(tl, 10).write_csv_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("utilization"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vcopt::sim

@@ -120,6 +120,37 @@ TEST(BranchBound, NodeLimitReported) {
   opt.max_nodes = 1;
   const IlpSolution s = solve_ilp(m, opt);
   EXPECT_TRUE(s.node_limit_hit);
+  // One node cannot produce an incumbent here, so the truncated search must
+  // not claim a feasible (let alone optimal) result.
+  EXPECT_TRUE(s.x.empty());
+  EXPECT_NE(s.status, SolveStatus::kOptimal);
+  EXPECT_NE(s.status, SolveStatus::kFeasibleBudget);
+}
+
+TEST(BranchBound, BudgetTruncationWithIncumbentIsFeasibleBudget) {
+  // Root LP is uniquely (x, y) = (0.8, 1): x is fractional, and *both*
+  // branches (x <= 0 and x >= 1) have integral LP optima.  With a 2-node
+  // budget the search explores the root plus one child, so it always holds
+  // an incumbent while the other child is still open — feasible but not
+  // proven optimal.
+  LpModel m;
+  const auto x = m.add_variable(0, 1, -1.0, true);
+  const auto y = m.add_variable(0, 1, -1.0, false);
+  m.add_constraint({{x, y}, {2.0, 1.0}, Relation::kLessEqual, 2.6, ""});
+  IlpOptions opt;
+  opt.max_nodes = 2;
+  const IlpSolution s = solve_ilp(m, opt);
+  EXPECT_TRUE(s.node_limit_hit);
+  EXPECT_EQ(s.status, SolveStatus::kFeasibleBudget);
+  ASSERT_FALSE(s.x.empty());
+  EXPECT_TRUE(m.is_feasible(s.x, 1e-6));
+  EXPECT_NEAR(s.x[0], std::round(s.x[0]), 1e-6);
+
+  // Without the budget the same model solves to proven optimality.
+  const IlpSolution full = solve_ilp(m, IlpOptions{});
+  EXPECT_EQ(full.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(full.objective, -1.6, 1e-6);
+  EXPECT_LE(full.objective, s.objective + 1e-9);
 }
 
 TEST(BranchBound, StatusToString) {
@@ -127,6 +158,7 @@ TEST(BranchBound, StatusToString) {
   EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
   EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
   EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(SolveStatus::kFeasibleBudget), "feasible-budget");
 }
 
 }  // namespace

@@ -38,5 +38,51 @@ TEST_F(LoggingTest, LogLineStreamsDoNotThrow) {
   EXPECT_NO_THROW(log_error() << "e");
 }
 
+TEST_F(LoggingTest, TimestampsToggleRoundTrip) {
+  const bool before = Logger::timestamps();
+  Logger::set_timestamps(true);
+  EXPECT_TRUE(Logger::timestamps());
+  Logger::set_timestamps(false);
+  EXPECT_FALSE(Logger::timestamps());
+  Logger::set_timestamps(before);
+}
+
+TEST_F(LoggingTest, TimestampPrefixIsIso8601Utc) {
+  Logger::set_level(LogLevel::kWarn);
+  Logger::set_timestamps(true);
+  ::testing::internal::CaptureStderr();
+  log_warn() << "stamped";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  Logger::set_timestamps(false);
+  // "YYYY-MM-DDTHH:MM:SS.mmmZ [WARN] stamped"
+  ASSERT_GE(out.size(), 25u);
+  EXPECT_EQ(out[4], '-');
+  EXPECT_EQ(out[7], '-');
+  EXPECT_EQ(out[10], 'T');
+  EXPECT_EQ(out[13], ':');
+  EXPECT_EQ(out[16], ':');
+  EXPECT_EQ(out[19], '.');
+  EXPECT_EQ(out[23], 'Z');
+  EXPECT_NE(out.find("[WARN] stamped"), std::string::npos);
+}
+
+TEST_F(LoggingTest, WarnOnceEmitsOnlyOnFirstUseOfKey) {
+  Logger::set_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_warn_once("test/unique-key-a") << "first";
+  log_warn_once("test/unique-key-a") << "second";
+  log_warn_once("test/unique-key-b") << "other-key";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_EQ(out.find("second"), std::string::npos);
+  EXPECT_NE(out.find("other-key"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FirstOccurrenceTracksDistinctKeys) {
+  EXPECT_TRUE(detail::first_occurrence("test/fo-1"));
+  EXPECT_FALSE(detail::first_occurrence("test/fo-1"));
+  EXPECT_TRUE(detail::first_occurrence("test/fo-2"));
+}
+
 }  // namespace
 }  // namespace vcopt::util

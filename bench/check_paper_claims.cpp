@@ -34,7 +34,7 @@ namespace {
 
 int failures = 0;
 
-void check(bool ok, const std::string& claim) {
+void check_claim(bool ok, const std::string& claim) {
   std::cout << (ok ? "[PASS] " : "[FAIL] ") << claim << "\n";
   if (!ok) ++failures;
 }
@@ -54,7 +54,7 @@ int main() {
     cluster::Allocation dc1(util::IntMatrix{{2, 2, 0}, {0, 2, 0}, {0, 0, 1}, {0, 0, 0}});
     cluster::Allocation dc3(util::IntMatrix{{2, 2, 1}, {0, 0, 0}, {0, 2, 0}, {0, 0, 0}});
     cluster::Allocation dc4(util::IntMatrix{{2, 1, 1}, {0, 1, 0}, {0, 2, 0}, {0, 0, 0}});
-    check(dc1.best_central(d).distance == 2 * d1 + d2 &&
+    check_claim(dc1.best_central(d).distance == 2 * d1 + d2 &&
               dc3.best_central(d).distance == 2 * d2 &&
               dc4.best_central(d).distance == d1 + 2 * d2,
           "C1: Fig. 1 candidate distances match 2d1+d2 / 2d2 / d1+2d2");
@@ -78,7 +78,7 @@ int main() {
       rand_sum +=
           placed->allocation.distance_from(k, sc.topology.distance_matrix());
     }
-    check(best_sum > 0 && rand_sum >= 1.5 * best_sum,
+    check_claim(best_sum > 0 && rand_sum >= 1.5 * best_sum,
           "C2: random central choice inflates summed distance >= 1.5x");
   }
 
@@ -95,7 +95,7 @@ int main() {
       lo = std::min(lo, dd);
       hi = std::max(hi, dd);
     }
-    check(placed.has_value() && lo > 0 && hi / lo >= 3.0,
+    check_claim(placed.has_value() && lo > 0 && hi / lo >= 3.0,
           "C3: central-node choice spreads one cluster's distance >= 3x");
   }
 
@@ -120,9 +120,9 @@ int main() {
     };
     const double big = mean_saving(workload::RequestScale::kBig);
     const double small = mean_saving(workload::RequestScale::kSmall);
-    check(big >= 0 && small >= 0,
+    check_claim(big >= 0 && small >= 0,
           "C4a: Theorem-2 transfers never increase total distance");
-    check(small > big,
+    check_claim(small > big,
           "C4b: global sub-optimisation helps small requests more (paper: "
           "12 % vs 2 %)");
   }
@@ -132,12 +132,12 @@ int main() {
     const auto rows = bench::run_fig78(2, /*trials=*/9);
     // rows: packed-pair(4), rack-sparse(7), cross-rack-packed(8),
     //       three-rack-sparse(12)
-    check(rows[0].runtime_mean < rows[2].runtime_mean &&
+    check_claim(rows[0].runtime_mean < rows[2].runtime_mean &&
               rows[2].runtime_mean < rows[3].runtime_mean,
           "C5a: runtime rises with distance (4 -> 8 -> 12)");
-    check(rows[1].runtime_mean > rows[2].runtime_mean,
+    check_claim(rows[1].runtime_mean > rows[2].runtime_mean,
           "C5b: the anomaly — sparse distance-7 slower than packed distance-8");
-    check(rows[1].non_local_maps >= rows[2].non_local_maps &&
+    check_claim(rows[1].non_local_maps >= rows[2].non_local_maps &&
               rows[1].non_local_shuffle > rows[2].non_local_shuffle,
           "C6: locality explains it — packed cluster is more local");
   }
@@ -158,7 +158,7 @@ int main() {
         all = false;
       }
     }
-    check(all, "C7: polynomial exact SD solver matches the ILP optimum");
+    check_claim(all, "C7: polynomial exact SD solver matches the ILP optimum");
   }
 
   std::cout << "==================================================\n"

@@ -1,0 +1,147 @@
+// vcopt::check — invariant-checking macros for the whole codebase.
+//
+// Three macros with identical mechanics but distinct intent:
+//   VCOPT_ASSERT(cond)     precondition / argument contract at API boundaries
+//   VCOPT_DCHECK(cond)     cheap internal sanity check on a hot path
+//   VCOPT_INVARIANT(cond)  structural invariant at a phase boundary
+// plus
+//   VCOPT_VALIDATE(expr)   runs a domain validator (see check/validators.h)
+//                          returning a {ok, message} result and aborts with
+//                          the validator's diagnostic when it reports failure.
+//
+// All four are gated by VCOPT_ENABLE_CHECKS.  When the macro is not defined
+// on the command line it defaults to ON in Debug builds (no NDEBUG) and OFF
+// otherwise, matching classic assert().  The CMake cache variable
+// VCOPT_ENABLE_CHECKS=ON/OFF forces it either way for every target.
+//
+// When OFF, the condition / validator expression still has to compile (so
+// checks cannot rot) but is guaranteed NOT to be evaluated: the expansion is
+// `true || (...)` for conditions and `if (false) (...)` for validators, both
+// of which the optimiser deletes entirely — zero runtime cost.
+//
+// Extra context can be streamed onto any failing check and is printed with
+// the failure.  Matrices (util::Matrix has operator<<), scalars and strings
+// all work:
+//
+//   VCOPT_DCHECK(r < rows_) << "row " << r << " of " << rows_;
+//   VCOPT_INVARIANT(gain >= 0) << "Theorem-2 swap regressed:\n" << alloc;
+//
+// A failing check prints "<file>:<line>: <KIND> failed: <condition><context>"
+// to stderr in a single write and calls std::abort(), so gtest death tests
+// can match the message and production cores carry the diagnostic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#if !defined(VCOPT_ENABLE_CHECKS)
+#if defined(NDEBUG)
+#define VCOPT_ENABLE_CHECKS 0
+#else
+#define VCOPT_ENABLE_CHECKS 1
+#endif
+#endif
+
+namespace vcopt::check::detail {
+
+/// Accumulates the failure message; the destructor (end of the full check
+/// expression, once all context has been streamed) emits it and aborts.
+class CheckFailure {
+ public:
+  CheckFailure(const char* kind, const char* condition, const char* file,
+               int line) {
+    os_ << file << ":" << line << ": " << kind << " failed: " << condition;
+  }
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure() {
+    os_ << "\n";
+    const std::string msg = os_.str();
+    std::fwrite(msg.data(), 1, msg.size(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Makes the whole check expression void so it can sit inside a ternary
+/// (operator& binds looser than operator<<, so streamed context attaches to
+/// the CheckFailure first).
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+/// Swallows streamed context when checks are compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+struct NullVoidify {
+  // Const ref: binds both the bare `NullStream()` temporary (no streamed
+  // context) and the lvalue returned by a chained `operator<<`.
+  void operator&(const NullStream&) const {}
+};
+
+}  // namespace vcopt::check::detail
+
+// Active: evaluate the condition once; on failure build and emit the
+// diagnostic, then abort.  Trailing `<< context` lands in the false branch.
+#define VCOPT_CHECK_ON_(kind, cond)                                        \
+  (static_cast<bool>(cond))                                                \
+      ? (void)0                                                            \
+      : ::vcopt::check::detail::Voidify() &                                \
+            ::vcopt::check::detail::CheckFailure(kind, #cond, __FILE__,    \
+                                                 __LINE__)                 \
+                .stream()
+
+// Disabled: `true || cond` short-circuits, so the condition compiles but is
+// never evaluated and the optimiser removes the whole statement.
+#define VCOPT_CHECK_OFF_(cond)                    \
+  (true || static_cast<bool>(cond))               \
+      ? (void)0                                   \
+      : ::vcopt::check::detail::NullVoidify() &   \
+            ::vcopt::check::detail::NullStream()
+
+#if VCOPT_ENABLE_CHECKS
+
+#define VCOPT_ASSERT(cond) VCOPT_CHECK_ON_("VCOPT_ASSERT", cond)
+#define VCOPT_DCHECK(cond) VCOPT_CHECK_ON_("VCOPT_DCHECK", cond)
+#define VCOPT_INVARIANT(cond) VCOPT_CHECK_ON_("VCOPT_INVARIANT", cond)
+
+#define VCOPT_VALIDATE(expr)                                               \
+  do {                                                                     \
+    const auto vcopt_validation_result_ = (expr);                          \
+    if (!vcopt_validation_result_.ok) {                                    \
+      ::vcopt::check::detail::CheckFailure("VCOPT_VALIDATE", #expr,        \
+                                           __FILE__, __LINE__)             \
+              .stream()                                                    \
+          << "\n"                                                          \
+          << vcopt_validation_result_.message;                             \
+    }                                                                      \
+  } while (false)
+
+#else  // !VCOPT_ENABLE_CHECKS
+
+#define VCOPT_ASSERT(cond) VCOPT_CHECK_OFF_(cond)
+#define VCOPT_DCHECK(cond) VCOPT_CHECK_OFF_(cond)
+#define VCOPT_INVARIANT(cond) VCOPT_CHECK_OFF_(cond)
+
+// The validator call compiles (no rot) but the branch is dead, so it is
+// never evaluated — validators can be arbitrarily expensive.
+#define VCOPT_VALIDATE(expr) \
+  do {                       \
+    if (false) {             \
+      (void)(expr);          \
+    }                        \
+  } while (false)
+
+#endif  // VCOPT_ENABLE_CHECKS

@@ -1,0 +1,216 @@
+#include "check/validators.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace vcopt::check {
+
+namespace {
+
+std::string dump_matrix(const char* name, const util::IntMatrix& m) {
+  std::ostringstream os;
+  os << name << " (" << m.rows() << "x" << m.cols() << "):\n" << m;
+  return os.str();
+}
+
+}  // namespace
+
+ValidationResult valid() { return ValidationResult{}; }
+
+ValidationResult invalid(std::string message) {
+  return ValidationResult{false, std::move(message)};
+}
+
+ValidationResult validate_allocation(const util::IntMatrix& counts,
+                                     const std::vector<int>& requested,
+                                     const util::IntMatrix& remaining) {
+  if (counts.rows() != remaining.rows() || counts.cols() != remaining.cols()) {
+    std::ostringstream os;
+    os << "allocation shape " << counts.rows() << "x" << counts.cols()
+       << " does not match capacity shape " << remaining.rows() << "x"
+       << remaining.cols();
+    return invalid(os.str());
+  }
+  if (requested.size() != counts.cols()) {
+    std::ostringstream os;
+    os << "request has " << requested.size() << " types but allocation has "
+       << counts.cols() << " columns";
+    return invalid(os.str());
+  }
+  ValidationResult fits = validate_fits(counts, remaining);
+  if (!fits.ok) return fits;
+  for (std::size_t j = 0; j < counts.cols(); ++j) {
+    const int supplied = counts.col_sum(j);
+    if (supplied != requested[j]) {
+      std::ostringstream os;
+      os << "demand violated for type " << j << ": sum_i C_ij = " << supplied
+         << " but R_j = " << requested[j] << "\n"
+         << dump_matrix("C", counts);
+      return invalid(os.str());
+    }
+  }
+  return valid();
+}
+
+ValidationResult validate_fits(const util::IntMatrix& counts,
+                               const util::IntMatrix& limit) {
+  if (counts.rows() != limit.rows() || counts.cols() != limit.cols()) {
+    std::ostringstream os;
+    os << "shape mismatch: " << counts.rows() << "x" << counts.cols()
+       << " vs limit " << limit.rows() << "x" << limit.cols();
+    return invalid(os.str());
+  }
+  for (std::size_t i = 0; i < counts.rows(); ++i) {
+    for (std::size_t j = 0; j < counts.cols(); ++j) {
+      const int c = counts(i, j);
+      if (c < 0) {
+        std::ostringstream os;
+        os << "negative entry C(" << i << "," << j << ") = " << c << "\n"
+           << dump_matrix("C", counts);
+        return invalid(os.str());
+      }
+      if (c > limit(i, j)) {
+        std::ostringstream os;
+        os << "capacity exceeded at (" << i << "," << j << "): C_ij = " << c
+           << " > L_ij = " << limit(i, j) << "\n"
+           << dump_matrix("C", counts) << "\n"
+           << dump_matrix("L", limit);
+        return invalid(os.str());
+      }
+    }
+  }
+  return valid();
+}
+
+double recompute_distance_from(const util::IntMatrix& counts,
+                               std::size_t central,
+                               const util::DoubleMatrix& dist) {
+  double total = 0;
+  for (std::size_t i = 0; i < counts.rows(); ++i) {
+    total += static_cast<double>(counts.row_sum(i)) * dist(i, central);
+  }
+  return total;
+}
+
+double recompute_dc(const util::IntMatrix& counts,
+                    const util::DoubleMatrix& dist) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < dist.cols(); ++k) {
+    const double d = recompute_distance_from(counts, k, dist);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+ValidationResult validate_reported_distance(const util::IntMatrix& counts,
+                                            const util::DoubleMatrix& dist,
+                                            std::size_t central,
+                                            double reported, double tol) {
+  if (central >= dist.cols()) {
+    std::ostringstream os;
+    os << "reported central " << central << " out of range (n = "
+       << dist.cols() << ")";
+    return invalid(os.str());
+  }
+  const double actual = recompute_distance_from(counts, central, dist);
+  if (std::abs(actual - reported) > tol) {
+    std::ostringstream os;
+    os << "reported distance " << reported << " for central " << central
+       << " disagrees with independent recomputation " << actual
+       << " (|diff| = " << std::abs(actual - reported) << " > tol = " << tol
+       << ")\n"
+       << dump_matrix("C", counts);
+    return invalid(os.str());
+  }
+  return valid();
+}
+
+ValidationResult validate_dc_optimal(const util::IntMatrix& counts,
+                                     const util::DoubleMatrix& dist,
+                                     double reported, double tol) {
+  const double dc = recompute_dc(counts, dist);
+  if (std::abs(dc - reported) > tol) {
+    std::ostringstream os;
+    os << "reported distance " << reported
+       << " is not DC(C): independent minimisation over all central nodes "
+          "gives "
+       << dc << " (|diff| = " << std::abs(dc - reported) << " > tol = " << tol
+       << ")\n"
+       << dump_matrix("C", counts);
+    return invalid(os.str());
+  }
+  return valid();
+}
+
+ValidationResult validate_finite(const std::vector<double>& values,
+                                 const std::string& what) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      std::ostringstream os;
+      os << what << "[" << i << "] = " << values[i] << " is not finite";
+      return invalid(os.str());
+    }
+  }
+  return valid();
+}
+
+ValidationResult validate_finite(const util::DoubleMatrix& m,
+                                 const std::string& what) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m(r, c))) {
+        std::ostringstream os;
+        os << what << "(" << r << "," << c << ") = " << m(r, c)
+           << " is not finite";
+        return invalid(os.str());
+      }
+    }
+  }
+  return valid();
+}
+
+ValidationResult validate_capacity_conservation(
+    const util::IntMatrix& allocated, const util::IntMatrix& remaining,
+    const util::IntMatrix& max_capacity) {
+  if (allocated.rows() != max_capacity.rows() ||
+      allocated.cols() != max_capacity.cols() ||
+      remaining.rows() != max_capacity.rows() ||
+      remaining.cols() != max_capacity.cols()) {
+    return invalid("capacity matrices disagree in shape");
+  }
+  for (std::size_t i = 0; i < allocated.rows(); ++i) {
+    for (std::size_t j = 0; j < allocated.cols(); ++j) {
+      const int a = allocated(i, j);
+      const int l = remaining(i, j);
+      const int m = max_capacity(i, j);
+      if (a < 0 || a > m || a + l != m) {
+        std::ostringstream os;
+        os << "capacity conservation violated at (" << i << "," << j
+           << "): allocated = " << a << ", remaining = " << l
+           << ", max = " << m << " (want 0 <= allocated <= max and "
+           << "allocated + remaining == max)\n"
+           << dump_matrix("allocated", allocated) << "\n"
+           << dump_matrix("remaining", remaining) << "\n"
+           << dump_matrix("max", max_capacity);
+        return invalid(os.str());
+      }
+    }
+  }
+  return valid();
+}
+
+ValidationResult validate_nondecreasing(const std::vector<double>& timestamps,
+                                        const std::string& what) {
+  for (std::size_t i = 1; i < timestamps.size(); ++i) {
+    if (timestamps[i] < timestamps[i - 1]) {
+      std::ostringstream os;
+      os << what << " went backwards at index " << i << ": "
+         << timestamps[i - 1] << " -> " << timestamps[i];
+      return invalid(os.str());
+    }
+  }
+  return valid();
+}
+
+}  // namespace vcopt::check

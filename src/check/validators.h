@@ -1,0 +1,84 @@
+// Domain validators for the paper's feasibility constraints (Def. 1/2/4) and
+// the bookkeeping invariants of the surrounding system.  Each validator
+// returns a ValidationResult whose message, on failure, names the violated
+// constraint and dumps the offending matrices/state, so a VCOPT_VALIDATE
+// failure is diagnosable from the abort message alone.
+//
+// Validators are plain functions over matrices/vectors (no dependency on the
+// cluster/solver layers), so every subsystem can call them; they are also
+// unit-tested directly, independent of whether checks are compiled in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "util/matrix.h"
+
+namespace vcopt::check {
+
+/// Outcome of a validator: `ok` plus a multi-line diagnostic when not.
+struct ValidationResult {
+  bool ok = true;
+  std::string message;
+  explicit operator bool() const { return ok; }
+};
+
+ValidationResult valid();
+ValidationResult invalid(std::string message);
+
+/// Definition 2 feasibility of an allocation C against a request R and
+/// remaining capacity L:  sum_i C_ij == R_j,  0 <= C_ij <= L_ij.
+ValidationResult validate_allocation(const util::IntMatrix& counts,
+                                     const std::vector<int>& requested,
+                                     const util::IntMatrix& remaining);
+
+/// Capacity-fit half of Definition 2 on its own: 0 <= C_ij <= L_ij.  Used
+/// where C aggregates several requests (GSD's shared-capacity coupling).
+ValidationResult validate_fits(const util::IntMatrix& counts,
+                               const util::IntMatrix& limit);
+
+/// Distance of C when `central` is forced as the central node:
+/// sum_i (sum_j C_ij) * D(i, central).  Independent of cluster::Allocation
+/// so it can cross-check it.
+double recompute_distance_from(const util::IntMatrix& counts,
+                               std::size_t central,
+                               const util::DoubleMatrix& dist);
+
+/// Definition 1: DC(C) = min_k recompute_distance_from(C, k, D).
+double recompute_dc(const util::IntMatrix& counts,
+                    const util::DoubleMatrix& dist);
+
+/// The solver-reported (central, distance) pair must match an independent
+/// recomputation of the forced-central distance.
+ValidationResult validate_reported_distance(const util::IntMatrix& counts,
+                                            const util::DoubleMatrix& dist,
+                                            std::size_t central,
+                                            double reported,
+                                            double tol = 1e-6);
+
+/// Stronger form for exact solvers: the reported distance must equal DC(C),
+/// i.e. the reported central node must be optimal for the allocation.
+ValidationResult validate_dc_optimal(const util::IntMatrix& counts,
+                                     const util::DoubleMatrix& dist,
+                                     double reported, double tol = 1e-6);
+
+/// No NaN/Inf anywhere (simplex tableaus, solution vectors, distances).
+ValidationResult validate_finite(const std::vector<double>& values,
+                                 const std::string& what);
+ValidationResult validate_finite(const util::DoubleMatrix& m,
+                                 const std::string& what);
+
+/// Inventory conservation: allocated + remaining == max and
+/// 0 <= allocated_ij <= max_ij everywhere.  (A drained node reports less
+/// remaining than max - allocated, so pass the undrained remaining matrix.)
+ValidationResult validate_capacity_conservation(
+    const util::IntMatrix& allocated, const util::IntMatrix& remaining,
+    const util::IntMatrix& max_capacity);
+
+/// Event/timeline timestamps must be non-decreasing.
+ValidationResult validate_nondecreasing(const std::vector<double>& timestamps,
+                                        const std::string& what);
+
+}  // namespace vcopt::check

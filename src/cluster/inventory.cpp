@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/check.h"
+#include "check/validators.h"
+
 namespace vcopt::cluster {
 
 const char* to_string(Admission a) {
@@ -101,6 +104,10 @@ void Inventory::allocate(const Allocation& alloc) {
     throw std::invalid_argument("Inventory::allocate: does not fit remaining capacity");
   }
   alloc_ += alloc.counts();
+  // C + L == M with 0 <= C <= M must hold after every mutation (drains only
+  // mask remaining(), so conservation is checked on the unmasked matrices).
+  VCOPT_VALIDATE(
+      check::validate_capacity_conservation(alloc_, max_ - alloc_, max_));
 }
 
 void Inventory::release(const Allocation& alloc) {
@@ -111,6 +118,8 @@ void Inventory::release(const Allocation& alloc) {
     throw std::invalid_argument("Inventory::release: releasing unallocated VMs");
   }
   alloc_ -= alloc.counts();
+  VCOPT_VALIDATE(
+      check::validate_capacity_conservation(alloc_, max_ - alloc_, max_));
 }
 
 double Inventory::utilization() const {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "check/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -339,18 +340,23 @@ void MapReduceEngine::write_output(std::size_t reducer) {
   st.output_replicas_pending = static_cast<int>(chain.size());
 
   const int epoch = st.epoch;
+  // The stored closure must not own itself (a shared_ptr cycle would leak
+  // it): it captures a weak_ptr, and each in-flight flow callback carries
+  // the strong reference that keeps the chain alive until the last hop.
   auto do_hop = std::make_shared<std::function<void(std::size_t)>>();
-  *do_hop = [this, reducer, chain, out_bytes, do_hop, epoch](std::size_t h) {
+  std::weak_ptr<std::function<void(std::size_t)>> weak_hop = do_hop;
+  *do_hop = [this, reducer, chain, out_bytes, weak_hop, epoch](std::size_t h) {
+    auto self = weak_hop.lock();
     const std::size_t src =
         h == 0 ? cluster_.vm(chain[0]).node : cluster_.vm(chain[h - 1]).node;
     const std::size_t dst = cluster_.vm(chain[h]).node;
     net_.start_flow(src, dst, out_bytes,
-                    [this, reducer, chain, do_hop, h, epoch](sim::FlowId) {
+                    [this, reducer, chain, self, h, epoch](sim::FlowId) {
                       ReducerState& rst = reducers_[reducer];
                       if (rst.done || rst.epoch != epoch) return;  // restarted
                       --rst.output_replicas_pending;
                       if (h + 1 < chain.size()) {
-                        (*do_hop)(h + 1);
+                        (*self)(h + 1);
                       } else if (rst.output_replicas_pending == 0) {
                         reducer_done(reducer);
                       }
@@ -503,6 +509,20 @@ JobMetrics MapReduceEngine::run() {
   metrics_.traffic.rack_bytes -= baseline.rack_bytes;
   metrics_.traffic.cross_rack_bytes -= baseline.cross_rack_bytes;
   metrics_.traffic.cross_cloud_bytes -= baseline.cross_cloud_bytes;
+
+  // Phase-boundary invariants: maps finish before the last shuffle fetch
+  // lands, shuffles land before the job completes, and the job's own traffic
+  // deltas are non-negative.
+  VCOPT_INVARIANT(metrics_.map_phase_end <= metrics_.shuffle_end + 1e-9 &&
+                  metrics_.shuffle_end <= metrics_.runtime + 1e-9)
+      << " phase timestamps out of order: map_phase_end="
+      << metrics_.map_phase_end << " shuffle_end=" << metrics_.shuffle_end
+      << " runtime=" << metrics_.runtime;
+  VCOPT_INVARIANT(metrics_.traffic.local_bytes >= 0 &&
+                  metrics_.traffic.rack_bytes >= 0 &&
+                  metrics_.traffic.cross_rack_bytes >= 0 &&
+                  metrics_.traffic.cross_cloud_bytes >= 0)
+      << " job traffic delta went negative (baseline subtraction bug)";
 
   // Project the job's simulated phases into the trace on their own process
   // lane (pid 2): phases overlap (shuffle starts while maps still run), so

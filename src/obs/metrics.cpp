@@ -69,7 +69,8 @@ double HistogramMetric::sum() const {
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* reg = [] {
-    auto* r = new MetricsRegistry();
+    // Intentionally leaked process-lifetime singleton.
+    auto* r = new MetricsRegistry();  // NOLINT(vcopt-raw-new)
     const char* env = std::getenv("VCOPT_METRICS");
     if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
       r->set_enabled(true);
@@ -82,14 +83,15 @@ MetricsRegistry& MetricsRegistry::global() {
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
-  if (!slot) slot.reset(new Counter(&enabled_));
+  // Private ctor: make_unique cannot be used here.
+  if (!slot) slot.reset(new Counter(&enabled_));  // NOLINT(vcopt-raw-new)
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
-  if (!slot) slot.reset(new Gauge(&enabled_));
+  if (!slot) slot.reset(new Gauge(&enabled_));  // NOLINT(vcopt-raw-new)
   return *slot;
 }
 
@@ -97,7 +99,11 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
-  if (!slot) slot.reset(new HistogramMetric(&enabled_, std::move(bounds)));
+  if (!slot) {
+    auto* h = new HistogramMetric(  // NOLINT(vcopt-raw-new)
+        &enabled_, std::move(bounds));
+    slot.reset(h);
+  }
   return *slot;
 }
 

@@ -26,7 +26,8 @@ Tracer::Tracer() {
 
 Tracer& Tracer::global() {
   static Tracer* tracer = [] {
-    auto* t = new Tracer();
+    // Intentionally leaked process-lifetime singleton.
+    auto* t = new Tracer();  // NOLINT(vcopt-raw-new)
     const char* env = std::getenv("VCOPT_TRACE");
     if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
       t->set_enabled(true);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -70,6 +72,14 @@ std::size_t transfer_directed(Placement& a, Placement& b,
 
 std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
                                    const util::DoubleMatrix& dist) {
+#if VCOPT_ENABLE_CHECKS
+  // Theorem 2 promises every swap strictly reduces the summed distance and
+  // conserves per-node/per-type totals across the pair; capture the state
+  // the promise is checked against.
+  const double distance_before = a.distance + b.distance;
+  const util::IntMatrix combined_before =
+      a.allocation.counts() + b.allocation.counts();
+#endif
   double gain_sum = 0;
   std::size_t swaps = transfer_directed(a, b, dist, gain_sum);
   swaps += transfer_directed(b, a, dist, gain_sum);
@@ -83,6 +93,22 @@ std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
     b.central = cb.node;
     b.distance = cb.distance;
   }
+#if VCOPT_ENABLE_CHECKS
+  VCOPT_INVARIANT(gain_sum >= 0)
+      << " Theorem-2 transfer applied a negative total gain " << gain_sum;
+  VCOPT_INVARIANT(a.distance + b.distance <= distance_before + 1e-6)
+      << " Theorem-2 transfer increased the summed distance: "
+      << distance_before << " -> " << a.distance + b.distance;
+  VCOPT_INVARIANT((a.allocation.counts() + b.allocation.counts()) ==
+                  combined_before)
+      << " Theorem-2 transfer did not conserve per-node/per-type totals:\n"
+      << "before:\n" << combined_before << "\nafter:\n"
+      << a.allocation.counts() + b.allocation.counts();
+  VCOPT_VALIDATE(check::validate_reported_distance(a.allocation.counts(), dist,
+                                                   a.central, a.distance));
+  VCOPT_VALIDATE(check::validate_reported_distance(b.allocation.counts(), dist,
+                                                   b.central, b.distance));
+#endif
   return swaps;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -168,6 +170,15 @@ std::optional<Placement> OnlineHeuristic::place(
     }
   }
   record_place_metrics(candidates, best.has_value());
+  if (best) {
+    // Algorithm-1 exit contract: Def. 2 feasibility against the remaining
+    // capacity we were given, and a reported distance that matches an
+    // independent recomputation for the chosen central node.
+    VCOPT_VALIDATE(check::validate_allocation(best->allocation.counts(),
+                                              request.counts(), remaining));
+    VCOPT_VALIDATE(check::validate_reported_distance(
+        best->allocation.counts(), dist, best->central, best->distance));
+  }
   return best;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -65,6 +67,10 @@ std::size_t Provisioner::next_in_queue() const {
 std::optional<Grant> Provisioner::try_place_and_grant(const cluster::Request& r) {
   auto placed = policy_->place(r, cloud_.remaining(), cloud_.topology());
   if (!placed) return std::nullopt;
+  // Catch a misbehaving policy with a contextual dump BEFORE the grant
+  // mutates the inventory (which would only throw a bare invalid_argument).
+  VCOPT_VALIDATE(check::validate_allocation(placed->allocation.counts(),
+                                            r.counts(), cloud_.remaining()));
   const cluster::LeaseId lease = cloud_.grant(r, placed->allocation);
   ProvisionerMetrics::get().grants.add();
   return Grant{lease, r.id(), std::move(*placed)};
@@ -138,6 +144,9 @@ std::vector<Grant> Provisioner::drain_batch_global() {
   std::vector<bool> served(batch.size(), false);
   for (std::size_t t = 0; t < placed.admitted.size(); ++t) {
     const std::size_t idx = placed.admitted[t];
+    VCOPT_VALIDATE(check::validate_allocation(
+        placed.placements[t].allocation.counts(), batch[idx].counts(),
+        cloud_.remaining()));
     const cluster::LeaseId lease =
         cloud_.grant(batch[idx], placed.placements[t].allocation);
     grants.push_back(Grant{lease, batch[idx].id(), placed.placements[t]});

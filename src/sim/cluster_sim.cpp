@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "check/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -53,6 +54,11 @@ ClusterSimResult run_cluster_sim(
   int allocated_vms = 0;
   std::vector<TimelineSample> timeline;
   auto sample = [&] {
+    VCOPT_DCHECK(queue.now() >= last_sample)
+        << " utilisation sample went backwards: " << last_sample << " -> "
+        << queue.now();
+    VCOPT_DCHECK(allocated_vms >= 0)
+        << " negative allocated-VM count " << allocated_vms;
     vm_seconds += allocated_vms * (queue.now() - last_sample);
     last_sample = queue.now();
   };

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.h"
+
 namespace vcopt::sim {
 
 EventId EventQueue::schedule(double time, Callback cb) {
@@ -30,6 +32,11 @@ bool EventQueue::step() {
     if (it == callbacks_.end()) continue;
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
+    // Simulated time is monotone: the heap can never surface an event from
+    // the past (schedule() rejects them), so firing order == time order.
+    VCOPT_INVARIANT(e.time >= now_)
+        << " event " << e.id << " fires at " << e.time
+        << " but the clock is already at " << now_;
     now_ = e.time;
     cb();
     return true;

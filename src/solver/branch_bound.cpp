@@ -6,6 +6,8 @@
 #include <queue>
 #include <vector>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "solver/simplex.h"
@@ -141,6 +143,14 @@ IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
       }
       const double obj = model.objective_value(x);
       if (obj < incumbent) {
+        // Incumbent monotonicity: each accepted incumbent strictly improves
+        // the previous one and satisfies the ORIGINAL model (the node's
+        // tightened bounds only restrict further).
+        VCOPT_INVARIANT(!std::isfinite(incumbent) || obj < incumbent)
+            << " B&B incumbent regressed: " << incumbent << " -> " << obj;
+        VCOPT_INVARIANT(model.is_feasible(x, 1e-6))
+            << " B&B incumbent violates the model constraints (objective "
+            << obj << ")";
         incumbent = obj;
         incumbent_x = std::move(x);
         ++incumbent_updates;
@@ -173,6 +183,7 @@ IlpSolution solve_ilp(const LpModel& model, const IlpOptions& opt) {
                                   : SolveStatus::kOptimal;
   out.objective = incumbent;
   out.x = std::move(incumbent_x);
+  VCOPT_VALIDATE(check::validate_finite(out.x, "ilp solution"));
   record_solve_metrics(out, prunes, incumbent_updates, t0);
   return out;
 }

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -102,6 +104,16 @@ SdResult solve_sd_exact(const cluster::Request& request,
       best.distance = d;
     }
   }
+  if (best.feasible) {
+    // Def. 2 feasibility + Def. 1 cross-check: the reported distance must be
+    // DC(C) under an independent recomputation (Theorem 1 guarantees the
+    // scan's minimum is also the allocation's optimal central).
+    VCOPT_VALIDATE(check::validate_allocation(best.allocation.counts(),
+                                              request.counts(), remaining));
+    VCOPT_VALIDATE(
+        check::validate_dc_optimal(best.allocation.counts(), dist,
+                                   best.distance));
+  }
   return best;
 }
 
@@ -125,6 +137,10 @@ SdResult solve_sd_exact_weighted(const cluster::Request& request,
       best.central = k;
       best.distance = d;
     }
+  }
+  if (best.feasible) {
+    VCOPT_VALIDATE(check::validate_allocation(best.allocation.counts(),
+                                              request.counts(), remaining));
   }
   return best;
 }
@@ -183,6 +199,15 @@ SdResult solve_sd_ilp(const cluster::Request& request,
       best.central = k;
       best.distance = sol.objective;
     }
+  }
+  if (best.feasible) {
+    // Budget-truncated incumbents may not be DC-optimal, so only the forced-
+    // central distance is cross-checked here (it must match the ILP
+    // objective exactly).
+    VCOPT_VALIDATE(check::validate_allocation(best.allocation.counts(),
+                                              request.counts(), remaining));
+    VCOPT_VALIDATE(check::validate_reported_distance(
+        best.allocation.counts(), dist, best.central, best.distance, 1e-6));
   }
   return best;
 }
@@ -293,6 +318,20 @@ GsdResult solve_gsd_exact(const std::vector<cluster::Request>& requests,
     }
     if (pos == p) break;
   }
+#if VCOPT_ENABLE_CHECKS
+  if (best.feasible) {
+    // Definition 4: per-request demand is met and the COMBINED allocation
+    // respects the shared capacity (per-request fit alone is not enough).
+    util::IntMatrix combined(n, m);
+    for (std::size_t k = 0; k < p; ++k) {
+      VCOPT_VALIDATE(check::validate_allocation(best.allocations[k].counts(),
+                                                requests[k].counts(),
+                                                remaining));
+      combined += best.allocations[k].counts();
+    }
+    VCOPT_VALIDATE(check::validate_fits(combined, remaining));
+  }
+#endif
   return best;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "obs/metrics.h"
 
 namespace vcopt::solver {
@@ -34,7 +36,12 @@ struct Row {
 };
 
 void pivot(Tableau& t, std::size_t pr, std::size_t pc) {
+  VCOPT_DCHECK(pr < t.rows && pc < t.cols)
+      << " pivot (" << pr << "," << pc << ") outside " << t.rows << "x"
+      << t.cols << " tableau";
   const double p = t.at(pr, pc);
+  VCOPT_DCHECK(std::isfinite(p) && p != 0)
+      << " pivot element at (" << pr << "," << pc << ") is " << p;
   for (std::size_t c = 0; c < t.cols; ++c) t.at(pr, c) /= p;
   t.rhs[pr] /= p;
   for (std::size_t r = 0; r < t.rows; ++r) {
@@ -98,6 +105,39 @@ SolveStatus run_phase(Tableau& t, const std::vector<double>& cost,
     ++pivots;
     pivot(t, leave, enter);
   }
+}
+
+// Tableau sanity for VCOPT_VALIDATE at phase boundaries: finite entries,
+// non-negative rhs (standard form), and a consistent basis (one basic column
+// per row, in range).  Compiled but never evaluated when checks are off.
+check::ValidationResult tableau_sane(const Tableau& t, const char* where) {
+  if (t.basis.size() != t.rows) {
+    return check::invalid(std::string(where) + ": basis size " +
+                          std::to_string(t.basis.size()) + " != rows " +
+                          std::to_string(t.rows));
+  }
+  for (std::size_t r = 0; r < t.rows; ++r) {
+    if (t.basis[r] >= t.cols) {
+      return check::invalid(std::string(where) + ": basis[" +
+                            std::to_string(r) + "] = " +
+                            std::to_string(t.basis[r]) +
+                            " out of range (cols = " + std::to_string(t.cols) +
+                            ")");
+    }
+    if (!std::isfinite(t.rhs[r]) || t.rhs[r] < -1e-7) {
+      return check::invalid(std::string(where) + ": rhs[" + std::to_string(r) +
+                            "] = " + std::to_string(t.rhs[r]) +
+                            " (standard form needs finite rhs >= 0)");
+    }
+    for (std::size_t c = 0; c < t.cols; ++c) {
+      if (!std::isfinite(t.at(r, c))) {
+        return check::invalid(std::string(where) + ": tableau(" +
+                              std::to_string(r) + "," + std::to_string(c) +
+                              ") = " + std::to_string(t.at(r, c)));
+      }
+    }
+  }
+  return check::valid();
 }
 
 // Local tallies are flushed once per solve so the pivot loop itself carries
@@ -202,6 +242,7 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& opt) {
 
   std::size_t iterations_left = opt.max_iterations;
   std::size_t pivots = 0;
+  VCOPT_VALIDATE(tableau_sane(t, "after construction"));
 
   // --- Phase 1: minimise the sum of artificials. ---
   if (artificials > 0) {
@@ -236,6 +277,7 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& opt) {
         }
       }
     }
+    VCOPT_VALIDATE(tableau_sane(t, "after phase 1"));
   }
 
   // --- Phase 2: original objective over structural columns. ---
@@ -257,6 +299,10 @@ LpSolution solve_lp(const LpModel& model, const SimplexOptions& opt) {
   }
   for (std::size_t i = 0; i < nvars; ++i) out.x[i] += shift[i];
   out.objective = model.objective_value(out.x);
+  VCOPT_VALIDATE(tableau_sane(t, "at optimum"));
+  VCOPT_VALIDATE(check::validate_finite(out.x, "lp solution"));
+  VCOPT_INVARIANT(model.is_feasible(out.x, 1e-6))
+      << " simplex returned kOptimal but the point violates the model";
   return out;
 }
 

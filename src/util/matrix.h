@@ -3,17 +3,19 @@
 // cell type without dragging in template instantiation boilerplate.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
+#include "check/check.h"
+
 namespace vcopt::util {
 
-/// Dense row-major matrix with bounds-checked access via at() and
-/// assert-checked access via operator().
+/// Dense row-major matrix with bounds-checked access via at() (throws) and
+/// VCOPT_DCHECK-checked access via operator() (aborts with a contextual
+/// message in checked builds, unchecked in release).
 template <typename T>
 class Matrix {
  public:
@@ -40,11 +42,15 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   T& operator()(std::size_t r, std::size_t c) {
-    assert(r < rows_ && c < cols_);
+    VCOPT_DCHECK(r < rows_ && c < cols_)
+        << " index (" << r << "," << c << ") out of bounds for " << rows_
+        << "x" << cols_ << " matrix";
     return data_[r * cols_ + c];
   }
   const T& operator()(std::size_t r, std::size_t c) const {
-    assert(r < rows_ && c < cols_);
+    VCOPT_DCHECK(r < rows_ && c < cols_)
+        << " index (" << r << "," << c << ") out of bounds for " << rows_
+        << "x" << cols_ << " matrix";
     return data_[r * cols_ + c];
   }
 

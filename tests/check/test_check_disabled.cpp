@@ -1,0 +1,60 @@
+// Proof that the VCOPT_* macros compile out: this translation unit FORCES
+// VCOPT_ENABLE_CHECKS=0 before any include, so failing conditions must
+// neither abort nor even be EVALUATED — the documented zero-cost-when-off
+// contract.
+#undef VCOPT_ENABLE_CHECKS
+#define VCOPT_ENABLE_CHECKS 0
+
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include "check/validators.h"
+
+static_assert(VCOPT_ENABLE_CHECKS == 0,
+              "this TU must be compiled with checks forced off");
+
+namespace {
+
+int evaluations = 0;
+bool count_and_return(bool value) {
+  ++evaluations;
+  return value;
+}
+
+vcopt::check::ValidationResult expensive_validator() {
+  ++evaluations;
+  return vcopt::check::invalid("should never be computed");
+}
+
+}  // namespace
+
+TEST(CheckMacrosDisabled, FailingChecksAreNoOps) {
+  VCOPT_ASSERT(false) << "not printed, not fatal";
+  VCOPT_DCHECK(false);
+  VCOPT_INVARIANT(false) << "still fine";
+  SUCCEED();
+}
+
+TEST(CheckMacrosDisabled, ConditionsAreNotEvaluated) {
+  evaluations = 0;
+  VCOPT_ASSERT(count_and_return(false));
+  VCOPT_DCHECK(count_and_return(false)) << " ctx " << count_and_return(true);
+  VCOPT_INVARIANT(count_and_return(false));
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckMacrosDisabled, ValidatorsAreNotEvaluated) {
+  evaluations = 0;
+  VCOPT_VALIDATE(expensive_validator());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckMacrosDisabled, StillParsesAsSingleStatement) {
+  const bool flag = false;
+  if (flag)
+    VCOPT_ASSERT(false);
+  else
+    VCOPT_DCHECK(false);
+  SUCCEED();
+}

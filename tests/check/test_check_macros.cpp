@@ -1,0 +1,84 @@
+// Death tests for the VCOPT_* macros.  This translation unit FORCES
+// VCOPT_ENABLE_CHECKS=1 before any include, so the macros are active here
+// regardless of build type or build-wide setting — the checks-fire path is
+// proven in every CI configuration, while test_check_disabled.cpp proves
+// the compiled-out path.
+#undef VCOPT_ENABLE_CHECKS
+#define VCOPT_ENABLE_CHECKS 1
+
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include "check/validators.h"
+#include "util/matrix.h"
+
+static_assert(VCOPT_ENABLE_CHECKS == 1,
+              "this TU must be compiled with checks forced on");
+
+namespace {
+
+int evaluations = 0;
+bool count_and_return(bool value) {
+  ++evaluations;
+  return value;
+}
+
+}  // namespace
+
+TEST(CheckMacrosDeathTest, AssertAbortsWithConditionAndContext) {
+  const int x = -3;
+  EXPECT_DEATH(VCOPT_ASSERT(x >= 0) << " x = " << x,
+               "VCOPT_ASSERT failed: x >= 0 x = -3");
+}
+
+TEST(CheckMacrosDeathTest, DcheckAndInvariantAbort) {
+  EXPECT_DEATH(VCOPT_DCHECK(false), "VCOPT_DCHECK failed: false");
+  EXPECT_DEATH(VCOPT_INVARIANT(1 + 1 == 3), "VCOPT_INVARIANT failed");
+}
+
+TEST(CheckMacrosDeathTest, FailureMessageCarriesFileAndLine) {
+  EXPECT_DEATH(VCOPT_ASSERT(false), "test_check_macros.cpp:[0-9]+:");
+}
+
+TEST(CheckMacrosDeathTest, MatrixOperatorBoundsFireWithContext) {
+  vcopt::util::IntMatrix m(2, 3, 0);
+  EXPECT_DEATH(m(2, 0), "index \\(2,0\\) out of bounds for 2x3 matrix");
+}
+
+TEST(CheckMacrosDeathTest, ValidateAbortsWithValidatorDiagnostic) {
+  const vcopt::util::IntMatrix c{{5}};
+  const vcopt::util::IntMatrix l{{2}};
+  EXPECT_DEATH(
+      VCOPT_VALIDATE(vcopt::check::validate_allocation(c, {5}, l)),
+      "VCOPT_VALIDATE failed.*capacity exceeded");
+}
+
+TEST(CheckMacros, PassingChecksAreSilentAndEvaluateOnce) {
+  evaluations = 0;
+  VCOPT_ASSERT(count_and_return(true)) << "never shown";
+  EXPECT_EQ(evaluations, 1);
+  VCOPT_DCHECK(count_and_return(true));
+  EXPECT_EQ(evaluations, 2);
+  VCOPT_INVARIANT(count_and_return(true));
+  EXPECT_EQ(evaluations, 3);
+  VCOPT_VALIDATE(vcopt::check::valid());
+}
+
+TEST(CheckMacros, StreamedContextOnPassingCheckIsNotEvaluated) {
+  // The context expression sits in the dead branch of the ternary, so it
+  // must not run when the condition holds.
+  evaluations = 0;
+  VCOPT_ASSERT(true) << " side effect " << count_and_return(true);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckMacros, WorksAsSingleStatementInControlFlow) {
+  // The macros must parse as one statement (no dangling-else surprises).
+  const bool flag = true;
+  if (flag)
+    VCOPT_ASSERT(flag);
+  else
+    VCOPT_ASSERT(!flag);
+  SUCCEED();
+}

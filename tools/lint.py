@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Project-specific lint checks that clang-tidy does not cover.
+
+Rules (all scoped to src/, tests/, bench/, tools/ C++ sources):
+
+  pragma-once        every header starts with `#pragma once` (leading
+                     comments/blank lines allowed before it).
+  using-in-header    no `using namespace` at namespace scope in headers —
+                     it leaks into every includer.
+  raw-rand           no `rand()` / `srand()`; use util::Rng so experiments
+                     stay seed-reproducible.
+  vcopt-raw-new      no raw `new` / `delete`; use containers or smart
+                     pointers.  Suppress intentional sites (leaky
+                     singletons, private ctors) with
+                     `// NOLINT(vcopt-raw-new)`.
+  iostream-logging   no `std::cout` / `std::cerr` / `printf` to the
+                     terminal from library code under src/; route through
+                     util/logging.h.  The logger backend itself and CLI
+                     binaries (src/exp/, bench/, tools/) are exempt.
+
+A line containing `NOLINT` (optionally with a rule list in parentheses)
+suppresses findings on that line, matching clang-tidy conventions.
+
+Exit status: 0 when clean, 1 when any finding is emitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+SCAN_DIRS = ("src", "tests", "bench", "tools")
+
+# Files allowed to talk to the terminal directly: the logging backend is
+# the single choke point all other src/ code must route through.
+IOSTREAM_ALLOWLIST = {
+    "src/util/logging.cpp",
+    "src/util/logging.h",
+}
+
+RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+RE_COMMENT_OR_BLANK = re.compile(r"^\s*(//.*|/\*.*|\*.*|\s*)$")
+RE_USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+RE_RAW_RAND = re.compile(r"(?<![\w:])s?rand\s*\(")
+RE_RAW_NEW = re.compile(r"(?<![\w:])new\s+[A-Za-z_:<]")
+RE_RAW_DELETE = re.compile(r"(?<![\w:])delete(\s*\[\s*\])?\s+[A-Za-z_]")
+RE_IOSTREAM = re.compile(r"std\s*::\s*(cout|cerr)\b|(?<![\w:])f?printf\s*\(")
+RE_NOLINT = re.compile(r"//.*\bNOLINT(?:\(([^)]*)\))?")
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_STRING = re.compile(r'"(\\.|[^"\\])*"')
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = RE_NOLINT.search(line)
+    if not m:
+        return False
+    rules = m.group(1)
+    return rules is None or rule in {r.strip() for r in rules.split(",")}
+
+
+def code_only(line: str) -> str:
+    """Strip string literals then line comments so patterns inside either
+    do not trip the checks."""
+    return RE_LINE_COMMENT.sub("", RE_STRING.sub('""', line))
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: pathlib.Path, lineno: int, rule: str,
+               msg: str) -> None:
+        rel = path.relative_to(REPO)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    def check_file(self, path: pathlib.Path) -> None:
+        rel = str(path.relative_to(REPO)).replace("\\", "/")
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = text.splitlines()
+        is_header = path.suffix in HEADER_SUFFIXES
+        in_src = rel.startswith("src/")
+        exempt_io = (rel in IOSTREAM_ALLOWLIST or not in_src
+                     or rel.startswith("src/exp/"))
+
+        if is_header:
+            self.check_pragma_once(path, lines)
+
+        in_block_comment = False
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2:]
+                in_block_comment = False
+            code = code_only(line)
+            if "/*" in code and "*/" not in code[code.index("/*"):]:
+                in_block_comment = True
+                code = code[: code.index("/*")]
+
+            if is_header and RE_USING_NAMESPACE.search(code) and not suppressed(
+                    raw, "using-in-header"):
+                self.report(path, lineno, "using-in-header",
+                            "`using namespace` in a header leaks into every "
+                            "includer; qualify names or alias instead")
+            if RE_RAW_RAND.search(code) and not suppressed(raw, "raw-rand"):
+                self.report(path, lineno, "raw-rand",
+                            "rand()/srand() breaks seeded reproducibility; "
+                            "use util::Rng")
+            if in_src and (RE_RAW_NEW.search(code)
+                           or RE_RAW_DELETE.search(code)) and not suppressed(
+                               raw, "vcopt-raw-new"):
+                self.report(path, lineno, "vcopt-raw-new",
+                            "raw new/delete; use std::make_unique or a "
+                            "container (NOLINT(vcopt-raw-new) for "
+                            "intentional leaks)")
+            if not exempt_io and RE_IOSTREAM.search(code) and not suppressed(
+                    raw, "iostream-logging"):
+                self.report(path, lineno, "iostream-logging",
+                            "library code must log via util/logging.h, not "
+                            "write to the terminal directly")
+
+    def check_pragma_once(self, path: pathlib.Path,
+                          lines: list[str]) -> None:
+        for lineno, raw in enumerate(lines, start=1):
+            if RE_PRAGMA_ONCE.match(raw):
+                return
+            if not RE_COMMENT_OR_BLANK.match(raw):
+                break  # first real line of code reached without the pragma
+        self.report(path, 1, "pragma-once",
+                    "header must start with `#pragma once` (leading "
+                    "comments allowed)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: scan the repo)")
+    args = parser.parse_args()
+
+    if args.paths:
+        files = [pathlib.Path(p).resolve() for p in args.paths]
+    else:
+        files = []
+        for d in SCAN_DIRS:
+            root = REPO / d
+            if not root.is_dir():
+                continue
+            files.extend(p for p in sorted(root.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES and p.is_file())
+
+    linter = Linter()
+    for f in files:
+        linter.check_file(f)
+
+    for finding in linter.findings:
+        print(finding)
+    if linter.findings:
+        print(f"\n{len(linter.findings)} lint finding(s).", file=sys.stderr)
+        return 1
+    print(f"lint: {len(files)} files clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

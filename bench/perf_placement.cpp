@@ -1,0 +1,425 @@
+// Reproducible placement performance harness: emits BENCH_placement.json so
+// every future PR has a throughput/latency trajectory to regress against.
+//
+// Three implementations of Algorithm 1 run over the Fig.-5 request mix at
+// several cloud scales:
+//
+//   baseline_prepr  The pre-PR scalar implementation (commit 5e9fcfb),
+//                   embedded below verbatim-in-spirit: per-comparison vector
+//                   allocations in the getList sort, a full O(n*m)
+//                   distance_from per candidate, no pruning, serial.  This
+//                   is the fixed yardstick the ">= 5x" acceptance criterion
+//                   is measured against.
+//   serial          Today's OnlineHeuristic forced to Execution::kSerial
+//                   (workspace reuse + key precompute + distance pruning).
+//   parallel        Today's OnlineHeuristic forced to Execution::kParallel
+//                   on the process-wide pool (VCOPT_THREADS); on a 1-core
+//                   host this degrades to the serial path.
+//
+// Every (scenario, request) is additionally cross-checked: serial and
+// parallel must produce bit-identical placements, and both must match the
+// baseline's (distance, central, allocation) — the optimizations are not
+// allowed to change Algorithm-1 semantics.
+//
+// Usage: perf_placement [--quick] [--out=FILE] [--seed=N]
+//   --quick   CI smoke mode: fewer iterations, smallest scenarios only.
+//   --out     output path (default BENCH_placement.json in the CWD).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "placement/global_subopt.h"
+#include "placement/online_heuristic.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace vcopt;
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// The pre-PR scalar Algorithm 1, kept as the fixed performance baseline.
+// ---------------------------------------------------------------------------
+namespace prepr {
+
+std::vector<int> com(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out(a.size());
+  for (std::size_t j = 0; j < a.size(); ++j) out[j] = std::min(a[j], b[j]);
+  return out;
+}
+
+std::vector<int> row_of(const util::IntMatrix& m, std::size_t i) {
+  std::vector<int> out(m.cols());
+  for (std::size_t j = 0; j < m.cols(); ++j) out[j] = m(i, j);
+  return out;
+}
+
+std::vector<std::size_t> sorted_candidates(const util::IntMatrix& remaining,
+                                           std::size_t central,
+                                           const std::vector<std::size_t>& nodes) {
+  const std::vector<int> lx = row_of(remaining, central);
+  std::vector<std::size_t> order = nodes;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto ka = com(lx, row_of(remaining, a));
+    const auto kb = com(lx, row_of(remaining, b));
+    return std::accumulate(ka.begin(), ka.end(), 0) >
+           std::accumulate(kb.begin(), kb.end(), 0);
+  });
+  return order;
+}
+
+void take(cluster::Allocation& alloc, std::vector<int>& need,
+          const util::IntMatrix& remaining, std::size_t node) {
+  for (std::size_t j = 0; j < remaining.cols(); ++j) {
+    const int t = std::min(need[j], remaining(node, j));
+    if (t > 0) {
+      alloc.at(node, j) += t;
+      need[j] -= t;
+    }
+  }
+}
+
+bool satisfied(const std::vector<int>& need) {
+  return std::all_of(need.begin(), need.end(), [](int v) { return v == 0; });
+}
+
+std::optional<cluster::Allocation> fill_from_central(
+    const cluster::Request& request, const util::IntMatrix& remaining,
+    const cluster::Topology& topology, std::size_t central) {
+  const std::size_t n = remaining.rows();
+  const std::size_t m = remaining.cols();
+  cluster::Allocation alloc(n, m);
+  std::vector<int> need = request.counts();
+
+  take(alloc, need, remaining, central);
+  if (satisfied(need)) return alloc;
+
+  std::vector<std::size_t> rack_mates;
+  for (std::size_t i : topology.nodes_in_rack(topology.rack_of(central))) {
+    if (i != central) rack_mates.push_back(i);
+  }
+  for (std::size_t i : sorted_candidates(remaining, central, rack_mates)) {
+    take(alloc, need, remaining, i);
+    if (satisfied(need)) return alloc;
+  }
+
+  std::vector<std::size_t> off_rack;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!topology.same_rack(i, central)) off_rack.push_back(i);
+  }
+  std::vector<std::size_t> sorted = sorted_candidates(remaining, central, off_rack);
+  std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+    return topology.distance(a, central) < topology.distance(b, central);
+  });
+  for (std::size_t i : sorted) {
+    take(alloc, need, remaining, i);
+    if (satisfied(need)) return alloc;
+  }
+  return std::nullopt;
+}
+
+std::optional<placement::Placement> place(const cluster::Request& request,
+                                          const util::IntMatrix& remaining,
+                                          const cluster::Topology& topology) {
+  const std::size_t n = remaining.rows();
+  for (std::size_t j = 0; j < remaining.cols(); ++j) {
+    int col = 0;
+    for (std::size_t i = 0; i < n; ++i) col += remaining(i, j);
+    if (request.count(j) > col) return std::nullopt;
+  }
+
+  const util::DoubleMatrix& dist = topology.distance_matrix();
+  for (std::size_t i = 0; i < n; ++i) {
+    bool whole = true;
+    for (std::size_t j = 0; j < remaining.cols(); ++j) {
+      if (remaining(i, j) < request.count(j)) {
+        whole = false;
+        break;
+      }
+    }
+    if (whole) {
+      cluster::Allocation alloc(n, remaining.cols());
+      for (std::size_t j = 0; j < remaining.cols(); ++j) {
+        alloc.at(i, j) = request.count(j);
+      }
+      return placement::Placement{std::move(alloc), i, 0.0};
+    }
+  }
+
+  std::optional<placement::Placement> best;
+  for (std::size_t x = 0; x < n; ++x) {
+    int row = 0;
+    for (std::size_t j = 0; j < remaining.cols(); ++j) row += remaining(x, j);
+    if (row == 0) continue;
+    auto alloc = fill_from_central(request, remaining, topology, x);
+    if (!alloc) continue;
+    const double d = alloc->distance_from(x, dist);
+    if (!best || d < best->distance) {
+      best = placement::Placement{std::move(*alloc), x, d};
+    }
+  }
+  return best;
+}
+
+}  // namespace prepr
+
+// ---------------------------------------------------------------------------
+// Measurement helpers.
+// ---------------------------------------------------------------------------
+
+struct Series {
+  std::string impl;
+  std::size_t iters = 0;
+  double ops_per_sec = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+template <typename Fn>
+Series measure(const std::string& impl, std::size_t iters, std::size_t warmup,
+               const Fn& op) {
+  for (std::size_t i = 0; i < warmup; ++i) op(i);
+  std::vector<double> lat_us;
+  lat_us.reserve(iters);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto a = Clock::now();
+    op(i);
+    const auto b = Clock::now();
+    lat_us.push_back(std::chrono::duration<double, std::micro>(b - a).count());
+  }
+  const double total_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  Series s;
+  s.impl = impl;
+  s.iters = iters;
+  s.ops_per_sec = total_s > 0 ? static_cast<double>(iters) / total_s : 0;
+  s.mean_us = std::accumulate(lat_us.begin(), lat_us.end(), 0.0) /
+              static_cast<double>(lat_us.empty() ? 1 : lat_us.size());
+  s.p50_us = percentile(lat_us, 0.50);
+  s.p99_us = percentile(lat_us, 0.99);
+  return s;
+}
+
+util::Json series_json(const Series& s) {
+  util::JsonObject o;
+  o["impl"] = s.impl;
+  o["iters"] = s.iters;
+  o["ops_per_sec"] = s.ops_per_sec;
+  o["mean_us"] = s.mean_us;
+  o["p50_us"] = s.p50_us;
+  o["p99_us"] = s.p99_us;
+  return util::Json(std::move(o));
+}
+
+bool same_placement(const std::optional<placement::Placement>& a,
+                    const std::optional<placement::Placement>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a) return true;
+  return a->central == b->central && a->distance == b->distance &&
+         a->allocation == b->allocation;
+}
+
+struct ScenarioSpec {
+  std::string name;
+  std::size_t racks;
+  std::size_t nodes_per_rack;
+  std::uint64_t seed;
+  std::size_t iters;       // measured place() calls per implementation
+  bool quick_included;     // run in --quick mode too?
+};
+
+util::Json run_scenario(const ScenarioSpec& spec, bool quick) {
+  // Fig.-5 workload shape at the requested cloud scale: inventory per node
+  // uniform in [0, 4], per-type request counts in [4, 10] (workload module,
+  // §V.A parameters).
+  util::Rng rng(spec.seed);
+  const cluster::Topology topo =
+      cluster::Topology::uniform(spec.racks, spec.nodes_per_rack);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const util::IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+  const std::vector<cluster::Request> requests =
+      workload::random_requests(catalog, rng, 20, 4, 10);
+
+  const std::size_t iters = quick ? std::max<std::size_t>(spec.iters / 10, 20)
+                                  : spec.iters;
+  const std::size_t warmup = std::max<std::size_t>(iters / 10, 2);
+
+  placement::OnlineHeuristic serial(placement::OnlineHeuristic::Mode::kBestOfAllStarts,
+                                    placement::OnlineHeuristic::Execution::kSerial);
+  placement::OnlineHeuristic parallel(placement::OnlineHeuristic::Mode::kBestOfAllStarts,
+                                      placement::OnlineHeuristic::Execution::kParallel);
+
+  // Semantic cross-check over the whole request mix before timing anything.
+  bool serial_parallel_identical = true;
+  bool baseline_identical = true;
+  for (const cluster::Request& r : requests) {
+    const auto p0 = prepr::place(r, remaining, topo);
+    const auto p1 = serial.place(r, remaining, topo);
+    const auto p2 = parallel.place(r, remaining, topo);
+    if (!same_placement(p1, p2)) serial_parallel_identical = false;
+    if (!same_placement(p0, p1)) baseline_identical = false;
+  }
+
+  std::vector<Series> series;
+  series.push_back(measure("baseline_prepr", iters, warmup, [&](std::size_t i) {
+    auto p = prepr::place(requests[i % requests.size()], remaining, topo);
+    if (p && p->distance < -1) std::abort();  // keep the optimizer honest
+  }));
+  series.push_back(measure("serial", iters, warmup, [&](std::size_t i) {
+    auto p = serial.place(requests[i % requests.size()], remaining, topo);
+    if (p && p->distance < -1) std::abort();
+  }));
+  series.push_back(measure("parallel", iters, warmup, [&](std::size_t i) {
+    auto p = parallel.place(requests[i % requests.size()], remaining, topo);
+    if (p && p->distance < -1) std::abort();
+  }));
+
+  util::JsonObject o;
+  o["name"] = spec.name;
+  o["nodes"] = topo.node_count();
+  o["racks"] = topo.rack_count();
+  o["types"] = catalog.size();
+  o["requests"] = requests.size();
+  o["seed"] = spec.seed;
+  util::JsonArray arr;
+  for (const Series& s : series) arr.push_back(series_json(s));
+  o["series"] = util::Json(std::move(arr));
+  o["serial_parallel_identical"] = serial_parallel_identical;
+  o["baseline_identical"] = baseline_identical;
+  const double base = series[0].ops_per_sec;
+  o["speedup_serial_vs_baseline"] = base > 0 ? series[1].ops_per_sec / base : 0;
+  o["speedup_parallel_vs_baseline"] = base > 0 ? series[2].ops_per_sec / base : 0;
+
+  std::cout << spec.name << ": baseline " << series[0].ops_per_sec
+            << " ops/s, serial " << series[1].ops_per_sec << " ops/s ("
+            << (base > 0 ? series[1].ops_per_sec / base : 0) << "x), parallel "
+            << series[2].ops_per_sec << " ops/s ("
+            << (base > 0 ? series[2].ops_per_sec / base : 0) << "x)"
+            << (serial_parallel_identical && baseline_identical
+                    ? ""
+                    : "  [EQUIVALENCE FAILURE]")
+            << "\n";
+  return util::Json(std::move(o));
+}
+
+util::Json run_batch(std::uint64_t seed, bool quick) {
+  // Algorithm 2 end-to-end: the Fig.-5 paper scenario batch through
+  // GlobalSubOpt (online placement + Theorem-2 transfer fixpoint with the
+  // dirty-pair worklist).
+  const workload::SimScenario sc =
+      workload::paper_sim_scenario(seed, workload::RequestScale::kBig);
+  placement::GlobalSubOpt global;
+  const std::size_t iters = quick ? 10 : 60;
+
+  placement::BatchPlacement last;
+  const Series s = measure("global_subopt_batch", iters, 2, [&](std::size_t) {
+    last = global.place_batch(sc.requests, sc.capacity, sc.topology);
+  });
+
+  util::JsonObject o;
+  o["name"] = "fig5_batch_paper";
+  o["nodes"] = sc.topology.node_count();
+  o["requests"] = sc.requests.size();
+  o["admitted"] = last.admitted.size();
+  o["transfers_applied"] = last.transfers_applied;
+  o["total_distance"] = last.total_distance;
+  o["series"] = util::Json(util::JsonArray{series_json(s)});
+  std::cout << "fig5_batch_paper: " << s.ops_per_sec << " batches/s ("
+            << last.transfers_applied << " transfers, total distance "
+            << last.total_distance << ")\n";
+  return util::Json(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_placement.json";
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      std::cerr << "usage: perf_placement [--quick] [--out=FILE] [--seed=N]\n";
+      return 2;
+    }
+  }
+
+  obs::register_metrics_sidecar("perf_placement");
+  std::cout << "perf_placement: threads="
+            << util::ThreadPool::configured_threads()
+            << " quick=" << (quick ? "yes" : "no") << " seed=" << seed << "\n";
+
+  // The paper scenario (3x10, the Fig.-5 setup), a "large" cloud of 100
+  // nodes (the acceptance-criteria scenario), and a 320-node stretch run.
+  std::vector<ScenarioSpec> specs = {
+      {"fig5_paper_30n", 3, 10, seed, 400, true},
+      {"fig5_large_100n", 10, 10, seed, 150, true},
+      {"fig5_xl_320n", 20, 16, seed, 40, false},
+  };
+
+  util::JsonArray scenarios;
+  bool all_equivalent = true;
+  for (const ScenarioSpec& spec : specs) {
+    if (quick && !spec.quick_included) continue;
+    util::Json sj = run_scenario(spec, quick);
+    all_equivalent = all_equivalent &&
+                     sj.at("serial_parallel_identical").as_bool() &&
+                     sj.at("baseline_identical").as_bool();
+    scenarios.push_back(std::move(sj));
+  }
+
+  util::JsonObject root;
+  root["schema"] = "vcopt-bench-placement/1";
+  root["quick"] = quick;
+  root["seed"] = seed;
+  root["threads"] = util::ThreadPool::configured_threads();
+  root["pool_workers"] = util::ThreadPool::global().size();
+  root["scenarios"] = util::Json(std::move(scenarios));
+  root["batch"] = run_batch(seed, quick);
+  root["all_equivalent"] = all_equivalent;
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::cerr << "perf_placement: cannot open " << out_path << "\n";
+    return 1;
+  }
+  f << util::Json(std::move(root)).dump(2) << "\n";
+  f.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!all_equivalent) {
+    std::cerr << "perf_placement: EQUIVALENCE FAILURE — optimized placement "
+                 "diverged from the pre-PR baseline\n";
+    return 1;
+  }
+  return 0;
+}

@@ -31,11 +31,19 @@ class Allocation {
   int& at(std::size_t node, std::size_t type) { return counts_.at(node, type); }
   int at(std::size_t node, std::size_t type) const { return counts_.at(node, type); }
 
+  /// Adds `delta` VMs of `type` on `node`, keeping the matrix's row/col sum
+  /// cache consistent incrementally — the Theorem-2 swap loop uses this so
+  /// vms_of_type() stays O(1) across thousands of swaps.
+  void add(std::size_t node, std::size_t type, int delta) {
+    counts_.add_at(node, type, delta);
+  }
+
   const util::IntMatrix& counts() const { return counts_; }
 
   /// Number of VMs (of all types) hosted on `node`: sum_j C(node, j).
+  /// Amortised O(1) via the matrix sum cache.
   int vms_on_node(std::size_t node) const { return counts_.row_sum(node); }
-  /// Cluster-wide count of VMs of `type`: sum_i C(i, type).
+  /// Cluster-wide count of VMs of `type`: sum_i C(i, type).  Amortised O(1).
   int vms_of_type(std::size_t type) const { return counts_.col_sum(type); }
   int total_vms() const { return counts_.total(); }
   bool empty_allocation() const { return total_vms() == 0; }

@@ -1,6 +1,9 @@
 #include "placement/global_subopt.h"
 
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "check/check.h"
 #include "check/validators.h"
@@ -37,18 +40,29 @@ std::size_t transfer_directed(Placement& a, Placement& b,
   const std::size_t x = a.central;
   const std::size_t y = b.central;
   if (x == y) return 0;
-  const std::size_t n = a.allocation.node_count();
-  const std::size_t m = a.allocation.type_count();
+  // Const views for all reads: the non-const accessors hand out raw
+  // references and would invalidate the allocations' row/col sum caches.
+  const cluster::Allocation& ca = a.allocation;
+  const cluster::Allocation& cb = b.allocation;
+  const std::size_t n = ca.node_count();
+  const std::size_t m = ca.type_count();
+  // D(x, y) is invariant across the whole scan — hoisted out of the loops.
+  const double dxy = dist(x, y);
   std::size_t swaps = 0;
   for (std::size_t r = 0; r < m; ++r) {
-    while (a.allocation.at(y, r) > 0) {
+    if (ca.at(y, r) == 0) continue;  // a parked nothing of type r on y
+    // Skip type rows where b holds no VM outside y: the inner scan could
+    // never find a swap partner.  O(1) via the cached column sums, which
+    // Allocation::add keeps consistent across swaps.
+    if (cb.vms_of_type(r) - cb.at(y, r) == 0) continue;
+    while (ca.at(y, r) > 0) {
       // Find b's VM of type r on the node q (!= y) farthest from y: that is
       // the swap with the largest gain D(x,y) + D(y,q) - D(x,q).
       std::size_t best_q = n;
       double best_gain = kEps;
       for (std::size_t q = 0; q < n; ++q) {
-        if (q == y || b.allocation.at(q, r) == 0) continue;
-        const double gain = dist(x, y) + dist(y, q) - dist(x, q);
+        if (q == y || cb.at(q, r) == 0) continue;
+        const double gain = dxy + dist(y, q) - dist(x, q);
         if (gain > best_gain) {
           best_gain = gain;
           best_q = q;
@@ -56,11 +70,11 @@ std::size_t transfer_directed(Placement& a, Placement& b,
       }
       if (best_q == n) break;
       // Swap the two VMs (conserves per-node/type totals across a+b).
-      a.allocation.at(y, r) -= 1;
-      a.allocation.at(best_q, r) += 1;
-      b.allocation.at(best_q, r) -= 1;
-      b.allocation.at(y, r) += 1;
-      a.distance += dist(x, best_q) - dist(x, y);
+      a.allocation.add(y, r, -1);
+      a.allocation.add(best_q, r, 1);
+      b.allocation.add(best_q, r, -1);
+      b.allocation.add(y, r, 1);
+      a.distance += dist(x, best_q) - dxy;
       b.distance += dist(y, y) - dist(y, best_q);
       gain_sum += best_gain;
       ++swaps;
@@ -134,17 +148,57 @@ BatchPlacement GlobalSubOpt::place_batch(
   }
 
   // Step 3: pairwise Theorem-2 adjustment until a full pass applies no swap.
+  //
+  // Dirty-pair worklist: transfer() is a pure function of the two
+  // placements, so a pair whose members are both unchanged since its last
+  // scan would apply zero swaps again — skip it.  Each placement carries a
+  // version bumped whenever a transfer mutates it; a pair is rescanned only
+  // when at least one member's version moved past what the pair last saw.
+  // Scan order within a round is unchanged (lexicographic i < j), so the
+  // sequence of applied swaps — and the final placements — are identical
+  // to the full O(P^2)-per-round sweep, minus the converged rescans.
   if (options_.apply_transfers && out.placements.size() > 1) {
+    const std::size_t num_placed = out.placements.size();
+    std::vector<std::uint64_t> version(num_placed, 1);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> last_scanned(
+        num_placed * num_placed, {0, 0});
+    std::size_t pairs_scanned = 0;
+    std::size_t pairs_skipped = 0;
     for (std::size_t round = 0; round < options_.max_rounds; ++round) {
       std::size_t swaps = 0;
-      for (std::size_t i = 0; i < out.placements.size(); ++i) {
-        for (std::size_t j = i + 1; j < out.placements.size(); ++j) {
-          swaps += transfer(out.placements[i], out.placements[j],
-                            topology.distance_matrix());
+      for (std::size_t i = 0; i < num_placed; ++i) {
+        for (std::size_t j = i + 1; j < num_placed; ++j) {
+          auto& seen = last_scanned[i * num_placed + j];
+          if (seen.first == version[i] && seen.second == version[j]) {
+            ++pairs_skipped;
+            continue;  // converged pair: both sides unchanged since last scan
+          }
+          ++pairs_scanned;
+          // Record what this scan saw BEFORE bumping: a pair that applied
+          // swaps changed its own members (centrals may have moved), so it
+          // must stay dirty and be rescanned next round, exactly as the
+          // full sweep would.
+          seen = {version[i], version[j]};
+          const std::size_t s = transfer(out.placements[i], out.placements[j],
+                                         topology.distance_matrix());
+          if (s > 0) {
+            ++version[i];
+            ++version[j];
+          }
+          swaps += s;
         }
       }
       out.transfers_applied += swaps;
       if (swaps == 0) break;
+    }
+    auto& reg = obs::MetricsRegistry::global();
+    if (reg.enabled()) {
+      static obs::Counter& scanned =
+          reg.counter("placement/transfer_pairs_scanned");
+      static obs::Counter& skipped =
+          reg.counter("placement/transfer_pairs_skipped");
+      scanned.add(pairs_scanned);
+      skipped.add(pairs_skipped);
     }
   }
 

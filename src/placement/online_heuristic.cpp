@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <numeric>
+#include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "check/check.h"
@@ -14,51 +15,201 @@ namespace vcopt::placement {
 
 namespace {
 
-// The paper's com(A, B): element-wise minimum.
-std::vector<int> com(const std::vector<int>& a, const std::vector<int>& b) {
-  std::vector<int> out(a.size());
-  for (std::size_t j = 0; j < a.size(); ++j) out[j] = std::min(a[j], b[j]);
-  return out;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Below this many candidate centrals the fork/join overhead of the pool
+// outweighs the scan itself, so Execution::kAuto stays serial.
+constexpr std::size_t kAutoParallelMinCandidates = 64;
+
+// Per-thread scratch for candidate evaluation.  All buffers are sized once
+// per (n, m) shape and reused across candidates and place() calls, so the
+// fill loop performs no heap allocation in steady state.  `alloc` holds the
+// current candidate's partial allocation; the invariant is that every entry
+// outside `touched`'s rows is zero (fills clear only the rows they wrote).
+struct Workspace {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::vector<int> need;            // outstanding per-type demand
+  std::vector<int> lx;              // central node's free-capacity row L[x]
+  std::vector<long long> key;       // per-node com(L[x], L[i]) overlap sums
+  std::vector<std::size_t> tier;    // candidate ordering within one tier
+  std::vector<int> node_vms;        // VMs taken per node, current candidate
+  std::vector<std::size_t> touched; // nodes written by the current candidate
+  util::IntMatrix alloc;            // current candidate's allocation
+  util::IntMatrix best_alloc;       // snapshot of the chunk's best candidate
+
+  void prepare(std::size_t n_, std::size_t m_) {
+    if (n == n_ && m == m_) return;
+    n = n_;
+    m = m_;
+    need.assign(m, 0);
+    lx.assign(m, 0);
+    key.assign(n, 0);
+    node_vms.assign(n, 0);
+    touched.clear();
+    tier.reserve(n);
+    alloc = util::IntMatrix(n, m, 0);
+  }
+};
+
+Workspace& local_workspace() {
+  thread_local Workspace ws;
+  return ws;
 }
 
-std::vector<int> row_of(const util::IntMatrix& m, std::size_t i) {
-  std::vector<int> out(m.cols());
-  for (std::size_t j = 0; j < m.cols(); ++j) out[j] = m(i, j);
-  return out;
-}
+// The greedy fill of Algorithm 1 for one fixed central node, evaluated into
+// ws.alloc.  Visits the central node, then rack-mates in descending
+// com(L[x], L[i]) overlap (the paper's getList ordering), then off-rack
+// nodes nearest-tier-first with the same overlap ordering inside each tier.
+//
+// `bound` enables Theorem-1-style pruning: the partial distance only grows
+// as farther nodes are taken, so once it reaches `bound` the candidate can
+// no longer strictly beat the incumbent (nor win the lowest-index tie-break
+// — the incumbent always has a lower candidate index within a chunk) and
+// the fill is abandoned.  Pass kInf to disable.
+//
+// On success, `final_distance` receives the exact distance from `central`,
+// summed in ascending node order — the same FP evaluation order as
+// Allocation::distance_from, so reported distances are bit-identical to an
+// independent recomputation.
+bool fill_candidate(const cluster::Request& request,
+                    const util::IntMatrix& remaining,
+                    const cluster::Topology& topology,
+                    const util::DoubleMatrix& dist, std::size_t central,
+                    double bound, Workspace& ws, double& final_distance,
+                    bool& pruned) {
+  pruned = false;
 
-// The paper's getList(D, x, flag) ordering key: nodes sorted by
-// sum_j com(L[x], L[i])[j] in descending order (nodes whose free capacity
-// best overlaps the central node's profile first).  Ties by index for
-// determinism.
-std::vector<std::size_t> sorted_candidates(const util::IntMatrix& remaining,
-                                           std::size_t central,
-                                           const std::vector<std::size_t>& nodes) {
-  const std::vector<int> lx = row_of(remaining, central);
-  std::vector<std::size_t> order = nodes;
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const auto ka = com(lx, row_of(remaining, a));
-    const auto kb = com(lx, row_of(remaining, b));
-    return std::accumulate(ka.begin(), ka.end(), 0) >
-           std::accumulate(kb.begin(), kb.end(), 0);
-  });
-  return order;
-}
+  // O(touched) reset of the previous candidate's writes.
+  for (std::size_t i : ws.touched) {
+    ws.node_vms[i] = 0;
+    for (std::size_t j = 0; j < ws.m; ++j) ws.alloc(i, j) = 0;
+  }
+  ws.touched.clear();
 
-// Takes min(remaining[node], need) of each type onto `alloc`.
-void take(cluster::Allocation& alloc, std::vector<int>& need,
-          const util::IntMatrix& remaining, std::size_t node) {
-  for (std::size_t j = 0; j < remaining.cols(); ++j) {
-    const int t = std::min(need[j], remaining(node, j));
-    if (t > 0) {
-      alloc.at(node, j) += t;
-      need[j] -= t;
+  const std::vector<int>& req = request.counts();
+  ws.need.assign(req.begin(), req.end());
+  int outstanding = 0;
+  for (int v : ws.need) outstanding += v;
+
+  // Takes min(remaining[node], need) of each type; returns VMs taken.
+  auto take = [&](std::size_t node) {
+    int took = 0;
+    for (std::size_t j = 0; j < ws.m; ++j) {
+      const int t = std::min(ws.need[j], remaining(node, j));
+      if (t > 0) {
+        ws.alloc(node, j) = t;
+        ws.need[j] -= t;
+        took += t;
+      }
+    }
+    if (took > 0) {
+      ws.node_vms[node] = took;
+      ws.touched.push_back(node);
+      outstanding -= took;
+    }
+    return took;
+  };
+
+  // Computes the getList sort keys for the nodes currently in ws.tier:
+  // key[i] = sum_j com(L[x], L[i])[j], against the cached central row.
+  auto compute_tier_keys = [&] {
+    for (std::size_t i : ws.tier) {
+      long long k = 0;
+      for (std::size_t j = 0; j < ws.m; ++j) {
+        k += std::min(ws.lx[j], remaining(i, j));
+      }
+      ws.key[i] = k;
+    }
+  };
+
+  // Step 1: the central node itself (com(L[x], R)); contributes distance 0.
+  take(central);
+  double running = 0;
+
+  // Step 2: rack-mates — getList(D, x, 0).
+  if (outstanding > 0) {
+    for (std::size_t j = 0; j < ws.m; ++j) ws.lx[j] = remaining(central, j);
+    ws.tier.clear();
+    for (std::size_t i : topology.nodes_in_rack(topology.rack_of(central))) {
+      if (i != central) ws.tier.push_back(i);
+    }
+    compute_tier_keys();
+    std::sort(ws.tier.begin(), ws.tier.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (ws.key[a] != ws.key[b]) return ws.key[a] > ws.key[b];
+                return a < b;
+              });
+    for (std::size_t i : ws.tier) {
+      const int took = take(i);
+      if (took > 0) {
+        running += static_cast<double>(took) * dist(i, central);
+        if (outstanding == 0) break;
+        if (running >= bound) {
+          pruned = true;
+          return false;
+        }
+      }
     }
   }
+
+  // Step 3: off-rack nodes — getList(D, x, 1), nearer tiers first (same
+  // cloud before cross-cloud) so Theorem 1 keeps applying, then the
+  // capacity-overlap ordering inside each tier.  Only reached (and only
+  // sorted) when the rack could not complete the request.
+  if (outstanding > 0) {
+    ws.tier.clear();
+    for (std::size_t i = 0; i < ws.n; ++i) {
+      if (!topology.same_rack(i, central)) ws.tier.push_back(i);
+    }
+    compute_tier_keys();
+    std::sort(ws.tier.begin(), ws.tier.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double da = dist(a, central);
+                const double db = dist(b, central);
+                if (da != db) return da < db;
+                if (ws.key[a] != ws.key[b]) return ws.key[a] > ws.key[b];
+                return a < b;
+              });
+    for (std::size_t i : ws.tier) {
+      const int took = take(i);
+      if (took > 0) {
+        running += static_cast<double>(took) * dist(i, central);
+        if (outstanding == 0) break;
+        if (running >= bound) {
+          pruned = true;
+          return false;
+        }
+      }
+    }
+  }
+
+  if (outstanding > 0) return false;  // infeasible from this central
+
+  // Exact distance in ascending node order (matches distance_from).
+  std::sort(ws.touched.begin(), ws.touched.end());
+  double d = 0;
+  for (std::size_t i : ws.touched) {
+    d += static_cast<double>(ws.node_vms[i]) * dist(i, central);
+  }
+  final_distance = d;
+  return true;
 }
 
-bool satisfied(const std::vector<int>& need) {
-  return std::all_of(need.begin(), need.end(), [](int v) { return v == 0; });
+// One flush per place() call; the candidate scan itself stays atomics-free.
+void record_place_metrics(std::size_t candidates, std::size_t pruned,
+                          bool found, bool parallel) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  static obs::Counter& placements = reg.counter("placement/placements");
+  static obs::Counter& infeasible = reg.counter("placement/infeasible");
+  static obs::Counter& evaluated = reg.counter("placement/candidates_evaluated");
+  static obs::Counter& abandoned = reg.counter("placement/candidates_pruned");
+  static obs::Counter& par_scans = reg.counter("placement/parallel_scans");
+  evaluated.add(candidates);
+  abandoned.add(pruned);
+  if (parallel) par_scans.add();
+  (found ? placements : infeasible).add();
 }
 
 }  // namespace
@@ -66,71 +217,39 @@ bool satisfied(const std::vector<int>& need) {
 std::optional<cluster::Allocation> OnlineHeuristic::fill_from_central(
     const cluster::Request& request, const util::IntMatrix& remaining,
     const cluster::Topology& topology, std::size_t central) {
-  const std::size_t n = remaining.rows();
-  const std::size_t m = remaining.cols();
-  if (topology.node_count() != n || request.type_count() != m) {
+  if (topology.node_count() != remaining.rows() ||
+      request.type_count() != remaining.cols()) {
     throw std::invalid_argument("fill_from_central: shape mismatch");
   }
-
-  cluster::Allocation alloc(n, m);
-  std::vector<int> need = request.counts();
-
-  // Step 1: the central node itself (com(L[x], R)).
-  take(alloc, need, remaining, central);
-  if (satisfied(need)) return alloc;
-
-  // Step 2: rack-mates — getList(D, x, 0).
-  std::vector<std::size_t> rack_mates;
-  for (std::size_t i : topology.nodes_in_rack(topology.rack_of(central))) {
-    if (i != central) rack_mates.push_back(i);
+  Workspace ws;
+  ws.prepare(remaining.rows(), remaining.cols());
+  double d = 0;
+  bool was_pruned = false;
+  if (!fill_candidate(request, remaining, topology, topology.distance_matrix(),
+                      central, kInf, ws, d, was_pruned)) {
+    return std::nullopt;
   }
-  for (std::size_t i : sorted_candidates(remaining, central, rack_mates)) {
-    take(alloc, need, remaining, i);
-    if (satisfied(need)) return alloc;
-  }
-
-  // Step 3: off-rack nodes — getList(D, x, 1).  Visit nearer tiers first
-  // (same cloud before cross-cloud) so Theorem 1 keeps applying, then the
-  // capacity-overlap ordering inside each tier.
-  std::vector<std::size_t> off_rack;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!topology.same_rack(i, central)) off_rack.push_back(i);
-  }
-  std::vector<std::size_t> sorted = sorted_candidates(remaining, central, off_rack);
-  std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
-    return topology.distance(a, central) < topology.distance(b, central);
-  });
-  for (std::size_t i : sorted) {
-    take(alloc, need, remaining, i);
-    if (satisfied(need)) return alloc;
-  }
-  return std::nullopt;
+  return cluster::Allocation(std::move(ws.alloc));
 }
-
-namespace {
-
-// One flush per place() call; the candidate scan itself stays atomics-free.
-void record_place_metrics(std::size_t candidates, bool found) {
-  auto& reg = obs::MetricsRegistry::global();
-  if (!reg.enabled()) return;
-  static obs::Counter& placements = reg.counter("placement/placements");
-  static obs::Counter& infeasible = reg.counter("placement/infeasible");
-  static obs::Counter& evaluated = reg.counter("placement/candidates_evaluated");
-  evaluated.add(candidates);
-  (found ? placements : infeasible).add();
-}
-
-}  // namespace
 
 std::optional<Placement> OnlineHeuristic::place(
     const cluster::Request& request, const util::IntMatrix& remaining,
     const cluster::Topology& topology) {
   VCOPT_TRACE_SPAN("placement/online_place");
   const std::size_t n = remaining.rows();
+  const std::size_t m = remaining.cols();
+  // Shape check hoisted out of the per-candidate fill: validate once per
+  // request instead of once per candidate central node.
+  if (topology.node_count() != n || request.type_count() != m) {
+    throw std::invalid_argument("OnlineHeuristic::place: shape mismatch");
+  }
+
   // Admission precheck (lines 1-5 of Algorithm 1): total availability.
-  for (std::size_t j = 0; j < remaining.cols(); ++j) {
+  // col_sum also warms `remaining`'s sum cache from this single thread,
+  // before any pool worker touches the matrix read-only.
+  for (std::size_t j = 0; j < m; ++j) {
     if (request.count(j) > remaining.col_sum(j)) {
-      record_place_metrics(0, false);
+      record_place_metrics(0, 0, false, false);
       return std::nullopt;
     }
   }
@@ -140,36 +259,120 @@ std::optional<Placement> OnlineHeuristic::place(
   // Lines 9-14: if one node can host everything, distance is 0 — take it.
   for (std::size_t i = 0; i < n; ++i) {
     bool whole = true;
-    for (std::size_t j = 0; j < remaining.cols(); ++j) {
+    for (std::size_t j = 0; j < m; ++j) {
       if (remaining(i, j) < request.count(j)) {
         whole = false;
         break;
       }
     }
     if (whole) {
-      cluster::Allocation alloc(n, remaining.cols());
-      for (std::size_t j = 0; j < remaining.cols(); ++j) {
+      cluster::Allocation alloc(n, m);
+      for (std::size_t j = 0; j < m; ++j) {
         alloc.at(i, j) = request.count(j);
       }
-      record_place_metrics(1, true);
+      record_place_metrics(1, 0, true, false);
       return Placement{std::move(alloc), i, 0.0};
     }
   }
 
-  std::optional<Placement> best;
-  std::size_t candidates = 0;
+  // Candidate central nodes: anything with free capacity.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(n);
   for (std::size_t x = 0; x < n; ++x) {
-    if (remaining.row_sum(x) == 0) continue;  // empty node: useless start
-    ++candidates;
-    auto alloc = fill_from_central(request, remaining, topology, x);
-    if (!alloc) continue;
-    const double d = alloc->distance_from(x, dist);
-    if (!best || d < best->distance) {
-      best = Placement{std::move(*alloc), x, d};
-      if (mode_ == Mode::kFirstImprovement) break;
+    if (remaining.row_sum(x) > 0) candidates.push_back(x);
+  }
+
+  std::optional<Placement> best;
+
+  if (mode_ == Mode::kFirstImprovement) {
+    // Literal pseudocode behaviour: stop at the first candidate that
+    // completes (the first feasible fill trivially improves on "nothing").
+    Workspace& ws = local_workspace();
+    ws.prepare(n, m);
+    std::size_t evaluated = 0;
+    for (std::size_t x : candidates) {
+      ++evaluated;
+      double d = 0;
+      bool was_pruned = false;
+      if (fill_candidate(request, remaining, topology, dist, x, kInf, ws, d,
+                         was_pruned)) {
+        best = Placement{cluster::Allocation(ws.alloc), x, d};
+        break;
+      }
+    }
+    record_place_metrics(evaluated, 0, best.has_value(), false);
+  } else {
+    // kBestOfAllStarts: every candidate is independent and read-only over
+    // `remaining`, so scan chunks in parallel.  Each chunk keeps a local
+    // incumbent (enabling the distance-bound pruning); chunk results merge
+    // commutatively — lexicographic min of (distance, central index) — so
+    // the winner is deterministic and bit-identical to the serial scan.
+    util::ThreadPool& pool = pool_ ? *pool_ : util::ThreadPool::global();
+    const bool parallel =
+        execution_ != Execution::kSerial && pool.size() > 1 &&
+        !pool.in_worker() &&
+        (execution_ == Execution::kParallel ||
+         candidates.size() >= kAutoParallelMinCandidates);
+
+    std::mutex merge_mu;
+    bool found = false;
+    double best_d = kInf;
+    std::size_t best_central = 0;
+    util::IntMatrix best_alloc;
+    std::size_t evaluated = 0;
+    std::size_t pruned = 0;
+
+    auto scan_chunk = [&](std::size_t chunk_begin, std::size_t chunk_end) {
+      Workspace& ws = local_workspace();
+      ws.prepare(n, m);
+      bool chunk_found = false;
+      double chunk_d = kInf;
+      std::size_t chunk_central = 0;
+      std::size_t chunk_evaluated = 0;
+      std::size_t chunk_pruned = 0;
+      for (std::size_t idx = chunk_begin; idx < chunk_end; ++idx) {
+        const std::size_t x = candidates[idx];
+        ++chunk_evaluated;
+        double d = 0;
+        bool was_pruned = false;
+        if (fill_candidate(request, remaining, topology, dist, x,
+                           chunk_found ? chunk_d : kInf, ws, d, was_pruned)) {
+          if (!chunk_found || d < chunk_d) {
+            chunk_found = true;
+            chunk_d = d;
+            chunk_central = x;
+            ws.best_alloc = ws.alloc;
+          }
+        } else if (was_pruned) {
+          ++chunk_pruned;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      evaluated += chunk_evaluated;
+      pruned += chunk_pruned;
+      if (chunk_found &&
+          (!found || chunk_d < best_d ||
+           (chunk_d == best_d && chunk_central < best_central))) {
+        found = true;
+        best_d = chunk_d;
+        best_central = chunk_central;
+        best_alloc = ws.best_alloc;
+      }
+    };
+
+    if (parallel) {
+      pool.parallel_for(candidates.size(), scan_chunk);
+    } else if (!candidates.empty()) {
+      scan_chunk(0, candidates.size());
+    }
+
+    record_place_metrics(evaluated, pruned, found, parallel);
+    if (found) {
+      best = Placement{cluster::Allocation(std::move(best_alloc)), best_central,
+                       best_d};
     }
   }
-  record_place_metrics(candidates, best.has_value());
+
   if (best) {
     // Algorithm-1 exit contract: Def. 2 feasibility against the remaining
     // capacity we were given, and a reported distance that matches an

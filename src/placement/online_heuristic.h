@@ -14,9 +14,19 @@
 // instead, which matches the text's stated intent of picking "the most
 // appropriate central node" and is never worse.  kFirstImprovement
 // reproduces the literal break-on-improvement behaviour.
+//
+// Performance (see docs/performance.md): every candidate evaluation is
+// independent and read-only over `remaining`, so kBestOfAllStarts scans
+// candidates in parallel on util::ThreadPool (VCOPT_THREADS).  The scan is
+// deterministic — the winner is the lexicographic minimum of (distance,
+// central index), reduced commutatively across chunks — so parallel output
+// is bit-identical to serial.  Per-thread Workspace buffers make the fill
+// allocation-free in steady state, and a candidate is abandoned early once
+// its partial distance can no longer beat the incumbent.
 #pragma once
 
 #include "placement/policy.h"
+#include "util/thread_pool.h"
 
 namespace vcopt::placement {
 
@@ -24,7 +34,20 @@ class OnlineHeuristic : public PlacementPolicy {
  public:
   enum class Mode { kBestOfAllStarts, kFirstImprovement };
 
-  explicit OnlineHeuristic(Mode mode = Mode::kBestOfAllStarts) : mode_(mode) {}
+  /// How the candidate-central-node scan runs.  kAuto picks parallel when
+  /// the pool has workers and the candidate count amortises the fork/join;
+  /// kSerial/kParallel force one path (kParallel still degrades gracefully
+  /// to inline execution on a worker-less pool).
+  enum class Execution { kAuto, kSerial, kParallel };
+
+  explicit OnlineHeuristic(Mode mode = Mode::kBestOfAllStarts,
+                           Execution execution = Execution::kAuto)
+      : mode_(mode), execution_(execution) {}
+
+  /// Pool override for tests and embedders; nullptr means
+  /// util::ThreadPool::global().  Not owned; must outlive the heuristic.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  void set_execution(Execution execution) { execution_ = execution; }
 
   std::optional<Placement> place(const cluster::Request& request,
                                  const util::IntMatrix& remaining,
@@ -40,6 +63,8 @@ class OnlineHeuristic : public PlacementPolicy {
 
  private:
   Mode mode_;
+  Execution execution_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace vcopt::placement

@@ -16,6 +16,15 @@ namespace vcopt::util {
 /// Dense row-major matrix with bounds-checked access via at() (throws) and
 /// VCOPT_DCHECK-checked access via operator() (aborts with a contextual
 /// message in checked builds, unchecked in release).
+///
+/// row_sum()/col_sum() are served from a lazily built cache: the first call
+/// after any mutation rebuilds every row and column sum in one O(rows*cols)
+/// pass, and subsequent calls are O(1).  Mutation through a non-const
+/// accessor (the caller gets a raw reference we cannot observe) invalidates
+/// the cache wholesale; add_at() instead maintains it incrementally, which
+/// is what the placement hot paths use.  The lazy rebuild mutates mutable
+/// state under const, so before sharing a matrix read-only across threads,
+/// call warm_sums() (or any row_sum/col_sum) from a single thread first.
 template <typename T>
 class Matrix {
  public:
@@ -45,6 +54,7 @@ class Matrix {
     VCOPT_DCHECK(r < rows_ && c < cols_)
         << " index (" << r << "," << c << ") out of bounds for " << rows_
         << "x" << cols_ << " matrix";
+    sums_valid_ = false;
     return data_[r * cols_ + c];
   }
   const T& operator()(std::size_t r, std::size_t c) const {
@@ -56,6 +66,7 @@ class Matrix {
 
   T& at(std::size_t r, std::size_t c) {
     check(r, c);
+    sums_valid_ = false;
     return data_[r * cols_ + c];
   }
   const T& at(std::size_t r, std::size_t c) const {
@@ -64,19 +75,48 @@ class Matrix {
   }
 
   /// Sum of the entries of row r (e.g. number of VMs a node hosts).
+  /// Amortised O(1): served from the sum cache (rebuilt lazily on first
+  /// call after a cache-invalidating mutation).
   T row_sum(std::size_t r) const {
     check(r, 0);
-    T s{};
-    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c);
-    return s;
+    warm_sums();
+    return row_sums_[r];
   }
 
   /// Sum of the entries of column c (e.g. cluster-wide count of one VM type).
+  /// Amortised O(1), same caching as row_sum().
   T col_sum(std::size_t c) const {
     check(0, c);
-    T s{};
-    for (std::size_t r = 0; r < rows_; ++r) s += (*this)(r, c);
-    return s;
+    warm_sums();
+    return col_sums_[c];
+  }
+
+  /// In-place update that keeps the sum cache consistent incrementally —
+  /// the mutation path hot loops should prefer over `at(r, c) += d`.
+  void add_at(std::size_t r, std::size_t c, T delta) {
+    check(r, c);
+    data_[r * cols_ + c] += delta;
+    if (sums_valid_) {
+      row_sums_[r] += delta;
+      col_sums_[c] += delta;
+    }
+  }
+
+  /// Builds the row/col sum cache if stale.  Call from a single thread
+  /// before concurrent read-only row_sum/col_sum access (the lazy rebuild
+  /// writes mutable state and is not synchronised).
+  void warm_sums() const {
+    if (sums_valid_) return;
+    row_sums_.assign(rows_, T{});
+    col_sums_.assign(cols_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const T& v = data_[r * cols_ + c];
+        row_sums_[r] += v;
+        col_sums_[c] += v;
+      }
+    }
+    sums_valid_ = true;
   }
 
   T total() const {
@@ -85,7 +125,10 @@ class Matrix {
     return s;
   }
 
-  void fill(T v) { data_.assign(data_.size(), v); }
+  void fill(T v) {
+    data_.assign(data_.size(), v);
+    sums_valid_ = false;
+  }
 
   /// Element-wise difference; shapes must match (used for L = M - C).
   Matrix operator-(const Matrix& o) const {
@@ -105,12 +148,14 @@ class Matrix {
   Matrix& operator+=(const Matrix& o) {
     require_same_shape(o);
     for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    sums_valid_ = false;
     return *this;
   }
 
   Matrix& operator-=(const Matrix& o) {
     require_same_shape(o);
     for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    sums_valid_ = false;
     return *this;
   }
 
@@ -162,6 +207,11 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<T> data_;
+  // Lazily built row/col sum cache (see class comment for the threading
+  // contract).  Copies carry the cache along; mutations invalidate it.
+  mutable std::vector<T> row_sums_;
+  mutable std::vector<T> col_sums_;
+  mutable bool sums_valid_ = false;
 };
 
 using IntMatrix = Matrix<int>;

@@ -137,6 +137,60 @@ TEST_P(GlobalNeverWorse, TransfersOnlyImprove) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GlobalNeverWorse,
                          ::testing::Range<std::uint64_t>(0, 30));
 
+// ISSUE 3: place_batch's dirty-pair worklist skips pairs both of whose
+// members are unchanged since their last scan.  The applied-swap sequence —
+// and therefore the final placements — must be identical to the full
+// O(P^2)-per-round sweep, reimplemented here from the public pieces.
+class WorklistEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorklistEquivalence, MatchesFullSweepBitwise) {
+  util::Rng rng(GetParam());
+  const Topology topo = Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+  const auto batch = workload::random_requests(catalog, rng, 14, 0, 4);
+
+  // Reference: steps 1+2 via the online heuristic, step 3 as the pre-PR
+  // full sweep over every pair each round.
+  OnlineHeuristic online;
+  std::vector<Placement> ref;
+  IntMatrix avail = remaining;
+  for (const Request& r : batch) {
+    auto placed = online.place(r, avail, topo);
+    if (!placed) continue;
+    avail -= placed->allocation.counts();
+    ref.push_back(std::move(*placed));
+  }
+  std::size_t ref_transfers = 0;
+  for (std::size_t round = 0; round < 100; ++round) {
+    std::size_t swaps = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      for (std::size_t j = i + 1; j < ref.size(); ++j) {
+        swaps += GlobalSubOpt::transfer(ref[i], ref[j], topo.distance_matrix());
+      }
+    }
+    ref_transfers += swaps;
+    if (swaps == 0) break;
+  }
+
+  GlobalSubOpt g;
+  const BatchPlacement out = g.place_batch(batch, remaining, topo);
+  ASSERT_EQ(out.placements.size(), ref.size()) << "seed=" << GetParam();
+  EXPECT_EQ(out.transfers_applied, ref_transfers) << "seed=" << GetParam();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(out.placements[i].central, ref[i].central)
+        << "seed=" << GetParam() << " i=" << i;
+    EXPECT_EQ(out.placements[i].distance, ref[i].distance)
+        << "seed=" << GetParam() << " i=" << i;
+    EXPECT_EQ(out.placements[i].allocation, ref[i].allocation)
+        << "seed=" << GetParam() << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorklistEquivalence,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
 TEST(GlobalSubOpt, EmptyBatch) {
   const Topology topo = Topology::uniform(1, 2);
   IntMatrix remaining{{1}, {1}};

@@ -1,0 +1,206 @@
+// ISSUE 3: the parallel candidate-central-node scan must be bit-identical
+// to the serial scan (same central, same distance down to the last bit,
+// same allocation matrix), and kBestOfAllStarts must equal an independent
+// argmin over fill_from_central — the optimizations (workspace reuse,
+// getList key precompute, distance-bound pruning, chunked parallel
+// reduction) are not allowed to change Algorithm-1 semantics.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <optional>
+
+#include "placement/online_heuristic.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/generator.h"
+
+namespace vcopt::placement {
+namespace {
+
+using cluster::Request;
+using cluster::Topology;
+using util::IntMatrix;
+
+void expect_identical(const std::optional<Placement>& a,
+                      const std::optional<Placement>& b,
+                      std::uint64_t seed) {
+  ASSERT_EQ(a.has_value(), b.has_value()) << "seed=" << seed;
+  if (!a) return;
+  EXPECT_EQ(a->central, b->central) << "seed=" << seed;
+  // Bitwise: both paths must evaluate the winning distance identically.
+  EXPECT_EQ(a->distance, b->distance) << "seed=" << seed;
+  EXPECT_EQ(a->allocation, b->allocation) << "seed=" << seed;
+}
+
+// Reference semantics of Mode::kBestOfAllStarts: argmin of
+// (distance, central index) over every candidate central with free
+// capacity, each filled by the public fill_from_central.
+std::optional<Placement> reference_best(const Request& r,
+                                        const IntMatrix& remaining,
+                                        const Topology& topo) {
+  const util::DoubleMatrix& dist = topo.distance_matrix();
+  std::optional<Placement> best;
+  for (std::size_t x = 0; x < remaining.rows(); ++x) {
+    if (remaining.row_sum(x) == 0) continue;
+    auto alloc = OnlineHeuristic::fill_from_central(r, remaining, topo, x);
+    if (!alloc) continue;
+    const double d = alloc->distance_from(x, dist);
+    if (!best || d < best->distance) best = Placement{std::move(*alloc), x, d};
+  }
+  return best;
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelEquivalence, SerialAndParallelBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  const Topology topo = Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+
+  util::ThreadPool pool(4);
+  OnlineHeuristic serial(OnlineHeuristic::Mode::kBestOfAllStarts,
+                         OnlineHeuristic::Execution::kSerial);
+  OnlineHeuristic parallel(OnlineHeuristic::Mode::kBestOfAllStarts,
+                           OnlineHeuristic::Execution::kParallel);
+  parallel.set_thread_pool(&pool);
+
+  // Several request shapes per seed, including ones too big to admit.
+  for (int lo_hi = 0; lo_hi < 4; ++lo_hi) {
+    const Request r =
+        workload::random_request(catalog, rng, lo_hi, 2 + 3 * lo_hi, 0);
+    const auto ps = serial.place(r, remaining, topo);
+    const auto pp = parallel.place(r, remaining, topo);
+    expect_identical(ps, pp, seed);
+    expect_identical(ps, reference_best(r, remaining, topo), seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(ParallelPlacement, LargeCloudMultiRackIdentical) {
+  util::Rng rng(1234);
+  const Topology topo = Topology::multi_cloud(2, 5, 8);  // 80 nodes, 2 clouds
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 3);
+
+  util::ThreadPool pool(7);  // deliberately not a divisor of the node count
+  OnlineHeuristic serial(OnlineHeuristic::Mode::kBestOfAllStarts,
+                         OnlineHeuristic::Execution::kSerial);
+  OnlineHeuristic parallel(OnlineHeuristic::Mode::kBestOfAllStarts,
+                           OnlineHeuristic::Execution::kParallel);
+  parallel.set_thread_pool(&pool);
+
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    const Request r = workload::random_request(catalog, rng, 2, 12, id);
+    const auto ps = serial.place(r, remaining, topo);
+    const auto pp = parallel.place(r, remaining, topo);
+    expect_identical(ps, pp, id);
+  }
+}
+
+TEST(ParallelPlacement, AutoExecutionMatchesForcedPaths) {
+  util::Rng rng(77);
+  const Topology topo = Topology::uniform(4, 8);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+  const Request r = workload::random_request(catalog, rng, 3, 9, 0);
+
+  util::ThreadPool pool(3);
+  OnlineHeuristic auto_exec(OnlineHeuristic::Mode::kBestOfAllStarts,
+                            OnlineHeuristic::Execution::kAuto);
+  auto_exec.set_thread_pool(&pool);
+  OnlineHeuristic serial(OnlineHeuristic::Mode::kBestOfAllStarts,
+                         OnlineHeuristic::Execution::kSerial);
+  expect_identical(auto_exec.place(r, remaining, topo),
+                   serial.place(r, remaining, topo), 77);
+}
+
+TEST(ParallelPlacement, WorkerlessPoolDegradesToSerial) {
+  util::Rng rng(9);
+  const Topology topo = Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+  const Request r = workload::random_request(catalog, rng, 2, 8, 0);
+
+  util::ThreadPool pool(1);  // no workers
+  OnlineHeuristic serial(OnlineHeuristic::Mode::kBestOfAllStarts,
+                         OnlineHeuristic::Execution::kSerial);
+  OnlineHeuristic parallel(OnlineHeuristic::Mode::kBestOfAllStarts,
+                           OnlineHeuristic::Execution::kParallel);
+  parallel.set_thread_pool(&pool);
+  expect_identical(serial.place(r, remaining, topo),
+                   parallel.place(r, remaining, topo), 9);
+}
+
+// Mode semantics (ISSUE 3 satellite): kFirstImprovement stops at the first
+// feasible candidate central (ascending index, empty nodes skipped), while
+// kBestOfAllStarts keeps scanning and can only be better or equal.
+TEST(HeuristicModes, FirstImprovementPicksFirstFeasibleCentral) {
+  const Topology topo = Topology::uniform(2, 2);
+  // Node 0 is empty (skipped as a central); no single node fits the whole
+  // request, so the single-node shortcut cannot fire.  Central 1 completes
+  // by borrowing off-rack, centrals 2-3 complete within their own rack.
+  IntMatrix remaining{{0, 0}, {1, 1}, {1, 1}, {1, 1}};
+  const Request r({2, 1});
+
+  OnlineHeuristic first(OnlineHeuristic::Mode::kFirstImprovement);
+  const auto pf = first.place(r, remaining, topo);
+  ASSERT_TRUE(pf.has_value());
+  // The first candidate with free capacity is node 1; its fill must match
+  // fill_from_central(central=1) exactly.
+  const auto ref = OnlineHeuristic::fill_from_central(r, remaining, topo, 1);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(pf->central, 1u);
+  EXPECT_EQ(pf->allocation, *ref);
+
+  OnlineHeuristic best(OnlineHeuristic::Mode::kBestOfAllStarts);
+  const auto pb = best.place(r, remaining, topo);
+  ASSERT_TRUE(pb.has_value());
+  EXPECT_LE(pb->distance, pf->distance);
+}
+
+class ModeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModeSweep, BestNeverWorseThanFirstImprovement) {
+  util::Rng rng(GetParam());
+  const Topology topo = Topology::uniform(3, 10);
+  const cluster::VmCatalog catalog = cluster::VmCatalog::ec2_default();
+  const IntMatrix remaining =
+      workload::random_inventory(topo, catalog, rng, 0, 4);
+  const Request r = workload::random_request(catalog, rng, 1, 7, 0);
+
+  OnlineHeuristic first(OnlineHeuristic::Mode::kFirstImprovement);
+  OnlineHeuristic best(OnlineHeuristic::Mode::kBestOfAllStarts);
+  const auto pf = first.place(r, remaining, topo);
+  const auto pb = best.place(r, remaining, topo);
+  ASSERT_EQ(pf.has_value(), pb.has_value()) << "seed=" << GetParam();
+  if (!pf) return;
+  EXPECT_TRUE(pf->allocation.satisfies(r));
+  EXPECT_TRUE(pb->allocation.satisfies(r));
+  EXPECT_LE(pb->distance, pf->distance + 1e-12) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeSweep,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+// The hoisted shape check must fire once per place() call.
+TEST(ParallelPlacement, ShapeMismatchThrows) {
+  const Topology topo = Topology::uniform(2, 2);
+  IntMatrix wrong_rows(3, 2, 1);
+  OnlineHeuristic h;
+  EXPECT_THROW(h.place(Request({1, 1}), wrong_rows, topo),
+               std::invalid_argument);
+  IntMatrix ok_shape(4, 2, 1);
+  EXPECT_THROW(h.place(Request({1, 1, 1}), ok_shape, topo),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcopt::placement

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 namespace vcopt::util {
@@ -112,6 +113,87 @@ TEST(Matrix, StreamOutput) {
 TEST(Matrix, DoubleMatrixWorks) {
   DoubleMatrix d(2, 2, 0.5);
   EXPECT_DOUBLE_EQ(d.total(), 2.0);
+}
+
+TEST(Matrix, CachedSumsSurviveAddAt) {
+  IntMatrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.row_sum(0), 3);  // builds the cache
+  m.add_at(0, 1, 5);           // must maintain it incrementally
+  EXPECT_EQ(m.row_sum(0), 8);
+  EXPECT_EQ(m.col_sum(1), 11);
+  EXPECT_EQ(m.at(0, 1), 7);
+}
+
+TEST(Matrix, CachedSumsInvalidatedByReferenceMutation) {
+  IntMatrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.col_sum(0), 4);
+  m.at(1, 0) = 10;  // raw reference write: cache must be rebuilt
+  EXPECT_EQ(m.col_sum(0), 11);
+  m(0, 0) = 7;
+  EXPECT_EQ(m.row_sum(0), 9);
+  EXPECT_EQ(m.col_sum(0), 17);
+}
+
+TEST(Matrix, CachedSumsInvalidatedByCompoundOps) {
+  IntMatrix m{{5, 5}, {5, 5}};
+  IntMatrix d{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.row_sum(1), 10);
+  m -= d;
+  EXPECT_EQ(m.row_sum(1), 3);
+  EXPECT_EQ(m.col_sum(0), 6);
+  m += d;
+  EXPECT_EQ(m.col_sum(1), 10);
+  m.fill(2);
+  EXPECT_EQ(m.row_sum(0), 4);
+}
+
+// Property test (ISSUE 3 satellite): a random interleaving of every
+// mutation path — at()/operator() reference writes, add_at, -=, +=, fill —
+// with cache-building reads must always agree with a brute-force
+// recomputation of the row/col sums.
+TEST(Matrix, CachedSumConsistencyPropertySweep) {
+  // xorshift-style deterministic sequence without dragging in util::Rng.
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::size_t rows = 5;
+  const std::size_t cols = 4;
+  IntMatrix m(rows, cols, 1);
+  IntMatrix delta(rows, cols, 1);
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t r = next() % rows;
+    const std::size_t c = next() % cols;
+    const int v = static_cast<int>(next() % 9) - 4;
+    switch (next() % 6) {
+      case 0: m.at(r, c) += v; break;
+      case 1: m(r, c) = v; break;
+      case 2: m.add_at(r, c, v); break;
+      case 3: m -= delta; break;
+      case 4: m += delta; break;
+      default: m.row_sum(r); break;  // interleave cache builds
+    }
+    if (next() % 3 == 0) {
+      int expect_row = 0;
+      for (std::size_t j = 0; j < cols; ++j) expect_row += m.at(r, j);
+      int expect_col = 0;
+      for (std::size_t i = 0; i < rows; ++i) expect_col += m.at(i, c);
+      ASSERT_EQ(m.row_sum(r), expect_row) << "step " << step;
+      ASSERT_EQ(m.col_sum(c), expect_col) << "step " << step;
+    }
+  }
+}
+
+TEST(Matrix, CopyCarriesConsistentSums) {
+  IntMatrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.row_sum(0), 3);
+  IntMatrix copy = m;
+  copy.add_at(0, 0, 1);
+  EXPECT_EQ(copy.row_sum(0), 4);
+  EXPECT_EQ(m.row_sum(0), 3);  // the original's cache is untouched
 }
 
 }  // namespace

@@ -9,9 +9,14 @@
 //   vcopt_cli sim [--policy P] [--seed N] [--requests K] [--scale big|medium|small]
 //       [--discipline fifo|priority|smallest-first] [--csv]
 //       [--trace trace.json] [--save-trace trace.json]
+//       [--fault-profile none|light|heavy|key=value,...]
 //       replay a Poisson request trace (or one loaded from JSON) through
 //       the churn simulator and print summary metrics (per-grant CSV with
-//       --csv, or the state-change timeline with --timeline).
+//       --csv, or the state-change timeline with --timeline).  With
+//       --fault-profile, node crashes / rack outages / transient
+//       degradations are injected on the same event clock and lost VMs are
+//       re-placed by the affinity-preserving repair loop; the summary gains
+//       a fault/repair section (see docs/robustness.md).
 //
 //   vcopt_cli export [--seed N] [--out cloud.json]
 //       write the generated random cloud as a JSON description that
@@ -31,6 +36,7 @@
 #include <map>
 #include <string>
 
+#include "fault/fault_sim.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/cluster_sim.h"
@@ -156,6 +162,50 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
   }
 
   cluster::Cloud cloud(sc.topology, sc.catalog, sc.capacity);
+
+  if (flags.count("fault-profile")) {
+    const fault::FaultProfile profile =
+        fault::FaultProfile::parse(flags.at("fault-profile"));
+    fault::FaultSimOptions fopt;
+    fopt.discipline = opt.discipline;
+    const fault::FaultSimResult res = fault::run_fault_sim(
+        cloud,
+        placement::make_policy(flag(flags, "policy", "online-heuristic")),
+        trace, profile, fopt);
+    if (flags.count("timeline")) {
+      sim::TimelineWriter(res.timeline,
+                          cloud.inventory().max_capacity().total())
+          .write_csv(std::cout);
+      return 0;
+    }
+    if (flags.count("timeline-out")) {
+      sim::TimelineWriter writer(res.timeline,
+                                 cloud.inventory().max_capacity().total());
+      if (!writer.write_csv_file(flags.at("timeline-out"))) {
+        std::cerr << "could not write " << flags.at("timeline-out") << "\n";
+        return 1;
+      }
+    }
+    std::cout << "fault profile: " << profile.describe() << "\n"
+              << "served:        " << res.grants.size() << "/" << trace.size()
+              << " (rejected " << res.rejected << ", unserved " << res.unserved
+              << ")\n"
+              << "faults:        " << res.node_crashes << " node crashes, "
+              << res.rack_outages << " rack outages, " << res.transients
+              << " transients (" << res.node_recoveries << " recoveries)\n"
+              << "repairs:       " << res.leases_hit << " leases hit, "
+              << res.vms_lost << " VMs lost, " << res.vms_replaced
+              << " replaced (" << res.repaired << " full, " << res.partial
+              << " partial, " << res.degraded << " degraded, "
+              << res.abandoned << " abandoned)\n"
+              << "DC penalty:    " << res.repair_distance_penalty << "\n"
+              << "total DC:      " << res.total_distance << "\n"
+              << "mean wait:     " << res.mean_wait << " s\n"
+              << "utilisation:   " << res.mean_utilization * 100 << " %\n"
+              << "makespan:      " << res.makespan << " s\n";
+    return 0;
+  }
+
   const sim::ClusterSimResult res = sim::run_cluster_sim(
       cloud, placement::make_policy(flag(flags, "policy", "online-heuristic")),
       trace, opt);
@@ -285,6 +335,7 @@ int main(int argc, char** argv) {
                  "  sim:   --policy P --seed N --requests K --scale big|medium|small\n"
                  "         --discipline fifo|priority|smallest-first --csv\n"
                  "         --timeline | --timeline-out=FILE\n"
+                 "         --fault-profile none|light|heavy|key=value,...\n"
                  "  any:   --metrics-out=FILE --trace-out=FILE\n";
     return 2;
   }

@@ -200,6 +200,67 @@ ValidationResult validate_capacity_conservation(
   return valid();
 }
 
+ValidationResult validate_repair_conservation(const util::IntMatrix& original,
+                                              const util::IntMatrix& lost,
+                                              const util::IntMatrix& replacement,
+                                              const std::vector<bool>& failed,
+                                              bool full_repair) {
+  if (lost.rows() != original.rows() || lost.cols() != original.cols() ||
+      replacement.rows() != original.rows() ||
+      replacement.cols() != original.cols() ||
+      failed.size() != original.rows()) {
+    return invalid("repair matrices/mask disagree in shape");
+  }
+  for (std::size_t i = 0; i < original.rows(); ++i) {
+    for (std::size_t j = 0; j < original.cols(); ++j) {
+      if (lost(i, j) < 0 || replacement(i, j) < 0) {
+        std::ostringstream os;
+        os << "negative repair entry at (" << i << "," << j
+           << "): lost = " << lost(i, j)
+           << ", replacement = " << replacement(i, j);
+        return invalid(os.str());
+      }
+      if (lost(i, j) > original(i, j)) {
+        std::ostringstream os;
+        os << "lost(" << i << "," << j << ") = " << lost(i, j)
+           << " exceeds the lease's " << original(i, j) << " VMs there\n"
+           << dump_matrix("original", original) << "\n"
+           << dump_matrix("lost", lost);
+        return invalid(os.str());
+      }
+      if (lost(i, j) > 0 && !failed[i]) {
+        std::ostringstream os;
+        os << "lost VMs reported on live node " << i << " (type " << j << ")";
+        return invalid(os.str());
+      }
+      if (replacement(i, j) > 0 && failed[i]) {
+        std::ostringstream os;
+        os << "replacement VMs placed on failed node " << i << " (type " << j
+           << ")";
+        return invalid(os.str());
+      }
+    }
+  }
+  for (std::size_t j = 0; j < original.cols(); ++j) {
+    int lost_j = 0;
+    int repl_j = 0;
+    for (std::size_t i = 0; i < original.rows(); ++i) {
+      lost_j += lost(i, j);
+      repl_j += replacement(i, j);
+    }
+    if (repl_j > lost_j || (full_repair && repl_j != lost_j)) {
+      std::ostringstream os;
+      os << "repair of type " << j << " replaces " << repl_j << " of " << lost_j
+         << " lost VMs (" << (full_repair ? "full" : "partial")
+         << " repair wants " << (full_repair ? "==" : "<=") << ")\n"
+         << dump_matrix("lost", lost) << "\n"
+         << dump_matrix("replacement", replacement);
+      return invalid(os.str());
+    }
+  }
+  return valid();
+}
+
 ValidationResult validate_nondecreasing(const std::vector<double>& timestamps,
                                         const std::string& what) {
   for (std::size_t i = 1; i < timestamps.size(); ++i) {

@@ -81,4 +81,16 @@ ValidationResult validate_capacity_conservation(
 ValidationResult validate_nondecreasing(const std::vector<double>& timestamps,
                                         const std::string& what);
 
+/// Repair conservation after a node failure: `lost` must be the slice of
+/// `original` hosted on failed nodes (lost <= original entrywise, with
+/// lost(i,j) > 0 only where failed[i]); `replacement` may only land on live
+/// nodes; and per VM type the replacement never exceeds what was lost —
+/// with exact equality when `full_repair`, so the repaired allocation
+/// original - lost + replacement conserves the per-type totals of the lease.
+ValidationResult validate_repair_conservation(const util::IntMatrix& original,
+                                              const util::IntMatrix& lost,
+                                              const util::IntMatrix& replacement,
+                                              const std::vector<bool>& failed,
+                                              bool full_repair);
+
 }  // namespace vcopt::check

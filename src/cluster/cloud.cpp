@@ -36,6 +36,65 @@ void Cloud::release(LeaseId id) {
   leases_.erase(it);
 }
 
+std::vector<LeaseId> Cloud::fail_node(std::size_t node) {
+  inventory_.fail_node(node);  // bounds-checks `node`
+  std::vector<LeaseId> affected;
+  for (const auto& [id, alloc] : leases_) {
+    for (std::size_t j = 0; j < alloc.type_count(); ++j) {
+      if (alloc.at(node, j) > 0) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  return affected;
+}
+
+Allocation Cloud::lease_part_on_node(LeaseId id, std::size_t node) const {
+  const Allocation& alloc = lease_allocation(id);
+  if (node >= alloc.node_count()) {
+    throw std::out_of_range("Cloud::lease_part_on_node");
+  }
+  Allocation part(alloc.node_count(), alloc.type_count());
+  for (std::size_t j = 0; j < alloc.type_count(); ++j) {
+    part.add(node, j, alloc.at(node, j));
+  }
+  return part;
+}
+
+void Cloud::shrink_lease(LeaseId id, const Allocation& lost) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) {
+    throw std::invalid_argument("Cloud::shrink_lease: unknown lease");
+  }
+  if (lost.node_count() != node_count() || lost.type_count() != type_count()) {
+    throw std::invalid_argument("Cloud::shrink_lease: shape mismatch");
+  }
+  if (!lost.valid() || !it->second.counts().dominates(lost.counts())) {
+    throw std::invalid_argument(
+        "Cloud::shrink_lease: lease does not hold the VMs being removed");
+  }
+  inventory_.release(lost);
+  for (std::size_t i = 0; i < lost.node_count(); ++i) {
+    for (std::size_t j = 0; j < lost.type_count(); ++j) {
+      if (lost.at(i, j) != 0) it->second.add(i, j, -lost.at(i, j));
+    }
+  }
+}
+
+void Cloud::grow_lease(LeaseId id, const Allocation& extra) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) {
+    throw std::invalid_argument("Cloud::grow_lease: unknown lease");
+  }
+  inventory_.allocate(extra);  // validates shape and fit
+  for (std::size_t i = 0; i < extra.node_count(); ++i) {
+    for (std::size_t j = 0; j < extra.type_count(); ++j) {
+      if (extra.at(i, j) != 0) it->second.add(i, j, extra.at(i, j));
+    }
+  }
+}
+
 const Allocation& Cloud::lease_allocation(LeaseId id) const {
   auto it = leases_.find(id);
   if (it == leases_.end()) {

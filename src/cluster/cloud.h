@@ -53,6 +53,28 @@ class Cloud {
   void undrain_node(std::size_t node) { inventory_.undrain_node(node); }
   bool is_drained(std::size_t node) const { return inventory_.is_drained(node); }
 
+  /// Crashes a node: its capacity is revoked until recover_node and the VMs
+  /// it hosted are lost.  Returns the leases that had at least one VM there
+  /// (the repair layer shrinks those and re-places the lost VMs).  The lease
+  /// allocations themselves are NOT modified here — a failed-then-recovered
+  /// node with no repair in between keeps its VMs.
+  std::vector<LeaseId> fail_node(std::size_t node);
+  void recover_node(std::size_t node) { inventory_.recover_node(node); }
+  bool is_failed(std::size_t node) const { return inventory_.is_failed(node); }
+
+  /// The slice of a lease's allocation hosted on `node` (zero elsewhere).
+  Allocation lease_part_on_node(LeaseId id, std::size_t node) const;
+
+  /// Removes `lost` VMs from a lease (failure revocation): the lease's
+  /// allocation and the inventory both shrink.  Throws if the lease does not
+  /// hold all of `lost`.  A lease shrunk to zero VMs stays registered until
+  /// released (the repair layer owns that decision).
+  void shrink_lease(LeaseId id, const Allocation& lost);
+
+  /// Adds replacement VMs to a lease (repair): `extra` must fit remaining
+  /// capacity (which excludes failed/drained nodes).
+  void grow_lease(LeaseId id, const Allocation& extra);
+
   bool has_lease(LeaseId id) const { return leases_.count(id) > 0; }
   std::size_t lease_count() const { return leases_.size(); }
   const Allocation& lease_allocation(LeaseId id) const;

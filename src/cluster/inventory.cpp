@@ -20,7 +20,8 @@ const char* to_string(Admission a) {
 Inventory::Inventory(util::IntMatrix max_capacity)
     : max_(std::move(max_capacity)),
       alloc_(max_.rows(), max_.cols(), 0),
-      drained_(max_.rows(), false) {
+      drained_(max_.rows(), false),
+      failed_(max_.rows(), false) {
   if (max_.rows() == 0 || max_.cols() == 0) {
     throw std::invalid_argument("Inventory: empty capacity matrix");
   }
@@ -32,7 +33,7 @@ Inventory::Inventory(util::IntMatrix max_capacity)
 util::IntMatrix Inventory::remaining() const {
   util::IntMatrix rem = max_ - alloc_;
   for (std::size_t i = 0; i < rem.rows(); ++i) {
-    if (drained_[i]) {
+    if (drained_[i] || failed_[i]) {
       for (std::size_t j = 0; j < rem.cols(); ++j) rem(i, j) = 0;
     }
   }
@@ -40,7 +41,7 @@ util::IntMatrix Inventory::remaining() const {
 }
 
 int Inventory::remaining_at(std::size_t node, std::size_t type) const {
-  if (node < drained_.size() && drained_[node]) {
+  if (node < drained_.size() && (drained_[node] || failed_[node])) {
     max_.at(node, type);  // still bounds-check the access
     return 0;
   }
@@ -66,6 +67,29 @@ std::size_t Inventory::drained_count() const {
   std::size_t n = 0;
   for (bool d : drained_) {
     if (d) ++n;
+  }
+  return n;
+}
+
+void Inventory::fail_node(std::size_t node) {
+  if (node >= failed_.size()) throw std::out_of_range("Inventory::fail_node");
+  failed_[node] = true;
+}
+
+void Inventory::recover_node(std::size_t node) {
+  if (node >= failed_.size()) throw std::out_of_range("Inventory::recover_node");
+  failed_[node] = false;
+}
+
+bool Inventory::is_failed(std::size_t node) const {
+  if (node >= failed_.size()) throw std::out_of_range("Inventory::is_failed");
+  return failed_[node];
+}
+
+std::size_t Inventory::failed_count() const {
+  std::size_t n = 0;
+  for (bool f : failed_) {
+    if (f) ++n;
   }
   return n;
 }
@@ -132,6 +156,7 @@ std::string Inventory::describe() const {
   std::ostringstream os;
   os << node_count() << " nodes x " << type_count() << " VM types, "
      << alloc_.total() << "/" << max_.total() << " VMs allocated";
+  if (const std::size_t f = failed_count()) os << ", " << f << " failed";
   return os.str();
 }
 

@@ -69,12 +69,28 @@ class Inventory {
   bool is_drained(std::size_t node) const;
   std::size_t drained_count() const;
 
+  /// Marks a node as crashed: it stops offering remaining capacity until
+  /// recovered, like a drain, but with harder semantics — VMs allocated
+  /// there are considered lost and stay booked in C only until the repair
+  /// layer shrinks their leases (Cloud::shrink_lease).  Failures are
+  /// transient (a recovery event restores the node), so admit() keeps
+  /// counting the failed node's maximum capacity for its can-never-be-served
+  /// test while availability (and hence kWait) reflects the outage.
+  /// Idempotent.
+  void fail_node(std::size_t node);
+  void recover_node(std::size_t node);
+  bool is_failed(std::size_t node) const;
+  std::size_t failed_count() const;
+  /// failed-node mask indexed by node (for the repair validators).
+  std::vector<bool> failed_mask() const { return failed_; }
+
   std::string describe() const;
 
  private:
   util::IntMatrix max_;
   util::IntMatrix alloc_;
   std::vector<bool> drained_;
+  std::vector<bool> failed_;
 };
 
 }  // namespace vcopt::cluster

@@ -1,0 +1,67 @@
+// Fault-injection queueing simulation: the churn simulation of
+// sim::run_cluster_sim with a FaultInjector and a RecoveryManager wired into
+// the same event queue.  Node crashes revoke capacity and lose VMs (repaired
+// by the RecoveryManager), rack outages crash every node in the rack,
+// transient degradations mask a node's spare capacity (drain semantics: the
+// VMs it hosts survive).  The run is a pure function of (cloud, policy,
+// trace, profile, options): replaying the same inputs reproduces the same
+// grants, repairs and timeline byte-for-byte.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cloud.h"
+#include "fault/injector.h"
+#include "fault/profile.h"
+#include "fault/recovery.h"
+#include "placement/provisioner.h"
+#include "sim/cluster_sim.h"
+
+namespace vcopt::fault {
+
+struct FaultSimOptions {
+  placement::QueueDiscipline discipline = placement::QueueDiscipline::kFifo;
+  RepairPolicy repair;
+};
+
+struct FaultSimResult {
+  // Mirrors ClusterSimResult for the churn side...
+  std::vector<sim::GrantRecord> grants;
+  std::uint64_t rejected = 0;
+  std::uint64_t unserved = 0;
+  double makespan = 0;
+  double total_distance = 0;
+  double mean_wait = 0;
+  double mean_utilization = 0;
+  std::vector<sim::TimelineSample> timeline;
+  // ...plus the fault/repair story.
+  std::vector<FaultEvent> schedule;     ///< the injected schedule, as run
+  std::vector<RepairRecord> repairs;    ///< one terminal record per hit lease
+  int node_crashes = 0;
+  int rack_outages = 0;
+  int node_recoveries = 0;
+  int transients = 0;
+  int leases_hit = 0;
+  int vms_lost = 0;
+  int vms_replaced = 0;
+  int repaired = 0;   ///< repairs ending kRepaired
+  int partial = 0;    ///< ... kPartial
+  int degraded = 0;   ///< ... kDegraded
+  int abandoned = 0;  ///< ... kAbandoned
+  /// Sum over repaired leases of DC(after) - DC(before): how much cluster
+  /// distance the failures cost even after affinity-preserving repair.
+  double repair_distance_penalty = 0;
+};
+
+/// Runs `trace` against `cloud` under `profile`'s failure schedule.  A
+/// profile horizon of 0 derives the window from the trace (last arrival +
+/// hold).  The cloud is mutated; failed nodes are recovered by their
+/// scheduled recovery events (any still down at the end stay down).
+FaultSimResult run_fault_sim(cluster::Cloud& cloud,
+                             std::unique_ptr<placement::PlacementPolicy> policy,
+                             const std::vector<cluster::TimedRequest>& trace,
+                             const FaultProfile& profile,
+                             const FaultSimOptions& options = {});
+
+}  // namespace vcopt::fault

@@ -1,0 +1,94 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace vcopt::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeRecover: return "node-recover";
+    case FaultKind::kRackOutage: return "rack-outage";
+    case FaultKind::kRackRecover: return "rack-recover";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kRestore: return "restore";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> build_schedule(const FaultProfile& profile,
+                                       const cluster::Topology& topology) {
+  profile.validate();
+  if (profile.total_events() == 0) return {};
+  if (profile.horizon <= 0) {
+    throw std::invalid_argument(
+        "build_schedule: profile has events but horizon <= 0 (callers must "
+        "resolve horizon=0 to a concrete window first)");
+  }
+  util::Rng rng(profile.seed);
+  std::vector<FaultEvent> events;
+  std::uint64_t seq = 0;
+  auto emit = [&](double time, FaultKind kind, std::size_t subject) {
+    events.push_back(FaultEvent{time, kind, subject, seq++});
+  };
+  const auto n = static_cast<std::int64_t>(topology.node_count());
+  const auto racks = static_cast<std::int64_t>(topology.rack_count());
+  for (int c = 0; c < profile.node_crashes; ++c) {
+    const double t = rng.uniform(0, profile.horizon);
+    const auto node =
+        static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const double down = rng.exponential(profile.mean_downtime);
+    emit(t, FaultKind::kNodeCrash, node);
+    emit(t + down, FaultKind::kNodeRecover, node);
+  }
+  for (int r = 0; r < profile.rack_outages; ++r) {
+    const double t = rng.uniform(0, profile.horizon);
+    const auto rack =
+        static_cast<std::size_t>(rng.uniform_int(0, racks - 1));
+    const double down = rng.exponential(profile.mean_downtime);
+    emit(t, FaultKind::kRackOutage, rack);
+    emit(t + down, FaultKind::kRackRecover, rack);
+  }
+  for (int d = 0; d < profile.transients; ++d) {
+    const double t = rng.uniform(0, profile.horizon);
+    const auto node =
+        static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    emit(t, FaultKind::kDegrade, node);
+    emit(t + profile.transient_duration, FaultKind::kRestore, node);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.sequence < b.sequence;
+                   });
+  return events;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile,
+                             const cluster::Topology& topology)
+    : profile_(profile), schedule_(build_schedule(profile, topology)) {}
+
+void FaultInjector::arm(sim::EventQueue& queue,
+                        std::function<void(const FaultEvent&)> sink) const {
+  auto& reg = obs::MetricsRegistry::global();
+  for (const FaultEvent& e : schedule_) {
+    queue.schedule(e.time, [e, sink, &reg] {
+      if (reg.enabled()) reg.counter("fault/events_injected").add();
+      sink(e);
+    });
+  }
+}
+
+std::string FaultInjector::describe() const {
+  std::ostringstream os;
+  os << profile_.describe() << ": " << schedule_.size()
+     << " scheduled events";
+  return os.str();
+}
+
+}  // namespace vcopt::fault

@@ -1,0 +1,76 @@
+// FaultInjector: expands a FaultProfile into a deterministic, time-sorted
+// schedule of fault events over a concrete topology, and arms them on a
+// sim::EventQueue.  The injector only *produces* events — interpreting them
+// (revoking capacity, shrinking leases, relocating tasks) belongs to the
+// sink, so the same schedule can drive the queueing simulator, the
+// MapReduce engine, or a unit test's hand-rolled harness.
+//
+// Determinism: the schedule is a pure function of (profile, topology
+// shape).  Events carry a monotonically increasing `sequence`; ties in time
+// are ordered by sequence, and arming preserves that order through the
+// event queue's FIFO-among-ties guarantee, so a given (profile, seed)
+// replays the identical failure schedule on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "fault/profile.h"
+#include "sim/event_queue.h"
+
+namespace vcopt::fault {
+
+enum class FaultKind {
+  kNodeCrash,    ///< subject = node: capacity revoked, hosted VMs lost
+  kNodeRecover,  ///< subject = node: capacity restored
+  kRackOutage,   ///< subject = rack: every node in the rack crashes
+  kRackRecover,  ///< subject = rack: every node in the rack recovers
+  kDegrade,      ///< subject = node: transient degradation begins
+  kRestore,      ///< subject = node: transient degradation ends
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  double time = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  std::size_t subject = 0;     ///< node id, or rack id for rack events
+  std::uint64_t sequence = 0;  ///< creation order; tie-breaker for equal times
+
+  bool operator==(const FaultEvent& o) const {
+    return time == o.time && kind == o.kind && subject == o.subject &&
+           sequence == o.sequence;
+  }
+};
+
+/// The deterministic schedule for (profile, topology): crash/outage/degrade
+/// instants uniform in [0, horizon), victims uniform over nodes/racks,
+/// downtimes exponential with mean profile.mean_downtime.  Sorted by
+/// (time, sequence).  profile.validate() must pass and profile.horizon must
+/// be > 0 when the profile has events.
+std::vector<FaultEvent> build_schedule(const FaultProfile& profile,
+                                       const cluster::Topology& topology);
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, const cluster::Topology& topology);
+
+  const FaultProfile& profile() const { return profile_; }
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+
+  /// Arms every scheduled event on `queue`; `sink` is invoked at simulated
+  /// event time, in schedule order for simultaneous events.
+  void arm(sim::EventQueue& queue,
+           std::function<void(const FaultEvent&)> sink) const;
+
+  std::string describe() const;
+
+ private:
+  FaultProfile profile_;
+  std::vector<FaultEvent> schedule_;
+};
+
+}  // namespace vcopt::fault

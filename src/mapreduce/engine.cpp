@@ -389,6 +389,32 @@ void MapReduceEngine::fail_node_at(std::size_t node, double time) {
   failures_.emplace_back(node, time);
 }
 
+void MapReduceEngine::add_vms_at(
+    double time, const std::vector<std::pair<std::size_t, std::size_t>>& vms) {
+  if (ran_) throw std::logic_error("add_vms_at: job already started");
+  if (time < 0) throw std::invalid_argument("add_vms_at: negative time");
+  for (const auto& [node, type] : vms) {
+    if (node >= topo_.node_count()) throw std::out_of_range("add_vms_at");
+    joins_.emplace_back(time, node, type);
+  }
+}
+
+void MapReduceEngine::handle_join(std::size_t node, std::size_t type) {
+  const std::size_t vm = cluster_.add_vm(node, type);
+  int slots = job_.map_slots_per_vm;
+  if (!job_.map_slots_per_type.empty()) {
+    if (type >= job_.map_slots_per_type.size()) {
+      throw std::invalid_argument(
+          "MapReduceEngine: joined VM's type has no map_slots_per_type entry");
+    }
+    slots = job_.map_slots_per_type[type];
+  }
+  free_map_slots_.push_back(node_alive_[node] ? slots : 0);
+  wait_until_.push_back(-1.0);
+  ++metrics_.vms_repaired;
+  launch_maps_on(vm);
+}
+
 void MapReduceEngine::handle_failure(std::size_t node) {
   if (!node_alive_[node]) return;
   node_alive_[node] = false;
@@ -496,6 +522,9 @@ JobMetrics MapReduceEngine::run() {
   for (const auto& [node, time] : failures_) {
     queue_.schedule(time, [this, node] { handle_failure(node); });
   }
+  for (const auto& [time, node, type] : joins_) {
+    queue_.schedule(time, [this, node, type] { handle_join(node, type); });
+  }
   // Background traffic is other tenants' — exclude it from the job's stats.
   const sim::TrafficStats baseline = net_.stats();
   // Kick off the first wave of map tasks on every VM.
@@ -503,6 +532,23 @@ JobMetrics MapReduceEngine::run() {
   queue_.run();
   if (reducers_done_ != static_cast<int>(reducers_.size())) {
     throw std::logic_error("MapReduceEngine: job did not complete");
+  }
+  // The cluster the job ENDED on: live VMs plus repair joins.  The shuffle
+  // already ran against this repaired topology; this records its DC so
+  // callers can compare against the pre-failure cluster_distance.
+  {
+    std::size_t types = 1;
+    for (const VmInstance& v : cluster_.vms()) {
+      types = std::max(types, v.type + 1);
+    }
+    cluster::Allocation live(topo_.node_count(), types);
+    for (const VmInstance& v : cluster_.vms()) {
+      if (node_alive_[v.node]) live.add(v.node, v.type, 1);
+    }
+    metrics_.final_cluster_distance =
+        live.empty_allocation()
+            ? 0
+            : live.best_central(topo_.distance_matrix()).distance;
   }
   metrics_.traffic = net_.stats();
   metrics_.traffic.local_bytes -= baseline.local_bytes;
@@ -544,6 +590,8 @@ JobMetrics MapReduceEngine::run() {
         static_cast<std::uint64_t>(metrics_.maps_total));
     reg.counter("mapreduce/maps_reexecuted")
         .add(static_cast<std::uint64_t>(metrics_.maps_reexecuted));
+    reg.counter("mapreduce/vms_repaired")
+        .add(static_cast<std::uint64_t>(metrics_.vms_repaired));
     reg.gauge("mapreduce/last_runtime_seconds").set(metrics_.runtime);
   }
   return metrics_;

@@ -27,6 +27,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "cluster/topology.h"
 #include "mapreduce/hdfs.h"
@@ -59,6 +62,12 @@ struct JobMetrics {
   int speculative_wins = 0;     ///< backups that beat the original copy
   int maps_reexecuted = 0;      ///< maps re-run after a node failure
   int reducers_restarted = 0;   ///< reducers relocated after a node failure
+  int vms_repaired = 0;         ///< replacement VMs that joined mid-job
+
+  /// DC of the cluster as the job ENDED: live VMs plus repair joins.  Equals
+  /// cluster_distance when nothing failed; the gap between the two is the
+  /// affinity cost of the failures the job absorbed.
+  double final_cluster_distance = 0;
 
   /// Fig. 8's "non data-local map tasks" fraction.
   double non_local_map_fraction() const;
@@ -86,6 +95,15 @@ class MapReduceEngine {
   /// failure or run() throws once the job can no longer finish.
   void fail_node_at(std::size_t node, double time);
 
+  /// Schedules replacement VMs — `(node, type)` pairs from a repaired lease —
+  /// to join the cluster at simulated time `time` (>= 0).  Must be called
+  /// before run().  Joined VMs take map tasks immediately (shuffle traffic
+  /// to/from them is costed against the repaired topology); a VM joining a
+  /// currently-dead node idles until nothing (the engine has no node
+  /// recovery), so pair joins with fail_node_at times sensibly.
+  void add_vms_at(double time,
+                  const std::vector<std::pair<std::size_t, std::size_t>>& vms);
+
   /// Runs the job to completion and returns its metrics.  One-shot.
   JobMetrics run();
 
@@ -110,6 +128,7 @@ class MapReduceEngine {
   double node_speed(std::size_t node) const;
   bool vm_alive(std::size_t vm) const;
   void handle_failure(std::size_t node);
+  void handle_join(std::size_t node, std::size_t type);
   void fetch_segment(std::size_t reducer, std::size_t block);
   std::size_t choose_live_replica(std::size_t block, std::size_t vm) const;
   void start_shuffle(std::size_t block, std::size_t map_vm);
@@ -153,6 +172,8 @@ class MapReduceEngine {
   std::vector<std::size_t> output_node_;  // per block: where the output lives
   std::vector<int> block_epoch_;      // per block: bumped when output is lost
   std::vector<std::pair<std::size_t, double>> failures_;  // (node, time)
+  // (time, node, type) of scheduled replacement-VM joins.
+  std::vector<std::tuple<double, std::size_t, std::size_t>> joins_;
   std::vector<ReducerState> reducers_;
   int maps_running_ = 0;
   int maps_done_ = 0;

@@ -18,6 +18,15 @@ VirtualCluster VirtualCluster::from_allocation(const cluster::Allocation& alloc)
   return vc;
 }
 
+std::size_t VirtualCluster::add_vm(std::size_t node, std::size_t type) {
+  if (node >= alloc_.node_count() || type >= alloc_.type_count()) {
+    throw std::out_of_range("VirtualCluster::add_vm");
+  }
+  alloc_.add(node, type, 1);
+  vms_.push_back(VmInstance{vms_.size(), node, type});
+  return vms_.size() - 1;
+}
+
 const VmInstance& VirtualCluster::vm(std::size_t i) const {
   if (i >= vms_.size()) throw std::out_of_range("VirtualCluster::vm");
   return vms_[i];

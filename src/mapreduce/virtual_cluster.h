@@ -30,6 +30,11 @@ class VirtualCluster {
   const VmInstance& vm(std::size_t i) const;
   const std::vector<VmInstance>& vms() const { return vms_; }
 
+  /// Appends one VM on `node` (repair: a replacement joining the cluster
+  /// mid-job).  Returns the new VM's dense index.  `node` and `type` must be
+  /// within the allocation the cluster was built from.
+  std::size_t add_vm(std::size_t node, std::size_t type);
+
   /// Physical nodes hosting at least one VM (deduplicated, sorted).
   std::vector<std::size_t> nodes() const;
 

@@ -1,11 +1,15 @@
 #include "placement/provisioner.h"
 
+#include <algorithm>
+#include <chrono>
+#include <numeric>
 #include <stdexcept>
 
 #include "check/check.h"
 #include "check/validators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "solver/sd_solver.h"
 
 namespace vcopt::placement {
 
@@ -16,6 +20,14 @@ struct ProvisionerMetrics {
   obs::Counter& rejections;
   obs::Counter& queued;
   obs::Gauge& queue_depth;
+  obs::Counter& reject_empty;
+  obs::Counter& reject_shape;
+  obs::Counter& reject_over_capacity;
+  obs::Counter& ladder_exact;
+  obs::Counter& ladder_heuristic;
+  obs::Counter& ladder_partial;
+  obs::Counter& ladder_abandoned;
+  obs::Gauge& ladder_ilp_ms;
 
   static ProvisionerMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
@@ -24,12 +36,78 @@ struct ProvisionerMetrics {
         reg.counter("provisioner/rejections"),
         reg.counter("provisioner/queued"),
         reg.gauge("provisioner/queue_depth"),
+        reg.counter("provisioner/reject_empty"),
+        reg.counter("provisioner/reject_shape"),
+        reg.counter("provisioner/reject_over_capacity"),
+        reg.counter("provisioner/ladder_exact"),
+        reg.counter("provisioner/ladder_heuristic"),
+        reg.counter("provisioner/ladder_partial"),
+        reg.counter("provisioner/ladder_abandoned"),
+        reg.gauge("provisioner/ladder_ilp_ms"),
     };
     return m;
   }
 };
 
+/// Best-effort partial fill: up to min(R_j, sum_i L_ij) VMs per type, taken
+/// nearest-first from the anchor node with the largest remaining capacity
+/// (ties: lowest index).  Deterministic; always succeeds at placing exactly
+/// that many VMs, which is fewer than requested iff availability is short.
+cluster::Allocation best_effort_fill(const cluster::Request& r,
+                                     const util::IntMatrix& remaining,
+                                     const cluster::Topology& topology) {
+  const std::size_t n = remaining.rows();
+  const std::size_t m = remaining.cols();
+  std::size_t anchor = 0;
+  int anchor_cap = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    int cap = 0;
+    for (std::size_t j = 0; j < m; ++j) cap += remaining(i, j);
+    if (cap > anchor_cap) {
+      anchor_cap = cap;
+      anchor = i;
+    }
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const util::DoubleMatrix& dist = topology.distance_matrix();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return dist(anchor, a) < dist(anchor, b);
+                   });
+  cluster::Allocation alloc(n, m);
+  for (std::size_t j = 0; j < m; ++j) {
+    int want = r.count(j);
+    for (std::size_t i : order) {
+      if (want == 0) break;
+      const int take = std::min(want, remaining(i, j));
+      if (take > 0) {
+        alloc.add(i, j, take);
+        want -= take;
+      }
+    }
+  }
+  return alloc;
+}
+
 }  // namespace
+
+const char* to_string(PlacementStatus s) {
+  switch (s) {
+    case PlacementStatus::kGranted: return "granted";
+    case PlacementStatus::kQueued: return "queued";
+    case PlacementStatus::kRejectedEmpty: return "rejected-empty";
+    case PlacementStatus::kRejectedShape: return "rejected-shape";
+    case PlacementStatus::kRejectedOverCapacity: return "rejected-over-capacity";
+    case PlacementStatus::kRepaired: return "repaired";
+    case PlacementStatus::kDegraded: return "degraded";
+    case PlacementStatus::kPartial: return "partial";
+    case PlacementStatus::kAbandoned: return "abandoned";
+  }
+  return "?";
+}
+
+bool is_terminal(PlacementStatus s) { return s != PlacementStatus::kQueued; }
 
 const char* to_string(QueueDiscipline d) {
   switch (d) {
@@ -84,15 +162,43 @@ void Provisioner::enqueue(const cluster::Request& r) {
 }
 
 std::optional<Grant> Provisioner::request(const cluster::Request& r) {
+  ProvisionResult res = submit(r);
+  if (res.status == PlacementStatus::kRejectedShape) {
+    throw std::invalid_argument("Provisioner::request: type count mismatch");
+  }
+  return std::move(res.grant);
+}
+
+ProvisionResult Provisioner::submit(const cluster::Request& r) {
   VCOPT_TRACE_SPAN("provisioner/request");
+  auto& m = ProvisionerMetrics::get();
+  ProvisionResult res;
+  res.requested_vms = r.total_vms();
+  if (r.type_count() != cloud_.type_count()) {
+    res.status = PlacementStatus::kRejectedShape;
+    m.reject_shape.add();
+    return res;
+  }
+  if (r.empty()) {
+    // A zero-VM request would produce a silently empty lease; reject it
+    // loudly instead of tying up a lease id and a grant record.
+    ++rejected_;
+    res.status = PlacementStatus::kRejectedEmpty;
+    m.reject_empty.add();
+    m.rejections.add();
+    return res;
+  }
   switch (cloud_.admit(r)) {
     case cluster::Admission::kReject:
       ++rejected_;
-      ProvisionerMetrics::get().rejections.add();
-      return std::nullopt;
+      res.status = PlacementStatus::kRejectedOverCapacity;
+      m.reject_over_capacity.add();
+      m.rejections.add();
+      return res;
     case cluster::Admission::kWait:
       enqueue(r);
-      return std::nullopt;
+      res.status = PlacementStatus::kQueued;
+      return res;
     case cluster::Admission::kAccept:
       break;
   }
@@ -100,7 +206,8 @@ std::optional<Grant> Provisioner::request(const cluster::Request& r) {
   // may not jump the queue even if they would fit right now.
   if (!queue_.empty()) {
     enqueue(r);
-    return std::nullopt;
+    res.status = PlacementStatus::kQueued;
+    return res;
   }
   auto grant = try_place_and_grant(r);
   if (!grant) {
@@ -108,9 +215,122 @@ std::optional<Grant> Provisioner::request(const cluster::Request& r) {
     // an allocation (should not happen for the built-in policies; keep the
     // request queued rather than dropping it).
     enqueue(r);
-    return std::nullopt;
+    res.status = PlacementStatus::kQueued;
+    return res;
   }
-  return grant;
+  res.granted_vms = grant->placement.allocation.total_vms();
+  res.grant = std::move(grant);
+  res.status = PlacementStatus::kGranted;
+  return res;
+}
+
+ProvisionResult Provisioner::submit_laddered(const cluster::Request& r,
+                                             const LadderOptions& options) {
+  VCOPT_TRACE_SPAN("provisioner/submit_laddered");
+  auto& m = ProvisionerMetrics::get();
+  ProvisionResult res;
+  res.requested_vms = r.total_vms();
+  if (r.type_count() != cloud_.type_count()) {
+    res.status = PlacementStatus::kRejectedShape;
+    m.reject_shape.add();
+    return res;
+  }
+  if (r.empty()) {
+    res.status = PlacementStatus::kRejectedEmpty;
+    m.reject_empty.add();
+    return res;
+  }
+  if (cloud_.admit(r) == cluster::Admission::kReject) {
+    res.status = PlacementStatus::kRejectedOverCapacity;
+    m.reject_over_capacity.add();
+    return res;
+  }
+  const util::IntMatrix remaining = cloud_.remaining();
+  const cluster::Topology& topo = cloud_.topology();
+
+  auto grant_with = [&](Placement placed, PlacementStatus status,
+                        const cluster::Request& effective) {
+    VCOPT_VALIDATE(check::validate_allocation(placed.allocation.counts(),
+                                              effective.counts(), remaining));
+    const cluster::LeaseId lease = cloud_.grant(effective, placed.allocation);
+    res.granted_vms = placed.allocation.total_vms();
+    res.grant = Grant{lease, r.id(), std::move(placed)};
+    res.status = status;
+    m.grants.add();
+  };
+
+  // Rung 1: the exact ILP, under a wall-clock budget.  The search itself is
+  // bounded by the B&B node budget (there is no mid-search deadline), so the
+  // wall clock decides how the result is *classified*: a proven optimum
+  // within budget is kGranted; a truncated or over-budget incumbent falls
+  // through to the heuristic rung below.
+  const std::size_t variables = topo.node_count() * r.type_count();
+  if (options.ilp_budget_ms > 0 && variables <= options.ilp_max_variables) {
+    solver::IlpOptions ilp;
+    ilp.max_nodes = options.ilp_max_nodes;
+    const auto t0 = std::chrono::steady_clock::now();
+    const solver::SdResult exact =
+        solver::solve_sd_ilp(r, remaining, topo.distance_matrix(), ilp);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    m.ladder_ilp_ms.set(ms);
+    if (exact.feasible && ms <= options.ilp_budget_ms) {
+      m.ladder_exact.add();
+      grant_with(Placement{exact.allocation, exact.central, exact.distance},
+                 PlacementStatus::kGranted, r);
+      return res;
+    }
+    if (!exact.feasible) {
+      // The exact solver is complete: no full allocation exists right now,
+      // so skip the heuristic rung and go straight to best-effort partial.
+      return submit_partial(r, options, remaining, res);
+    }
+  }
+
+  // Rung 2: the provisioner's own (heuristic) policy — a full allocation of
+  // unproven optimality.
+  if (auto placed = policy_->place(r, remaining, topo)) {
+    m.ladder_heuristic.add();
+    grant_with(std::move(*placed), PlacementStatus::kDegraded, r);
+    return res;
+  }
+  return submit_partial(r, options, remaining, res);
+}
+
+ProvisionResult& Provisioner::submit_partial(const cluster::Request& r,
+                                             const LadderOptions& options,
+                                             const util::IntMatrix& remaining,
+                                             ProvisionResult& res) {
+  auto& m = ProvisionerMetrics::get();
+  if (options.allow_partial) {
+    cluster::Allocation partial =
+        best_effort_fill(r, remaining, cloud_.topology());
+    if (partial.total_vms() > 0) {
+      Placement placed =
+          evaluate(std::move(partial), cloud_.topology().distance_matrix());
+      // Grant exactly what was placed: the lease's request is the clipped
+      // vector, so Def. 2 feasibility holds for the partial grant too.
+      std::vector<int> placed_counts(placed.allocation.type_count());
+      for (std::size_t j = 0; j < placed_counts.size(); ++j) {
+        placed_counts[j] = placed.allocation.vms_of_type(j);
+      }
+      cluster::Request effective(std::move(placed_counts), r.id(),
+                                 r.priority());
+      VCOPT_VALIDATE(check::validate_allocation(
+          placed.allocation.counts(), effective.counts(), remaining));
+      const cluster::LeaseId lease = cloud_.grant(effective, placed.allocation);
+      res.granted_vms = placed.allocation.total_vms();
+      res.grant = Grant{lease, r.id(), std::move(placed)};
+      res.status = PlacementStatus::kPartial;
+      m.ladder_partial.add();
+      m.grants.add();
+      return res;
+    }
+  }
+  res.status = PlacementStatus::kAbandoned;
+  m.ladder_abandoned.add();
+  return res;
 }
 
 std::vector<Grant> Provisioner::release(cluster::LeaseId lease) {

@@ -22,6 +22,44 @@ struct Grant {
   Placement placement;
 };
 
+/// Explicit terminal/interim status of a provisioning or repair attempt.
+/// Every path through the provisioner and the fault/recovery layer ends in
+/// one of these — never an assert, a silent empty allocation, or a dropped
+/// request.
+enum class PlacementStatus {
+  kGranted,              ///< full allocation, optimal for the rung that made it
+  kQueued,               ///< admissible later; waiting in the queue
+  kRejectedEmpty,        ///< zero-VM request: nothing to place
+  kRejectedShape,        ///< request/catalog type-count mismatch
+  kRejectedOverCapacity, ///< exceeds total capacity; can never be served
+  kRepaired,             ///< failure repair replaced every lost VM
+  kDegraded,             ///< full allocation from a fallback rung (suboptimal)
+  kPartial,              ///< best-effort allocation: fewer VMs than requested
+  kAbandoned,            ///< nothing could be placed / repair gave up
+};
+
+const char* to_string(PlacementStatus s);
+/// True for statuses that conclude an attempt (everything but kQueued).
+bool is_terminal(PlacementStatus s);
+
+/// Typed outcome of Provisioner::submit / submit_laddered.
+struct ProvisionResult {
+  PlacementStatus status = PlacementStatus::kAbandoned;
+  std::optional<Grant> grant;  ///< set for kGranted/kDegraded/kPartial
+  int requested_vms = 0;
+  int granted_vms = 0;
+};
+
+/// Tuning for the graceful-degradation ladder (submit_laddered): exact ILP
+/// under a wall-clock budget, then the online heuristic, then an explicit
+/// best-effort partial allocation.
+struct LadderOptions {
+  double ilp_budget_ms = 50;        ///< wall-clock budget for the exact rung
+  std::size_t ilp_max_nodes = 20000;  ///< B&B node budget within that time
+  std::size_t ilp_max_variables = 4096;  ///< skip the exact rung above this
+  bool allow_partial = true;        ///< false: failed full fits -> kAbandoned
+};
+
 /// Wait-queue service order (§III.C mentions FIFO and priority-based).
 enum class QueueDiscipline {
   kFifo,           ///< arrival order, strict head-of-line blocking
@@ -39,8 +77,26 @@ class Provisioner {
   /// Tries to serve a request immediately.  Returns the grant, or nullopt —
   /// the request was then either queued (admission kWait, or earlier
   /// requests are still waiting: strict FIFO, no queue-jumping) or rejected
-  /// outright (admission kReject, counted in rejected_count()).
+  /// outright (zero VMs or over total capacity, counted in rejected_count()).
+  /// Throws std::invalid_argument on a request/catalog shape mismatch.
   std::optional<Grant> request(const cluster::Request& r);
+
+  /// Typed variant of request(): same queueing semantics, but the outcome is
+  /// an explicit PlacementStatus (zero-VM and over-capacity requests get
+  /// typed rejections recorded in metrics instead of an assert or a silent
+  /// empty allocation).
+  ProvisionResult submit(const cluster::Request& r);
+
+  /// Graceful-degradation ladder: serve `r` NOW, degrading instead of
+  /// queueing or failing silently.  Rungs: (1) exact SD ILP under
+  /// `options.ilp_budget_ms` of wall clock -> kGranted (kDegraded if the
+  /// node/time budget truncated the search and the incumbent is unproven);
+  /// (2) the provisioner's online policy -> kDegraded; (3) best-effort
+  /// partial allocation of min(R_j, available_j) VMs per type -> kPartial;
+  /// otherwise kAbandoned.  Typed rejections as in submit().  The wait queue
+  /// is bypassed by design — callers that want queueing use submit().
+  ProvisionResult submit_laddered(const cluster::Request& r,
+                                  const LadderOptions& options = {});
 
   /// Releases a lease and drains the wait queue in discipline order,
   /// stopping at the first unservable candidate (head-of-line blocking
@@ -59,6 +115,11 @@ class Provisioner {
 
  private:
   std::optional<Grant> try_place_and_grant(const cluster::Request& r);
+  /// The final ladder rung: best-effort partial fill (or kAbandoned).
+  ProvisionResult& submit_partial(const cluster::Request& r,
+                                  const LadderOptions& options,
+                                  const util::IntMatrix& remaining,
+                                  ProvisionResult& res);
   /// Appends to the wait queue and updates the queue-depth gauge.
   void enqueue(const cluster::Request& r);
   /// Index into queue_ of the next request under the discipline.

@@ -29,8 +29,8 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("Json::parse: " + what + " at offset " +
-                                std::to_string(pos_));
+    throw JsonParseError(
+        "Json::parse: " + what + " at offset " + std::to_string(pos_), pos_);
   }
 
   char peek() const {

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,19 @@ namespace vcopt::util {
 class Json;
 using JsonArray = std::vector<Json>;
 using JsonObject = std::map<std::string, Json>;
+
+/// Thrown by Json::parse on malformed input.  Carries the byte offset of the
+/// failure so loaders can convert it into a line/column diagnostic against
+/// the original text (which the parser no longer has).
+class JsonParseError : public std::invalid_argument {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::invalid_argument(what), offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
 
 /// Immutable-ish JSON value with value semantics.
 class Json {
@@ -62,8 +76,8 @@ class Json {
   /// Serialises; `indent` > 0 pretty-prints.
   std::string dump(int indent = 0) const;
 
-  /// Parses a complete JSON document; throws std::invalid_argument with a
-  /// byte offset on malformed input.
+  /// Parses a complete JSON document; throws JsonParseError (an
+  /// std::invalid_argument carrying the byte offset) on malformed input.
   static Json parse(const std::string& text);
 
   bool operator==(const Json& o) const;

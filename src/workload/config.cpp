@@ -1,5 +1,6 @@
 #include "workload/config.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,53 @@ namespace vcopt::workload {
 using util::Json;
 using util::JsonArray;
 using util::JsonObject;
+
+namespace {
+
+/// Parses `text`, converting a JsonParseError's byte offset into a
+/// `source:line:col` diagnostic that quotes the offending line with a caret:
+///   cloud.json:3:14: Json::parse: expected ':' at offset 41
+///     "nodes" [{"capacity": [2]}]
+///            ^
+Json parse_with_context(const std::string& text, const std::string& source) {
+  try {
+    return Json::parse(text);
+  } catch (const util::JsonParseError& e) {
+    const std::size_t offset = std::min(e.offset(), text.size());
+    std::size_t line = 1;
+    std::size_t line_start = 0;
+    for (std::size_t i = 0; i < offset; ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
+    }
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    const std::size_t col = offset - line_start + 1;
+    std::ostringstream msg;
+    msg << source << ":" << line << ":" << col << ": " << e.what() << "\n  "
+        << text.substr(line_start, line_end - line_start) << "\n  "
+        << std::string(col - 1, ' ') << "^";
+    throw std::invalid_argument(msg.str());
+  }
+}
+
+/// Re-throws schema/type errors from parsing one element with the element's
+/// path (e.g. "racks[1].nodes[3]") prepended, so a bad entry in a 500-node
+/// file is findable without bisecting the file by hand.
+template <typename Fn>
+auto with_path(const std::string& path, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::logic_error& e) {
+    // invalid_argument and out_of_range both derive from logic_error; fold
+    // every schema/type failure into one diagnostic type with the path.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+}  // namespace
 
 CloudSpec cloud_from_json(const Json& json) {
   // Distances (all optional, defaulting to the paper's model).
@@ -23,14 +71,22 @@ CloudSpec cloud_from_json(const Json& json) {
 
   // VM catalogue.
   std::vector<cluster::VmType> types;
-  for (const Json& t : json.at("vm_types").as_array()) {
-    cluster::VmType vt;
-    vt.name = t.at("name").as_string();
-    vt.memory_gb = t.number_or("memory_gb", 0);
-    vt.compute_units = static_cast<int>(t.number_or("compute_units", 1));
-    vt.storage_gb = static_cast<int>(t.number_or("storage_gb", 0));
-    vt.platform_bits = static_cast<int>(t.number_or("platform_bits", 64));
-    types.push_back(std::move(vt));
+  const JsonArray& vm_types = json.at("vm_types").as_array();
+  for (std::size_t ti = 0; ti < vm_types.size(); ++ti) {
+    const Json& t = vm_types[ti];
+    with_path("vm_types[" + std::to_string(ti) + "]", [&] {
+      cluster::VmType vt;
+      vt.name = t.at("name").as_string();
+      vt.memory_gb = t.number_or("memory_gb", 0);
+      vt.compute_units = static_cast<int>(t.number_or("compute_units", 1));
+      vt.storage_gb = static_cast<int>(t.number_or("storage_gb", 0));
+      vt.platform_bits = static_cast<int>(t.number_or("platform_bits", 64));
+      if (vt.memory_gb < 0 || vt.compute_units <= 0 || vt.storage_gb < 0) {
+        throw std::invalid_argument("negative size or non-positive compute");
+      }
+      types.push_back(std::move(vt));
+      return 0;
+    });
   }
   cluster::VmCatalog catalog(std::move(types));
 
@@ -38,25 +94,41 @@ CloudSpec cloud_from_json(const Json& json) {
   std::vector<std::size_t> node_rack;
   std::vector<std::size_t> rack_cloud;
   std::vector<std::vector<int>> rows;
-  for (const Json& rack : json.at("racks").as_array()) {
+  const JsonArray& racks = json.at("racks").as_array();
+  for (std::size_t ri = 0; ri < racks.size(); ++ri) {
+    const Json& rack = racks[ri];
+    const std::string rack_path = "racks[" + std::to_string(ri) + "]";
     const std::size_t rack_id = rack_cloud.size();
-    rack_cloud.push_back(
-        static_cast<std::size_t>(rack.number_or("cloud", 0)));
-    for (const Json& node : rack.at("nodes").as_array()) {
-      node_rack.push_back(rack_id);
-      const JsonArray& cap = node.at("capacity").as_array();
-      if (cap.size() != catalog.size()) {
-        throw std::invalid_argument(
-            "cloud_from_json: node capacity length != vm_types length");
+    with_path(rack_path, [&] {
+      const double cloud = rack.number_or("cloud", 0);
+      if (cloud < 0 || cloud != static_cast<double>(
+                                    static_cast<std::size_t>(cloud))) {
+        throw std::invalid_argument("'cloud' must be a non-negative integer");
       }
-      std::vector<int> row;
-      for (const Json& c : cap) {
-        row.push_back(c.as_int());
-        if (row.back() < 0) {
-          throw std::invalid_argument("cloud_from_json: negative capacity");
+      rack_cloud.push_back(static_cast<std::size_t>(cloud));
+      return 0;
+    });
+    const JsonArray& nodes = with_path(
+        rack_path, [&]() -> const JsonArray& { return rack.at("nodes").as_array(); });
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+      with_path(rack_path + ".nodes[" + std::to_string(ni) + "]", [&] {
+        node_rack.push_back(rack_id);
+        const JsonArray& cap = nodes[ni].at("capacity").as_array();
+        if (cap.size() != catalog.size()) {
+          throw std::invalid_argument(
+              "capacity length " + std::to_string(cap.size()) +
+              " != vm_types length " + std::to_string(catalog.size()));
         }
-      }
-      rows.push_back(std::move(row));
+        std::vector<int> row;
+        for (const Json& c : cap) {
+          row.push_back(c.as_int());
+          if (row.back() < 0) {
+            throw std::invalid_argument("negative capacity");
+          }
+        }
+        rows.push_back(std::move(row));
+        return 0;
+      });
     }
   }
   if (node_rack.empty()) {
@@ -148,21 +220,31 @@ Json trace_to_json(const std::vector<cluster::TimedRequest>& trace) {
 
 std::vector<cluster::TimedRequest> trace_from_json(const Json& json) {
   std::vector<cluster::TimedRequest> trace;
-  for (const Json& e : json.at("trace").as_array()) {
-    std::vector<int> counts;
-    for (const Json& c : e.at("counts").as_array()) counts.push_back(c.as_int());
-    cluster::Request request(
-        std::move(counts),
-        static_cast<std::uint64_t>(e.number_or("id", trace.size())),
-        static_cast<int>(e.number_or("priority", 0)));
-    cluster::TimedRequest tr;
-    tr.request = std::move(request);
-    tr.arrival_time = e.number_or("arrival", 0);
-    tr.hold_time = e.number_or("hold", 0);
-    if (tr.arrival_time < 0 || tr.hold_time < 0) {
-      throw std::invalid_argument("trace_from_json: negative time");
-    }
-    trace.push_back(std::move(tr));
+  const JsonArray& entries = json.at("trace").as_array();
+  for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+    const Json& e = entries[ei];
+    with_path("trace[" + std::to_string(ei) + "]", [&] {
+      std::vector<int> counts;
+      for (const Json& c : e.at("counts").as_array()) {
+        counts.push_back(c.as_int());
+        if (counts.back() < 0) {
+          throw std::invalid_argument("negative VM count");
+        }
+      }
+      cluster::Request request(
+          std::move(counts),
+          static_cast<std::uint64_t>(e.number_or("id", trace.size())),
+          static_cast<int>(e.number_or("priority", 0)));
+      cluster::TimedRequest tr;
+      tr.request = std::move(request);
+      tr.arrival_time = e.number_or("arrival", 0);
+      tr.hold_time = e.number_or("hold", 0);
+      if (tr.arrival_time < 0 || tr.hold_time < 0) {
+        throw std::invalid_argument("negative time");
+      }
+      trace.push_back(std::move(tr));
+      return 0;
+    });
   }
   return trace;
 }
@@ -172,7 +254,7 @@ std::vector<cluster::TimedRequest> load_trace_file(const std::string& path) {
   if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return trace_from_json(Json::parse(buf.str()));
+  return trace_from_json(parse_with_context(buf.str(), path));
 }
 
 void save_trace_file(const std::string& path,
@@ -187,7 +269,7 @@ CloudSpec load_cloud_file(const std::string& path) {
   if (!in) throw std::runtime_error("load_cloud_file: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return cloud_from_json(Json::parse(buf.str()));
+  return cloud_from_json(parse_with_context(buf.str(), path));
 }
 
 void save_cloud_file(const std::string& path, const cluster::Topology& topology,

@@ -1,0 +1,94 @@
+// validate_repair_conservation: the invariant tying a lease's pre-failure
+// allocation, the slice lost to failed nodes, and the replacement together.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/validators.h"
+#include "util/matrix.h"
+
+namespace vcopt::check {
+namespace {
+
+// Lease of 4 VMs over 3 nodes x 2 types; node 0 fails and loses 2 VMs.
+struct Fixture {
+  util::IntMatrix original{{2, 0}, {1, 1}, {0, 0}};
+  util::IntMatrix lost{{2, 0}, {0, 0}, {0, 0}};
+  util::IntMatrix replacement{{0, 0}, {0, 0}, {2, 0}};
+  std::vector<bool> failed{true, false, false};
+};
+
+TEST(RepairConservation, FullRepairConservesPerTypeTotals) {
+  Fixture f;
+  EXPECT_TRUE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                           f.failed, /*full_repair=*/true));
+}
+
+TEST(RepairConservation, PartialRepairMayReplaceFewer) {
+  Fixture f;
+  f.replacement(2, 0) = 1;  // only 1 of the 2 lost VMs came back
+  EXPECT_FALSE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                            f.failed, /*full_repair=*/true));
+  EXPECT_TRUE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                           f.failed, /*full_repair=*/false));
+}
+
+TEST(RepairConservation, ReplacementMayNeverExceedTheLoss) {
+  Fixture f;
+  f.replacement(2, 0) = 3;
+  EXPECT_FALSE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                            f.failed, /*full_repair=*/false));
+}
+
+TEST(RepairConservation, LostMustComeFromFailedNodes) {
+  Fixture f;
+  f.lost(1, 1) = 1;  // node 1 is alive; it cannot have lost a VM
+  f.replacement(2, 1) = 1;
+  EXPECT_FALSE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                            f.failed, /*full_repair=*/true));
+}
+
+TEST(RepairConservation, LostCannotExceedTheLeaseHoldings) {
+  Fixture f;
+  f.lost(0, 0) = 3;  // the lease only had 2 VMs on node 0
+  f.replacement(2, 0) = 3;
+  EXPECT_FALSE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                            f.failed, /*full_repair=*/true));
+}
+
+TEST(RepairConservation, ReplacementMayNotLandOnAFailedNode) {
+  Fixture f;
+  f.replacement = util::IntMatrix{{2, 0}, {0, 0}, {0, 0}};  // back onto node 0
+  EXPECT_FALSE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                            f.failed, /*full_repair=*/true));
+}
+
+TEST(RepairConservation, NegativeEntriesRejected) {
+  Fixture f;
+  f.lost(0, 0) = -1;
+  EXPECT_FALSE(validate_repair_conservation(f.original, f.lost, f.replacement,
+                                            f.failed, /*full_repair=*/false));
+}
+
+TEST(RepairConservation, ShapeMismatchRejected) {
+  Fixture f;
+  const ValidationResult r = validate_repair_conservation(
+      f.original, f.lost, f.replacement, std::vector<bool>{true, false},
+      /*full_repair=*/true);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.message.find("shape"), std::string::npos);
+}
+
+TEST(RepairConservation, TaintedNodeSemantics) {
+  // The repair layer marks every node that lost VMs of a lease as failed in
+  // the mask it passes here, even if the node has since recovered — so a
+  // replacement landing back on it must be flagged.
+  Fixture f;
+  std::vector<bool> tainted{true, false, false};  // node 0 recovered but tainted
+  util::IntMatrix back_home{{1, 0}, {0, 0}, {1, 0}};
+  EXPECT_FALSE(validate_repair_conservation(f.original, f.lost, back_home,
+                                            tainted, /*full_repair=*/true));
+}
+
+}  // namespace
+}  // namespace vcopt::check

@@ -1,0 +1,136 @@
+// Failure primitives on the Cloud: fail/recover semantics (vs drain),
+// lease slicing on a failed node, and the shrink/grow lease mutations the
+// repair layer is built on.
+#include <gtest/gtest.h>
+
+#include "cluster/cloud.h"
+
+namespace vcopt::cluster {
+namespace {
+
+Cloud make_cloud() {
+  // 2 racks x 2 nodes, 3 EC2 types, 2 of each type per node.
+  return Cloud(Topology::uniform(2, 2), VmCatalog::ec2_default(),
+               util::IntMatrix(4, 3, 2));
+}
+
+LeaseId grant_spread(Cloud& cloud) {
+  Allocation a(4, 3);
+  a.at(0, 0) = 2;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 1;
+  return cloud.grant(Request({3, 1, 0}, 1), a);
+}
+
+TEST(Failure, FailNodeRevokesCapacityAndReportsHitLeases) {
+  Cloud cloud = make_cloud();
+  const LeaseId lease = grant_spread(cloud);
+  const std::vector<LeaseId> hit = cloud.fail_node(0);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], lease);
+  EXPECT_TRUE(cloud.is_failed(0));
+  EXPECT_EQ(cloud.remaining()(0, 0), 0);
+  EXPECT_EQ(cloud.remaining()(0, 2), 0);
+  // The lease itself is NOT modified by the crash (the repair layer owns
+  // the shrink decision).
+  EXPECT_EQ(cloud.lease_allocation(lease).vms_on_node(0), 2);
+}
+
+TEST(Failure, FailNodeWithoutLeasesHitsNothing) {
+  Cloud cloud = make_cloud();
+  grant_spread(cloud);
+  EXPECT_TRUE(cloud.fail_node(3).empty());
+}
+
+TEST(Failure, RecoverRestoresUnallocatedCapacity) {
+  Cloud cloud = make_cloud();
+  const LeaseId lease = grant_spread(cloud);
+  cloud.fail_node(0);
+  cloud.recover_node(0);
+  EXPECT_FALSE(cloud.is_failed(0));
+  // Node 0 still hosts 2 lease VMs of type 0 -> 0 free; types 1/2 untouched.
+  EXPECT_EQ(cloud.remaining()(0, 0), 0);
+  EXPECT_EQ(cloud.remaining()(0, 1), 2);
+  EXPECT_TRUE(cloud.has_lease(lease));
+}
+
+TEST(Failure, LeasePartOnNodeSlicesExactly) {
+  Cloud cloud = make_cloud();
+  const LeaseId lease = grant_spread(cloud);
+  const Allocation slice = cloud.lease_part_on_node(lease, 1);
+  EXPECT_EQ(slice.total_vms(), 2);
+  EXPECT_EQ(slice.at(1, 0), 1);
+  EXPECT_EQ(slice.at(1, 1), 1);
+  EXPECT_EQ(slice.vms_on_node(0), 0);
+  EXPECT_EQ(cloud.lease_part_on_node(lease, 3).total_vms(), 0);
+}
+
+TEST(Failure, ShrinkLeaseRemovesVmsAndFreesInventory) {
+  Cloud cloud = make_cloud();
+  const LeaseId lease = grant_spread(cloud);
+  cloud.fail_node(0);
+  const Allocation lost = cloud.lease_part_on_node(lease, 0);
+  cloud.shrink_lease(lease, lost);
+  EXPECT_EQ(cloud.lease_allocation(lease).vms_on_node(0), 0);
+  EXPECT_EQ(cloud.lease_allocation(lease).total_vms(), 2);
+  // The failed node offers nothing even after the shrink returned its VMs.
+  EXPECT_EQ(cloud.remaining()(0, 0), 0);
+  cloud.recover_node(0);
+  EXPECT_EQ(cloud.remaining()(0, 0), 2);
+}
+
+TEST(Failure, ShrinkBeyondHoldingsThrows) {
+  Cloud cloud = make_cloud();
+  const LeaseId lease = grant_spread(cloud);
+  Allocation too_much(4, 3);
+  too_much.at(3, 2) = 1;  // the lease has nothing on node 3
+  EXPECT_THROW(cloud.shrink_lease(lease, too_much), std::invalid_argument);
+}
+
+TEST(Failure, LeaseShrunkToZeroStaysRegistered) {
+  Cloud cloud = make_cloud();
+  Allocation a(4, 3);
+  a.at(2, 1) = 2;
+  const LeaseId lease = cloud.grant(Request({0, 2, 0}, 1), a);
+  cloud.fail_node(2);
+  cloud.shrink_lease(lease, cloud.lease_part_on_node(lease, 2));
+  EXPECT_TRUE(cloud.has_lease(lease));
+  EXPECT_EQ(cloud.lease_allocation(lease).total_vms(), 0);
+  EXPECT_NO_THROW(cloud.release(lease));
+  EXPECT_FALSE(cloud.has_lease(lease));
+}
+
+TEST(Failure, GrowLeaseAddsReplacementVms) {
+  Cloud cloud = make_cloud();
+  const LeaseId lease = grant_spread(cloud);
+  cloud.fail_node(0);
+  cloud.shrink_lease(lease, cloud.lease_part_on_node(lease, 0));
+  Allocation extra(4, 3);
+  extra.at(2, 0) = 2;  // re-place the 2 lost type-0 VMs on node 2
+  cloud.grow_lease(lease, extra);
+  EXPECT_EQ(cloud.lease_allocation(lease).total_vms(), 4);
+  EXPECT_EQ(cloud.lease_allocation(lease).at(2, 0), 2);
+  EXPECT_EQ(cloud.remaining()(2, 0), 0);
+}
+
+TEST(Failure, GrowOntoFailedNodeThrows) {
+  Cloud cloud = make_cloud();
+  const LeaseId lease = grant_spread(cloud);
+  cloud.fail_node(3);
+  Allocation extra(4, 3);
+  extra.at(3, 0) = 1;
+  EXPECT_THROW(cloud.grow_lease(lease, extra), std::invalid_argument);
+}
+
+TEST(Failure, FailedIsDistinctFromDrained) {
+  Cloud cloud = make_cloud();
+  cloud.drain_node(1);
+  EXPECT_TRUE(cloud.is_drained(1));
+  EXPECT_FALSE(cloud.is_failed(1));
+  cloud.fail_node(2);
+  EXPECT_TRUE(cloud.is_failed(2));
+  EXPECT_FALSE(cloud.is_drained(2));
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

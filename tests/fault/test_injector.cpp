@@ -1,0 +1,112 @@
+// FaultInjector: deterministic schedules, event pairing, and delivery order
+// through the event queue.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/topology.h"
+#include "sim/event_queue.h"
+
+namespace vcopt::fault {
+namespace {
+
+FaultProfile profile(const std::string& spec) {
+  return FaultProfile::parse(spec);
+}
+
+cluster::Topology topo() { return cluster::Topology::uniform(3, 4); }
+
+TEST(FaultInjector, SameProfileSameTopologyIdenticalSchedule) {
+  const FaultProfile p = profile("crashes=5,racks=2,transients=3,seed=11,horizon=100");
+  const std::vector<FaultEvent> a = build_schedule(p, topo());
+  const std::vector<FaultEvent> b = build_schedule(p, topo());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSchedule) {
+  const std::vector<FaultEvent> a =
+      build_schedule(profile("crashes=5,seed=1,horizon=100"), topo());
+  const std::vector<FaultEvent> b =
+      build_schedule(profile("crashes=5,seed=2,horizon=100"), topo());
+  ASSERT_EQ(a.size(), b.size());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultInjector, EveryFaultHasItsRecoveryEvent) {
+  const FaultProfile p = profile("crashes=3,racks=1,transients=2,seed=4,horizon=50");
+  const std::vector<FaultEvent> sched = build_schedule(p, topo());
+  EXPECT_EQ(sched.size(), static_cast<std::size_t>(2 * p.total_events()));
+  int crash = 0, recover = 0, outage = 0, rack_recover = 0, degrade = 0,
+      restore = 0;
+  for (const FaultEvent& e : sched) {
+    switch (e.kind) {
+      case FaultKind::kNodeCrash: ++crash; break;
+      case FaultKind::kNodeRecover: ++recover; break;
+      case FaultKind::kRackOutage: ++outage; break;
+      case FaultKind::kRackRecover: ++rack_recover; break;
+      case FaultKind::kDegrade: ++degrade; break;
+      case FaultKind::kRestore: ++restore; break;
+    }
+  }
+  EXPECT_EQ(crash, 3);
+  EXPECT_EQ(recover, 3);
+  EXPECT_EQ(outage, 1);
+  EXPECT_EQ(rack_recover, 1);
+  EXPECT_EQ(degrade, 2);
+  EXPECT_EQ(restore, 2);
+}
+
+TEST(FaultInjector, ScheduleIsSortedAndOnsetsAreInsideHorizon) {
+  const FaultProfile p = profile("crashes=8,transients=4,seed=9,horizon=40");
+  const std::vector<FaultEvent> sched = build_schedule(p, topo());
+  for (std::size_t i = 1; i < sched.size(); ++i) {
+    EXPECT_LE(sched[i - 1].time, sched[i].time);
+    if (sched[i - 1].time == sched[i].time) {
+      EXPECT_LT(sched[i - 1].sequence, sched[i].sequence);
+    }
+  }
+  for (const FaultEvent& e : sched) {
+    if (e.kind == FaultKind::kNodeCrash || e.kind == FaultKind::kDegrade) {
+      EXPECT_GE(e.time, 0.0);
+      EXPECT_LT(e.time, 40.0);
+      EXPECT_LT(e.subject, topo().node_count());
+    }
+  }
+}
+
+TEST(FaultInjector, ArmDeliversInScheduleOrder) {
+  const FaultProfile p = profile("crashes=6,transients=3,seed=2,horizon=20");
+  const FaultInjector injector(p, topo());
+  sim::EventQueue queue;
+  std::vector<FaultEvent> seen;
+  injector.arm(queue, [&](const FaultEvent& e) { seen.push_back(e); });
+  queue.run();
+  ASSERT_EQ(seen.size(), injector.schedule().size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], injector.schedule()[i]);
+  }
+}
+
+TEST(FaultInjector, EmptyProfileArmsNothing) {
+  const FaultInjector injector(profile("none"), topo());
+  EXPECT_TRUE(injector.schedule().empty());
+  sim::EventQueue queue;
+  injector.arm(queue, [](const FaultEvent&) { FAIL(); });
+  EXPECT_EQ(queue.run(), 0u);
+}
+
+TEST(FaultInjector, EventsWithZeroHorizonThrow) {
+  FaultProfile p = profile("crashes=1");
+  EXPECT_EQ(p.horizon, 0.0);
+  EXPECT_THROW(build_schedule(p, topo()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcopt::fault

@@ -1,0 +1,111 @@
+// Mid-job VM joins (the repair path): validation, metric accounting, the
+// runtime benefit of a replacement VM, and final_cluster_distance tracking
+// the cluster the shuffle actually finished on.
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "mapreduce/apps.h"
+#include "mapreduce/engine.h"
+
+namespace vcopt::mapreduce {
+namespace {
+
+using cluster::Topology;
+
+VirtualCluster cluster_on(const std::vector<std::pair<std::size_t, int>>& layout,
+                          std::size_t nodes) {
+  cluster::Allocation alloc(nodes, 1);
+  for (const auto& [node, vms] : layout) alloc.at(node, 0) = vms;
+  return VirtualCluster::from_allocation(alloc);
+}
+
+TEST(VmJoin, ValidationErrors) {
+  const Topology topo = Topology::uniform(1, 2);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, cluster_on({{0, 2}}, 2),
+                      wordcount(8 * 64.0e6), 1);
+  EXPECT_THROW(eng.add_vms_at(1.0, {{5, 0}}), std::out_of_range);
+  EXPECT_THROW(eng.add_vms_at(-1.0, {{0, 0}}), std::invalid_argument);
+  eng.run();
+  EXPECT_THROW(eng.add_vms_at(1.0, {{1, 0}}), std::logic_error);
+}
+
+TEST(VmJoin, JoinedVmsAreCountedAndTheJobCompletes) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  eng.add_vms_at(1.0, {{3, 0}, {4, 0}});
+  const JobMetrics m = eng.run();
+  EXPECT_EQ(m.vms_repaired, 2);
+  EXPECT_GT(m.runtime, 0);
+}
+
+TEST(VmJoin, NoJoinsMeansNoRepairsAndStableDistance) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  const JobMetrics m = eng.run();
+  EXPECT_EQ(m.vms_repaired, 0);
+  EXPECT_DOUBLE_EQ(m.final_cluster_distance, m.cluster_distance);
+}
+
+TEST(VmJoin, ReplacementVmSpeedsUpTheDegradedJob) {
+  // Capacity-bound setup: losing node 1 leaves a single VM to chew through
+  // 64 splits.  The replacements join on the surviving node itself, so the
+  // comparison isolates map capacity from shuffle-locality drift.
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 1}, {1, 2}}, 6);
+  const JobConfig job = wordcount(64 * 64.0e6);
+
+  MapReduceEngine crippled(topo, sim::NetworkConfig{}, vc, job, 3);
+  crippled.fail_node_at(1, 0.5);
+  const double crippled_rt = crippled.run().runtime;
+
+  MapReduceEngine repaired(topo, sim::NetworkConfig{}, vc, job, 3);
+  repaired.fail_node_at(1, 0.5);
+  repaired.add_vms_at(1.0, {{0, 0}, {0, 0}});
+  const JobMetrics m = repaired.run();
+  EXPECT_EQ(m.vms_repaired, 2);
+  EXPECT_LT(m.runtime, crippled_rt);
+}
+
+TEST(VmJoin, FinalDistanceReflectsARemoteReplacement) {
+  const Topology topo = Topology::uniform(2, 3);
+  // Compact cluster in rack 0; the replacement lands across the rack
+  // boundary, so the final cluster is more spread than the initial one.
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  eng.add_vms_at(1.0, {{5, 0}});
+  const JobMetrics m = eng.run();
+  EXPECT_GT(m.final_cluster_distance, m.cluster_distance);
+}
+
+TEST(VmJoin, JoinOnADeadNodeAddsNoCapacityButStillCompletes) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}}, 6);
+  MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 3);
+  eng.fail_node_at(3, 0.5);
+  eng.add_vms_at(1.0, {{3, 0}});  // joins a node that is already down
+  const JobMetrics m = eng.run();
+  EXPECT_EQ(m.vms_repaired, 1);
+  EXPECT_GT(m.runtime, 0);
+}
+
+TEST(VmJoin, DeterministicAcrossIdenticalRuns) {
+  const Topology topo = Topology::uniform(2, 3);
+  const auto vc = cluster_on({{0, 2}, {1, 2}, {3, 2}}, 6);
+  auto run_once = [&] {
+    MapReduceEngine eng(topo, sim::NetworkConfig{}, vc, wordcount(), 9);
+    eng.fail_node_at(1, 0.5);
+    eng.add_vms_at(1.0, {{2, 0}});
+    return eng.run();
+  };
+  const JobMetrics a = run_once();
+  const JobMetrics b = run_once();
+  EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.maps_reexecuted, b.maps_reexecuted);
+  EXPECT_EQ(a.vms_repaired, b.vms_repaired);
+  EXPECT_DOUBLE_EQ(a.final_cluster_distance, b.final_cluster_distance);
+}
+
+}  // namespace
+}  // namespace vcopt::mapreduce

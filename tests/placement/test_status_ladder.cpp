@@ -1,0 +1,161 @@
+// Typed provisioning outcomes: submit()'s explicit rejection statuses (with
+// reasons recorded in metrics) and submit_laddered()'s graceful-degradation
+// rungs kGranted -> kDegraded -> kPartial -> kAbandoned.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cloud.h"
+#include "obs/metrics.h"
+#include "placement/online_heuristic.h"
+#include "placement/provisioner.h"
+
+namespace vcopt::placement {
+namespace {
+
+using cluster::Allocation;
+using cluster::Cloud;
+using cluster::Request;
+
+Cloud make_cloud(int per_node = 2) {
+  // 2 racks x 2 nodes, 3 EC2 types.
+  return Cloud(cluster::Topology::uniform(2, 2),
+               cluster::VmCatalog::ec2_default(),
+               util::IntMatrix(4, 3, per_node));
+}
+
+Provisioner make_prov(Cloud& cloud) {
+  return Provisioner(cloud, std::make_unique<OnlineHeuristic>());
+}
+
+TEST(ProvisionStatus, ZeroVmRequestIsTypedRejection) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  obs::MetricsRegistry::global().set_enabled(true);
+  const std::uint64_t before =
+      obs::MetricsRegistry::global().counter("provisioner/reject_empty").value();
+
+  const ProvisionResult res = prov.submit(Request({0, 0, 0}));
+  EXPECT_EQ(res.status, PlacementStatus::kRejectedEmpty);
+  EXPECT_FALSE(res.grant.has_value());
+  EXPECT_EQ(res.requested_vms, 0);
+  EXPECT_EQ(prov.rejected_count(), 1u);
+  EXPECT_EQ(cloud.lease_count(), 0u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("provisioner/reject_empty").value(),
+      before + 1);
+  obs::MetricsRegistry::global().set_enabled(false);
+}
+
+TEST(ProvisionStatus, ShapeMismatchIsTypedRejection) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  const ProvisionResult res = prov.submit(Request({1, 1}));  // 2 != 3 types
+  EXPECT_EQ(res.status, PlacementStatus::kRejectedShape);
+  EXPECT_FALSE(res.grant.has_value());
+  // The legacy optional-returning entry point still throws for shape bugs.
+  EXPECT_THROW(prov.request(Request({1, 1})), std::invalid_argument);
+}
+
+TEST(ProvisionStatus, OverCapacityIsTypedRejection) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  const ProvisionResult res = prov.submit(Request({100, 0, 0}));
+  EXPECT_EQ(res.status, PlacementStatus::kRejectedOverCapacity);
+  EXPECT_FALSE(res.grant.has_value());
+  EXPECT_EQ(prov.rejected_count(), 1u);
+}
+
+TEST(ProvisionStatus, ServableRequestIsGrantedAndLargerOneQueued) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  const ProvisionResult granted = prov.submit(Request({2, 1, 0}, 1));
+  EXPECT_EQ(granted.status, PlacementStatus::kGranted);
+  ASSERT_TRUE(granted.grant.has_value());
+  EXPECT_EQ(granted.granted_vms, 3);
+
+  // Fits total capacity but not right now -> queued, not rejected.
+  const ProvisionResult queued = prov.submit(Request({8, 0, 0}, 2));
+  EXPECT_EQ(queued.status, PlacementStatus::kQueued);
+  EXPECT_FALSE(is_terminal(PlacementStatus::kQueued));
+  EXPECT_EQ(prov.queue_length(), 1u);
+}
+
+TEST(ProvisionStatus, ToStringCoversEveryStatus) {
+  for (PlacementStatus s :
+       {PlacementStatus::kGranted, PlacementStatus::kQueued,
+        PlacementStatus::kRejectedEmpty, PlacementStatus::kRejectedShape,
+        PlacementStatus::kRejectedOverCapacity, PlacementStatus::kRepaired,
+        PlacementStatus::kDegraded, PlacementStatus::kPartial,
+        PlacementStatus::kAbandoned}) {
+    EXPECT_STRNE(to_string(s), "");
+    EXPECT_EQ(is_terminal(s), s != PlacementStatus::kQueued);
+  }
+}
+
+TEST(Ladder, ExactRungGrantsAtOptimalDistance) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  LadderOptions opts;
+  opts.ilp_budget_ms = 10000;  // generous: the rung must not lose to CI noise
+  const ProvisionResult res = prov.submit_laddered(Request({2, 2, 0}), opts);
+  ASSERT_EQ(res.status, PlacementStatus::kGranted);
+  ASSERT_TRUE(res.grant.has_value());
+  EXPECT_EQ(res.granted_vms, 4);
+  // 2 slots/type/node: 4 VMs of 2 types fit in one rack -> DC 2 x same_rack.
+  EXPECT_LE(res.grant->placement.distance, 2.0);
+}
+
+TEST(Ladder, HeuristicRungReportsDegraded) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  LadderOptions opts;
+  opts.ilp_budget_ms = 0;  // disable the exact rung
+  const ProvisionResult res = prov.submit_laddered(Request({2, 1, 1}), opts);
+  EXPECT_EQ(res.status, PlacementStatus::kDegraded);
+  ASSERT_TRUE(res.grant.has_value());
+  EXPECT_EQ(res.granted_vms, 4);  // still a FULL allocation
+}
+
+TEST(Ladder, UnfittableRequestDegradesToPartial) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  // 8 of type 0 exist in total; occupy 2 first so only 6 remain -> a full
+  // fit of 8 is impossible right now, partial clips to the 6 available.
+  ASSERT_EQ(prov.submit(Request({2, 0, 0}, 1)).status,
+            PlacementStatus::kGranted);
+  const ProvisionResult res = prov.submit_laddered(Request({8, 0, 0}, 2));
+  EXPECT_EQ(res.status, PlacementStatus::kPartial);
+  ASSERT_TRUE(res.grant.has_value());
+  EXPECT_EQ(res.requested_vms, 8);
+  EXPECT_EQ(res.granted_vms, 6);
+  // The partial grant is a real lease that satisfies its clipped request.
+  EXPECT_TRUE(cloud.has_lease(res.grant->lease));
+}
+
+TEST(Ladder, AllowPartialFalseAbandonsInstead) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  ASSERT_EQ(prov.submit(Request({2, 0, 0}, 1)).status,
+            PlacementStatus::kGranted);
+  LadderOptions opts;
+  opts.allow_partial = false;
+  const ProvisionResult res = prov.submit_laddered(Request({8, 0, 0}, 2), opts);
+  EXPECT_EQ(res.status, PlacementStatus::kAbandoned);
+  EXPECT_FALSE(res.grant.has_value());
+  EXPECT_EQ(res.granted_vms, 0);
+}
+
+TEST(Ladder, NothingPlaceableIsAbandoned) {
+  Cloud cloud = make_cloud();
+  Provisioner prov = make_prov(cloud);
+  // Fill type 0 completely, then ask for more of it.
+  ASSERT_EQ(prov.submit(Request({8, 0, 0}, 1)).status,
+            PlacementStatus::kGranted);
+  const ProvisionResult res = prov.submit_laddered(Request({2, 0, 0}, 2));
+  EXPECT_EQ(res.status, PlacementStatus::kAbandoned);
+  EXPECT_FALSE(res.grant.has_value());
+}
+
+}  // namespace
+}  // namespace vcopt::placement

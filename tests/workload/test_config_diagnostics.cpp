@@ -1,0 +1,141 @@
+// Config-loading diagnostics: malformed JSON is reported with file:line:col
+// plus the quoted line and a caret; schema errors carry the element path
+// (e.g. "racks[1].nodes[0]") so bad entries are findable in large files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+#include "workload/config.h"
+
+namespace vcopt::workload {
+namespace {
+
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected an exception";
+  return "";
+}
+
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& content) : path_(name) {
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ConfigDiagnostics, MalformedJsonReportsLineColumnAndCaret) {
+  // The ':' after "nodes" is missing; the parser trips on line 3.
+  TempFile f("bad_cloud.json",
+             "{\n"
+             "  \"vm_types\": [{\"name\": \"m\"}],\n"
+             "  \"racks\" [{\"nodes\": [{\"capacity\": [1]}]}]\n"
+             "}\n");
+  const std::string msg =
+      message_of([&] { load_cloud_file(f.path()); });
+  EXPECT_NE(msg.find("bad_cloud.json:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("\"racks\" [{"), std::string::npos) << msg;  // quoted line
+  EXPECT_NE(msg.find("\n  "), std::string::npos) << msg;
+  EXPECT_NE(msg.find("^"), std::string::npos) << msg;  // caret marker
+}
+
+TEST(ConfigDiagnostics, MalformedTraceReportsTheFileName) {
+  TempFile f("bad_trace.json", "{\"trace\": [,]}\n");
+  const std::string msg =
+      message_of([&] { load_trace_file(f.path()); });
+  EXPECT_NE(msg.find("bad_trace.json:1:"), std::string::npos) << msg;
+}
+
+TEST(ConfigDiagnostics, BadVmTypeNamesItsIndex) {
+  const std::string msg = message_of([] {
+    cloud_from_json(util::Json::parse(R"({
+      "vm_types": [{"name": "ok"}, {"name": "bad", "memory_gb": -1}],
+      "racks": [{"nodes": [{"capacity": [1, 1]}]}]
+    })"));
+  });
+  EXPECT_NE(msg.find("vm_types[1]"), std::string::npos) << msg;
+}
+
+TEST(ConfigDiagnostics, BadNodeNamesRackAndNodeIndices) {
+  const std::string msg = message_of([] {
+    cloud_from_json(util::Json::parse(R"({
+      "vm_types": [{"name": "m"}],
+      "racks": [
+        {"nodes": [{"capacity": [1]}]},
+        {"nodes": [{"capacity": [2]}, {"capacity": [-3]}]}
+      ]
+    })"));
+  });
+  EXPECT_NE(msg.find("racks[1].nodes[1]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("negative capacity"), std::string::npos) << msg;
+}
+
+TEST(ConfigDiagnostics, CapacityLengthMismatchQuotesBothSizes) {
+  const std::string msg = message_of([] {
+    cloud_from_json(util::Json::parse(R"({
+      "vm_types": [{"name": "a"}, {"name": "b"}],
+      "racks": [{"nodes": [{"capacity": [1]}]}]
+    })"));
+  });
+  EXPECT_NE(msg.find("racks[0].nodes[0]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("capacity length 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("vm_types length 2"), std::string::npos) << msg;
+}
+
+TEST(ConfigDiagnostics, NonIntegerRackCloudRejected) {
+  const std::string msg = message_of([] {
+    cloud_from_json(util::Json::parse(R"({
+      "vm_types": [{"name": "m"}],
+      "racks": [{"cloud": 1.5, "nodes": [{"capacity": [1]}]}]
+    })"));
+  });
+  EXPECT_NE(msg.find("racks[0]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("non-negative integer"), std::string::npos) << msg;
+}
+
+TEST(ConfigDiagnostics, BadTraceEntryNamesItsIndex) {
+  const std::string negative_count = message_of([] {
+    trace_from_json(util::Json::parse(
+        R"({"trace": [{"counts": [1]}, {"counts": [1, -2]}]})"));
+  });
+  EXPECT_NE(negative_count.find("trace[1]"), std::string::npos)
+      << negative_count;
+  EXPECT_NE(negative_count.find("negative VM count"), std::string::npos)
+      << negative_count;
+
+  const std::string negative_time = message_of([] {
+    trace_from_json(util::Json::parse(
+        R"({"trace": [{"counts": [1], "arrival": -4}]})"));
+  });
+  EXPECT_NE(negative_time.find("trace[0]"), std::string::npos) << negative_time;
+  EXPECT_NE(negative_time.find("negative time"), std::string::npos)
+      << negative_time;
+}
+
+TEST(ConfigDiagnostics, JsonParseErrorCarriesTheByteOffset) {
+  try {
+    util::Json::parse("{\"a\": }");
+    FAIL() << "expected JsonParseError";
+  } catch (const util::JsonParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_LE(e.offset(), 7u);  // within the 7-byte document
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vcopt::workload

@@ -18,6 +18,21 @@
 //       re-placed by the affinity-preserving repair loop; the summary gains
 //       a fault/repair section (see docs/robustness.md).
 //
+//   vcopt_cli serve [--seed N] [--scale big|medium|small] [--cloud cloud.json]
+//       [--max-batch B] [--max-wait S] [--queue-capacity C]
+//       [--discipline fifo|priority|smallest-first] [--policy P]
+//       [--journal FILE] [--grants-out FILE] | [--replay FILE]
+//       run the micro-batching placement service over NDJSON requests from
+//       stdin, one JSON object per line:
+//         {"counts":[2,4,1],"id":7,"priority":3,"deadline":1.5,
+//          "class":"batch","time":0.25}
+//       (only "counts" is required; "time" advances the virtual clock, and
+//       {"type":"release","lease":L} / {"type":"advance","time":T} lines
+//       return leases / move time without submitting).  Decided outcome
+//       records stream to stdout as NDJSON; --journal writes the write-ahead
+//       journal and --replay re-executes one instead of serving stdin
+//       (see docs/service.md).
+//
 //   vcopt_cli export [--seed N] [--out cloud.json]
 //       write the generated random cloud as a JSON description that
 //       `place --cloud` accepts (edit it to match a real inventory).
@@ -32,16 +47,22 @@
 // forced globally with VCOPT_METRICS=1 / VCOPT_TRACE=FILE.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "fault/fault_sim.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/journal.h"
+#include "service/replay.h"
+#include "service/service.h"
 #include "sim/cluster_sim.h"
 #include "sim/timeline_writer.h"
 #include "solver/sd_solver.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "workload/config.h"
 #include "workload/generator.h"
@@ -258,6 +279,162 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// The placement service as a process: NDJSON requests in, NDJSON outcome
+// records out, with the write-ahead journal and its replay exposed as flags.
+// Runs the deterministic virtual clock, so a piped request file always
+// produces the same grants (and the same journal bytes).
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const std::uint64_t seed = std::stoull(flag(flags, "seed", "2"));
+  const workload::CloudSpec spec = [&] {
+    if (flags.count("cloud")) {
+      return workload::load_cloud_file(flags.at("cloud"));
+    }
+    const std::string scale_name = flag(flags, "scale", "big");
+    workload::RequestScale scale = workload::RequestScale::kBig;
+    if (scale_name == "medium") scale = workload::RequestScale::kMedium;
+    else if (scale_name == "small") scale = workload::RequestScale::kSmall;
+    else if (scale_name != "big") {
+      throw std::invalid_argument("unknown --scale " + scale_name);
+    }
+    workload::SimScenario sc = workload::paper_sim_scenario(seed, scale);
+    return workload::CloudSpec{std::move(sc.topology), std::move(sc.catalog),
+                               std::move(sc.capacity)};
+  }();
+  cluster::Cloud cloud(spec.topology, spec.catalog, spec.capacity);
+
+  service::ServiceOptions options;
+  options.max_batch = std::stoull(flag(flags, "max-batch", "8"));
+  options.max_wait = std::stod(flag(flags, "max-wait", "0.01"));
+  options.queue_capacity = std::stoull(flag(flags, "queue-capacity", "256"));
+  options.policy = flag(flags, "policy", "online-heuristic");
+  options.clock = service::ClockMode::kVirtual;
+  const std::string disc_name = flag(flags, "discipline", "fifo");
+  if (disc_name == "priority") {
+    options.discipline = placement::QueueDiscipline::kPriority;
+  } else if (disc_name == "smallest-first") {
+    options.discipline = placement::QueueDiscipline::kSmallestFirst;
+  } else if (disc_name != "fifo") {
+    std::cerr << "unknown --discipline " << disc_name << "\n";
+    return 2;
+  }
+
+  const auto write_grants = [&](std::string grants) {
+    if (!flags.count("grants-out")) return true;
+    std::ofstream g(flags.at("grants-out"));
+    if (!g) {
+      std::cerr << "could not write " << flags.at("grants-out") << "\n";
+      return false;
+    }
+    g << grants;
+    return true;
+  };
+
+  // --replay FILE: re-execute a journal on the fresh cloud instead of
+  // serving stdin; prints the reproduced grant stream.
+  if (flags.count("replay")) {
+    const std::string& path = flags.at("replay");
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "could not read " << path << "\n";
+      return 1;
+    }
+    const service::ReplayResult res =
+        service::replay_journal(service::parse_journal(in, path), cloud,
+                                options);
+    std::cout << res.grants;
+    if (!write_grants(res.grants)) return 1;
+    std::cerr << "replayed " << res.windows << " windows, " << res.releases
+              << " releases, total DC " << res.total_distance << "\n";
+    return 0;
+  }
+
+  std::ofstream journal_file;
+  if (flags.count("journal")) {
+    journal_file.open(flags.at("journal"));
+    if (!journal_file) {
+      std::cerr << "could not write " << flags.at("journal") << "\n";
+      return 1;
+    }
+    options.journal = &journal_file;
+  }
+
+  service::PlacementService svc(cloud, options);
+  std::vector<service::Outcome> outcomes;
+  const auto drain = [&] {
+    for (service::Outcome& o : svc.take_outcomes()) {
+      std::cout << service::outcome_to_json(o).dump(0) << "\n";
+      outcomes.push_back(std::move(o));
+    }
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      const util::Json j = util::Json::parse(line);
+      const std::string type =
+          j.contains("type") ? j.at("type").as_string() : "submit";
+      if (type == "release") {
+        svc.release(
+            static_cast<cluster::LeaseId>(j.at("lease").as_number()));
+      } else if (type == "advance") {
+        svc.advance_to(j.at("time").as_number());
+      } else if (type == "submit") {
+        if (j.contains("time")) svc.advance_to(j.at("time").as_number());
+        std::vector<int> counts;
+        for (const util::Json& c : j.at("counts").as_array()) {
+          counts.push_back(c.as_int());
+        }
+        const std::uint64_t id =
+            j.contains("id")
+                ? static_cast<std::uint64_t>(j.at("id").as_number())
+                : line_no;
+        service::SubmitOptions o;
+        if (j.contains("priority")) o.priority = j.at("priority").as_int();
+        if (j.contains("deadline")) o.deadline = j.at("deadline").as_number();
+        if (j.contains("class")) {
+          const auto klass =
+              service::parse_request_class(j.at("class").as_string());
+          if (!klass) {
+            throw std::invalid_argument("unknown class '" +
+                                        j.at("class").as_string() + "'");
+          }
+          o.klass = *klass;
+        }
+        const service::SubmitReceipt receipt =
+            svc.submit(cluster::Request(std::move(counts), id), o);
+        if (receipt.admission != service::AdmissionStatus::kAccepted) {
+          // Not accepted => no Outcome will ever arrive; report the verdict
+          // inline so every input line gets an answer.
+          util::JsonObject rej;
+          rej["id"] = id;
+          rej["status"] = service::to_string(receipt.admission);
+          rej["type"] = "admission";
+          std::cout << util::Json(std::move(rej)).dump(0) << "\n";
+        }
+      } else {
+        throw std::invalid_argument("unknown record type '" + type + "'");
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "stdin:" << line_no << ": " << e.what() << "\n";
+      return 1;
+    }
+    drain();
+  }
+  svc.stop();
+  drain();
+  if (!write_grants(service::grant_stream(outcomes))) return 1;
+
+  const service::ServiceStats stats = svc.stats();
+  std::cerr << "serve: accepted " << stats.accepted << ", shed " << stats.shed
+            << ", queue-full " << stats.queue_full << ", deadline-missed "
+            << stats.deadline_missed << ", windows " << stats.windows
+            << ", decided " << stats.decided << "\n";
+  return 0;
+}
+
 // End-to-end quickstart: the README's 2x4 cloud, a burst of requests
 // through the provisioner (some queue, so release-time drains happen), an
 // ILP cross-check of the first placement, and a short churn sim.  Exercises
@@ -330,12 +507,16 @@ int cmd_quickstart(const std::map<std::string, std::string>& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: vcopt_cli <place|sim|export|quickstart> [--flags]\n"
+    std::cerr << "usage: vcopt_cli <place|sim|serve|export|quickstart> [--flags]\n"
                  "  place: --policy P --seed N --small S --medium M --large L\n"
                  "  sim:   --policy P --seed N --requests K --scale big|medium|small\n"
                  "         --discipline fifo|priority|smallest-first --csv\n"
                  "         --timeline | --timeline-out=FILE\n"
                  "         --fault-profile none|light|heavy|key=value,...\n"
+                 "  serve: NDJSON requests on stdin -> NDJSON outcomes on stdout\n"
+                 "         --max-batch B --max-wait S --queue-capacity C\n"
+                 "         --discipline fifo|priority|smallest-first --policy P\n"
+                 "         --journal FILE --grants-out FILE | --replay FILE\n"
                  "  any:   --metrics-out=FILE --trace-out=FILE\n";
     return 2;
   }
@@ -355,6 +536,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "place") rc = cmd_place(flags);
     else if (cmd == "sim") rc = cmd_sim(flags);
+    else if (cmd == "serve") rc = cmd_serve(flags);
     else if (cmd == "export") rc = cmd_export(flags);
     else if (cmd == "quickstart") rc = cmd_quickstart(flags);
     else {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 #include <sstream>
 
 namespace vcopt::check {
@@ -259,6 +260,33 @@ ValidationResult validate_repair_conservation(const util::IntMatrix& original,
     }
   }
   return valid();
+}
+
+ValidationResult validate_exact_cover(
+    const std::vector<std::uint64_t>& expected,
+    const std::vector<std::uint64_t>& got, const std::string& what) {
+  std::map<std::uint64_t, int> balance;  // +1 per expected, -1 per got
+  for (std::uint64_t id : expected) ++balance[id];
+  for (std::uint64_t id : got) --balance[id];
+  std::vector<std::uint64_t> missing;
+  std::vector<std::uint64_t> extra;
+  for (const auto& [id, count] : balance) {
+    for (int k = 0; k < count; ++k) missing.push_back(id);
+    for (int k = 0; k < -count; ++k) extra.push_back(id);
+  }
+  if (missing.empty() && extra.empty()) return valid();
+  std::ostringstream os;
+  os << what << ": not an exact cover (" << expected.size() << " expected, "
+     << got.size() << " got)";
+  auto dump_ids = [&os](const char* label,
+                        const std::vector<std::uint64_t>& ids) {
+    if (ids.empty()) return;
+    os << "\n  " << label << ":";
+    for (std::uint64_t id : ids) os << " " << id;
+  };
+  dump_ids("missing", missing);
+  dump_ids("duplicated or unexpected", extra);
+  return invalid(os.str());
 }
 
 ValidationResult validate_nondecreasing(const std::vector<double>& timestamps,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,15 @@ ValidationResult validate_capacity_conservation(
 /// Event/timeline timestamps must be non-decreasing.
 ValidationResult validate_nondecreasing(const std::vector<double>& timestamps,
                                         const std::string& what);
+
+/// Exact-cover reconciliation: `got` must contain every id in `expected`
+/// exactly once and nothing else (order-insensitive).  On failure the
+/// diagnostic lists the missing, duplicated and unexpected ids.  Used for
+/// the service's journal/grant reconciliation: every accepted seq ends in
+/// exactly one outcome — no lost requests, no duplicated decisions.
+ValidationResult validate_exact_cover(const std::vector<std::uint64_t>& expected,
+                                      const std::vector<std::uint64_t>& got,
+                                      const std::string& what);
 
 /// Repair conservation after a node failure: `lost` must be the slice of
 /// `original` hosted on failed nodes (lost <= original entrywise, with

@@ -96,6 +96,7 @@ FaultSimResult run_fault_sim(cluster::Cloud& cloud,
   handle_release = [&](cluster::LeaseId lease) {
     if (!cloud.has_lease(lease)) return;  // repair abandoned it earlier
     sample();
+    prov.set_now(queue.now());  // queue_wait_time spans enqueue -> this drain
     grants[lease_grant.at(lease)].released = queue.now();
     recovery.untrack(lease);
     std::vector<placement::Grant> drained = prov.release(lease);
@@ -107,6 +108,7 @@ FaultSimResult run_fault_sim(cluster::Cloud& cloud,
   // An abandoned repair releases through the provisioner so the wait queue
   // drains exactly as a normal release would.
   recovery.set_release_hook([&](cluster::LeaseId lease) {
+    prov.set_now(queue.now());
     for (const placement::Grant& g : prov.release(lease)) record_grant(g);
   });
   recovery.set_repair_hook([&](const RepairRecord& r) {
@@ -160,6 +162,7 @@ FaultSimResult run_fault_sim(cluster::Cloud& cloud,
 
   for (const cluster::TimedRequest& tr : trace) {
     queue.schedule(tr.arrival_time, [&, tr] {
+      prov.set_now(queue.now());
       auto grant = prov.request(tr.request);
       if (grant) record_grant(*grant);
       else record_timeline();

@@ -28,6 +28,7 @@ struct ProvisionerMetrics {
   obs::Counter& ladder_partial;
   obs::Counter& ladder_abandoned;
   obs::Gauge& ladder_ilp_ms;
+  obs::HistogramMetric& queue_wait;
 
   static ProvisionerMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
@@ -44,6 +45,8 @@ struct ProvisionerMetrics {
         reg.counter("provisioner/ladder_partial"),
         reg.counter("provisioner/ladder_abandoned"),
         reg.gauge("provisioner/ladder_ilp_ms"),
+        reg.histogram("provisioner/queue_wait_time",
+                      obs::MetricsRegistry::exponential_buckets(0.001, 2.0, 24)),
     };
     return m;
   }
@@ -125,6 +128,8 @@ Provisioner::Provisioner(cluster::Cloud& cloud,
   if (!policy_) throw std::invalid_argument("Provisioner: null policy");
 }
 
+void Provisioner::set_now(double now) { now_ = std::max(now_, now); }
+
 std::size_t Provisioner::next_in_queue() const {
   std::size_t best = 0;
   for (std::size_t i = 1; i < queue_.size(); ++i) {
@@ -132,10 +137,14 @@ std::size_t Provisioner::next_in_queue() const {
       case QueueDiscipline::kFifo:
         return 0;
       case QueueDiscipline::kPriority:
-        if (queue_[i].priority() > queue_[best].priority()) best = i;
+        if (queue_[i].request.priority() > queue_[best].request.priority()) {
+          best = i;
+        }
         break;
       case QueueDiscipline::kSmallestFirst:
-        if (queue_[i].total_vms() < queue_[best].total_vms()) best = i;
+        if (queue_[i].request.total_vms() < queue_[best].request.total_vms()) {
+          best = i;
+        }
         break;
     }
   }
@@ -155,7 +164,7 @@ std::optional<Grant> Provisioner::try_place_and_grant(const cluster::Request& r)
 }
 
 void Provisioner::enqueue(const cluster::Request& r) {
-  queue_.push_back(r);
+  queue_.push_back(Waiting{r, now_});
   auto& m = ProvisionerMetrics::get();
   m.queued.add();
   m.queue_depth.set(static_cast<double>(queue_.size()));
@@ -340,26 +349,31 @@ std::vector<Grant> Provisioner::release(cluster::LeaseId lease) {
   // Drain in discipline order; stop at the first candidate that still
   // cannot be served (head-of-line blocking within the discipline keeps the
   // service order starvation-transparent).
+  auto& m = ProvisionerMetrics::get();
   while (!queue_.empty()) {
     const std::size_t pick = next_in_queue();
-    const cluster::Request& head = queue_[pick];
-    if (cloud_.admit(head) != cluster::Admission::kAccept) break;
-    auto grant = try_place_and_grant(head);
+    const Waiting& head = queue_[pick];
+    if (cloud_.admit(head.request) != cluster::Admission::kAccept) break;
+    auto grant = try_place_and_grant(head.request);
     if (!grant) break;
+    m.queue_wait.observe(now_ - head.enqueued_at);
     grants.push_back(std::move(*grant));
     queue_.erase(queue_.begin() + static_cast<long>(pick));
   }
-  ProvisionerMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+  m.queue_depth.set(static_cast<double>(queue_.size()));
   return grants;
 }
 
 std::vector<Grant> Provisioner::drain_batch_global() {
   if (queue_.empty()) return {};
-  std::vector<cluster::Request> batch(queue_.begin(), queue_.end());
+  std::vector<cluster::Request> batch;
+  batch.reserve(queue_.size());
+  for (const Waiting& w : queue_) batch.push_back(w.request);
   GlobalSubOpt global;
   BatchPlacement placed =
       global.place_batch(batch, cloud_.remaining(), cloud_.topology());
 
+  auto& m = ProvisionerMetrics::get();
   std::vector<Grant> grants;
   std::vector<bool> served(batch.size(), false);
   for (std::size_t t = 0; t < placed.admitted.size(); ++t) {
@@ -369,15 +383,15 @@ std::vector<Grant> Provisioner::drain_batch_global() {
         cloud_.remaining()));
     const cluster::LeaseId lease =
         cloud_.grant(batch[idx], placed.placements[t].allocation);
+    m.queue_wait.observe(now_ - queue_[idx].enqueued_at);
     grants.push_back(Grant{lease, batch[idx].id(), placed.placements[t]});
     served[idx] = true;
   }
-  std::deque<cluster::Request> rest;
+  std::deque<Waiting> rest;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!served[i]) rest.push_back(batch[i]);
+    if (!served[i]) rest.push_back(std::move(queue_[i]));
   }
   queue_ = std::move(rest);
-  auto& m = ProvisionerMetrics::get();
   m.grants.add(grants.size());
   m.queue_depth.set(static_cast<double>(queue_.size()));
   return grants;

@@ -107,6 +107,14 @@ class Provisioner {
   /// single-request placement.
   std::vector<Grant> drain_batch_global();
 
+  /// Advances the provisioner's clock (simulation or service seconds;
+  /// monotonic — lower values are ignored).  The clock only timestamps wait-
+  /// queue entries so `provisioner/queue_wait_time` can be observed when a
+  /// queued request is finally served; callers that never set it record
+  /// zero-length waits.
+  void set_now(double now);
+  double now() const { return now_; }
+
   std::size_t queue_length() const { return queue_.size(); }
   std::uint64_t rejected_count() const { return rejected_; }
   QueueDiscipline discipline() const { return discipline_; }
@@ -125,11 +133,19 @@ class Provisioner {
   /// Index into queue_ of the next request under the discipline.
   std::size_t next_in_queue() const;
 
+  /// A wait-queue entry: the request plus when it joined, so the wait time
+  /// (provisioner/queue_wait_time) is known when it is finally served.
+  struct Waiting {
+    cluster::Request request;
+    double enqueued_at = 0;
+  };
+
   cluster::Cloud& cloud_;
   std::unique_ptr<PlacementPolicy> policy_;
   QueueDiscipline discipline_;
-  std::deque<cluster::Request> queue_;  // in arrival order
+  std::deque<Waiting> queue_;  // in arrival order
   std::uint64_t rejected_ = 0;
+  double now_ = 0;
 };
 
 }  // namespace vcopt::placement

@@ -1,0 +1,229 @@
+#include "service/journal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/check.h"
+
+namespace vcopt::service {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+namespace {
+
+JsonArray to_json_array(const std::vector<std::uint64_t>& xs) {
+  JsonArray arr;
+  arr.reserve(xs.size());
+  for (std::uint64_t x : xs) arr.push_back(Json(static_cast<double>(x)));
+  return arr;
+}
+
+std::vector<std::uint64_t> from_json_array(const Json& j) {
+  std::vector<std::uint64_t> out;
+  out.reserve(j.as_array().size());
+  for (const Json& e : j.as_array()) {
+    out.push_back(static_cast<std::uint64_t>(e.as_number()));
+  }
+  return out;
+}
+
+std::uint64_t u64_at(const Json& j, const std::string& key) {
+  return static_cast<std::uint64_t>(j.at(key).as_number());
+}
+
+}  // namespace
+
+const char* to_string(RecordType t) {
+  switch (t) {
+    case RecordType::kSubmit: return "submit";
+    case RecordType::kWindow: return "window";
+    case RecordType::kRelease: return "release";
+  }
+  return "?";
+}
+
+void JournalWriter::write(const Json& record) {
+  // One compact line per record; flush so a crash loses at most the record
+  // being written, never a decided-but-unjournaled one (records are written
+  // before their effects execute).
+  out_ << record.dump(0) << "\n";
+  out_.flush();
+  ++records_;
+}
+
+void JournalWriter::submit(std::uint64_t seq, const cluster::Request& request,
+                           const SubmitOptions& options, double time) {
+  JsonObject o;
+  o["type"] = "submit";
+  o["seq"] = static_cast<double>(seq);
+  o["id"] = static_cast<double>(request.id());
+  JsonArray counts;
+  counts.reserve(request.type_count());
+  for (std::size_t j = 0; j < request.type_count(); ++j) {
+    counts.push_back(Json(request.count(j)));
+  }
+  o["counts"] = Json(std::move(counts));
+  o["priority"] = options.priority;
+  o["class"] = to_string(options.klass);
+  if (std::isfinite(options.deadline)) o["deadline"] = options.deadline;
+  o["time"] = time;
+  write(Json(std::move(o)));
+}
+
+void JournalWriter::window(std::uint64_t window_id, double time,
+                           const char* reason,
+                           const std::vector<std::uint64_t>& members,
+                           const std::vector<std::uint64_t>& shed) {
+  JsonObject o;
+  o["type"] = "window";
+  o["window"] = static_cast<double>(window_id);
+  o["time"] = time;
+  o["reason"] = reason;
+  o["members"] = Json(to_json_array(members));
+  o["shed"] = Json(to_json_array(shed));
+  write(Json(std::move(o)));
+}
+
+void JournalWriter::release(cluster::LeaseId lease, double time) {
+  JsonObject o;
+  o["type"] = "release";
+  o["lease"] = static_cast<double>(lease);
+  o["time"] = time;
+  write(Json(std::move(o)));
+}
+
+std::vector<JournalRecord> parse_journal(std::istream& in,
+                                         const std::string& source) {
+  std::vector<JournalRecord> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    Json j;
+    try {
+      j = Json::parse(line);
+    } catch (const util::JsonParseError& e) {
+      // NDJSON: the record number is the line, the byte offset the column.
+      std::ostringstream msg;
+      msg << source << ":" << lineno << ":" << (e.offset() + 1) << ": "
+          << e.what() << "\n  " << line << "\n  "
+          << std::string(std::min(e.offset(), line.size()), ' ') << "^";
+      throw std::invalid_argument(msg.str());
+    }
+    try {
+      JournalRecord rec;
+      const std::string& type = j.at("type").as_string();
+      rec.time = j.at("time").as_number();
+      if (type == "submit") {
+        rec.type = RecordType::kSubmit;
+        rec.seq = u64_at(j, "seq");
+        std::vector<int> counts;
+        counts.reserve(j.at("counts").as_array().size());
+        for (const Json& c : j.at("counts").as_array()) {
+          counts.push_back(c.as_int());
+        }
+        rec.options.priority = j.at("priority").as_int();
+        const auto klass = parse_request_class(j.at("class").as_string());
+        if (!klass) {
+          throw std::invalid_argument("unknown request class '" +
+                                      j.at("class").as_string() + "'");
+        }
+        rec.options.klass = *klass;
+        rec.options.deadline =
+            j.contains("deadline") ? j.at("deadline").as_number() : kNoDeadline;
+        rec.request = cluster::Request(std::move(counts), u64_at(j, "id"),
+                                       rec.options.priority);
+      } else if (type == "window") {
+        rec.type = RecordType::kWindow;
+        rec.window_id = u64_at(j, "window");
+        rec.reason = j.at("reason").as_string();
+        rec.members = from_json_array(j.at("members"));
+        rec.shed = from_json_array(j.at("shed"));
+      } else if (type == "release") {
+        rec.type = RecordType::kRelease;
+        rec.lease = u64_at(j, "lease");
+      } else {
+        throw std::invalid_argument("unknown record type '" + type + "'");
+      }
+      records.push_back(std::move(rec));
+    } catch (const std::logic_error& e) {
+      throw std::invalid_argument(source + ":" + std::to_string(lineno) +
+                                  ": bad journal record: " + e.what());
+    }
+  }
+  return records;
+}
+
+util::Json outcome_to_json(const Outcome& outcome) {
+  JsonObject o;
+  o["type"] = "outcome";
+  o["seq"] = static_cast<double>(outcome.seq);
+  o["id"] = static_cast<double>(outcome.request_id);
+  o["window"] = static_cast<double>(outcome.window_id);
+  o["status"] = to_string(outcome.kind);
+  if (has_lease(outcome.kind)) {
+    o["lease"] = static_cast<double>(outcome.lease);
+    o["central"] = static_cast<double>(outcome.central);
+    o["distance"] = outcome.distance;
+  }
+  o["requested"] = outcome.requested_vms;
+  o["granted"] = outcome.granted_vms;
+  o["submitted"] = outcome.submit_time;
+  o["decided"] = outcome.decide_time;
+  return Json(std::move(o));
+}
+
+std::string grant_stream(std::vector<Outcome> outcomes) {
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const Outcome& a, const Outcome& b) { return a.seq < b.seq; });
+  std::string out;
+  for (const Outcome& o : outcomes) {
+    out += outcome_to_json(o).dump(0);
+    out += '\n';
+  }
+  return out;
+}
+
+Outcome outcome_from_json(const util::Json& json) {
+  VCOPT_ASSERT(json.at("type").as_string() == "outcome")
+      << " not an outcome record: " << json.dump(0);
+  Outcome out;
+  out.seq = u64_at(json, "seq");
+  out.request_id = u64_at(json, "id");
+  out.window_id = u64_at(json, "window");
+  const std::string& status = json.at("status").as_string();
+  bool found = false;
+  for (OutcomeKind k :
+       {OutcomeKind::kGranted, OutcomeKind::kDegraded, OutcomeKind::kPartial,
+        OutcomeKind::kAbandoned, OutcomeKind::kShedDeadline,
+        OutcomeKind::kRejectedEmpty, OutcomeKind::kRejectedOverCapacity}) {
+    if (status == to_string(k)) {
+      out.kind = k;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("outcome_from_json: unknown status '" +
+                                status + "'");
+  }
+  if (has_lease(out.kind)) {
+    out.lease = u64_at(json, "lease");
+    out.central = static_cast<std::size_t>(json.at("central").as_number());
+    out.distance = json.at("distance").as_number();
+  }
+  out.requested_vms = json.at("requested").as_int();
+  out.granted_vms = json.at("granted").as_int();
+  out.submit_time = json.at("submitted").as_number();
+  out.decide_time = json.at("decided").as_number();
+  return out;
+}
+
+}  // namespace vcopt::service

@@ -1,0 +1,98 @@
+// NDJSON write-ahead journal for the placement service: one JSON object per
+// line, appended under the service lock *before* the decision it describes
+// executes, so a crashed or restarted service can replay the file and land
+// in the same state (same grants, same lease ids, same DC totals —
+// byte-identical outcome records; see docs/service.md).
+//
+// Record schemas (keys sorted by util::Json's object ordering):
+//   {"type":"submit","seq":N,"id":I,"counts":[..],"priority":P,
+//    "class":"batch","time":T}                  — accepted submission;
+//    "deadline":D appears only for finite deadlines
+//   {"type":"window","window":W,"time":T,"reason":"size|wait|flush",
+//    "members":[seq..],"shed":[seq..]}          — a closed decision window:
+//    `members` in dispatch order, `shed` the deadline-expired entries
+//   {"type":"release","lease":L,"time":T}       — a lease returned
+//
+// The window record carries the decided membership (not just arrival
+// order), so replay never re-runs the window-formation policy — it re-
+// executes exactly the windows the live service formed.  Outcome records
+// (the grant stream `vcopt_cli serve` prints) use outcome_to_json below;
+// they are NOT part of the journal, they are what replay must reproduce.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "util/json.h"
+
+namespace vcopt::service {
+
+enum class RecordType { kSubmit, kWindow, kRelease };
+
+const char* to_string(RecordType t);
+
+/// One parsed journal line; fields beyond `type`/`time` are meaningful only
+/// for the matching record type.
+struct JournalRecord {
+  RecordType type = RecordType::kSubmit;
+  double time = 0;
+  // kSubmit
+  std::uint64_t seq = 0;
+  cluster::Request request;  // id, counts and priority
+  SubmitOptions options;
+  // kWindow
+  std::uint64_t window_id = 0;
+  std::string reason;
+  std::vector<std::uint64_t> members;
+  std::vector<std::uint64_t> shed;
+  // kRelease
+  cluster::LeaseId lease = 0;
+};
+
+/// Appends NDJSON records to a stream (one line per call, flushed so the
+/// journal survives a crash mid-run).  Not internally synchronised — the
+/// service serialises calls under its own lock.
+class JournalWriter {
+ public:
+  explicit JournalWriter(std::ostream& out) : out_(out) {}
+
+  void submit(std::uint64_t seq, const cluster::Request& request,
+              const SubmitOptions& options, double time);
+  void window(std::uint64_t window_id, double time, const char* reason,
+              const std::vector<std::uint64_t>& members,
+              const std::vector<std::uint64_t>& shed);
+  void release(cluster::LeaseId lease, double time);
+
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  void write(const util::Json& record);
+
+  std::ostream& out_;
+  std::uint64_t records_ = 0;
+};
+
+/// Parses a journal stream.  Malformed JSON or a schema violation throws
+/// std::invalid_argument with a `source:line:col` diagnostic (line = NDJSON
+/// record number) in the style of workload::config.
+std::vector<JournalRecord> parse_journal(std::istream& in,
+                                         const std::string& source = "journal");
+
+/// Serialisation of one decided outcome — the grant stream.  Deterministic
+/// (sorted keys, %.17g doubles), so replay equivalence can be checked with
+/// a byte compare of the emitted lines.
+util::Json outcome_to_json(const Outcome& outcome);
+
+/// Round-trip of outcome_to_json for tools that read a grant stream back.
+Outcome outcome_from_json(const util::Json& json);
+
+/// Canonical grant stream: every outcome as one NDJSON line, sorted by seq.
+/// Two runs that made the same decisions produce byte-identical streams
+/// regardless of the order the outcomes were collected in — this is the form
+/// the replay-equivalence tests and `vcopt_cli serve --grants-out` compare.
+std::string grant_stream(std::vector<Outcome> outcomes);
+
+}  // namespace vcopt::service

@@ -1,0 +1,81 @@
+#include "service/replay.h"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+#include "placement/provisioner.h"
+
+namespace vcopt::service {
+
+namespace {
+
+PendingEntry take_pending(std::map<std::uint64_t, PendingEntry>& pending,
+                          std::uint64_t seq, std::uint64_t window_id) {
+  auto it = pending.find(seq);
+  if (it == pending.end()) {
+    throw std::invalid_argument(
+        "replay_journal: window " + std::to_string(window_id) +
+        " references seq " + std::to_string(seq) +
+        " with no pending submit record");
+  }
+  PendingEntry entry = std::move(it->second);
+  pending.erase(it);
+  return entry;
+}
+
+}  // namespace
+
+ReplayResult replay_journal(const std::vector<JournalRecord>& records,
+                            cluster::Cloud& cloud,
+                            const ServiceOptions& options) {
+  VCOPT_TRACE_SPAN("service/replay");
+  placement::Provisioner prov(cloud, placement::make_policy(options.policy),
+                              options.discipline);
+  std::map<std::uint64_t, PendingEntry> pending;
+  ReplayResult result;
+  for (const JournalRecord& rec : records) {
+    switch (rec.type) {
+      case RecordType::kSubmit: {
+        if (pending.count(rec.seq)) {
+          throw std::invalid_argument("replay_journal: duplicate submit seq " +
+                                      std::to_string(rec.seq));
+        }
+        pending.emplace(rec.seq, PendingEntry{rec.request, rec.options,
+                                              rec.seq, rec.time});
+        break;
+      }
+      case RecordType::kWindow: {
+        std::vector<PendingEntry> shed;
+        std::vector<PendingEntry> members;
+        shed.reserve(rec.shed.size());
+        members.reserve(rec.members.size());
+        for (std::uint64_t seq : rec.shed) {
+          shed.push_back(take_pending(pending, seq, rec.window_id));
+        }
+        for (std::uint64_t seq : rec.members) {
+          members.push_back(take_pending(pending, seq, rec.window_id));
+        }
+        std::vector<Outcome> outcomes = detail::decide_window(
+            prov, cloud, shed, members, rec.window_id, rec.time, options);
+        ++result.windows;
+        for (Outcome& o : outcomes) {
+          if (has_lease(o.kind)) result.total_distance += o.distance;
+          result.outcomes.push_back(std::move(o));
+        }
+        break;
+      }
+      case RecordType::kRelease: {
+        cloud.release(rec.lease);
+        ++result.releases;
+        break;
+      }
+    }
+  }
+  result.grants = grant_stream(result.outcomes);
+  return result;
+}
+
+}  // namespace vcopt::service

@@ -1,0 +1,534 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "check/check.h"
+#include "check/validators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "placement/global_subopt.h"
+#include "service/journal.h"
+#include "util/thread_pool.h"
+
+namespace vcopt::service {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Gauge& queue_depth;
+  obs::HistogramMetric& batch_size;
+  obs::HistogramMetric& latency;
+  obs::Counter& accepted;
+  obs::Counter& shed;
+  obs::Counter& queue_full;
+  obs::Counter& deadline_miss;
+  obs::Counter& windows;
+  obs::Counter& decided;
+
+  static ServiceMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ServiceMetrics m{
+        reg.gauge("service/queue_depth"),
+        reg.histogram("service/batch_size",
+                      obs::MetricsRegistry::linear_buckets(1, 32, 32)),
+        reg.histogram(
+            "service/latency_seconds",
+            obs::MetricsRegistry::exponential_buckets(1e-4, 2.0, 20)),
+        reg.counter("service/accepted"),
+        reg.counter("service/shed"),
+        reg.counter("service/queue_full"),
+        reg.counter("service/deadline_miss"),
+        reg.counter("service/windows"),
+        reg.counter("service/decided"),
+    };
+    return m;
+  }
+};
+
+Outcome shed_outcome(const PendingEntry& e, std::uint64_t window_id,
+                     double decide_time) {
+  Outcome o;
+  o.seq = e.seq;
+  o.request_id = e.request.id();
+  o.window_id = window_id;
+  o.kind = OutcomeKind::kShedDeadline;
+  o.requested_vms = e.request.total_vms();
+  o.submit_time = e.submit_time;
+  o.decide_time = decide_time;
+  return o;
+}
+
+OutcomeKind kind_from_status(placement::PlacementStatus s) {
+  using placement::PlacementStatus;
+  switch (s) {
+    case PlacementStatus::kGranted: return OutcomeKind::kGranted;
+    case PlacementStatus::kDegraded: return OutcomeKind::kDegraded;
+    case PlacementStatus::kPartial: return OutcomeKind::kPartial;
+    case PlacementStatus::kRejectedEmpty: return OutcomeKind::kRejectedEmpty;
+    case PlacementStatus::kRejectedOverCapacity:
+      return OutcomeKind::kRejectedOverCapacity;
+    case PlacementStatus::kAbandoned: return OutcomeKind::kAbandoned;
+    default:
+      // kQueued/kRepaired/kRejectedShape cannot come out of submit_laddered
+      // on a shape-checked request; treat defensively as abandoned.
+      VCOPT_DCHECK(false) << "unexpected ladder status "
+                          << placement::to_string(s);
+      return OutcomeKind::kAbandoned;
+  }
+}
+
+}  // namespace
+
+const char* to_string(RequestClass c) {
+  switch (c) {
+    case RequestClass::kInteractive: return "interactive";
+    case RequestClass::kBatch: return "batch";
+    case RequestClass::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+std::optional<RequestClass> parse_request_class(const std::string& name) {
+  for (RequestClass c : {RequestClass::kInteractive, RequestClass::kBatch,
+                         RequestClass::kBestEffort}) {
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(AdmissionStatus s) {
+  switch (s) {
+    case AdmissionStatus::kAccepted: return "accepted";
+    case AdmissionStatus::kShed: return "shed";
+    case AdmissionStatus::kQueueFull: return "queue-full";
+  }
+  return "?";
+}
+
+const char* to_string(OutcomeKind k) {
+  switch (k) {
+    case OutcomeKind::kGranted: return "granted";
+    case OutcomeKind::kDegraded: return "degraded";
+    case OutcomeKind::kPartial: return "partial";
+    case OutcomeKind::kAbandoned: return "abandoned";
+    case OutcomeKind::kShedDeadline: return "shed-deadline";
+    case OutcomeKind::kRejectedEmpty: return "rejected-empty";
+    case OutcomeKind::kRejectedOverCapacity: return "rejected-over-capacity";
+  }
+  return "?";
+}
+
+bool has_lease(OutcomeKind k) {
+  return k == OutcomeKind::kGranted || k == OutcomeKind::kDegraded ||
+         k == OutcomeKind::kPartial;
+}
+
+namespace detail {
+
+std::vector<std::size_t> pick_window(const std::vector<PendingEntry>& pending,
+                                     placement::QueueDiscipline discipline,
+                                     std::size_t max_batch) {
+  std::vector<std::size_t> order(pending.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (discipline) {
+    case placement::QueueDiscipline::kFifo:
+      break;  // pending_ is kept in seq (admission) order
+    case placement::QueueDiscipline::kPriority:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return pending[a].options.priority >
+                                pending[b].options.priority;
+                       });
+      break;
+    case placement::QueueDiscipline::kSmallestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return pending[a].request.total_vms() <
+                                pending[b].request.total_vms();
+                       });
+      break;
+  }
+  if (order.size() > max_batch) order.resize(max_batch);
+  return order;
+}
+
+std::vector<Outcome> decide_window(placement::Provisioner& prov,
+                                   cluster::Cloud& cloud,
+                                   const std::vector<PendingEntry>& shed,
+                                   const std::vector<PendingEntry>& members,
+                                   std::uint64_t window_id, double decide_time,
+                                   const ServiceOptions& options) {
+  VCOPT_TRACE_SPAN("service/decide_window");
+  std::vector<Outcome> out;
+  out.reserve(shed.size() + members.size());
+  for (const PendingEntry& e : shed) {
+    VCOPT_DCHECK(e.options.deadline <= decide_time)
+        << "shed entry seq " << e.seq << " has live deadline";
+    out.push_back(shed_outcome(e, window_id, decide_time));
+  }
+  if (members.empty()) return out;
+
+  const util::IntMatrix before = cloud.remaining();
+
+  // Batch step (Algorithm 2) for windows of size > 1: every non-empty member
+  // goes into place_batch; the per-request ladder picks up whatever the batch
+  // step could not admit (and classifies empty/over-capacity requests).
+  std::vector<std::optional<Outcome>> slot(members.size());
+  if (members.size() > 1) {
+    std::vector<std::size_t> batch_pos;
+    std::vector<cluster::Request> batch;
+    batch_pos.reserve(members.size());
+    batch.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i].request.empty()) continue;
+      batch_pos.push_back(i);
+      batch.push_back(members[i].request);
+    }
+    placement::GlobalSubOpt gso;
+    const placement::BatchPlacement placed =
+        gso.place_batch(batch, before, cloud.topology());
+    for (std::size_t k = 0; k < placed.admitted.size(); ++k) {
+      const std::size_t i = batch_pos[placed.admitted[k]];
+      const placement::Placement& pl = placed.placements[k];
+      VCOPT_VALIDATE(check::validate_allocation(pl.allocation.counts(),
+                                                members[i].request.counts(),
+                                                cloud.remaining()));
+      const cluster::LeaseId lease =
+          cloud.grant(members[i].request, pl.allocation);
+      Outcome o;
+      o.seq = members[i].seq;
+      o.request_id = members[i].request.id();
+      o.window_id = window_id;
+      o.kind = OutcomeKind::kGranted;
+      o.lease = lease;
+      o.central = pl.central;
+      o.distance = pl.distance;
+      o.requested_vms = members[i].request.total_vms();
+      o.granted_vms = pl.allocation.total_vms();
+      o.submit_time = members[i].submit_time;
+      o.decide_time = decide_time;
+      slot[i] = std::move(o);
+    }
+  }
+
+  // Ladder fallback (Algorithm 1 rungs) for a singleton window and for
+  // members the batch step left behind, in member (dispatch) order.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (slot[i]) continue;
+    const placement::ProvisionResult res =
+        prov.submit_laddered(members[i].request, options.ladder);
+    Outcome o;
+    o.seq = members[i].seq;
+    o.request_id = members[i].request.id();
+    o.window_id = window_id;
+    o.kind = kind_from_status(res.status);
+    if (res.grant) {
+      o.lease = res.grant->lease;
+      o.central = res.grant->placement.central;
+      o.distance = res.grant->placement.distance;
+    }
+    o.requested_vms = res.requested_vms;
+    o.granted_vms = res.granted_vms;
+    o.submit_time = members[i].submit_time;
+    o.decide_time = decide_time;
+    slot[i] = std::move(o);
+  }
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    VCOPT_INVARIANT(!has_lease(slot[i]->kind) ||
+                    members[i].options.deadline > decide_time)
+        << "window " << window_id << " granted seq " << members[i].seq
+        << " after its deadline";
+    out.push_back(std::move(*slot[i]));
+  }
+
+#if VCOPT_ENABLE_CHECKS
+  // Batch capacity conservation: what this window debited from the cloud is
+  // exactly the sum of the allocations it granted.
+  util::IntMatrix granted(before.rows(), before.cols());
+  for (const Outcome& o : out) {
+    if (has_lease(o.kind)) granted += cloud.lease_allocation(o.lease).counts();
+  }
+  VCOPT_VALIDATE(check::validate_fits(granted, before));
+  util::IntMatrix expected = before;
+  expected -= granted;
+  VCOPT_INVARIANT(expected == cloud.remaining())
+      << "window " << window_id << " broke capacity conservation";
+#endif
+  return out;
+}
+
+}  // namespace detail
+
+PlacementService::PlacementService(cluster::Cloud& cloud,
+                                   ServiceOptions options)
+    : cloud_(cloud),
+      options_(std::move(options)),
+      prov_(cloud, placement::make_policy(options_.policy),
+            options_.discipline) {
+  if (options_.max_batch == 0) {
+    throw std::invalid_argument("PlacementService: max_batch must be > 0");
+  }
+  if (options_.queue_capacity == 0) {
+    throw std::invalid_argument("PlacementService: queue_capacity must be > 0");
+  }
+  if (!(options_.max_wait > 0)) {
+    throw std::invalid_argument("PlacementService: max_wait must be > 0");
+  }
+  if (options_.journal) {
+    journal_ = std::make_unique<JournalWriter>(*options_.journal);
+  }
+  wall_epoch_ = std::chrono::steady_clock::now();
+  if (options_.clock == ClockMode::kWall) {
+    dispatcher_ = std::thread(&PlacementService::dispatcher_loop, this);
+  }
+}
+
+PlacementService::~PlacementService() { stop(); }
+
+double PlacementService::wall_now_locked() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       wall_epoch_)
+      .count();
+}
+
+SubmitReceipt PlacementService::submit(const cluster::Request& r,
+                                       const SubmitOptions& o) {
+  if (r.type_count() != cloud_.type_count()) {
+    throw std::invalid_argument(
+        "PlacementService::submit: request has " +
+        std::to_string(r.type_count()) + " VM types, catalog has " +
+        std::to_string(cloud_.type_count()));
+  }
+  auto& m = ServiceMetrics::get();
+  std::unique_lock<std::mutex> lk(mu_);
+  const double now =
+      options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
+  if (stopping_ || pending_.size() >= options_.queue_capacity) {
+    ++stats_.queue_full;
+    m.queue_full.add();
+    return {AdmissionStatus::kQueueFull, 0};
+  }
+  const bool dead_on_arrival = o.deadline <= now;
+  const bool watermark_shed =
+      o.klass == RequestClass::kBestEffort &&
+      static_cast<double>(pending_.size()) >=
+          options_.shed_watermark * static_cast<double>(options_.queue_capacity);
+  if (dead_on_arrival || watermark_shed) {
+    ++stats_.shed;
+    m.shed.add();
+    return {AdmissionStatus::kShed, 0};
+  }
+
+  const std::uint64_t seq = next_seq_++;
+  // The submit-time priority wins over whatever the caller baked into the
+  // Request, so the journal (which records SubmitOptions) replays exactly.
+  PendingEntry entry{cluster::Request(r.counts(), r.id(), o.priority), o, seq,
+                     now};
+  if (journal_) journal_->submit(seq, entry.request, o, now);
+  pending_.push_back(std::move(entry));
+  accepted_seqs_.push_back(seq);
+  ++stats_.accepted;
+  m.accepted.add();
+  m.queue_depth.set(static_cast<double>(pending_.size()));
+
+  if (options_.clock == ClockMode::kVirtual) {
+    if (pending_.size() >= options_.max_batch) {
+      close_window_locked(virtual_now_, "size");
+    }
+  } else {
+    dispatch_cv_.notify_one();
+  }
+  return {AdmissionStatus::kAccepted, seq};
+}
+
+std::optional<Outcome> PlacementService::submit_and_wait(
+    const cluster::Request& r, const SubmitOptions& o) {
+  const SubmitReceipt receipt = submit(r, o);
+  if (receipt.admission != AdmissionStatus::kAccepted) return std::nullopt;
+  std::unique_lock<std::mutex> lk(mu_);
+  decided_cv_.wait(lk, [&] { return decided_.count(receipt.seq) > 0; });
+  auto it = decided_.find(receipt.seq);
+  Outcome out = std::move(it->second);
+  decided_.erase(it);
+  return out;
+}
+
+void PlacementService::advance_to(double t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (options_.clock != ClockMode::kVirtual) return;
+  if (t <= virtual_now_) return;  // the clock is monotonic
+  run_windows_until_locked(t);
+  virtual_now_ = std::max(virtual_now_, t);
+}
+
+void PlacementService::flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const double now =
+      options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
+  while (!pending_.empty()) close_window_locked(now, "flush");
+}
+
+void PlacementService::stop() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stopping_ = true;
+    dispatch_cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const double now = options_.clock == ClockMode::kVirtual
+                           ? virtual_now_
+                           : wall_now_locked();
+    while (!pending_.empty()) close_window_locked(now, "flush");
+    VCOPT_VALIDATE(check::validate_exact_cover(accepted_seqs_, decided_seqs_,
+                                               "service accepted-vs-decided"));
+  }
+  // Barrier on the shared worker pool: any data-parallel scan our final
+  // windows fanned out must retire before stop() returns (the pool reopens
+  // immediately — other subsystems keep their parallelism).
+  if (!util::ThreadPool::global().in_worker()) {
+    util::ThreadPool::global().drain();
+    util::ThreadPool::global().undrain();
+  }
+}
+
+void PlacementService::release(cluster::LeaseId lease) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const double now =
+      options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
+  if (journal_) journal_->release(lease, now);
+  cloud_.release(lease);
+}
+
+std::vector<Outcome> PlacementService::take_outcomes() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<Outcome> out;
+  out.reserve(decided_.size());
+  for (auto& [seq, outcome] : decided_) out.push_back(std::move(outcome));
+  decided_.clear();
+  return out;
+}
+
+double PlacementService::now() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return options_.clock == ClockMode::kVirtual ? virtual_now_
+                                               : wall_now_locked();
+}
+
+std::size_t PlacementService::queue_depth() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+ServiceStats PlacementService::stats() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return stats_;
+}
+
+double PlacementService::oldest_pending_locked() const {
+  VCOPT_DCHECK(!pending_.empty());
+  // pending_ stays in admission order (window picks compact it in place), so
+  // the front entry is always the oldest.
+  return pending_.front().submit_time;
+}
+
+void PlacementService::run_windows_until_locked(double t) {
+  while (!pending_.empty()) {
+    const double due = oldest_pending_locked() + options_.max_wait;
+    if (due > t) break;
+    // Close at the exact expiry instant, so journal timestamps (and deadline
+    // sheds) are independent of how callers chunk their advance_to() calls.
+    virtual_now_ = std::max(virtual_now_, due);
+    close_window_locked(virtual_now_, "wait");
+  }
+}
+
+void PlacementService::close_window_locked(double close_time,
+                                           const char* reason) {
+  auto& m = ServiceMetrics::get();
+  // Deadline sheds come out of the whole pending set, not just this window:
+  // an expired entry must never linger to be "granted" by a later window.
+  std::vector<PendingEntry> shed;
+  std::vector<PendingEntry> live;
+  live.reserve(pending_.size());
+  for (PendingEntry& e : pending_) {
+    if (e.options.deadline <= close_time) {
+      shed.push_back(std::move(e));
+    } else {
+      live.push_back(std::move(e));
+    }
+  }
+  const std::vector<std::size_t> picked =
+      detail::pick_window(live, options_.discipline, options_.max_batch);
+  std::vector<bool> taken(live.size(), false);
+  std::vector<PendingEntry> members;
+  members.reserve(picked.size());
+  for (std::size_t i : picked) {
+    members.push_back(live[i]);
+    taken[i] = true;
+  }
+  pending_.clear();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!taken[i]) pending_.push_back(std::move(live[i]));
+  }
+
+  const std::uint64_t window_id = next_window_++;
+  if (journal_) {
+    std::vector<std::uint64_t> member_seqs, shed_seqs;
+    member_seqs.reserve(members.size());
+    shed_seqs.reserve(shed.size());
+    for (const PendingEntry& e : members) member_seqs.push_back(e.seq);
+    for (const PendingEntry& e : shed) shed_seqs.push_back(e.seq);
+    journal_->window(window_id, close_time, reason, member_seqs, shed_seqs);
+  }
+
+  std::vector<Outcome> outcomes = detail::decide_window(
+      prov_, cloud_, shed, members, window_id, close_time, options_);
+
+  ++stats_.windows;
+  stats_.deadline_missed += shed.size();
+  m.windows.add();
+  m.deadline_miss.add(shed.size());
+  m.batch_size.observe(static_cast<double>(members.size()));
+  for (Outcome& o : outcomes) {
+    m.latency.observe(o.decide_time - o.submit_time);
+    decided_seqs_.push_back(o.seq);
+    ++stats_.decided;
+    m.decided.add();
+    decided_.emplace(o.seq, std::move(o));
+  }
+  m.queue_depth.set(static_cast<double>(pending_.size()));
+  decided_cv_.notify_all();
+}
+
+void PlacementService::dispatcher_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    if (pending_.empty()) {
+      dispatch_cv_.wait(lk, [&] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    if (pending_.size() >= options_.max_batch) {
+      close_window_locked(wall_now_locked(), "size");
+      continue;
+    }
+    const double due = oldest_pending_locked() + options_.max_wait;
+    const double now = wall_now_locked();
+    if (now >= due) {
+      close_window_locked(now, "wait");
+      continue;
+    }
+    const auto wake =
+        wall_epoch_ +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(due));
+    dispatch_cv_.wait_until(lk, wake);
+  }
+}
+
+}  // namespace vcopt::service

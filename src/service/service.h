@@ -1,0 +1,279 @@
+// vcopt::service — a concurrent placement service in front of the cloud.
+//
+// The paper's Global Shortest Distance machinery (Def. 4, Algorithm 2) only
+// pays off when several requests are decided *together*; this layer is where
+// concurrent traffic is aggregated into decision windows so the batched path
+// is reachable from a realistic serving front-end:
+//
+//   producers ──submit()──▶ admission queue ──window──▶ dispatch ──▶ grants
+//                 │  (bounded, shed/queue-full)  │
+//                 └── NDJSON journal (append before dispatch) ─▶ replay
+//
+// Micro-batching window: the open window closes when it holds `max_batch`
+// accepted requests OR when the oldest pending request has waited `max_wait`
+// seconds, whichever comes first (plus explicit flush()/stop()).  A closed
+// window of size 1 is decided through the per-request Algorithm-1 ladder
+// (Provisioner::submit_laddered); larger windows go through Algorithm 2
+// (GlobalSubOpt::place_batch), with the ladder as the per-request fallback
+// for window members the batch step could not admit.
+//
+// Clock modes:
+//   kVirtual  deterministic simulated seconds, advanced only by advance_to()
+//             (and implicit size-triggered closes).  Same submit sequence ⇒
+//             bit-identical journal, decisions and grant records — the mode
+//             the replay guarantee and all tests run in.
+//   kWall     a background dispatcher thread closes windows on real time
+//             (steady_clock seconds since construction).  Decisions are
+//             journaled the same way; replaying such a journal in virtual
+//             mode reproduces them (the journal records window membership,
+//             not just arrival order).
+//
+// Thread-safety: every public method is safe to call from any thread; one
+// mutex serialises admission, window bookkeeping, dispatch and the journal,
+// so the journal order IS the admission order.  Determinism caveat: the
+// default LadderOptions here zero the exact-ILP wall-clock budget — a rung
+// classified by elapsed wall time would make replay time-dependent (see
+// docs/service.md).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cloud.h"
+#include "cluster/request.h"
+#include "placement/provisioner.h"
+
+namespace vcopt::service {
+
+/// "No deadline": infinitely far in the future on the service clock.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// Traffic class of a submission; decides who is shed first under pressure.
+enum class RequestClass {
+  kInteractive,  ///< latency-sensitive; never watermark-shed
+  kBatch,        ///< default; never watermark-shed
+  kBestEffort,   ///< shed once the queue passes the shed watermark
+};
+
+const char* to_string(RequestClass c);
+std::optional<RequestClass> parse_request_class(const std::string& name);
+
+/// Per-submission options (the request itself carries id + VM counts).
+struct SubmitOptions {
+  int priority = 0;             ///< kPriority window ordering; larger = first
+  double deadline = kNoDeadline;  ///< absolute service-clock instant; a
+                                  ///< request not decided by then is shed
+  RequestClass klass = RequestClass::kBatch;
+};
+
+/// Admission-control verdict, returned synchronously from submit().
+enum class AdmissionStatus {
+  kAccepted,   ///< journaled and pending; an Outcome will follow
+  kShed,       ///< dropped by policy (dead-on-arrival deadline, or
+               ///< best-effort class above the shed watermark)
+  kQueueFull,  ///< bounded queue at capacity — explicit backpressure
+};
+
+const char* to_string(AdmissionStatus s);
+
+/// Receipt for one submit(); `seq` identifies the accepted request in the
+/// journal and in its eventual Outcome (0 when not accepted).
+struct SubmitReceipt {
+  AdmissionStatus admission = AdmissionStatus::kQueueFull;
+  std::uint64_t seq = 0;
+};
+
+/// Terminal fate of an accepted request.
+enum class OutcomeKind {
+  kGranted,        ///< full allocation from the batch step or exact rung
+  kDegraded,       ///< full allocation from a fallback ladder rung
+  kPartial,        ///< best-effort allocation, fewer VMs than requested
+  kAbandoned,      ///< nothing could be placed
+  kShedDeadline,   ///< deadline passed before its window was decided
+  kRejectedEmpty,  ///< zero-VM request
+  kRejectedOverCapacity,  ///< exceeds total capacity, can never be served
+};
+
+const char* to_string(OutcomeKind k);
+/// True when the outcome carries a live lease (granted/degraded/partial).
+bool has_lease(OutcomeKind k);
+
+/// Terminal decision for one accepted request.
+struct Outcome {
+  std::uint64_t seq = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t window_id = 0;
+  OutcomeKind kind = OutcomeKind::kAbandoned;
+  cluster::LeaseId lease = 0;  ///< 0 unless has_lease(kind)
+  std::size_t central = 0;
+  double distance = 0;
+  int requested_vms = 0;
+  int granted_vms = 0;
+  double submit_time = 0;
+  double decide_time = 0;
+};
+
+/// An accepted submission waiting for its window (also the unit the journal
+/// and the replay driver exchange).
+struct PendingEntry {
+  cluster::Request request;
+  SubmitOptions options;
+  std::uint64_t seq = 0;
+  double submit_time = 0;
+};
+
+enum class ClockMode {
+  kVirtual,  ///< advance_to()-driven simulated seconds (deterministic)
+  kWall,     ///< background dispatcher on steady_clock seconds
+};
+
+struct ServiceOptions {
+  std::size_t max_batch = 8;   ///< window closes at this many pending
+  double max_wait = 0.010;     ///< ... or when the oldest waited this long (s)
+  std::size_t queue_capacity = 256;  ///< pending bound; beyond => kQueueFull
+  double shed_watermark = 0.75;  ///< occupancy fraction above which
+                                 ///< kBestEffort submissions are shed
+  placement::QueueDiscipline discipline = placement::QueueDiscipline::kFifo;
+  /// Ladder for size-1 windows and batch-step fallbacks.  The exact-ILP rung
+  /// is disabled by default (budget 0): its wall-clock classification would
+  /// break the deterministic-replay guarantee.
+  placement::LadderOptions ladder{.ilp_budget_ms = 0};
+  std::string policy = "online-heuristic";  ///< placement::make_policy spec
+  ClockMode clock = ClockMode::kVirtual;
+  std::ostream* journal = nullptr;  ///< NDJSON sink; null = no journal
+};
+
+namespace detail {
+
+/// Decides one closed window: sheds `shed` (deadline-expired) entries, then
+/// places `members` — Algorithm 2 for |members| > 1, the per-request ladder
+/// for a singleton and for members the batch step could not admit.  Grants
+/// mutate `cloud` via `prov`; outcomes are emitted shed-first, then in
+/// member order.  Shared verbatim by the live dispatcher and the journal
+/// replayer, so a replayed window cannot diverge from the original decision.
+std::vector<Outcome> decide_window(placement::Provisioner& prov,
+                                   cluster::Cloud& cloud,
+                                   const std::vector<PendingEntry>& shed,
+                                   const std::vector<PendingEntry>& members,
+                                   std::uint64_t window_id, double decide_time,
+                                   const ServiceOptions& options);
+
+/// Window-membership pick under a queue discipline: indices into `pending`
+/// of up to `max_batch` entries, in dispatch order (kFifo: seq order;
+/// kPriority: priority desc, ties by seq; kSmallestFirst: VM count asc,
+/// ties by seq).
+std::vector<std::size_t> pick_window(const std::vector<PendingEntry>& pending,
+                                     placement::QueueDiscipline discipline,
+                                     std::size_t max_batch);
+
+}  // namespace detail
+
+class JournalWriter;
+
+/// Aggregate counters (also exported through vcopt::obs as service/*).
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;           ///< admission-time sheds
+  std::uint64_t queue_full = 0;
+  std::uint64_t deadline_missed = 0;  ///< shed-on-deadline at window close
+  std::uint64_t windows = 0;
+  std::uint64_t decided = 0;        ///< outcomes emitted
+};
+
+class PlacementService {
+ public:
+  /// The cloud must outlive the service.  Throws std::invalid_argument on a
+  /// bad options.policy spec or non-positive max_batch/queue_capacity.
+  PlacementService(cluster::Cloud& cloud, ServiceOptions options);
+  /// Stops the service (flushing pending work) if stop() was not called.
+  ~PlacementService();
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  /// Admits a request (journaled, queued for the open window), sheds it, or
+  /// reports backpressure.  Thread-safe; never blocks on placement work
+  /// except when a size-triggered window closes on this call (virtual mode)
+  /// or the dispatcher holds the lock mid-decision (wall mode).
+  /// Throws std::invalid_argument on a request/catalog shape mismatch.
+  SubmitReceipt submit(const cluster::Request& r, const SubmitOptions& o = {});
+
+  /// submit() + block until the request's outcome is decided (wall mode, or
+  /// another thread advancing/flushing a virtual-mode service).  Returns
+  /// nullopt when admission did not accept the request.  The outcome is
+  /// consumed (take_outcomes will not return it again).
+  std::optional<Outcome> submit_and_wait(const cluster::Request& r,
+                                         const SubmitOptions& o = {});
+
+  /// Virtual mode: advances the clock to `t` (monotonic; lower values are
+  /// ignored), closing every window whose max_wait expires on the way, at
+  /// its exact expiry instant.  No-op for the wall clock.
+  void advance_to(double t);
+
+  /// Closes and decides windows until no pending request remains (any mode).
+  void flush();
+
+  /// Graceful shutdown: rejects further submits (kQueueFull), flushes all
+  /// pending windows, joins the wall-mode dispatcher, and — with checks
+  /// enabled — validates journal/grant reconciliation (every accepted seq
+  /// has exactly one outcome).  Idempotent.
+  void stop();
+
+  /// Releases a granted lease back to the cloud (journaled, so replay
+  /// reproduces the capacity evolution).  Thread-safe.
+  void release(cluster::LeaseId lease);
+
+  /// Drains decided outcomes in seq order (each outcome is delivered exactly
+  /// once across take_outcomes/submit_and_wait).
+  std::vector<Outcome> take_outcomes();
+
+  double now() const;              ///< current service-clock seconds
+  std::size_t queue_depth() const; ///< pending (accepted, undecided) count
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+  const cluster::Cloud& cloud() const { return cloud_; }
+
+ private:
+  double wall_now_locked() const;
+  /// Closes one window at `close_time` (lock held): picks members by
+  /// discipline, sheds expired entries, journals the window record, decides
+  /// it, and publishes the outcomes.
+  void close_window_locked(double close_time, const char* reason);
+  /// Virtual mode: closes every window due at or before `t` (lock held).
+  void run_windows_until_locked(double t);
+  double oldest_pending_locked() const;
+  void dispatcher_loop();
+
+  cluster::Cloud& cloud_;
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  // wakes the wall-mode dispatcher
+  std::condition_variable decided_cv_;   // wakes submit_and_wait callers
+  placement::Provisioner prov_;
+  std::unique_ptr<JournalWriter> journal_;
+  std::vector<PendingEntry> pending_;
+  std::map<std::uint64_t, Outcome> decided_;  // seq -> outcome, until taken
+  ServiceStats stats_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_window_ = 1;
+  double virtual_now_ = 0;
+  bool stopping_ = false;
+  // Reconciliation ledger for the stop()-time VCOPT_VALIDATE (accepted seqs
+  // must be covered exactly once by outcomes).
+  std::vector<std::uint64_t> accepted_seqs_;
+  std::vector<std::uint64_t> decided_seqs_;
+  std::chrono::steady_clock::time_point wall_epoch_;
+  std::thread dispatcher_;  // wall mode only
+};
+
+}  // namespace vcopt::service

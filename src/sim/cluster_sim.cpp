@@ -102,6 +102,7 @@ ClusterSimResult run_cluster_sim(
 
   handle_release = [&](cluster::LeaseId lease) {
     sample();
+    prov.set_now(queue.now());  // queue_wait_time spans enqueue -> this drain
     const std::size_t idx = lease_grant.at(lease);
     grants[idx].released = queue.now();
     allocated_vms -= grants[idx].vms;
@@ -118,6 +119,7 @@ ClusterSimResult run_cluster_sim(
 
   for (const cluster::TimedRequest& tr : trace) {
     queue.schedule(tr.arrival_time, [&, tr] {
+      prov.set_now(queue.now());
       auto grant = prov.request(tr.request);
       if (grant) record_grant(*grant);
       else record_timeline();  // queued or rejected: state still changed

@@ -158,3 +158,27 @@ TEST(ValidateNondecreasing, DetectsBackwardsTime) {
   EXPECT_NE(res.message.find("index 2"), std::string::npos) << res.message;
   EXPECT_TRUE(vc::validate_nondecreasing({}, "t").ok);
 }
+
+TEST(ValidateExactCover, AcceptsPermutationsAndEmpty) {
+  EXPECT_TRUE(vc::validate_exact_cover({1, 2, 3}, {3, 1, 2}, "seqs").ok);
+  EXPECT_TRUE(vc::validate_exact_cover({}, {}, "seqs").ok);
+  // Duplicates on both sides must balance exactly.
+  EXPECT_TRUE(vc::validate_exact_cover({5, 5}, {5, 5}, "seqs").ok);
+}
+
+TEST(ValidateExactCover, DiagnosesMissingDuplicatedAndUnexpected) {
+  const auto missing = vc::validate_exact_cover({1, 2, 3}, {1, 3}, "seqs");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_NE(missing.message.find("missing: 2"), std::string::npos)
+      << missing.message;
+
+  const auto dup = vc::validate_exact_cover({1, 2}, {1, 2, 2}, "seqs");
+  EXPECT_FALSE(dup.ok);
+  EXPECT_NE(dup.message.find("duplicated or unexpected: 2"), std::string::npos)
+      << dup.message;
+
+  const auto unexpected = vc::validate_exact_cover({1}, {1, 9}, "grants");
+  EXPECT_FALSE(unexpected.ok);
+  EXPECT_NE(unexpected.message.find("grants"), std::string::npos)
+      << unexpected.message;
+}

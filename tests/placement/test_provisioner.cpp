@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "placement/online_heuristic.h"
 
 namespace vcopt::placement {
@@ -41,6 +42,61 @@ TEST(Provisioner, QueuesWhenBusyAndDrainsOnRelease) {
   ASSERT_EQ(drained.size(), 1u);
   EXPECT_EQ(drained[0].request_id, 2u);
   EXPECT_EQ(prov.queue_length(), 0u);
+}
+
+TEST(Provisioner, QueueWaitTimeHistogramSpansEnqueueToGrant) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& wait_hist = reg.histogram(
+      "provisioner/queue_wait_time",
+      obs::MetricsRegistry::exponential_buckets(0.001, 2.0, 24));
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::size_t before_count = wait_hist.count();
+  const double before_sum = wait_hist.sum();
+
+  Cloud cloud = small_cloud();
+  Provisioner prov(cloud, std::make_unique<OnlineHeuristic>());
+  prov.set_now(10.0);
+  const auto g1 = prov.request(Request({6}, 1));
+  ASSERT_TRUE(g1.has_value());
+  prov.set_now(12.5);  // request 2 joins the queue at t=12.5
+  EXPECT_EQ(prov.request(Request({4}, 2)), std::nullopt);
+  prov.set_now(20.0);  // ... and is granted on the release at t=20
+  const auto drained = prov.release(g1->lease);
+  ASSERT_EQ(drained.size(), 1u);
+
+  EXPECT_EQ(wait_hist.count(), before_count + 1);
+  EXPECT_DOUBLE_EQ(wait_hist.sum() - before_sum, 7.5);
+  reg.set_enabled(was_enabled);
+}
+
+TEST(Provisioner, QueueWaitTimeRecordedByBatchDrain) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& wait_hist = reg.histogram(
+      "provisioner/queue_wait_time",
+      obs::MetricsRegistry::exponential_buckets(0.001, 2.0, 24));
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::size_t before_count = wait_hist.count();
+  const double before_sum = wait_hist.sum();
+
+  Cloud cloud = small_cloud();
+  Provisioner prov(cloud, std::make_unique<OnlineHeuristic>());
+  const auto g1 = prov.request(Request({8}, 1));
+  ASSERT_TRUE(g1.has_value());
+  prov.set_now(1.0);
+  EXPECT_EQ(prov.request(Request({2}, 2)), std::nullopt);
+  prov.set_now(3.0);
+  EXPECT_EQ(prov.request(Request({2}, 3)), std::nullopt);
+  prov.set_now(5.0);
+  cloud.release(g1->lease);  // free capacity without draining the queue
+  const auto drained = prov.drain_batch_global();
+  ASSERT_EQ(drained.size(), 2u);
+
+  // Waits: request 2 waited 5-1=4, request 3 waited 5-3=2.
+  EXPECT_EQ(wait_hist.count(), before_count + 2);
+  EXPECT_DOUBLE_EQ(wait_hist.sum() - before_sum, 6.0);
+  reg.set_enabled(was_enabled);
 }
 
 TEST(Provisioner, RejectsImpossibleRequests) {

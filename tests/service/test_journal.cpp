@@ -1,0 +1,160 @@
+// NDJSON journal: record round-trips, schema diagnostics (source:line:col in
+// the workload::config style), and the canonical grant stream.
+#include "service/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/request.h"
+
+namespace vcopt::service {
+namespace {
+
+using cluster::Request;
+
+TEST(Journal, SubmitWindowReleaseRoundTrip) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  SubmitOptions opts;
+  opts.priority = 3;
+  opts.deadline = 1.5;
+  opts.klass = RequestClass::kInteractive;
+  writer.submit(1, Request({2, 0, 1}, 42, 3), opts, 0.25);
+  writer.window(1, 0.5, "size", {1}, {});
+  writer.release(7, 0.75);
+  EXPECT_EQ(writer.records_written(), 3u);
+
+  std::istringstream in(out.str());
+  const auto records = parse_journal(in);
+  ASSERT_EQ(records.size(), 3u);
+
+  EXPECT_EQ(records[0].type, RecordType::kSubmit);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].time, 0.25);
+  EXPECT_EQ(records[0].request.id(), 42u);
+  EXPECT_EQ(records[0].request.counts(), (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(records[0].request.priority(), 3);
+  EXPECT_EQ(records[0].options.priority, 3);
+  EXPECT_EQ(records[0].options.deadline, 1.5);
+  EXPECT_EQ(records[0].options.klass, RequestClass::kInteractive);
+
+  EXPECT_EQ(records[1].type, RecordType::kWindow);
+  EXPECT_EQ(records[1].window_id, 1u);
+  EXPECT_EQ(records[1].reason, "size");
+  EXPECT_EQ(records[1].members, (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(records[1].shed.empty());
+
+  EXPECT_EQ(records[2].type, RecordType::kRelease);
+  EXPECT_EQ(records[2].lease, 7u);
+  EXPECT_EQ(records[2].time, 0.75);
+}
+
+TEST(Journal, NoDeadlineIsOmittedAndParsesBackAsInfinity) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.submit(1, Request({1}), SubmitOptions{}, 0);
+  EXPECT_EQ(out.str().find("deadline"), std::string::npos);
+  std::istringstream in(out.str());
+  const auto records = parse_journal(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].options.deadline, kNoDeadline);
+}
+
+TEST(Journal, WriterEmitsOneCompactLinePerRecord) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.submit(1, Request({1, 2}), SubmitOptions{}, 0);
+  writer.window(1, 0.1, "flush", {1}, {});
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  // Compact dump: no pretty-printing spaces after separators.
+  EXPECT_EQ(text.find(": "), std::string::npos);
+}
+
+TEST(Journal, MalformedJsonDiagnosticCarriesLineAndColumn) {
+  std::istringstream in(
+      "{\"type\":\"submit\",\"seq\":1,\"id\":1,\"counts\":[1],\"priority\":0,"
+      "\"class\":\"batch\",\"time\":0}\n"
+      "{\"type\":\"window\",,}\n");
+  try {
+    parse_journal(in, "test.ndjson");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("test.ndjson:2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find('^'), std::string::npos) << msg;
+  }
+}
+
+TEST(Journal, SchemaViolationNamesTheRecord) {
+  std::istringstream in("{\"type\":\"teleport\",\"time\":0}\n");
+  try {
+    parse_journal(in, "j");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("j:1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("teleport"), std::string::npos) << msg;
+  }
+}
+
+TEST(Journal, UnknownRequestClassIsASchemaError) {
+  std::istringstream in(
+      "{\"type\":\"submit\",\"seq\":1,\"id\":1,\"counts\":[1],\"priority\":0,"
+      "\"class\":\"platinum\",\"time\":0}\n");
+  EXPECT_THROW(parse_journal(in), std::invalid_argument);
+}
+
+TEST(Journal, OutcomeRoundTripsThroughJson) {
+  Outcome o;
+  o.seq = 9;
+  o.request_id = 4;
+  o.window_id = 2;
+  o.kind = OutcomeKind::kGranted;
+  o.lease = 11;
+  o.central = 5;
+  o.distance = 12.625;
+  o.requested_vms = 7;
+  o.granted_vms = 7;
+  o.submit_time = 0.125;
+  o.decide_time = 0.25;
+  const Outcome back = outcome_from_json(outcome_to_json(o));
+  EXPECT_EQ(back.seq, o.seq);
+  EXPECT_EQ(back.request_id, o.request_id);
+  EXPECT_EQ(back.window_id, o.window_id);
+  EXPECT_EQ(back.kind, o.kind);
+  EXPECT_EQ(back.lease, o.lease);
+  EXPECT_EQ(back.central, o.central);
+  EXPECT_EQ(back.distance, o.distance);
+  EXPECT_EQ(back.requested_vms, o.requested_vms);
+  EXPECT_EQ(back.granted_vms, o.granted_vms);
+  EXPECT_EQ(back.submit_time, o.submit_time);
+  EXPECT_EQ(back.decide_time, o.decide_time);
+}
+
+TEST(Journal, LeaselessOutcomeOmitsLeaseFields) {
+  Outcome o;
+  o.seq = 1;
+  o.kind = OutcomeKind::kShedDeadline;
+  const std::string line = outcome_to_json(o).dump(0);
+  EXPECT_EQ(line.find("lease"), std::string::npos);
+  EXPECT_EQ(line.find("central"), std::string::npos);
+}
+
+TEST(Journal, GrantStreamIsSeqSortedAndOrderInsensitive) {
+  Outcome a;
+  a.seq = 2;
+  a.kind = OutcomeKind::kAbandoned;
+  Outcome b;
+  b.seq = 1;
+  b.kind = OutcomeKind::kAbandoned;
+  const std::string forward = grant_stream({a, b});
+  const std::string backward = grant_stream({b, a});
+  EXPECT_EQ(forward, backward);
+  EXPECT_LT(forward.find("\"seq\":1"), forward.find("\"seq\":2"));
+}
+
+}  // namespace
+}  // namespace vcopt::service

@@ -35,7 +35,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 HEADER_SUFFIXES = {".h", ".hpp"}
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
-SCAN_DIRS = ("src", "tests", "bench", "tools")
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
 
 # Files allowed to talk to the terminal directly: the logging backend is
 # the single choke point all other src/ code must route through.

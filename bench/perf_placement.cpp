@@ -373,7 +373,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  obs::register_metrics_sidecar("perf_placement");
+  // The registry is always on for perf runs: the sidecar next to the BENCH
+  // JSON is part of the bench contract (same schema across all perf bins).
+  obs::MetricsRegistry::global().set_enabled(true);
   std::cout << "perf_placement: threads="
             << util::ThreadPool::configured_threads()
             << " quick=" << (quick ? "yes" : "no") << " seed=" << seed << "\n";
@@ -415,6 +417,15 @@ int main(int argc, char** argv) {
   f << util::Json(std::move(root)).dump(2) << "\n";
   f.close();
   std::cout << "wrote " << out_path << "\n";
+
+  const std::string sidecar_path = out_path + ".metrics.json";
+  if (obs::write_metrics_sidecar_file(obs::MetricsRegistry::global(),
+                                      sidecar_path, "perf_placement")) {
+    std::cout << "wrote " << sidecar_path << "\n";
+  } else {
+    std::cerr << "perf_placement: cannot open " << sidecar_path << "\n";
+    return 1;
+  }
 
   if (!all_equivalent) {
     std::cerr << "perf_placement: EQUIVALENCE FAILURE — optimized placement "

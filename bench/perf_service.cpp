@@ -16,6 +16,16 @@
 //   (submit_and_wait, release on grant) against the real dispatcher thread,
 //   reporting throughput and p50/p99 decision latency per configuration.
 //
+//   SLO phase (virtual clock, deterministic): the service's built-in SLO
+//   tracker is exercised end-to-end.  A healthy run (ample queue, modest
+//   stream) must finish with no burn-rate alert; a deliberately overloaded
+//   run (queue capacity 4, a burst far beyond it) must trip the shed-rate
+//   alert.  Either outcome inverting is a gate failure — the alerting
+//   pipeline itself is under test, not just the numbers.
+//
+// A metrics sidecar (vcopt-metrics-sidecar/1) is always written next to the
+// BENCH JSON so the perf trajectory can be graphed uniformly across PRs.
+//
 // Usage: perf_service [--quick] [--out=FILE] [--seed=N]
 //   --quick   CI smoke mode: fewer rounds/ops, big scenario only.
 //   --out     output path (default BENCH_service.json in the CWD).
@@ -32,6 +42,8 @@
 #include <vector>
 
 #include "cluster/cloud.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 #include "placement/provisioner.h"
 #include "service/service.h"
 #include "util/json.h"
@@ -247,6 +259,85 @@ util::Json load_json(const LoadResult& r) {
   return util::Json(std::move(o));
 }
 
+// ---------------------------------------------------------------------------
+// SLO phase: the burn-rate alerting pipeline under healthy and shed-heavy
+// admission streams.
+// ---------------------------------------------------------------------------
+
+struct SloPhaseResult {
+  bool healthy_alerting = false;   // must stay false
+  bool overload_alerting = false;  // must become true
+  double overload_short_burn = 0;  // shed-rate short-window burn when tripped
+  std::size_t overload_shed = 0;   // refused submissions in the overload run
+};
+
+/// Healthy leg: a modest stream into an amply-provisioned service — every
+/// submission admits, latency stays at the window bound, nothing sheds.
+/// Overload leg: queue capacity 4 and a burst of `burst` submissions in one
+/// virtual instant, so almost everything is refused at admission and the
+/// shed-rate SLO burns through its budget in both windows.
+SloPhaseResult run_slo_phase(const workload::SimScenario& scenario,
+                             const std::vector<cluster::Request>& stream,
+                             std::size_t burst) {
+  SloPhaseResult res;
+  {
+    cluster::Cloud cloud(scenario.topology, scenario.catalog,
+                         scenario.capacity);
+    service::ServiceOptions options;
+    options.clock = service::ClockMode::kVirtual;
+    options.max_batch = 8;
+    options.max_wait = 1e9;
+    options.queue_capacity = stream.size() + 1;
+    service::PlacementService svc(cloud, options);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      svc.submit(cluster::Request(stream[i].counts(), i + 1));
+      if ((i + 1) % 8 == 0) {
+        svc.flush();
+        for (const service::Outcome& o : svc.take_outcomes()) {
+          if (service::has_lease(o.kind)) svc.release(o.lease);
+        }
+      }
+    }
+    svc.flush();
+    res.healthy_alerting = svc.slo().any_alerting(svc.now());
+    svc.stop();
+  }
+  {
+    cluster::Cloud cloud(scenario.topology, scenario.catalog,
+                         scenario.capacity);
+    service::ServiceOptions options;
+    options.clock = service::ClockMode::kVirtual;
+    options.max_batch = burst + 1;  // the window never closes on size
+    options.max_wait = 1e9;
+    options.queue_capacity = 4;
+    service::PlacementService svc(cloud, options);
+    for (std::size_t i = 0; i < burst; ++i) {
+      const service::SubmitReceipt receipt = svc.submit(
+          cluster::Request(stream[i % stream.size()].counts(), i + 1));
+      if (receipt.admission != service::AdmissionStatus::kAccepted) {
+        ++res.overload_shed;
+      }
+    }
+    res.overload_alerting = svc.slo().any_alerting(svc.now());
+    for (const obs::SloStatus& s : svc.slo().evaluate(svc.now())) {
+      if (s.spec.name == "service/shed_rate") {
+        res.overload_short_burn = s.short_burn;
+      }
+    }
+    svc.stop();
+  }
+  return res;
+}
+
+util::Json slo_json(const SloPhaseResult& r) {
+  util::JsonObject o;
+  o["healthy_alerting"] = r.healthy_alerting;
+  o["overload_alerting"] = r.overload_alerting;
+  o["overload_short_burn"] = r.overload_short_burn;
+  o["overload_shed"] = r.overload_shed;
+  return util::Json(std::move(o));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +367,10 @@ int main(int argc, char** argv) {
       {"fig5_big", workload::RequestScale::kBig, true},
       {"fig5_medium", workload::RequestScale::kMedium, false},
   };
+
+  // Always-on registry: the sidecar next to the BENCH JSON is part of the
+  // bench contract (same schema across all perf bins).
+  obs::MetricsRegistry::global().set_enabled(true);
 
   const std::size_t rounds = quick ? 2 : 6;
   const std::size_t per_round = 24;  // > max window, so W=20 actually batches
@@ -327,6 +422,24 @@ int main(int argc, char** argv) {
                 << " us (mean batch " << r.mean_batch << ")\n";
     }
 
+    const SloPhaseResult slo = run_slo_phase(scenario, stream, 200);
+    if (slo.healthy_alerting) {
+      gate_ok = false;
+      std::cerr << spec.name << ": GATE FAILURE — healthy baseline tripped "
+                   "an SLO burn-rate alert\n";
+    }
+    if (!slo.overload_alerting) {
+      gate_ok = false;
+      std::cerr << spec.name << ": GATE FAILURE — overloaded run (shed "
+                << slo.overload_shed
+                << " submissions) did not trip the shed-rate SLO alert\n";
+    }
+    std::cout << spec.name << " slo: healthy "
+              << (slo.healthy_alerting ? "ALERT" : "ok") << ", overload "
+              << (slo.overload_alerting ? "alerting" : "SILENT")
+              << " (shed " << slo.overload_shed << ", short burn "
+              << slo.overload_short_burn << ")\n";
+
     util::JsonObject o;
     o["name"] = spec.name;
     o["nodes"] = scenario.topology.node_count();
@@ -336,6 +449,7 @@ int main(int argc, char** argv) {
     o["baseline_mean_dc"] = baseline_fifo_dc;
     o["dc"] = util::Json(std::move(dc_arr));
     o["load"] = util::Json(std::move(load_arr));
+    o["slo"] = slo_json(slo);
     std::cout << spec.name << ": fifo no-batching mean DC " << baseline_fifo_dc
               << (gate_ok ? "" : "  [GATE FAILURE]") << "\n";
     scenarios.push_back(util::Json(std::move(o)));
@@ -362,9 +476,18 @@ int main(int argc, char** argv) {
   f.close();
   std::cout << "wrote " << out_path << "\n";
 
+  const std::string sidecar_path = out_path + ".metrics.json";
+  if (obs::write_metrics_sidecar_file(obs::MetricsRegistry::global(),
+                                      sidecar_path, "perf_service")) {
+    std::cout << "wrote " << sidecar_path << "\n";
+  } else {
+    std::cerr << "perf_service: cannot open " << sidecar_path << "\n";
+    return 1;
+  }
+
   if (!gate_ok) {
-    std::cerr << "perf_service: GATE FAILURE — micro-batched FIFO placement "
-                 "regressed mean DC versus the no-batching baseline\n";
+    std::cerr << "perf_service: GATE FAILURE — a quality or SLO gate tripped "
+                 "(see messages above)\n";
     return 1;
   }
   return 0;

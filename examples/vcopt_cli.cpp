@@ -41,20 +41,34 @@
 //       end-to-end narrated run (provisioner grants + ILP cross-check +
 //       churn sim) — the scenario docs/observability.md profiles.
 //
+//   vcopt_cli stats [--in telemetry.json]
+//       render the text dashboard (per-stage service latency, time-series
+//       summaries, SLO burn-rate status) from a telemetry bundle written by
+//       serve/sim --telemetry-out.
+//
 // Observability (any subcommand): --metrics-out=FILE dumps a metrics
 // snapshot as JSON on exit, --trace-out=FILE writes a Chrome trace_event
-// file loadable in chrome://tracing / Perfetto.  The same collection can be
-// forced globally with VCOPT_METRICS=1 / VCOPT_TRACE=FILE.
+// file loadable in chrome://tracing / Perfetto, --telemetry-out=FILE writes
+// the full telemetry bundle (metrics + time series + SLOs, the input of
+// `vcopt_cli stats`), --prometheus-out=FILE writes the metrics snapshot and
+// series last-values in Prometheus text exposition format.  serve also takes
+// --stats-interval=S to emit an SLO snapshot (one JSON line on stderr) every
+// S virtual seconds.  The same collection can be forced globally with
+// VCOPT_METRICS=1 / VCOPT_TRACE=FILE / VCOPT_TIMESERIES=1.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "fault/fault_sim.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "service/journal.h"
 #include "service/replay.h"
@@ -95,6 +109,25 @@ std::string flag(const std::map<std::string, std::string>& flags,
                  const std::string& key, const std::string& fallback) {
   auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+// Set when a subcommand already wrote --telemetry-out itself (serve and sim
+// include their SLO tracker, which dies with the subcommand scope); main()
+// then skips its SLO-less fallback write.
+bool g_telemetry_written = false;
+
+bool write_telemetry_flag(const std::map<std::string, std::string>& flags,
+                          const obs::SloTracker* slo, double now) {
+  if (!flags.count("telemetry-out")) return true;
+  const std::string& path = flags.at("telemetry-out");
+  if (!obs::write_telemetry_file(path, obs::MetricsRegistry::global(),
+                                 obs::Recorder::global(), slo, now)) {
+    std::cerr << "could not write telemetry to " << path << "\n";
+    return false;
+  }
+  std::cerr << "telemetry written to " << path << "\n";
+  g_telemetry_written = true;
+  return true;
 }
 
 int cmd_place(const std::map<std::string, std::string>& flags) {
@@ -189,10 +222,14 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
         fault::FaultProfile::parse(flags.at("fault-profile"));
     fault::FaultSimOptions fopt;
     fopt.discipline = opt.discipline;
+    fopt.recorder = &obs::Recorder::global();
+    obs::SloTracker slo;
+    fopt.slo = &slo;
     const fault::FaultSimResult res = fault::run_fault_sim(
         cloud,
         placement::make_policy(flag(flags, "policy", "online-heuristic")),
         trace, profile, fopt);
+    if (!write_telemetry_flag(flags, &slo, res.makespan)) return 1;
     if (flags.count("timeline")) {
       sim::TimelineWriter(res.timeline,
                           cloud.inventory().max_capacity().total())
@@ -227,9 +264,11 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
     return 0;
   }
 
+  opt.recorder = &obs::Recorder::global();
   const sim::ClusterSimResult res = sim::run_cluster_sim(
       cloud, placement::make_policy(flag(flags, "policy", "online-heuristic")),
       trace, opt);
+  if (!write_telemetry_flag(flags, nullptr, res.makespan)) return 1;
 
   if (flags.count("timeline")) {
     sim::TimelineWriter(res.timeline,
@@ -308,6 +347,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   options.queue_capacity = std::stoull(flag(flags, "queue-capacity", "256"));
   options.policy = flag(flags, "policy", "online-heuristic");
   options.clock = service::ClockMode::kVirtual;
+  options.recorder = &obs::Recorder::global();
   const std::string disc_name = flag(flags, "discipline", "fifo");
   if (disc_name == "priority") {
     options.discipline = placement::QueueDiscipline::kPriority;
@@ -367,6 +407,19 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     }
   };
 
+  // --stats-interval=S: an SLO snapshot as one JSON line on stderr every S
+  // virtual seconds (the smoke checks parse these and assert no alert).
+  const double stats_interval =
+      std::stod(flag(flags, "stats-interval", "0"));
+  double next_stats = stats_interval;
+  const auto maybe_stats = [&] {
+    if (stats_interval <= 0) return;
+    while (svc.now() >= next_stats) {
+      std::cerr << svc.slo().snapshot_json(next_stats).dump(0) << "\n";
+      next_stats += stats_interval;
+    }
+  };
+
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(std::cin, line)) {
@@ -422,16 +475,36 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
       return 1;
     }
     drain();
+    maybe_stats();
   }
   svc.stop();
   drain();
+  if (stats_interval > 0) {
+    // Final snapshot at the stop-time clock, so short runs still report.
+    std::cerr << svc.slo().snapshot_json(svc.now()).dump(0) << "\n";
+  }
   if (!write_grants(service::grant_stream(outcomes))) return 1;
+  if (!write_telemetry_flag(flags, &svc.slo(), svc.now())) return 1;
 
   const service::ServiceStats stats = svc.stats();
   std::cerr << "serve: accepted " << stats.accepted << ", shed " << stats.shed
             << ", queue-full " << stats.queue_full << ", deadline-missed "
             << stats.deadline_missed << ", windows " << stats.windows
             << ", decided " << stats.decided << "\n";
+  return 0;
+}
+
+// Render the text dashboard from a telemetry bundle on disk.
+int cmd_stats(const std::map<std::string, std::string>& flags) {
+  const std::string path = flag(flags, "in", "telemetry.json");
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "could not read " << path << "\n";
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  obs::render_stats(util::Json::parse(text), std::cout);
   return 0;
 }
 
@@ -507,7 +580,7 @@ int cmd_quickstart(const std::map<std::string, std::string>& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: vcopt_cli <place|sim|serve|export|quickstart> [--flags]\n"
+    std::cerr << "usage: vcopt_cli <place|sim|serve|export|stats|quickstart> [--flags]\n"
                  "  place: --policy P --seed N --small S --medium M --large L\n"
                  "  sim:   --policy P --seed N --requests K --scale big|medium|small\n"
                  "         --discipline fifo|priority|smallest-first --csv\n"
@@ -517,7 +590,10 @@ int main(int argc, char** argv) {
                  "         --max-batch B --max-wait S --queue-capacity C\n"
                  "         --discipline fifo|priority|smallest-first --policy P\n"
                  "         --journal FILE --grants-out FILE | --replay FILE\n"
-                 "  any:   --metrics-out=FILE --trace-out=FILE\n";
+                 "         --stats-interval S (SLO snapshot lines on stderr)\n"
+                 "  stats: --in telemetry.json (dashboard from --telemetry-out)\n"
+                 "  any:   --metrics-out=FILE --trace-out=FILE\n"
+                 "         --telemetry-out=FILE --prometheus-out=FILE\n";
     return 2;
   }
   // Flags with no subcommand run the quickstart scenario, so
@@ -527,8 +603,12 @@ int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv, bare_flags ? 1 : 2);
   // Observability must be armed before the command runs so the hot paths
   // record into the global registry/tracer.
-  if (flags.count("metrics-out")) {
+  if (flags.count("metrics-out") || flags.count("telemetry-out") ||
+      flags.count("prometheus-out")) {
     obs::MetricsRegistry::global().set_enabled(true);
+  }
+  if (flags.count("telemetry-out") || flags.count("prometheus-out")) {
+    obs::Recorder::global().set_enabled(true);
   }
   if (flags.count("trace-out")) obs::Tracer::global().set_enabled(true);
 
@@ -538,6 +618,7 @@ int main(int argc, char** argv) {
     else if (cmd == "sim") rc = cmd_sim(flags);
     else if (cmd == "serve") rc = cmd_serve(flags);
     else if (cmd == "export") rc = cmd_export(flags);
+    else if (cmd == "stats") rc = cmd_stats(flags);
     else if (cmd == "quickstart") rc = cmd_quickstart(flags);
     else {
       std::cerr << "unknown command '" << cmd << "'\n";
@@ -563,6 +644,26 @@ int main(int argc, char** argv) {
       std::cerr << "trace written to " << path << "\n";
     } else {
       std::cerr << "could not write trace to " << path << "\n";
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  // Commands that own an SloTracker (serve, sim --fault-profile) write the
+  // bundle themselves before the tracker dies; everything else falls through
+  // to an SLO-less bundle here.
+  if (!g_telemetry_written && !write_telemetry_flag(flags, nullptr, 0)) {
+    rc = rc == 0 ? 1 : rc;
+  }
+  if (flags.count("prometheus-out")) {
+    const std::string& path = flags.at("prometheus-out");
+    std::ofstream out(path);
+    if (out) {
+      out << obs::MetricsRegistry::global().prometheus_text()
+          << obs::Recorder::global().prometheus_text();
+    }
+    if (out) {
+      std::cerr << "prometheus text written to " << path << "\n";
+    } else {
+      std::cerr << "could not write prometheus text to " << path << "\n";
       rc = rc == 0 ? 1 : rc;
     }
   }

@@ -95,6 +95,13 @@ void Cloud::grow_lease(LeaseId id, const Allocation& extra) {
   }
 }
 
+std::vector<LeaseId> Cloud::lease_ids() const {
+  std::vector<LeaseId> out;
+  out.reserve(leases_.size());
+  for (const auto& [id, alloc] : leases_) out.push_back(id);
+  return out;
+}
+
 const Allocation& Cloud::lease_allocation(LeaseId id) const {
   auto it = leases_.find(id);
   if (it == leases_.end()) {

@@ -78,6 +78,8 @@ class Cloud {
   bool has_lease(LeaseId id) const { return leases_.count(id) > 0; }
   std::size_t lease_count() const { return leases_.size(); }
   const Allocation& lease_allocation(LeaseId id) const;
+  /// Ids of all live leases, ascending (telemetry sampling / audits).
+  std::vector<LeaseId> lease_ids() const;
 
   std::string describe() const;
 

@@ -1,0 +1,88 @@
+// Periodic cluster sampler: records the signals a continuous rebalancer
+// (ROADMAP) watches — per-node VM load and free capacity, free-capacity
+// fragmentation, utilization, lease count and per-lease DC trajectories —
+// into an obs::Recorder as time series over simulated (or service-clock)
+// time.  Wired into sim::ClusterSim and vcopt::service via their options.
+//
+// Series written (labels in braces):
+//   cluster/node/load{node=i}        VMs hosted on node i
+//   cluster/node/free{node=i}        free VM slots on node i
+//   cluster/utilization              allocated fraction of total capacity
+//   cluster/leases                   live lease count
+//   cluster/frag/node_concentration  FragmentationStats fields
+//   cluster/frag/rack_concentration
+//   cluster/frag/largest_node_request
+//   cluster/frag/largest_rack_request
+//   cluster/frag/free_vms
+//   cluster/lease/dc{lease=id}       DC (Definition 1) of each live lease
+//
+// Series references are cached at construction (per node) and on first
+// sight (per lease), so a sampling tick does no map lookups for node
+// series; when the recorder is disabled a tick is one atomic load.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cloud.h"
+#include "obs/timeseries.h"
+
+namespace vcopt::cluster {
+
+struct ClusterSamplerOptions {
+  /// Minimum time between samples for maybe_sample() (same clock as `t`).
+  double period = 1.0;
+  bool per_node = true;   ///< record cluster/node/* series
+  bool per_lease = true;  ///< record cluster/lease/dc series
+  /// Ring capacity for every series this sampler creates.
+  std::size_t capacity = 512;
+  /// Cap on distinct per-lease series, guarding label cardinality in
+  /// long churn runs.  Leases beyond the cap are not tracked (the counter
+  /// `untracked_leases()` says how many were skipped).
+  std::size_t max_lease_series = 128;
+};
+
+class ClusterSampler {
+ public:
+  /// The cloud and recorder must outlive the sampler.
+  ClusterSampler(const Cloud& cloud, obs::Recorder& recorder,
+                 ClusterSamplerOptions options = {});
+
+  /// Takes a sample at time `t` unconditionally (no-op while the recorder
+  /// is disabled).
+  void sample(double t);
+
+  /// Samples only when at least `period` has elapsed since the last sample
+  /// (first call always samples).  Returns whether a sample was taken.
+  bool maybe_sample(double t);
+
+  std::size_t samples_taken() const { return samples_; }
+  std::size_t untracked_leases() const { return untracked_; }
+  const ClusterSamplerOptions& options() const { return options_; }
+
+ private:
+  const Cloud& cloud_;
+  obs::Recorder& recorder_;
+  ClusterSamplerOptions options_;
+
+  // Cached series (stable references into the recorder).
+  std::vector<obs::TimeSeries*> node_load_;
+  std::vector<obs::TimeSeries*> node_free_;
+  obs::TimeSeries* utilization_;
+  obs::TimeSeries* leases_;
+  obs::TimeSeries* frag_node_conc_;
+  obs::TimeSeries* frag_rack_conc_;
+  obs::TimeSeries* frag_largest_node_;
+  obs::TimeSeries* frag_largest_rack_;
+  obs::TimeSeries* frag_free_vms_;
+  std::map<LeaseId, obs::TimeSeries*> lease_dc_;
+
+  bool sampled_once_ = false;
+  double last_t_ = 0;
+  std::size_t samples_ = 0;
+  std::size_t untracked_ = 0;
+};
+
+}  // namespace vcopt::cluster

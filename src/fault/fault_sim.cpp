@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "check/check.h"
+#include "cluster/sampler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
@@ -66,10 +67,26 @@ FaultSimResult run_fault_sim(cluster::Cloud& cloud,
     last_sample = queue.now();
   };
   auto resync = [&] { allocated_vms = cloud.inventory().allocated().total(); };
+  std::unique_ptr<cluster::ClusterSampler> sampler;
+  if (options.recorder != nullptr) {
+    cluster::ClusterSamplerOptions so;
+    so.period = options.sample_period;
+    sampler = std::make_unique<cluster::ClusterSampler>(cloud, *options.recorder,
+                                                        so);
+  }
+  if (options.slo != nullptr &&
+      !options.slo->declared("fault/repair_success")) {
+    obs::SloSpec spec;
+    spec.name = "fault/repair_success";
+    spec.description = "lease repairs ending fully repaired";
+    spec.objective = 0.25;
+    options.slo->declare(spec);
+  }
   auto record_timeline = [&] {
     timeline.push_back(sim::TimelineSample{queue.now(), allocated_vms,
                                            prov.queue_length(),
                                            cloud.lease_count()});
+    if (sampler) sampler->maybe_sample(queue.now());
   };
 
   std::function<void(cluster::LeaseId)> handle_release;
@@ -115,6 +132,11 @@ FaultSimResult run_fault_sim(cluster::Cloud& cloud,
     sample();
     resync();
     record_timeline();
+    if (options.slo != nullptr) {
+      options.slo->record_event(
+          "fault/repair_success", r.completed_at,
+          r.status == placement::PlacementStatus::kRepaired);
+    }
     if (r.status == placement::PlacementStatus::kAbandoned) {
       const auto it = lease_grant.find(r.lease);
       if (it != lease_grant.end()) grants[it->second].released = r.completed_at;

@@ -15,6 +15,8 @@
 #include "fault/injector.h"
 #include "fault/profile.h"
 #include "fault/recovery.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "placement/provisioner.h"
 #include "sim/cluster_sim.h"
 
@@ -23,6 +25,14 @@ namespace vcopt::fault {
 struct FaultSimOptions {
   placement::QueueDiscipline discipline = placement::QueueDiscipline::kFifo;
   RepairPolicy repair;
+  /// Optional time-series recorder (see sim::ClusterSimOptions::recorder).
+  obs::Recorder* recorder = nullptr;
+  double sample_period = 1.0;
+  /// Optional SLO sink: every finalized repair feeds a "fault/repair_success"
+  /// event (good = fully repaired).  The spec is declared on first use if the
+  /// caller has not declared it already (objective 0.25: at most a quarter of
+  /// repairs may end short of full repair).
+  obs::SloTracker* slo = nullptr;
 };
 
 struct FaultSimResult {

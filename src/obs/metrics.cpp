@@ -62,6 +62,36 @@ std::size_t HistogramMetric::count() const {
   return stats_.count();
 }
 
+double HistogramMetric::quantile_locked(double p) const {
+  const std::size_t n = stats_.count();
+  if (n == 0) return 0;
+  p = std::min(1.0, std::max(0.0, p));
+  // Rank of the target sample (1-based), Prometheus-style: the smallest
+  // cumulative count that covers fraction p of the population.
+  const double target = p * static_cast<double>(n);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(counts_[i]);
+    if (cumulative < target || counts_[i] == 0) continue;
+    // Bucket i spans (lower, upper]; interpolate linearly within it.  The
+    // first bucket's lower edge and the overflow bucket's upper edge are
+    // unknown, so substitute the observed min/max.
+    const double lower = (i == 0) ? stats_.min() : bounds_[i - 1];
+    const double upper = (i < bounds_.size()) ? bounds_[i] : stats_.max();
+    const double frac = (target - prev) / static_cast<double>(counts_[i]);
+    const double est = lower + (upper - lower) * frac;
+    // Clamp to the observed range: bucket edges can lie outside the data.
+    return std::min(stats_.max(), std::max(stats_.min(), est));
+  }
+  return stats_.max();
+}
+
+double HistogramMetric::quantile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(p);
+}
+
 double HistogramMetric::sum() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_.sum();
@@ -184,6 +214,9 @@ util::Json MetricsRegistry::snapshot_json() const {
       entry["min"] = h->stats_.min();
       entry["max"] = h->stats_.max();
       entry["stddev"] = h->stats_.stddev();
+      entry["p50"] = h->quantile_locked(0.50);
+      entry["p90"] = h->quantile_locked(0.90);
+      entry["p99"] = h->quantile_locked(0.99);
     }
     histograms[name] = util::Json(std::move(entry));
   }
@@ -225,8 +258,107 @@ bool MetricsRegistry::write_json_file(const std::string& path) const {
   return bool(out);
 }
 
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string prometheus_label_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string prometheus_escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+// Prometheus sample value: JSON number formatting is deterministic and
+// round-trips doubles, which is what the golden-file test pins down.
+std::string prom_num(double v) { return util::Json(v).dump(0); }
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string metric = prometheus_metric_name(name);
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << ' ' << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::lock_guard<std::mutex> glock(g->mu_);
+    const std::string metric = prometheus_metric_name(name);
+    out << "# TYPE " << metric << " gauge\n";
+    out << metric << ' ' << prom_num(g->value_) << "\n";
+    out << "# TYPE " << metric << "_max gauge\n";
+    out << metric << "_max " << prom_num(g->max_) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::lock_guard<std::mutex> hlock(h->mu_);
+    const std::string metric = prometheus_metric_name(name);
+    out << "# TYPE " << metric << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds_.size(); ++i) {
+      cumulative += h->counts_[i];
+      out << metric << "_bucket{le=\"" << prom_num(h->bounds_[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    cumulative += h->counts_.back();
+    out << metric << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << metric << "_sum " << prom_num(h->stats_.sum()) << "\n";
+    out << metric << "_count " << h->stats_.count() << "\n";
+  }
+  return out.str();
+}
+
 namespace {
 std::string g_sidecar_path;  // set once by register_metrics_sidecar
+std::string g_sidecar_name;
+}
+
+bool write_metrics_sidecar_file(const MetricsRegistry& registry,
+                                const std::string& path,
+                                const std::string& bench_name) {
+  std::ofstream out(path);
+  if (!out) return false;
+  util::JsonObject o;
+  o["schema"] = "vcopt-metrics-sidecar/1";
+  o["bench"] = bench_name;
+  o["metrics"] = registry.snapshot_json();
+  out << util::Json(std::move(o)).dump(2) << "\n";
+  return bool(out);
 }
 
 void register_metrics_sidecar(const std::string& id) {
@@ -237,8 +369,10 @@ void register_metrics_sidecar(const std::string& id) {
   }
   if (slug.empty()) slug = "bench";
   g_sidecar_path = slug + ".metrics.json";
+  g_sidecar_name = id;
   std::atexit([] {
-    MetricsRegistry::global().write_json_file(g_sidecar_path);
+    write_metrics_sidecar_file(MetricsRegistry::global(), g_sidecar_path,
+                               g_sidecar_name);
   });
 }
 

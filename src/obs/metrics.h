@@ -69,9 +69,16 @@ class HistogramMetric {
   double sum() const;
   const std::vector<double>& bounds() const { return bounds_; }
 
+  /// Estimated quantile (p in [0,1]) from the bucket counts: linear
+  /// interpolation inside the containing bucket, clamped to the observed
+  /// [min, max] from the Welford stats so estimates never leave the data
+  /// range.  Returns 0 with no samples.
+  double quantile(double p) const;
+
  private:
   friend class MetricsRegistry;
   HistogramMetric(const std::atomic<bool>* enabled, std::vector<double> bounds);
+  double quantile_locked(double p) const;
   const std::atomic<bool>* enabled_;
   mutable std::mutex mu_;
   std::vector<double> bounds_;           // ascending inclusive upper bounds
@@ -113,11 +120,17 @@ class MetricsRegistry {
   void reset();
 
   /// Point-in-time dump: {"counters": {...}, "gauges": {...},
-  /// "histograms": {...}}.
+  /// "histograms": {...}}.  Histogram entries carry bucket counts plus
+  /// p50/p90/p99 estimated from the buckets.
   util::Json snapshot_json() const;
   /// Aligned text table of every instrument (one row per metric).
   std::string render_table() const;
   bool write_json_file(const std::string& path) const;
+  /// Prometheus text exposition format: counters as `counter`, gauges as
+  /// `gauge` (plus a `_max` companion), histograms as cumulative
+  /// `_bucket{le=...}` / `_sum` / `_count`.  Metric names are sanitised
+  /// ('/' and other invalid chars become '_').
+  std::string prometheus_text() const;
 
  private:
   std::atomic<bool> enabled_{false};
@@ -127,9 +140,25 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
 
+/// Prometheus name sanitisers (shared by the metrics and time-series
+/// exporters).  Metric names map invalid chars to '_' and get a leading '_'
+/// when they would start with a digit; label keys likewise; label values are
+/// escaped per the text exposition format (backslash, quote, newline).
+std::string prometheus_metric_name(const std::string& name);
+std::string prometheus_label_key(const std::string& key);
+std::string prometheus_escape_label_value(const std::string& value);
+
 /// Bench support: when the global registry is enabled, arranges for a
 /// metrics snapshot to be written to "<slug(id)>.metrics.json" at process
 /// exit (the sidecar next to the bench's stdout capture).  No-op otherwise.
 void register_metrics_sidecar(const std::string& id);
+
+/// Writes the uniform bench metrics sidecar:
+/// {"schema":"vcopt-metrics-sidecar/1","bench":<name>,"metrics":<snapshot>}.
+/// Used by the perf benches so the perf trajectory can be graphed across
+/// PRs with one schema.  Returns false on I/O failure.
+bool write_metrics_sidecar_file(const MetricsRegistry& registry,
+                                const std::string& path,
+                                const std::string& bench_name);
 
 }  // namespace vcopt::obs

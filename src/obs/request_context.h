@@ -1,0 +1,89 @@
+// Request-scoped tracing context for the placement service.
+//
+// Every request admitted by vcopt::service gets a RequestContext carrying a
+// trace id that follows the request through admission -> queue -> micro-batch
+// window -> solve -> grant/journal.  The id is a *pure function* of the
+// request id and admission sequence number (splitmix64 of both), never a
+// random draw: live runs and journal replays derive the same id from the
+// same journal bytes, which is what keeps replay byte-identical while still
+// letting every grant be traced back to its admission.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vcopt::obs {
+
+/// splitmix64 finalizer — a cheap, well-mixed 64-bit hash.  Deterministic
+/// across platforms (pure integer arithmetic).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a string — used to fold the request id into the trace id so
+/// two requests with the same admission seq in different journals still get
+/// distinct ids.
+inline std::uint64_t hash_string64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministic trace id for a request: mixes the admission sequence number
+/// with the request id.  Never zero (zero is reserved for "no trace").
+inline std::uint64_t derive_trace_id(std::uint64_t seq,
+                                     std::uint64_t request_id) {
+  const std::uint64_t id = mix64(seq ^ mix64(request_id));
+  return id == 0 ? 1 : id;
+}
+
+/// String-keyed variant for callers with non-numeric request ids.
+inline std::uint64_t derive_trace_id(std::uint64_t seq,
+                                     const std::string& request_id) {
+  return derive_trace_id(seq, hash_string64(request_id));
+}
+
+/// 16-hex-digit lowercase rendering, the form journals and grants carry.
+inline std::string trace_id_hex(std::uint64_t id) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+/// Parses a 16-hex-digit trace id; returns 0 on malformed input.
+inline std::uint64_t parse_trace_id(const std::string& hex) {
+  if (hex.size() != 16) return 0;
+  std::uint64_t id = 0;
+  for (const char c : hex) {
+    id <<= 4;
+    if (c >= '0' && c <= '9') {
+      id |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      id |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return id;
+}
+
+/// The context a request carries through the service ladder.
+struct RequestContext {
+  std::uint64_t trace_id = 0;  ///< 0 = untraced
+  std::uint64_t seq = 0;       ///< admission sequence number
+  double admit_time = 0;       ///< service-clock time of admission
+
+  std::string trace_hex() const { return trace_id_hex(trace_id); }
+};
+
+}  // namespace vcopt::obs

@@ -1,0 +1,171 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcopt::obs {
+
+void SloTracker::declare(const SloSpec& spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("SloTracker::declare: empty name");
+  }
+  if (spec.objective <= 0 || spec.objective > 1) {
+    throw std::invalid_argument("SloTracker::declare: objective must be in (0,1]: " +
+                                spec.name);
+  }
+  if (spec.short_window <= 0 || spec.long_window < spec.short_window) {
+    throw std::invalid_argument(
+        "SloTracker::declare: need 0 < short_window <= long_window: " +
+        spec.name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slos_.find(spec.name);
+  if (it != slos_.end()) return;  // find-or-create: first declaration wins
+  Series s;
+  s.spec = spec;
+  slos_.emplace(spec.name, std::move(s));
+}
+
+bool SloTracker::declared(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slos_.count(name) > 0;
+}
+
+std::vector<std::string> SloTracker::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(slos_.size());
+  for (const auto& [name, s] : slos_) out.push_back(name);
+  return out;
+}
+
+void SloTracker::record_event(const std::string& name, double t, bool good) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slos_.find(name);
+  if (it == slos_.end()) {
+    throw std::invalid_argument("SloTracker: undeclared SLO: " + name);
+  }
+  Series& s = it->second;
+  s.events.push_back(Event{t, good});
+  ++s.total;
+  if (!good) ++s.bad;
+  s.max_t = std::max(s.max_t, t);
+  // Prune anything older than the long window behind the newest event, so a
+  // long-running service holds O(window * rate) events, not the full history.
+  const double horizon = s.max_t - s.spec.long_window;
+  while (!s.events.empty() && s.events.front().t < horizon) {
+    s.events.pop_front();
+  }
+}
+
+void SloTracker::record_value(const std::string& name, double t, double value) {
+  // Threshold lookup needs the spec; do it under the same lock as the push.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slos_.find(name);
+  if (it == slos_.end()) {
+    throw std::invalid_argument("SloTracker: undeclared SLO: " + name);
+  }
+  Series& s = it->second;
+  const bool good = value <= s.spec.threshold;
+  s.events.push_back(Event{t, good});
+  ++s.total;
+  if (!good) ++s.bad;
+  s.max_t = std::max(s.max_t, t);
+  const double horizon = s.max_t - s.spec.long_window;
+  while (!s.events.empty() && s.events.front().t < horizon) {
+    s.events.pop_front();
+  }
+}
+
+SloStatus SloTracker::evaluate_locked(const Series& s, double now) const {
+  SloStatus st;
+  st.spec = s.spec;
+  st.total = s.total;
+  st.bad = s.bad;
+  const double short_start = now - s.spec.short_window;
+  const double long_start = now - s.spec.long_window;
+  for (const Event& e : s.events) {
+    if (e.t > now) continue;  // future events (clock skew) don't count yet
+    if (e.t >= long_start) {
+      ++st.long_total;
+      if (!e.good) ++st.long_bad;
+    }
+    if (e.t >= short_start) {
+      ++st.short_total;
+      if (!e.good) ++st.short_bad;
+    }
+  }
+  if (st.short_total > 0) {
+    st.short_burn = (static_cast<double>(st.short_bad) /
+                     static_cast<double>(st.short_total)) /
+                    s.spec.objective;
+  }
+  if (st.long_total > 0) {
+    st.long_burn = (static_cast<double>(st.long_bad) /
+                    static_cast<double>(st.long_total)) /
+                   s.spec.objective;
+  }
+  st.alerting = st.short_total >= s.spec.min_events &&
+                st.short_burn >= s.spec.burn_alert &&
+                st.long_burn >= s.spec.burn_alert;
+  return st;
+}
+
+std::vector<SloStatus> SloTracker::evaluate(double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloStatus> out;
+  out.reserve(slos_.size());
+  for (const auto& [name, s] : slos_) {
+    out.push_back(evaluate_locked(s, now));
+  }
+  return out;
+}
+
+bool SloTracker::any_alerting(double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, s] : slos_) {
+    if (evaluate_locked(s, now).alerting) return true;
+  }
+  return false;
+}
+
+util::Json SloTracker::snapshot_json(double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonArray arr;
+  for (const auto& [name, s] : slos_) {
+    const SloStatus st = evaluate_locked(s, now);
+    util::JsonObject o;
+    o["name"] = st.spec.name;
+    o["description"] = st.spec.description;
+    o["objective"] = st.spec.objective;
+    o["threshold"] = st.spec.threshold;
+    o["short_window"] = st.spec.short_window;
+    o["long_window"] = st.spec.long_window;
+    o["burn_alert"] = st.spec.burn_alert;
+    o["total"] = static_cast<double>(st.total);
+    o["bad"] = static_cast<double>(st.bad);
+    o["short_total"] = static_cast<double>(st.short_total);
+    o["short_bad"] = static_cast<double>(st.short_bad);
+    o["long_total"] = static_cast<double>(st.long_total);
+    o["long_bad"] = static_cast<double>(st.long_bad);
+    o["short_burn"] = st.short_burn;
+    o["long_burn"] = st.long_burn;
+    o["alerting"] = st.alerting;
+    arr.push_back(util::Json(std::move(o)));
+  }
+  return util::Json(util::JsonObject{{"schema", "vcopt-slo/1"},
+                                     {"now", now},
+                                     {"slos", std::move(arr)}});
+}
+
+void SloTracker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : slos_) {
+    s.events.clear();
+    s.total = 0;
+    s.bad = 0;
+    s.max_t = 0;
+  }
+}
+
+}  // namespace vcopt::obs

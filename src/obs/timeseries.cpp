@@ -1,0 +1,263 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace vcopt::obs {
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += '=';
+    key += v;
+  }
+  key += '}';
+  return key;
+}
+
+TimeSeries::TimeSeries(std::string name, Labels labels, std::size_t capacity)
+    : TimeSeries(nullptr, std::move(name), std::move(labels), capacity) {}
+
+TimeSeries::TimeSeries(const std::atomic<bool>* enabled, std::string name,
+                       Labels labels, std::size_t capacity)
+    : enabled_(enabled),
+      name_(std::move(name)),
+      labels_(std::move(labels)),
+      capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("TimeSeries: capacity must be > 0");
+  }
+  ring_.reserve(std::min<std::size_t>(capacity_, 64));
+}
+
+void TimeSeries::record(double t, double v) {
+  if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Point{t, v});
+    return;
+  }
+  // Ring is full: overwrite the oldest point.
+  ring_[head_] = Point{t, v};
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeries::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Point> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TimeSeries::Summary TimeSeries::summarize_locked(double since) const {
+  Summary s;
+  std::vector<double> values;
+  values.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[(head_ + i) % ring_.size()];
+    if (p.t < since) continue;
+    if (s.count == 0) s.first_t = p.t;
+    s.last_t = p.t;
+    s.last = p.v;
+    ++s.count;
+    values.push_back(p.v);
+  }
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  const auto pct = [&](double p) {
+    const double rank = p * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    return values[lo] + (values[hi] - values[lo]) *
+                            (rank - static_cast<double>(lo));
+  };
+  s.p50 = pct(0.50);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+TimeSeries::Summary TimeSeries::summarize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summarize_locked(-std::numeric_limits<double>::infinity());
+}
+
+TimeSeries::Summary TimeSeries::summarize_since(double since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summarize_locked(since);
+}
+
+util::Json TimeSeries::to_json(bool include_points) const {
+  util::JsonObject o;
+  o["name"] = name_;
+  util::JsonObject labels;
+  for (const auto& [k, v] : labels_) labels[k] = v;
+  o["labels"] = util::Json(std::move(labels));
+  o["capacity"] = capacity_;
+  o["dropped"] = static_cast<double>(dropped());
+  const Summary s = summarize();
+  util::JsonObject sum;
+  sum["count"] = s.count;
+  if (s.count > 0) {
+    sum["min"] = s.min;
+    sum["max"] = s.max;
+    sum["mean"] = s.mean;
+    sum["p50"] = s.p50;
+    sum["p99"] = s.p99;
+    sum["first_t"] = s.first_t;
+    sum["last_t"] = s.last_t;
+    sum["last"] = s.last;
+  }
+  o["summary"] = util::Json(std::move(sum));
+  if (include_points) {
+    util::JsonArray pts;
+    for (const Point& p : points()) {
+      pts.push_back(util::Json(util::JsonArray{util::Json(p.t),
+                                               util::Json(p.v)}));
+    }
+    o["points"] = util::Json(std::move(pts));
+  }
+  return util::Json(std::move(o));
+}
+
+Recorder& Recorder::global() {
+  static Recorder* rec = [] {
+    // Intentionally leaked process-lifetime singleton.
+    auto* r = new Recorder();  // NOLINT(vcopt-raw-new)
+    const char* env = std::getenv("VCOPT_TIMESERIES");
+    if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+      r->set_enabled(true);
+    }
+    return r;
+  }();
+  return *rec;
+}
+
+TimeSeries& Recorder::series(const std::string& name, const Labels& labels,
+                             std::size_t capacity) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[key];
+  if (!slot) {
+    // Private ctor: make_unique cannot be used here.
+    slot.reset(new TimeSeries(  // NOLINT(vcopt-raw-new)
+        &enabled_, name, labels, capacity));
+  }
+  return *slot;
+}
+
+void Recorder::record(const std::string& name, const Labels& labels, double t,
+                      double v) {
+  if (!enabled()) return;
+  series(name, labels).record(t, v);
+}
+
+std::size_t Recorder::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+void Recorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+util::Json Recorder::export_json(bool include_points) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonArray arr;
+  for (const auto& [key, ts] : series_) {
+    arr.push_back(ts->to_json(include_points));
+  }
+  return util::Json(util::JsonObject{{"schema", "vcopt-timeseries/1"},
+                                     {"series", std::move(arr)}});
+}
+
+void Recorder::write_csv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "series,labels,t,value\n";
+  for (const auto& [key, ts] : series_) {
+    std::string labels;
+    bool first = true;
+    for (const auto& [k, v] : ts->labels()) {
+      if (!first) labels += ';';
+      first = false;
+      labels += k;
+      labels += '=';
+      labels += v;
+    }
+    for (const TimeSeries::Point& p : ts->points()) {
+      out << ts->name() << ',' << labels << ',' << p.t << ',' << p.v << "\n";
+    }
+  }
+}
+
+bool Recorder::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return bool(out);
+}
+
+std::string Recorder::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  std::string last_name;
+  for (const auto& [key, ts] : series_) {
+    const TimeSeries::Summary s = ts->summarize();
+    if (s.count == 0) continue;
+    const std::string metric = prometheus_metric_name(ts->name());
+    if (metric != last_name) {
+      out << "# TYPE " << metric << " gauge\n";
+      last_name = metric;
+    }
+    out << metric;
+    if (!ts->labels().empty()) {
+      out << '{';
+      bool first = true;
+      for (const auto& [k, v] : ts->labels()) {
+        if (!first) out << ',';
+        first = false;
+        out << prometheus_label_key(k) << "=\""
+            << prometheus_escape_label_value(v) << '"';
+      }
+      out << '}';
+    }
+    out << ' ' << util::Json(s.last).dump(0) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vcopt::obs

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "check/check.h"
+#include "obs/request_context.h"
 
 namespace vcopt::service {
 
@@ -58,7 +59,8 @@ void JournalWriter::write(const Json& record) {
 }
 
 void JournalWriter::submit(std::uint64_t seq, const cluster::Request& request,
-                           const SubmitOptions& options, double time) {
+                           const SubmitOptions& options, double time,
+                           std::uint64_t trace_id) {
   JsonObject o;
   o["type"] = "submit";
   o["seq"] = static_cast<double>(seq);
@@ -73,6 +75,7 @@ void JournalWriter::submit(std::uint64_t seq, const cluster::Request& request,
   o["class"] = to_string(options.klass);
   if (std::isfinite(options.deadline)) o["deadline"] = options.deadline;
   o["time"] = time;
+  o["trace"] = obs::trace_id_hex(trace_id);
   write(Json(std::move(o)));
 }
 
@@ -140,6 +143,17 @@ std::vector<JournalRecord> parse_journal(std::istream& in,
             j.contains("deadline") ? j.at("deadline").as_number() : kNoDeadline;
         rec.request = cluster::Request(std::move(counts), u64_at(j, "id"),
                                        rec.options.priority);
+        if (j.contains("trace")) {
+          rec.trace_id = obs::parse_trace_id(j.at("trace").as_string());
+          if (rec.trace_id == 0) {
+            throw std::invalid_argument("malformed trace id '" +
+                                        j.at("trace").as_string() + "'");
+          }
+        } else {
+          // Journals written before tracing: re-derive (pure function of
+          // seq and id, so replay matches what a live run would emit today).
+          rec.trace_id = obs::derive_trace_id(rec.seq, rec.request.id());
+        }
       } else if (type == "window") {
         rec.type = RecordType::kWindow;
         rec.window_id = u64_at(j, "window");
@@ -167,6 +181,7 @@ util::Json outcome_to_json(const Outcome& outcome) {
   o["seq"] = static_cast<double>(outcome.seq);
   o["id"] = static_cast<double>(outcome.request_id);
   o["window"] = static_cast<double>(outcome.window_id);
+  o["trace"] = obs::trace_id_hex(outcome.trace_id);
   o["status"] = to_string(outcome.kind);
   if (has_lease(outcome.kind)) {
     o["lease"] = static_cast<double>(outcome.lease);
@@ -198,6 +213,9 @@ Outcome outcome_from_json(const util::Json& json) {
   out.seq = u64_at(json, "seq");
   out.request_id = u64_at(json, "id");
   out.window_id = u64_at(json, "window");
+  out.trace_id = json.contains("trace")
+                     ? obs::parse_trace_id(json.at("trace").as_string())
+                     : obs::derive_trace_id(out.seq, out.request_id);
   const std::string& status = json.at("status").as_string();
   bool found = false;
   for (OutcomeKind k :

@@ -6,8 +6,11 @@
 //
 // Record schemas (keys sorted by util::Json's object ordering):
 //   {"type":"submit","seq":N,"id":I,"counts":[..],"priority":P,
-//    "class":"batch","time":T}                  — accepted submission;
-//    "deadline":D appears only for finite deadlines
+//    "class":"batch","time":T,"trace":"16-hex"} — accepted submission;
+//    "deadline":D appears only for finite deadlines.  "trace" is the
+//    request's obs trace id; journals written before tracing landed omit it
+//    and the parser re-derives it (obs::derive_trace_id is a pure function
+//    of seq and id), so old journals still replay byte-identically
 //   {"type":"window","window":W,"time":T,"reason":"size|wait|flush",
 //    "members":[seq..],"shed":[seq..]}          — a closed decision window:
 //    `members` in dispatch order, `shed` the deadline-expired entries
@@ -43,6 +46,7 @@ struct JournalRecord {
   std::uint64_t seq = 0;
   cluster::Request request;  // id, counts and priority
   SubmitOptions options;
+  std::uint64_t trace_id = 0;  // derived when the record predates tracing
   // kWindow
   std::uint64_t window_id = 0;
   std::string reason;
@@ -60,7 +64,8 @@ class JournalWriter {
   explicit JournalWriter(std::ostream& out) : out_(out) {}
 
   void submit(std::uint64_t seq, const cluster::Request& request,
-              const SubmitOptions& options, double time);
+              const SubmitOptions& options, double time,
+              std::uint64_t trace_id);
   void window(std::uint64_t window_id, double time, const char* reason,
               const std::vector<std::uint64_t>& members,
               const std::vector<std::uint64_t>& shed);

@@ -44,7 +44,8 @@ ReplayResult replay_journal(const std::vector<JournalRecord>& records,
                                       std::to_string(rec.seq));
         }
         pending.emplace(rec.seq, PendingEntry{rec.request, rec.options,
-                                              rec.seq, rec.time});
+                                              rec.seq, rec.time,
+                                              rec.trace_id});
         break;
       }
       case RecordType::kWindow: {

@@ -7,6 +7,7 @@
 
 #include "check/check.h"
 #include "check/validators.h"
+#include "cluster/sampler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/global_subopt.h"
@@ -27,9 +28,21 @@ struct ServiceMetrics {
   obs::Counter& deadline_miss;
   obs::Counter& windows;
   obs::Counter& decided;
+  // Per-stage wall-clock latency of the service ladder (seconds): admission
+  // bookkeeping, service-clock queue wait, window formation, the placement
+  // solve, and outcome publication.  Attribution for "why was this grant
+  // slow" — the queue stage is service-clock, the rest are measured wall
+  // durations of the corresponding code sections.
+  obs::HistogramMetric& stage_admit;
+  obs::HistogramMetric& stage_queue;
+  obs::HistogramMetric& stage_batch;
+  obs::HistogramMetric& stage_solve;
+  obs::HistogramMetric& stage_commit;
 
   static ServiceMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
+    static const std::vector<double> stage_buckets =
+        obs::MetricsRegistry::exponential_buckets(1e-6, 2.0, 24);
     static ServiceMetrics m{
         reg.gauge("service/queue_depth"),
         reg.histogram("service/batch_size",
@@ -43,10 +56,20 @@ struct ServiceMetrics {
         reg.counter("service/deadline_miss"),
         reg.counter("service/windows"),
         reg.counter("service/decided"),
+        reg.histogram("service/stage/admit", stage_buckets),
+        reg.histogram("service/stage/queue", stage_buckets),
+        reg.histogram("service/stage/batch", stage_buckets),
+        reg.histogram("service/stage/solve", stage_buckets),
+        reg.histogram("service/stage/commit", stage_buckets),
     };
     return m;
   }
 };
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 Outcome shed_outcome(const PendingEntry& e, std::uint64_t window_id,
                      double decide_time) {
@@ -54,6 +77,7 @@ Outcome shed_outcome(const PendingEntry& e, std::uint64_t window_id,
   o.seq = e.seq;
   o.request_id = e.request.id();
   o.window_id = window_id;
+  o.trace_id = e.trace_id;
   o.kind = OutcomeKind::kShedDeadline;
   o.requested_vms = e.request.total_vms();
   o.submit_time = e.submit_time;
@@ -202,6 +226,7 @@ std::vector<Outcome> decide_window(placement::Provisioner& prov,
       o.seq = members[i].seq;
       o.request_id = members[i].request.id();
       o.window_id = window_id;
+      o.trace_id = members[i].trace_id;
       o.kind = OutcomeKind::kGranted;
       o.lease = lease;
       o.central = pl.central;
@@ -224,6 +249,7 @@ std::vector<Outcome> decide_window(placement::Provisioner& prov,
     o.seq = members[i].seq;
     o.request_id = members[i].request.id();
     o.window_id = window_id;
+    o.trace_id = members[i].trace_id;
     o.kind = kind_from_status(res.status);
     if (res.grant) {
       o.lease = res.grant->lease;
@@ -281,6 +307,37 @@ PlacementService::PlacementService(cluster::Cloud& cloud,
   if (options_.journal) {
     journal_ = std::make_unique<JournalWriter>(*options_.journal);
   }
+  if (options_.slo.enabled) {
+    const ServiceSloOptions& s = options_.slo;
+    obs::SloSpec base;
+    base.short_window = s.short_window;
+    base.long_window = s.long_window;
+    base.burn_alert = s.burn_alert;
+    base.min_events = s.min_events;
+    obs::SloSpec latency = base;
+    latency.name = "service/latency";
+    latency.description = "placement latency (decide - submit) within bound";
+    latency.objective = s.latency_objective;
+    latency.threshold = s.latency_threshold;
+    slo_.declare(latency);
+    obs::SloSpec shed = base;
+    shed.name = "service/shed_rate";
+    shed.description = "submissions refused at admission (shed/queue-full)";
+    shed.objective = s.shed_objective;
+    slo_.declare(shed);
+    obs::SloSpec dc = base;
+    dc.name = "service/dc_per_vm";
+    dc.description = "granted cluster distance per VM within bound";
+    dc.objective = s.dc_objective;
+    dc.threshold = s.dc_threshold;
+    slo_.declare(dc);
+  }
+  if (options_.recorder != nullptr) {
+    cluster::ClusterSamplerOptions so;
+    so.period = options_.sample_period;
+    sampler_ = std::make_unique<cluster::ClusterSampler>(
+        cloud_, *options_.recorder, so);
+  }
   wall_epoch_ = std::chrono::steady_clock::now();
   if (options_.clock == ClockMode::kWall) {
     dispatcher_ = std::thread(&PlacementService::dispatcher_loop, this);
@@ -304,12 +361,16 @@ SubmitReceipt PlacementService::submit(const cluster::Request& r,
         std::to_string(cloud_.type_count()));
   }
   auto& m = ServiceMetrics::get();
+  const auto admit_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lk(mu_);
   const double now =
       options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
   if (stopping_ || pending_.size() >= options_.queue_capacity) {
     ++stats_.queue_full;
     m.queue_full.add();
+    if (options_.slo.enabled) {
+      slo_.record_event("service/shed_rate", now, /*good=*/false);
+    }
     return {AdmissionStatus::kQueueFull, 0};
   }
   const bool dead_on_arrival = o.deadline <= now;
@@ -320,6 +381,9 @@ SubmitReceipt PlacementService::submit(const cluster::Request& r,
   if (dead_on_arrival || watermark_shed) {
     ++stats_.shed;
     m.shed.add();
+    if (options_.slo.enabled) {
+      slo_.record_event("service/shed_rate", now, /*good=*/false);
+    }
     return {AdmissionStatus::kShed, 0};
   }
 
@@ -327,13 +391,17 @@ SubmitReceipt PlacementService::submit(const cluster::Request& r,
   // The submit-time priority wins over whatever the caller baked into the
   // Request, so the journal (which records SubmitOptions) replays exactly.
   PendingEntry entry{cluster::Request(r.counts(), r.id(), o.priority), o, seq,
-                     now};
-  if (journal_) journal_->submit(seq, entry.request, o, now);
+                     now, obs::derive_trace_id(seq, r.id())};
+  if (journal_) journal_->submit(seq, entry.request, o, now, entry.trace_id);
   pending_.push_back(std::move(entry));
   accepted_seqs_.push_back(seq);
   ++stats_.accepted;
   m.accepted.add();
   m.queue_depth.set(static_cast<double>(pending_.size()));
+  if (options_.slo.enabled) {
+    slo_.record_event("service/shed_rate", now, /*good=*/true);
+  }
+  m.stage_admit.observe(seconds_since(admit_start));
 
   if (options_.clock == ClockMode::kVirtual) {
     if (pending_.size() >= options_.max_batch) {
@@ -403,6 +471,7 @@ void PlacementService::release(cluster::LeaseId lease) {
       options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
   if (journal_) journal_->release(lease, now);
   cloud_.release(lease);
+  if (sampler_) sampler_->maybe_sample(now);
 }
 
 std::vector<Outcome> PlacementService::take_outcomes() {
@@ -451,6 +520,7 @@ void PlacementService::run_windows_until_locked(double t) {
 void PlacementService::close_window_locked(double close_time,
                                            const char* reason) {
   auto& m = ServiceMetrics::get();
+  const auto batch_start = std::chrono::steady_clock::now();
   // Deadline sheds come out of the whole pending set, not just this window:
   // an expired entry must never linger to be "granted" by a later window.
   std::vector<PendingEntry> shed;
@@ -486,24 +556,39 @@ void PlacementService::close_window_locked(double close_time,
     for (const PendingEntry& e : shed) shed_seqs.push_back(e.seq);
     journal_->window(window_id, close_time, reason, member_seqs, shed_seqs);
   }
+  m.stage_batch.observe(seconds_since(batch_start));
 
+  const auto solve_start = std::chrono::steady_clock::now();
   std::vector<Outcome> outcomes = detail::decide_window(
       prov_, cloud_, shed, members, window_id, close_time, options_);
+  m.stage_solve.observe(seconds_since(solve_start));
 
+  const auto commit_start = std::chrono::steady_clock::now();
   ++stats_.windows;
   stats_.deadline_missed += shed.size();
   m.windows.add();
   m.deadline_miss.add(shed.size());
   m.batch_size.observe(static_cast<double>(members.size()));
   for (Outcome& o : outcomes) {
-    m.latency.observe(o.decide_time - o.submit_time);
+    const double latency = o.decide_time - o.submit_time;
+    m.latency.observe(latency);
+    m.stage_queue.observe(latency);
+    if (options_.slo.enabled) {
+      slo_.record_value("service/latency", o.decide_time, latency);
+      if (has_lease(o.kind) && o.granted_vms > 0) {
+        slo_.record_value("service/dc_per_vm", o.decide_time,
+                          o.distance / static_cast<double>(o.granted_vms));
+      }
+    }
     decided_seqs_.push_back(o.seq);
     ++stats_.decided;
     m.decided.add();
     decided_.emplace(o.seq, std::move(o));
   }
   m.queue_depth.set(static_cast<double>(pending_.size()));
+  if (sampler_) sampler_->maybe_sample(close_time);
   decided_cv_.notify_all();
+  m.stage_commit.observe(seconds_since(commit_start));
 }
 
 void PlacementService::dispatcher_loop() {

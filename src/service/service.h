@@ -51,7 +51,16 @@
 
 #include "cluster/cloud.h"
 #include "cluster/request.h"
+#include "obs/request_context.h"
+#include "obs/slo.h"
 #include "placement/provisioner.h"
+
+namespace vcopt::cluster {
+class ClusterSampler;
+}
+namespace vcopt::obs {
+class Recorder;
+}
 
 namespace vcopt::service {
 
@@ -113,6 +122,9 @@ struct Outcome {
   std::uint64_t seq = 0;
   std::uint64_t request_id = 0;
   std::uint64_t window_id = 0;
+  /// Request-scoped trace id (obs::derive_trace_id of seq and request id):
+  /// links this outcome to its journal submit record and stage spans.
+  std::uint64_t trace_id = 0;
   OutcomeKind kind = OutcomeKind::kAbandoned;
   cluster::LeaseId lease = 0;  ///< 0 unless has_lease(kind)
   std::size_t central = 0;
@@ -130,11 +142,36 @@ struct PendingEntry {
   SubmitOptions options;
   std::uint64_t seq = 0;
   double submit_time = 0;
+  std::uint64_t trace_id = 0;  ///< carried through to the Outcome
 };
 
 enum class ClockMode {
   kVirtual,  ///< advance_to()-driven simulated seconds (deterministic)
   kWall,     ///< background dispatcher on steady_clock seconds
+};
+
+/// Declared objectives for the per-service SloTracker.  Every threshold is
+/// on the service clock / DC units; windows and burn thresholds follow
+/// obs::SloSpec semantics.  Always on (the tracker is cheap); set
+/// `enabled = false` to skip declaration entirely.
+struct ServiceSloOptions {
+  bool enabled = true;
+  /// service/latency: placement latency (decide - submit) above this many
+  /// seconds is an SLO violation...
+  double latency_threshold = 1.0;
+  /// ... and at most this fraction of decisions may violate it.
+  double latency_objective = 0.01;
+  /// service/shed_rate: at most this fraction of submissions may be refused
+  /// (shed or queue-full) at admission.
+  double shed_objective = 0.05;
+  /// service/dc_per_vm: granted DC per VM above this is a violation...
+  double dc_threshold = 4.0;
+  /// ... allowed for at most this fraction of grants.
+  double dc_objective = 0.25;
+  double short_window = 60;
+  double long_window = 600;
+  double burn_alert = 2.0;
+  std::size_t min_events = 10;
 };
 
 struct ServiceOptions {
@@ -151,6 +188,13 @@ struct ServiceOptions {
   std::string policy = "online-heuristic";  ///< placement::make_policy spec
   ClockMode clock = ClockMode::kVirtual;
   std::ostream* journal = nullptr;  ///< NDJSON sink; null = no journal
+  ServiceSloOptions slo;  ///< objectives for the per-service SloTracker
+  /// Optional time-series recorder: when set, a cluster::ClusterSampler
+  /// records per-node load/free, fragmentation and per-lease DC on every
+  /// window close and release (at most once per `sample_period` service
+  /// seconds).  Must outlive the service.
+  obs::Recorder* recorder = nullptr;
+  double sample_period = 1.0;
 };
 
 namespace detail {
@@ -241,6 +285,9 @@ class PlacementService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
   const cluster::Cloud& cloud() const { return cloud_; }
+  /// Per-service SLO state (service/latency, service/shed_rate,
+  /// service/dc_per_vm — empty when options.slo.enabled is false).
+  const obs::SloTracker& slo() const { return slo_; }
 
  private:
   double wall_now_locked() const;
@@ -255,6 +302,8 @@ class PlacementService {
 
   cluster::Cloud& cloud_;
   ServiceOptions options_;
+  obs::SloTracker slo_;
+  std::unique_ptr<cluster::ClusterSampler> sampler_;  // null without recorder
 
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;  // wakes the wall-mode dispatcher

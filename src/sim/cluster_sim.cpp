@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "check/check.h"
+#include "cluster/sampler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -62,10 +63,18 @@ ClusterSimResult run_cluster_sim(
     vm_seconds += allocated_vms * (queue.now() - last_sample);
     last_sample = queue.now();
   };
+  std::unique_ptr<cluster::ClusterSampler> sampler;
+  if (options.recorder != nullptr) {
+    cluster::ClusterSamplerOptions so;
+    so.period = options.sample_period;
+    sampler = std::make_unique<cluster::ClusterSampler>(cloud, *options.recorder,
+                                                        so);
+  }
   auto record_timeline = [&] {
     timeline.push_back(TimelineSample{queue.now(), allocated_vms,
                                       prov.queue_length(),
                                       cloud.lease_count()});
+    if (sampler) sampler->maybe_sample(queue.now());
   };
 
   for (const cluster::TimedRequest& tr : trace) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/cloud.h"
+#include "obs/timeseries.h"
 #include "placement/provisioner.h"
 #include "sim/event_queue.h"
 
@@ -52,6 +53,11 @@ struct ClusterSimOptions {
   bool batch_drain = false;
   /// Wait-queue service order for one-by-one draining.
   placement::QueueDiscipline discipline = placement::QueueDiscipline::kFifo;
+  /// Optional time-series recorder: when set, a cluster::ClusterSampler
+  /// records per-node load/free, fragmentation and per-lease DC at event
+  /// instants (at most once per `sample_period` simulated seconds).
+  obs::Recorder* recorder = nullptr;
+  double sample_period = 1.0;
 };
 
 /// Runs the full trace to completion.  The cloud is mutated (all leases are

@@ -1,0 +1,155 @@
+// ClusterSampler: per-node load/free series, fragmentation and per-lease DC
+// trajectories, the maybe_sample period gate, the lease-cardinality cap and
+// the disabled-recorder fast path.
+#include "cluster/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cloud.h"
+#include "obs/timeseries.h"
+
+namespace vcopt::cluster {
+namespace {
+
+Cloud make_cloud() {
+  // 2 racks x 2 nodes, 3 EC2 types, 2 of each type per node.
+  return Cloud(Topology::uniform(2, 2), VmCatalog::ec2_default(),
+               util::IntMatrix(4, 3, 2));
+}
+
+LeaseId grant_spanning_lease(Cloud& cloud) {
+  // One VM on each of nodes 0 and 2 (different racks): DC > 0.
+  Request r({2, 0, 0});
+  Allocation a(4, 3);
+  a.at(0, 0) = 1;
+  a.at(2, 0) = 1;
+  return cloud.grant(r, a);
+}
+
+TEST(ClusterSampler, RecordsPerNodeLoadAndFree) {
+  Cloud cloud = make_cloud();
+  obs::Recorder rec;
+  rec.set_enabled(true);
+  ClusterSampler sampler(cloud, rec);
+  grant_spanning_lease(cloud);
+  sampler.sample(1.0);
+
+  EXPECT_EQ(rec.series("cluster/node/load", {{"node", "0"}}).summarize().last,
+            1);
+  EXPECT_EQ(rec.series("cluster/node/load", {{"node", "1"}}).summarize().last,
+            0);
+  EXPECT_EQ(rec.series("cluster/node/load", {{"node", "2"}}).summarize().last,
+            1);
+  // 6 slots per node; node 0 hosts one VM.
+  EXPECT_EQ(rec.series("cluster/node/free", {{"node", "0"}}).summarize().last,
+            5);
+  EXPECT_EQ(rec.series("cluster/leases").summarize().last, 1);
+  // 2 of 24 VM slots allocated.
+  EXPECT_NEAR(rec.series("cluster/utilization").summarize().last, 2.0 / 24.0,
+              1e-12);
+}
+
+TEST(ClusterSampler, RecordsPerLeaseDcTrajectory) {
+  Cloud cloud = make_cloud();
+  obs::Recorder rec;
+  rec.set_enabled(true);
+  ClusterSampler sampler(cloud, rec);
+  const LeaseId lease = grant_spanning_lease(cloud);
+  sampler.sample(0.0);
+  sampler.sample(1.0);
+
+  obs::TimeSeries& dc =
+      rec.series("cluster/lease/dc", {{"lease", std::to_string(lease)}});
+  ASSERT_EQ(dc.size(), 2u);
+  // Cross-rack pair in a uniform 2x2 topology: distance 2 from the central
+  // node to the other rack's VM.
+  EXPECT_GT(dc.summarize().last, 0);
+
+  // Released leases stop being sampled; the trajectory is retained.
+  cloud.release(lease);
+  sampler.sample(2.0);
+  EXPECT_EQ(dc.size(), 2u);
+}
+
+TEST(ClusterSampler, FragmentationSeriesArePresent) {
+  Cloud cloud = make_cloud();
+  obs::Recorder rec;
+  rec.set_enabled(true);
+  ClusterSampler sampler(cloud, rec);
+  sampler.sample(0.0);
+  EXPECT_EQ(rec.series("cluster/frag/free_vms").summarize().last, 24);
+  EXPECT_EQ(rec.series("cluster/frag/largest_node_request").summarize().count,
+            1u);
+  EXPECT_EQ(rec.series("cluster/frag/node_concentration").summarize().count,
+            1u);
+}
+
+TEST(ClusterSampler, MaybeSampleHonoursThePeriod) {
+  Cloud cloud = make_cloud();
+  obs::Recorder rec;
+  rec.set_enabled(true);
+  ClusterSamplerOptions opt;
+  opt.period = 1.0;
+  ClusterSampler sampler(cloud, rec, opt);
+  EXPECT_TRUE(sampler.maybe_sample(0.0));   // first call always samples
+  EXPECT_FALSE(sampler.maybe_sample(0.5));  // within the period
+  EXPECT_FALSE(sampler.maybe_sample(0.99));
+  EXPECT_TRUE(sampler.maybe_sample(1.0));  // period elapsed
+  EXPECT_TRUE(sampler.maybe_sample(5.0));
+  EXPECT_EQ(sampler.samples_taken(), 3u);
+  EXPECT_EQ(rec.series("cluster/utilization").summarize().count, 3u);
+}
+
+TEST(ClusterSampler, DisabledRecorderMakesSamplingANoOp) {
+  Cloud cloud = make_cloud();
+  obs::Recorder rec;  // disabled
+  ClusterSampler sampler(cloud, rec);
+  sampler.sample(0.0);
+  EXPECT_EQ(rec.series("cluster/utilization").summarize().count, 0u);
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+}
+
+TEST(ClusterSampler, PerNodeAndPerLeaseCanBeTurnedOff) {
+  Cloud cloud = make_cloud();
+  obs::Recorder rec;
+  rec.set_enabled(true);
+  ClusterSamplerOptions opt;
+  opt.per_node = false;
+  opt.per_lease = false;
+  ClusterSampler sampler(cloud, rec, opt);
+  grant_spanning_lease(cloud);
+  sampler.sample(0.0);
+  EXPECT_EQ(rec.series("cluster/node/load", {{"node", "0"}}).size(), 0u);
+  EXPECT_EQ(rec.series("cluster/utilization").size(), 1u);
+}
+
+TEST(ClusterSampler, LeaseSeriesCardinalityIsCapped) {
+  Cloud cloud = make_cloud();
+  obs::Recorder rec;
+  rec.set_enabled(true);
+  ClusterSamplerOptions opt;
+  opt.max_lease_series = 2;
+  ClusterSampler sampler(cloud, rec, opt);
+  // Three concurrent single-VM leases on distinct nodes.
+  for (int n = 0; n < 3; ++n) {
+    Request r({1, 0, 0});
+    Allocation a(4, 3);
+    a.at(static_cast<std::size_t>(n), 0) = 1;
+    cloud.grant(r, a);
+  }
+  sampler.sample(0.0);
+  EXPECT_EQ(sampler.untracked_leases(), 1u);
+  std::size_t lease_series = 0;
+  for (const LeaseId id : cloud.lease_ids()) {
+    if (rec.series("cluster/lease/dc", {{"lease", std::to_string(id)}})
+            .size() > 0) {
+      ++lease_series;
+    }
+  }
+  EXPECT_EQ(lease_series, 2u);
+}
+
+}  // namespace
+}  // namespace vcopt::cluster

@@ -1,0 +1,163 @@
+// Prometheus text exposition: name/label sanitisation, the full exporter
+// output against a committed golden file, and histogram quantile estimation
+// accuracy on known distributions (the satellite contract: p50/p90/p99 in
+// the JSON snapshot must come from the buckets and stay near the truth).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "util/json.h"
+
+#ifndef VCOPT_TEST_DATA_DIR
+#define VCOPT_TEST_DATA_DIR "tests/obs/golden"
+#endif
+
+namespace vcopt::obs {
+namespace {
+
+TEST(PrometheusNames, InvalidCharsBecomeUnderscores) {
+  EXPECT_EQ(prometheus_metric_name("service/stage/admit"),
+            "service_stage_admit");
+  EXPECT_EQ(prometheus_metric_name("a-b.c d"), "a_b_c_d");
+  // Colons are legal in the exposition format.
+  EXPECT_EQ(prometheus_metric_name("ns:metric"), "ns:metric");
+}
+
+TEST(PrometheusNames, LeadingDigitIsPrefixed) {
+  EXPECT_EQ(prometheus_metric_name("2xx_total"), "_2xx_total");
+  EXPECT_EQ(prometheus_label_key("2node"), "_2node");
+}
+
+TEST(PrometheusNames, LabelKeysDropColons) {
+  // Label keys are stricter than metric names: no colons allowed.
+  EXPECT_EQ(prometheus_label_key("a:b/c"), "a_b_c");
+}
+
+TEST(PrometheusNames, LabelValuesAreEscaped) {
+  EXPECT_EQ(prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusText, MatchesGoldenFile) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("service/requests").add(42);
+  reg.gauge("provisioner/queue_depth").set(3);
+  reg.gauge("provisioner/queue_depth").set(2);  // max stays 3
+  HistogramMetric& h =
+      reg.histogram("service/stage/solve", {0.001, 0.01, 0.1});
+  h.observe(0.0005);
+  h.observe(0.005);
+  h.observe(0.05);
+  h.observe(0.5);  // overflow bucket
+
+  Recorder rec;
+  rec.set_enabled(true);
+  rec.series("cluster/node/load", {{"node", "0"}}).record(1.0, 5);
+  rec.series("cluster/node/load", {{"node", "1"}}).record(1.0, 7);
+  rec.series("cluster/utilization").record(1.0, 0.25);
+
+  const std::string got = reg.prometheus_text() + rec.prometheus_text();
+
+  const std::string path = std::string(VCOPT_TEST_DATA_DIR) + "/metrics.prom";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  const std::string want((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, want) << "--- regenerate tests/obs/golden/metrics.prom if "
+                          "the exporter format changed intentionally ---\n"
+                       << got;
+}
+
+TEST(PrometheusText, HistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  HistogramMetric& h = reg.histogram("x/lat", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("x_lat_bucket{le=\"1\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("x_lat_bucket{le=\"2\"} 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("x_lat_bucket{le=\"+Inf\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("x_lat_count 3"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantile accuracy.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantile, UniformDistributionWithinBucketTolerance) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  // 100 fine buckets over [0, 100]; uniform samples 0.5, 1.5, ..., 999.5/10.
+  HistogramMetric& h = reg.histogram(
+      "q/uniform", MetricsRegistry::linear_buckets(0, 100, 100));
+  for (int i = 0; i < 1000; ++i) h.observe((i + 0.5) / 10.0);
+  // True quantiles of the sample: p50 ~ 50, p90 ~ 90, p99 ~ 99.  With 1-wide
+  // buckets the interpolation error is bounded by one bucket width.
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(HistogramQuantile, ExponentialBucketsOnSkewedData) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  HistogramMetric& h = reg.histogram(
+      "q/skew", MetricsRegistry::exponential_buckets(0.001, 2.0, 20));
+  // 99 fast samples at 1ms, one slow outlier at 1s.
+  for (int i = 0; i < 99; ++i) h.observe(0.001);
+  h.observe(1.0);
+  // p50 sits in the first bucket; p99 has crossed into the outlier's bucket
+  // territory but must never leave the observed [min, max] range.
+  EXPECT_LE(h.quantile(0.50), 0.002);
+  EXPECT_GE(h.quantile(0.50), 0.0005);
+  EXPECT_LE(h.quantile(1.0), 1.0);
+  EXPECT_GE(h.quantile(0.0), 0.001);
+}
+
+TEST(HistogramQuantile, ClampedToObservedRange) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  // Coarse buckets: every sample lands in [0, 10] but spans only [4, 6].
+  HistogramMetric& h = reg.histogram("q/clamp", {10.0, 20.0});
+  h.observe(4.0);
+  h.observe(5.0);
+  h.observe(6.0);
+  // Interpolation inside [0, 10] would guess ~5; whatever it guesses must be
+  // clamped into the true data range.
+  EXPECT_GE(h.quantile(0.01), 4.0);
+  EXPECT_LE(h.quantile(0.99), 6.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  HistogramMetric& h = reg.histogram("q/empty", {1.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, SnapshotJsonCarriesBucketQuantiles) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  HistogramMetric& h = reg.histogram(
+      "q/json", MetricsRegistry::linear_buckets(0, 10, 10));
+  for (int i = 0; i < 100; ++i) h.observe((i % 10) + 0.5);
+  const util::Json j = util::Json::parse(reg.snapshot_json().dump(0));
+  const util::Json& e = j.at("histograms").at("q/json");
+  EXPECT_NEAR(e.at("p50").as_number(), h.quantile(0.50), 1e-12);
+  EXPECT_NEAR(e.at("p90").as_number(), h.quantile(0.90), 1e-12);
+  EXPECT_NEAR(e.at("p99").as_number(), h.quantile(0.99), 1e-12);
+  EXPECT_GT(e.at("p90").as_number(), e.at("p50").as_number());
+}
+
+}  // namespace
+}  // namespace vcopt::obs

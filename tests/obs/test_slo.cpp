@@ -1,0 +1,168 @@
+// SloTracker semantics: burn-rate arithmetic, the multi-window alert rule
+// (both windows must burn), the min_events guard against one-sample blips,
+// value-threshold feeds and the snapshot schema.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace vcopt::obs {
+namespace {
+
+SloSpec spec(const std::string& name, double objective = 0.1,
+             double short_w = 10, double long_w = 100,
+             double burn_alert = 2.0, std::size_t min_events = 4) {
+  SloSpec s;
+  s.name = name;
+  s.objective = objective;
+  s.short_window = short_w;
+  s.long_window = long_w;
+  s.burn_alert = burn_alert;
+  s.min_events = min_events;
+  return s;
+}
+
+TEST(SloTracker, DeclareIsFindOrCreate) {
+  SloTracker t;
+  t.declare(spec("a", 0.1));
+  SloSpec again = spec("a", 0.5);  // ignored: original spec wins
+  t.declare(again);
+  ASSERT_TRUE(t.declared("a"));
+  const auto st = t.evaluate(0);
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_DOUBLE_EQ(st[0].spec.objective, 0.1);
+}
+
+TEST(SloTracker, UndeclaredNameThrows) {
+  SloTracker t;
+  EXPECT_THROW(t.record_event("nope", 0, true), std::invalid_argument);
+  EXPECT_THROW(t.record_value("nope", 0, 1), std::invalid_argument);
+}
+
+TEST(SloTracker, InvalidSpecThrows) {
+  SloTracker t;
+  SloSpec bad = spec("b");
+  bad.objective = 0;
+  EXPECT_THROW(t.declare(bad), std::invalid_argument);
+  bad = spec("b");
+  bad.objective = 1.5;
+  EXPECT_THROW(t.declare(bad), std::invalid_argument);
+  bad = spec("b");
+  bad.short_window = 200;  // short must not exceed long
+  EXPECT_THROW(t.declare(bad), std::invalid_argument);
+}
+
+TEST(SloTracker, BurnRateIsBadFractionOverObjective) {
+  SloTracker t;
+  t.declare(spec("s", /*objective=*/0.1));
+  // 10 events in the short window, 2 bad: bad fraction 0.2, burn 2.0.
+  for (int i = 0; i < 10; ++i) {
+    t.record_event("s", 5.0, i < 2 ? false : true);
+  }
+  const SloStatus st = t.evaluate(5.0)[0];
+  EXPECT_EQ(st.short_total, 10u);
+  EXPECT_EQ(st.short_bad, 2u);
+  EXPECT_DOUBLE_EQ(st.short_burn, 2.0);
+  EXPECT_DOUBLE_EQ(st.long_burn, 2.0);  // same events fill both windows
+  EXPECT_TRUE(st.alerting);             // both burns >= burn_alert (2.0)
+}
+
+TEST(SloTracker, AlertNeedsBothWindowsBurning) {
+  SloTracker t;
+  t.declare(spec("s", 0.1, /*short_w=*/10, /*long_w=*/100));
+  // A long history of good events dilutes the long window...
+  for (int i = 0; i < 200; ++i) t.record_event("s", i * 0.5, true);
+  // ...then a short burst of bad events at the end.
+  for (int i = 0; i < 8; ++i) t.record_event("s", 99.0, false);
+  const SloStatus st = t.evaluate(100.0)[0];
+  // Short window [90, 100] is mostly the burst: burn far above 2.
+  EXPECT_GE(st.short_burn, 2.0);
+  // Long window holds ~200 good + 8 bad: bad fraction ~0.04, burn ~0.4.
+  EXPECT_LT(st.long_burn, 2.0);
+  EXPECT_FALSE(st.alerting);  // transient blip, long window vetoes
+}
+
+TEST(SloTracker, SustainedBurnAlerts) {
+  SloTracker t;
+  t.declare(spec("s", 0.1, 10, 100));
+  // 30% bad across the whole horizon: burn 3.0 in both windows.
+  for (int i = 0; i < 100; ++i) t.record_event("s", i * 1.0, i % 10 >= 3);
+  const SloStatus st = t.evaluate(100.0)[0];
+  EXPECT_GE(st.short_burn, 2.0);
+  EXPECT_GE(st.long_burn, 2.0);
+  EXPECT_TRUE(st.alerting);
+  EXPECT_TRUE(t.any_alerting(100.0));
+}
+
+TEST(SloTracker, MinEventsGuardSuppressesThinWindows) {
+  SloTracker t;
+  t.declare(spec("s", 0.1, 10, 100, 2.0, /*min_events=*/4));
+  // Three bad events: burn is sky-high but the sample is too thin.
+  for (int i = 0; i < 3; ++i) t.record_event("s", 5.0, false);
+  EXPECT_FALSE(t.evaluate(5.0)[0].alerting);
+  // The fourth event crosses the guard.
+  t.record_event("s", 5.0, false);
+  EXPECT_TRUE(t.evaluate(5.0)[0].alerting);
+}
+
+TEST(SloTracker, ValueFeedMarksBadAboveThreshold) {
+  SloTracker t;
+  SloSpec s = spec("lat", 0.25);
+  s.threshold = 1.0;
+  t.declare(s);
+  t.record_value("lat", 0, 0.5);   // good
+  t.record_value("lat", 0, 1.0);   // good (not strictly above)
+  t.record_value("lat", 0, 1.01);  // bad
+  const SloStatus st = t.evaluate(0)[0];
+  EXPECT_EQ(st.total, 3u);
+  EXPECT_EQ(st.bad, 1u);
+}
+
+TEST(SloTracker, EventsOutsideWindowAgeOut) {
+  SloTracker t;
+  t.declare(spec("s", 0.1, 10, 100));
+  for (int i = 0; i < 10; ++i) t.record_event("s", 0.0, false);
+  // At t=0 the failures are in both windows; far later they are in neither.
+  EXPECT_TRUE(t.evaluate(0.0)[0].alerting);
+  const SloStatus late = t.evaluate(500.0)[0];
+  EXPECT_EQ(late.short_total, 0u);
+  EXPECT_EQ(late.long_total, 0u);
+  EXPECT_FALSE(late.alerting);
+  // Lifetime totals survive the windows.
+  EXPECT_EQ(late.total, 10u);
+  EXPECT_EQ(late.bad, 10u);
+}
+
+TEST(SloTracker, SnapshotJsonRoundTrips) {
+  SloTracker t;
+  t.declare(spec("svc/x", 0.1));
+  t.record_event("svc/x", 1.0, true);
+  t.record_event("svc/x", 1.0, false);
+  const util::Json j = util::Json::parse(t.snapshot_json(1.0).dump(0));
+  EXPECT_EQ(j.at("schema").as_string(), "vcopt-slo/1");
+  EXPECT_DOUBLE_EQ(j.at("now").as_number(), 1.0);
+  ASSERT_EQ(j.at("slos").size(), 1u);
+  const util::Json& s = j.at("slos").at(0);
+  EXPECT_EQ(s.at("name").as_string(), "svc/x");
+  EXPECT_EQ(s.at("total").as_number(), 2);
+  EXPECT_EQ(s.at("bad").as_number(), 1);
+  EXPECT_FALSE(s.at("alerting").as_bool());
+}
+
+TEST(SloTracker, ResetClearsEventsButKeepsDeclarations) {
+  SloTracker t;
+  t.declare(spec("s"));
+  t.record_event("s", 0, false);
+  t.reset();
+  EXPECT_TRUE(t.declared("s"));  // declarations survive, like the registry
+  const SloStatus st = t.evaluate(0)[0];
+  EXPECT_EQ(st.total, 0u);
+  EXPECT_EQ(st.short_total, 0u);
+  EXPECT_FALSE(st.alerting);
+}
+
+}  // namespace
+}  // namespace vcopt::obs

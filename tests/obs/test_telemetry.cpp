@@ -1,0 +1,120 @@
+// Telemetry bundle: schema, section composition (slo optional) and the
+// stats dashboard renderer consumed by `vcopt_cli stats`.
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "util/json.h"
+
+namespace vcopt::obs {
+namespace {
+
+TEST(TelemetryBundle, CarriesAllThreeSections) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("service/requests").add(5);
+  Recorder rec;
+  rec.set_enabled(true);
+  rec.series("cluster/utilization").record(1.0, 0.5);
+  SloTracker slo;
+  SloSpec spec;
+  spec.name = "service/shed_rate";
+  spec.objective = 0.05;
+  slo.declare(spec);
+  slo.record_event("service/shed_rate", 1.0, true);
+
+  const util::Json j = util::Json::parse(
+      telemetry_bundle(reg, rec, &slo, 2.0).dump(0));
+  EXPECT_EQ(j.at("schema").as_string(), "vcopt-telemetry/1");
+  EXPECT_DOUBLE_EQ(j.at("now").as_number(), 2.0);
+  EXPECT_TRUE(j.contains("metrics"));
+  EXPECT_TRUE(j.contains("timeseries"));
+  EXPECT_TRUE(j.contains("slo"));
+  EXPECT_EQ(j.at("slo").at("schema").as_string(), "vcopt-slo/1");
+  EXPECT_EQ(j.at("timeseries").at("schema").as_string(), "vcopt-timeseries/1");
+}
+
+TEST(TelemetryBundle, SloSectionIsOptional) {
+  MetricsRegistry reg;
+  Recorder rec;
+  const util::Json j = util::Json::parse(
+      telemetry_bundle(reg, rec, nullptr, 0.0).dump(0));
+  EXPECT_FALSE(j.contains("slo"));
+}
+
+TEST(RenderStats, RejectsForeignDocuments) {
+  std::ostringstream out;
+  EXPECT_THROW(
+      render_stats(util::Json::parse("{\"schema\":\"other/1\"}"), out),
+      std::invalid_argument);
+  EXPECT_THROW(render_stats(util::Json::parse("{}"), out),
+               std::invalid_argument);
+}
+
+TEST(RenderStats, RendersStageTableSeriesAndSloStatus) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  HistogramMetric& h = reg.histogram(
+      "service/stage/solve",
+      MetricsRegistry::exponential_buckets(1e-6, 2.0, 24));
+  h.observe(0.001);
+  h.observe(0.002);
+  Recorder rec;
+  rec.set_enabled(true);
+  rec.series("cluster/node/load", {{"node", "0"}}).record(1.0, 3);
+  SloTracker slo;
+  SloSpec spec;
+  spec.name = "service/latency";
+  spec.objective = 0.01;
+  spec.min_events = 1;
+  slo.declare(spec);
+  for (int i = 0; i < 10; ++i) {
+    slo.record_event("service/latency", 1.0, false);  // every event bad
+  }
+
+  std::ostringstream out;
+  render_stats(telemetry_bundle(reg, rec, &slo, 1.0), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Service stage latency"), std::string::npos) << text;
+  EXPECT_NE(text.find("solve"), std::string::npos);
+  EXPECT_NE(text.find("Time series"), std::string::npos);
+  EXPECT_NE(text.find("cluster/node/load{node=0}"), std::string::npos);
+  EXPECT_NE(text.find("SLO status"), std::string::npos);
+  EXPECT_NE(text.find("service/latency"), std::string::npos);
+  // 100% bad against a 1% objective: the alert marker must render.
+  EXPECT_NE(text.find("ALERT"), std::string::npos);
+  EXPECT_NE(text.find("burn-rate alert active"), std::string::npos);
+}
+
+TEST(RenderStats, HealthyBundleSaysAllOk) {
+  MetricsRegistry reg;
+  Recorder rec;
+  SloTracker slo;
+  SloSpec spec;
+  spec.name = "service/latency";
+  spec.objective = 0.5;
+  slo.declare(spec);
+  slo.record_event("service/latency", 0.0, true);
+  std::ostringstream out;
+  render_stats(telemetry_bundle(reg, rec, &slo, 0.0), out);
+  EXPECT_NE(out.str().find("all objectives ok"), std::string::npos)
+      << out.str();
+}
+
+TEST(RenderStats, TolerantOfMissingSections) {
+  util::JsonObject o;
+  o["schema"] = "vcopt-telemetry/1";
+  o["now"] = 0.0;
+  std::ostringstream out;
+  render_stats(util::Json(std::move(o)), out);  // must not throw
+  EXPECT_FALSE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace vcopt::obs

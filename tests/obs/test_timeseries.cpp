@@ -1,0 +1,211 @@
+// TimeSeries / Recorder semantics: ring-buffer wrap with drop accounting,
+// exact windowed summaries, CSV / JSON export round-trips and concurrent
+// recording through the registry (the TSan target for the obs layer).
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace vcopt::obs {
+namespace {
+
+TEST(SeriesKey, LabelFreeIsJustTheName) {
+  EXPECT_EQ(series_key("cluster/utilization", {}), "cluster/utilization");
+}
+
+TEST(SeriesKey, LabelsAreSortedAndBraced) {
+  EXPECT_EQ(series_key("cluster/node/load", {{"node", "3"}, {"dc", "west"}}),
+            "cluster/node/load{dc=west,node=3}");
+}
+
+TEST(TimeSeries, RecordsInOrderUntilCapacity) {
+  TimeSeries ts("s", {}, 4);
+  ts.record(0, 10);
+  ts.record(1, 11);
+  ts.record(2, 12);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.dropped(), 0u);
+  const auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].t, 0);
+  EXPECT_EQ(pts[2].v, 12);
+}
+
+TEST(TimeSeries, RingWrapsKeepingMostRecentAndCountsDrops) {
+  TimeSeries ts("s", {}, 3);
+  for (int i = 0; i < 10; ++i) ts.record(i, 100 + i);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.dropped(), 7u);
+  const auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 3u);
+  // Oldest-first order survives the wrap.
+  EXPECT_EQ(pts[0].t, 7);
+  EXPECT_EQ(pts[1].t, 8);
+  EXPECT_EQ(pts[2].t, 9);
+  EXPECT_EQ(pts[2].v, 109);
+}
+
+TEST(TimeSeries, SummaryIsExactOverRetainedWindow) {
+  TimeSeries ts("s", {}, 100);
+  // Values 1..100: min 1, max 100, mean 50.5.
+  for (int i = 1; i <= 100; ++i) ts.record(i, i);
+  const TimeSeries::Summary s = ts.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 1.0);
+  EXPECT_NEAR(s.p99, 99.5, 1.0);
+  EXPECT_EQ(s.first_t, 1);
+  EXPECT_EQ(s.last_t, 100);
+  EXPECT_EQ(s.last, 100);
+}
+
+TEST(TimeSeries, SummarizeSinceRestrictsTheWindow) {
+  TimeSeries ts("s", {}, 100);
+  for (int i = 0; i < 10; ++i) ts.record(i, i);
+  const TimeSeries::Summary s = ts.summarize_since(7);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min, 7);
+  EXPECT_EQ(s.max, 9);
+}
+
+TEST(TimeSeries, EmptySummaryIsAllZero) {
+  TimeSeries ts("s", {});
+  const TimeSeries::Summary s = ts.summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(TimeSeries, JsonCarriesLabelsSummaryAndPoints) {
+  TimeSeries ts("cluster/node/load", {{"node", "2"}}, 8);
+  ts.record(1, 5);
+  ts.record(2, 7);
+  const util::Json j = util::Json::parse(ts.to_json(true).dump(0));
+  EXPECT_EQ(j.at("name").as_string(), "cluster/node/load");
+  EXPECT_EQ(j.at("labels").at("node").as_string(), "2");
+  EXPECT_EQ(j.at("summary").at("count").as_number(), 2);
+  ASSERT_EQ(j.at("points").size(), 2u);
+  EXPECT_EQ(j.at("points").at(1).at(0).as_number(), 2);
+  EXPECT_EQ(j.at("points").at(1).at(1).as_number(), 7);
+  // Points can be elided for compact bundles.
+  EXPECT_FALSE(
+      util::Json::parse(ts.to_json(false).dump(0)).contains("points"));
+}
+
+TEST(Recorder, DisabledRecordIsDropped) {
+  Recorder rec;  // disabled by default
+  TimeSeries& ts = rec.series("s");
+  ts.record(1, 1);
+  rec.record("s", {}, 2, 2);
+  EXPECT_EQ(ts.size(), 0u);
+  rec.set_enabled(true);
+  ts.record(3, 3);
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(Recorder, SeriesIsFindOrCreateWithStableReference) {
+  Recorder rec;
+  rec.set_enabled(true);
+  TimeSeries& a = rec.series("x", {{"k", "v"}}, 16);
+  TimeSeries& b = rec.series("x", {{"k", "v"}}, 999);  // capacity ignored
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.capacity(), 16u);
+  EXPECT_EQ(rec.series_count(), 1u);
+  rec.series("x", {{"k", "other"}});
+  EXPECT_EQ(rec.series_count(), 2u);
+}
+
+TEST(Recorder, ExportJsonIsSortedByKeyAndSchemaTagged) {
+  Recorder rec;
+  rec.set_enabled(true);
+  rec.series("b").record(0, 2);
+  rec.series("a").record(0, 1);
+  const util::Json j = util::Json::parse(rec.export_json().dump(0));
+  EXPECT_EQ(j.at("schema").as_string(), "vcopt-timeseries/1");
+  ASSERT_EQ(j.at("series").size(), 2u);
+  EXPECT_EQ(j.at("series").at(0).at("name").as_string(), "a");
+  EXPECT_EQ(j.at("series").at(1).at("name").as_string(), "b");
+}
+
+TEST(Recorder, CsvHasOneRowPerRetainedPoint) {
+  Recorder rec;
+  rec.set_enabled(true);
+  rec.series("m", {{"node", "1"}}).record(0.5, 3);
+  rec.series("m", {{"node", "1"}}).record(1.5, 4);
+  std::ostringstream out;
+  rec.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("series,labels,t,value"), std::string::npos);
+  EXPECT_NE(csv.find("m,node=1,0.5,3"), std::string::npos);
+  EXPECT_NE(csv.find("m,node=1,1.5,4"), std::string::npos);
+}
+
+TEST(Recorder, ResetDropsEverySeries) {
+  Recorder rec;
+  rec.set_enabled(true);
+  rec.series("a").record(0, 1);
+  rec.reset();
+  EXPECT_EQ(rec.series_count(), 0u);
+}
+
+// The TSan target: concurrent writers on the same and on distinct series,
+// with a reader polling summaries — no data race, no lost points.
+TEST(Recorder, ConcurrentRecordingIsRaceFreeAndLossless) {
+  Recorder rec;
+  rec.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  TimeSeries& shared = rec.series("shared", {}, kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      TimeSeries& own =
+          rec.series("own", {{"w", std::to_string(w)}}, kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        shared.record(i, w);
+        own.record(i, i);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      (void)shared.summarize();
+      (void)rec.series_count();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(shared.dropped(), 0u);
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(rec.series("own", {{"w", std::to_string(w)}}).size(),
+              static_cast<std::size_t>(kPerThread));
+  }
+}
+
+TEST(Recorder, WriteCsvFileRoundTrips) {
+  Recorder rec;
+  rec.set_enabled(true);
+  rec.series("f").record(1, 2);
+  const std::string path = "test_timeseries_tmp.csv";
+  ASSERT_TRUE(rec.write_csv_file(path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("f,,1,2"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vcopt::obs

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "cluster/request.h"
+#include "obs/request_context.h"
 
 namespace vcopt::service {
 namespace {
@@ -21,7 +22,8 @@ TEST(Journal, SubmitWindowReleaseRoundTrip) {
   opts.priority = 3;
   opts.deadline = 1.5;
   opts.klass = RequestClass::kInteractive;
-  writer.submit(1, Request({2, 0, 1}, 42, 3), opts, 0.25);
+  writer.submit(1, Request({2, 0, 1}, 42, 3), opts, 0.25,
+                obs::derive_trace_id(1, 42));
   writer.window(1, 0.5, "size", {1}, {});
   writer.release(7, 0.75);
   EXPECT_EQ(writer.records_written(), 3u);
@@ -54,7 +56,7 @@ TEST(Journal, SubmitWindowReleaseRoundTrip) {
 TEST(Journal, NoDeadlineIsOmittedAndParsesBackAsInfinity) {
   std::ostringstream out;
   JournalWriter writer(out);
-  writer.submit(1, Request({1}), SubmitOptions{}, 0);
+  writer.submit(1, Request({1}), SubmitOptions{}, 0, obs::derive_trace_id(1, 0));
   EXPECT_EQ(out.str().find("deadline"), std::string::npos);
   std::istringstream in(out.str());
   const auto records = parse_journal(in);
@@ -65,7 +67,8 @@ TEST(Journal, NoDeadlineIsOmittedAndParsesBackAsInfinity) {
 TEST(Journal, WriterEmitsOneCompactLinePerRecord) {
   std::ostringstream out;
   JournalWriter writer(out);
-  writer.submit(1, Request({1, 2}), SubmitOptions{}, 0);
+  writer.submit(1, Request({1, 2}), SubmitOptions{}, 0,
+                obs::derive_trace_id(1, 0));
   writer.window(1, 0.1, "flush", {1}, {});
   const std::string text = out.str();
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);

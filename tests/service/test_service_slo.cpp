@@ -1,0 +1,172 @@
+// The per-service SloTracker: declared objectives, stage-latency histograms,
+// the healthy-baseline-stays-quiet / overload-trips-shed-alert contract (the
+// acceptance criterion of the telemetry PR), and the recorder/sampler wiring
+// through ServiceOptions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/cloud.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "service/service.h"
+#include "util/json.h"
+#include "workload/scenario.h"
+
+namespace vcopt::service {
+namespace {
+
+using cluster::Cloud;
+using cluster::Request;
+
+Cloud scenario_cloud(const workload::SimScenario& scenario) {
+  return Cloud(scenario.topology, scenario.catalog, scenario.capacity);
+}
+
+TEST(ServiceSlo, ObjectivesAreDeclaredAtConstruction) {
+  const auto scenario = workload::paper_sim_scenario(2);
+  Cloud cloud = scenario_cloud(scenario);
+  ServiceOptions options;
+  options.clock = ClockMode::kVirtual;
+  PlacementService svc(cloud, options);
+  EXPECT_TRUE(svc.slo().declared("service/latency"));
+  EXPECT_TRUE(svc.slo().declared("service/shed_rate"));
+  EXPECT_TRUE(svc.slo().declared("service/dc_per_vm"));
+  svc.stop();
+}
+
+TEST(ServiceSlo, DisabledOptionSkipsDeclaration) {
+  const auto scenario = workload::paper_sim_scenario(2);
+  Cloud cloud = scenario_cloud(scenario);
+  ServiceOptions options;
+  options.clock = ClockMode::kVirtual;
+  options.slo.enabled = false;
+  PlacementService svc(cloud, options);
+  EXPECT_TRUE(svc.slo().names().empty());
+  svc.stop();
+}
+
+TEST(ServiceSlo, HealthyBaselineDoesNotAlert) {
+  const auto scenario = workload::paper_sim_scenario(4);
+  Cloud cloud = scenario_cloud(scenario);
+  ServiceOptions options;
+  options.clock = ClockMode::kVirtual;
+  options.max_batch = 4;
+  options.queue_capacity = 256;
+  PlacementService svc(cloud, options);
+  for (std::size_t i = 0; i < 24; ++i) {
+    const Request& r = scenario.requests[i % scenario.requests.size()];
+    svc.submit(Request(r.counts(), i + 1));
+    if ((i + 1) % 4 == 0) {
+      svc.flush();
+      for (const Outcome& o : svc.take_outcomes()) {
+        if (has_lease(o.kind)) svc.release(o.lease);
+      }
+    }
+  }
+  svc.flush();
+  EXPECT_FALSE(svc.slo().any_alerting(svc.now()));
+  const auto statuses = svc.slo().evaluate(svc.now());
+  const auto shed = std::find_if(
+      statuses.begin(), statuses.end(),
+      [](const obs::SloStatus& s) { return s.spec.name == "service/shed_rate"; });
+  ASSERT_NE(shed, statuses.end());
+  EXPECT_EQ(shed->bad, 0u);
+  EXPECT_GE(shed->total, 24u);
+  svc.stop();
+}
+
+TEST(ServiceSlo, OverloadTripsShedRateAlert) {
+  const auto scenario = workload::paper_sim_scenario(4);
+  Cloud cloud = scenario_cloud(scenario);
+  ServiceOptions options;
+  options.clock = ClockMode::kVirtual;
+  options.max_batch = 1000;  // the window never closes on size
+  options.max_wait = 1e9;
+  options.queue_capacity = 4;  // tiny: almost everything is refused
+  PlacementService svc(cloud, options);
+  std::size_t refused = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const Request& r = scenario.requests[i % scenario.requests.size()];
+    if (svc.submit(Request(r.counts(), i + 1)).admission !=
+        AdmissionStatus::kAccepted) {
+      ++refused;
+    }
+  }
+  EXPECT_GE(refused, 90u);
+  EXPECT_TRUE(svc.slo().any_alerting(svc.now()));
+  const auto statuses = svc.slo().evaluate(svc.now());
+  const auto shed = std::find_if(
+      statuses.begin(), statuses.end(),
+      [](const obs::SloStatus& s) { return s.spec.name == "service/shed_rate"; });
+  ASSERT_NE(shed, statuses.end());
+  EXPECT_TRUE(shed->alerting);
+  EXPECT_GE(shed->short_burn, options.slo.burn_alert);
+  EXPECT_GE(shed->long_burn, options.slo.burn_alert);
+  svc.stop();
+}
+
+TEST(ServiceSlo, SnapshotJsonListsAllThreeObjectives) {
+  const auto scenario = workload::paper_sim_scenario(2);
+  Cloud cloud = scenario_cloud(scenario);
+  ServiceOptions options;
+  options.clock = ClockMode::kVirtual;
+  PlacementService svc(cloud, options);
+  svc.submit(scenario.requests[0]);
+  svc.flush();
+  const util::Json j =
+      util::Json::parse(svc.slo().snapshot_json(svc.now()).dump(0));
+  EXPECT_EQ(j.at("schema").as_string(), "vcopt-slo/1");
+  EXPECT_EQ(j.at("slos").size(), 3u);
+  svc.stop();
+}
+
+TEST(ServiceSlo, RecorderOptionWiresTheClusterSampler) {
+  const auto scenario = workload::paper_sim_scenario(2);
+  Cloud cloud = scenario_cloud(scenario);
+  obs::Recorder rec;
+  rec.set_enabled(true);
+  ServiceOptions options;
+  options.clock = ClockMode::kVirtual;
+  options.max_batch = 2;
+  options.recorder = &rec;
+  options.sample_period = 0.0;  // sample at every decide window
+  PlacementService svc(cloud, options);
+  for (std::size_t i = 0; i < 4; ++i) svc.submit(scenario.requests[i]);
+  svc.flush();
+  svc.stop();
+  // Per-node and aggregate series were recorded on the service clock.
+  EXPECT_GT(rec.series("cluster/utilization").size(), 0u);
+  EXPECT_GT(rec.series("cluster/leases").size(), 0u);
+  EXPECT_GT(rec.series("cluster/node/load", {{"node", "0"}}).size(), 0u);
+}
+
+TEST(ServiceSlo, StageHistogramsAreRecordedInGlobalRegistry) {
+  auto& reg = obs::MetricsRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const auto scenario = workload::paper_sim_scenario(2);
+  Cloud cloud = scenario_cloud(scenario);
+  ServiceOptions options;
+  options.clock = ClockMode::kVirtual;
+  options.max_batch = 2;
+  PlacementService svc(cloud, options);
+  for (std::size_t i = 0; i < 4; ++i) svc.submit(scenario.requests[i]);
+  svc.flush();
+  svc.stop();
+  const util::Json j = util::Json::parse(reg.snapshot_json().dump(0));
+  for (const char* stage :
+       {"service/stage/admit", "service/stage/queue", "service/stage/batch",
+        "service/stage/solve", "service/stage/commit"}) {
+    ASSERT_TRUE(j.at("histograms").contains(stage)) << stage;
+    EXPECT_GT(j.at("histograms").at(stage).at("count").as_number(), 0)
+        << stage;
+  }
+  reg.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace vcopt::service

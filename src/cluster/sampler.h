@@ -19,6 +19,13 @@
 // Series references are cached at construction (per node) and on first
 // sight (per lease), so a sampling tick does no map lookups for node
 // series; when the recorder is disabled a tick is one atomic load.
+//
+// Thread-compatibility: the sampler itself holds no lock — each owner
+// (sim::ClusterSim single-threaded; vcopt::service under its service mutex,
+// see the VCOPT_PT_GUARDED_BY on PlacementService::sampler_) serialises
+// sample()/maybe_sample() externally.  The TimeSeries it writes through are
+// internally synchronised (util::Mutex), so concurrent readers exporting the
+// recorder are safe.
 #pragma once
 
 #include <cstddef>

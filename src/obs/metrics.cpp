@@ -7,13 +7,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/mutex.h"
 #include "util/table.h"
 
 namespace vcopt::obs {
 
 void Gauge::set(double v) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   value_ = v;
   max_ = touched_ ? std::max(max_, v) : v;
   touched_ = true;
@@ -21,19 +22,19 @@ void Gauge::set(double v) {
 
 void Gauge::add(double delta) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   value_ += delta;
   max_ = touched_ ? std::max(max_, value_) : value_;
   touched_ = true;
 }
 
 double Gauge::value() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return value_;
 }
 
 double Gauge::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return max_;
 }
 
@@ -51,14 +52,14 @@ HistogramMetric::HistogramMetric(const std::atomic<bool>* enabled,
 
 void HistogramMetric::observe(double x) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   stats_.add(x);
 }
 
 std::size_t HistogramMetric::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_.count();
 }
 
@@ -88,12 +89,12 @@ double HistogramMetric::quantile_locked(double p) const {
 }
 
 double HistogramMetric::quantile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return quantile_locked(p);
 }
 
 double HistogramMetric::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_.sum();
 }
 
@@ -111,7 +112,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = counters_[name];
   // Private ctor: make_unique cannot be used here.
   if (!slot) slot.reset(new Counter(&enabled_));  // NOLINT(vcopt-raw-new)
@@ -119,7 +120,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot.reset(new Gauge(&enabled_));  // NOLINT(vcopt-raw-new)
   return *slot;
@@ -127,7 +128,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) {
     auto* h = new HistogramMetric(  // NOLINT(vcopt-raw-new)
@@ -167,56 +168,60 @@ std::vector<double> MetricsRegistry::exponential_buckets(double start,
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) {
     c->value_.store(0, std::memory_order_relaxed);
   }
   for (auto& [name, g] : gauges_) {
-    std::lock_guard<std::mutex> glock(g->mu_);
-    g->value_ = 0;
-    g->max_ = 0;
-    g->touched_ = false;
+    Gauge* gp = g.get();  // raw alias: the analysis sees through locals
+    util::MutexLock glock(gp->mu_);
+    gp->value_ = 0;
+    gp->max_ = 0;
+    gp->touched_ = false;
   }
   for (auto& [name, h] : histograms_) {
-    std::lock_guard<std::mutex> hlock(h->mu_);
-    std::fill(h->counts_.begin(), h->counts_.end(), 0);
-    h->stats_ = util::RunningStats{};
+    HistogramMetric* hp = h.get();
+    util::MutexLock hlock(hp->mu_);
+    std::fill(hp->counts_.begin(), hp->counts_.end(), 0);
+    hp->stats_ = util::RunningStats{};
   }
 }
 
 util::Json MetricsRegistry::snapshot_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   util::JsonObject counters;
   for (const auto& [name, c] : counters_) {
     counters[name] = util::Json(c->value());
   }
   util::JsonObject gauges;
   for (const auto& [name, g] : gauges_) {
-    std::lock_guard<std::mutex> glock(g->mu_);
+    const Gauge* gp = g.get();
+    util::MutexLock glock(gp->mu_);
     gauges[name] = util::Json(
-        util::JsonObject{{"value", g->value_}, {"max", g->max_}});
+        util::JsonObject{{"value", gp->value_}, {"max", gp->max_}});
   }
   util::JsonObject histograms;
   for (const auto& [name, h] : histograms_) {
-    std::lock_guard<std::mutex> hlock(h->mu_);
+    const HistogramMetric* hp = h.get();
+    util::MutexLock hlock(hp->mu_);
     util::JsonArray buckets;
-    for (std::size_t i = 0; i < h->bounds_.size(); ++i) {
+    for (std::size_t i = 0; i < hp->bounds_.size(); ++i) {
       buckets.push_back(util::Json(util::JsonObject{
-          {"le", h->bounds_[i]}, {"count", h->counts_[i]}}));
+          {"le", hp->bounds_[i]}, {"count", hp->counts_[i]}}));
     }
     buckets.push_back(util::Json(util::JsonObject{
-        {"le", "inf"}, {"count", h->counts_.back()}}));
-    util::JsonObject entry{{"count", h->stats_.count()},
-                           {"sum", h->stats_.sum()},
+        {"le", "inf"}, {"count", hp->counts_.back()}}));
+    util::JsonObject entry{{"count", hp->stats_.count()},
+                           {"sum", hp->stats_.sum()},
                            {"buckets", std::move(buckets)}};
-    if (h->stats_.count() > 0) {
-      entry["mean"] = h->stats_.mean();
-      entry["min"] = h->stats_.min();
-      entry["max"] = h->stats_.max();
-      entry["stddev"] = h->stats_.stddev();
-      entry["p50"] = h->quantile_locked(0.50);
-      entry["p90"] = h->quantile_locked(0.90);
-      entry["p99"] = h->quantile_locked(0.99);
+    if (hp->stats_.count() > 0) {
+      entry["mean"] = hp->stats_.mean();
+      entry["min"] = hp->stats_.min();
+      entry["max"] = hp->stats_.max();
+      entry["stddev"] = hp->stats_.stddev();
+      entry["p50"] = hp->quantile_locked(0.50);
+      entry["p90"] = hp->quantile_locked(0.90);
+      entry["p99"] = hp->quantile_locked(0.99);
     }
     histograms[name] = util::Json(std::move(entry));
   }
@@ -227,24 +232,26 @@ util::Json MetricsRegistry::snapshot_json() const {
 
 std::string MetricsRegistry::render_table() const {
   util::TableWriter t({"Metric", "Kind", "Value", "Detail"});
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, c] : counters_) {
     t.row().cell(name).cell("counter").cell(c->value()).cell("");
   }
   for (const auto& [name, g] : gauges_) {
-    std::lock_guard<std::mutex> glock(g->mu_);
-    t.row().cell(name).cell("gauge").cell(g->value_, 3).cell(
-        "max=" + util::format_double(g->max_, 3));
+    const Gauge* gp = g.get();
+    util::MutexLock glock(gp->mu_);
+    t.row().cell(name).cell("gauge").cell(gp->value_, 3).cell(
+        "max=" + util::format_double(gp->max_, 3));
   }
   for (const auto& [name, h] : histograms_) {
-    std::lock_guard<std::mutex> hlock(h->mu_);
+    const HistogramMetric* hp = h.get();
+    util::MutexLock hlock(hp->mu_);
     std::string detail;
-    if (h->stats_.count() > 0) {
-      detail = "mean=" + util::format_double(h->stats_.mean(), 3) +
-               " min=" + util::format_double(h->stats_.min(), 3) +
-               " max=" + util::format_double(h->stats_.max(), 3);
+    if (hp->stats_.count() > 0) {
+      detail = "mean=" + util::format_double(hp->stats_.mean(), 3) +
+               " min=" + util::format_double(hp->stats_.min(), 3) +
+               " max=" + util::format_double(hp->stats_.max(), 3);
     }
-    t.row().cell(name).cell("histogram").cell(h->stats_.count()).cell(detail);
+    t.row().cell(name).cell("histogram").cell(hp->stats_.count()).cell(detail);
   }
   std::ostringstream os;
   t.print(os);
@@ -310,7 +317,7 @@ std::string prom_num(double v) { return util::Json(v).dump(0); }
 }  // namespace
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
     const std::string metric = prometheus_metric_name(name);
@@ -318,27 +325,29 @@ std::string MetricsRegistry::prometheus_text() const {
     out << metric << ' ' << c->value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    std::lock_guard<std::mutex> glock(g->mu_);
+    const Gauge* gp = g.get();
+    util::MutexLock glock(gp->mu_);
     const std::string metric = prometheus_metric_name(name);
     out << "# TYPE " << metric << " gauge\n";
-    out << metric << ' ' << prom_num(g->value_) << "\n";
+    out << metric << ' ' << prom_num(gp->value_) << "\n";
     out << "# TYPE " << metric << "_max gauge\n";
-    out << metric << "_max " << prom_num(g->max_) << "\n";
+    out << metric << "_max " << prom_num(gp->max_) << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    std::lock_guard<std::mutex> hlock(h->mu_);
+    const HistogramMetric* hp = h.get();
+    util::MutexLock hlock(hp->mu_);
     const std::string metric = prometheus_metric_name(name);
     out << "# TYPE " << metric << " histogram\n";
     std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < h->bounds_.size(); ++i) {
-      cumulative += h->counts_[i];
-      out << metric << "_bucket{le=\"" << prom_num(h->bounds_[i]) << "\"} "
+    for (std::size_t i = 0; i < hp->bounds_.size(); ++i) {
+      cumulative += hp->counts_[i];
+      out << metric << "_bucket{le=\"" << prom_num(hp->bounds_[i]) << "\"} "
           << cumulative << "\n";
     }
-    cumulative += h->counts_.back();
+    cumulative += hp->counts_.back();
     out << metric << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
-    out << metric << "_sum " << prom_num(h->stats_.sum()) << "\n";
-    out << metric << "_count " << h->stats_.count() << "\n";
+    out << metric << "_sum " << prom_num(hp->stats_.sum()) << "\n";
+    out << metric << "_count " << hp->stats_.count() << "\n";
   }
   return out.str();
 }

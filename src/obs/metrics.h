@@ -11,12 +11,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace vcopt::obs {
 
@@ -52,10 +53,10 @@ class Gauge {
   friend class MetricsRegistry;
   explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
   const std::atomic<bool>* enabled_;
-  mutable std::mutex mu_;
-  double value_ = 0;
-  double max_ = 0;
-  bool touched_ = false;
+  mutable util::Mutex mu_;
+  double value_ VCOPT_GUARDED_BY(mu_) = 0;
+  double max_ VCOPT_GUARDED_BY(mu_) = 0;
+  bool touched_ VCOPT_GUARDED_BY(mu_) = false;
 };
 
 /// Bucketed distribution plus Welford summary stats (util::RunningStats).
@@ -78,12 +79,12 @@ class HistogramMetric {
  private:
   friend class MetricsRegistry;
   HistogramMetric(const std::atomic<bool>* enabled, std::vector<double> bounds);
-  double quantile_locked(double p) const;
+  double quantile_locked(double p) const VCOPT_REQUIRES(mu_);
   const std::atomic<bool>* enabled_;
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;           // ascending inclusive upper bounds
-  std::vector<std::uint64_t> counts_;    // bounds_.size() + 1 (overflow last)
-  util::RunningStats stats_;
+  mutable util::Mutex mu_;
+  std::vector<double> bounds_;  // ascending upper bounds; immutable post-ctor
+  std::vector<std::uint64_t> counts_ VCOPT_GUARDED_BY(mu_);  // +1 overflow
+  util::RunningStats stats_ VCOPT_GUARDED_BY(mu_);
 };
 
 /// Registry of named instruments.  Registration returns stable references,
@@ -134,10 +135,12 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      VCOPT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ VCOPT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      VCOPT_GUARDED_BY(mu_);
 };
 
 /// Prometheus name sanitisers (shared by the metrics and time-series

@@ -18,7 +18,7 @@ void SloTracker::declare(const SloSpec& spec) {
         "SloTracker::declare: need 0 < short_window <= long_window: " +
         spec.name);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = slos_.find(spec.name);
   if (it != slos_.end()) return;  // find-or-create: first declaration wins
   Series s;
@@ -27,12 +27,12 @@ void SloTracker::declare(const SloSpec& spec) {
 }
 
 bool SloTracker::declared(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slos_.count(name) > 0;
 }
 
 std::vector<std::string> SloTracker::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(slos_.size());
   for (const auto& [name, s] : slos_) out.push_back(name);
@@ -40,7 +40,7 @@ std::vector<std::string> SloTracker::names() const {
 }
 
 void SloTracker::record_event(const std::string& name, double t, bool good) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = slos_.find(name);
   if (it == slos_.end()) {
     throw std::invalid_argument("SloTracker: undeclared SLO: " + name);
@@ -60,7 +60,7 @@ void SloTracker::record_event(const std::string& name, double t, bool good) {
 
 void SloTracker::record_value(const std::string& name, double t, double value) {
   // Threshold lookup needs the spec; do it under the same lock as the push.
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = slos_.find(name);
   if (it == slos_.end()) {
     throw std::invalid_argument("SloTracker: undeclared SLO: " + name);
@@ -112,7 +112,7 @@ SloStatus SloTracker::evaluate_locked(const Series& s, double now) const {
 }
 
 std::vector<SloStatus> SloTracker::evaluate(double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SloStatus> out;
   out.reserve(slos_.size());
   for (const auto& [name, s] : slos_) {
@@ -122,7 +122,7 @@ std::vector<SloStatus> SloTracker::evaluate(double now) const {
 }
 
 bool SloTracker::any_alerting(double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, s] : slos_) {
     if (evaluate_locked(s, now).alerting) return true;
   }
@@ -130,7 +130,7 @@ bool SloTracker::any_alerting(double now) const {
 }
 
 util::Json SloTracker::snapshot_json(double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   util::JsonArray arr;
   for (const auto& [name, s] : slos_) {
     const SloStatus st = evaluate_locked(s, now);
@@ -159,7 +159,7 @@ util::Json SloTracker::snapshot_json(double now) const {
 }
 
 void SloTracker::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, s] : slos_) {
     s.events.clear();
     s.total = 0;

@@ -21,11 +21,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vcopt::obs {
 
@@ -102,10 +103,11 @@ class SloTracker {
     double max_t = 0;  ///< latest event time seen (prune horizon)
   };
 
-  SloStatus evaluate_locked(const Series& s, double now) const;
+  SloStatus evaluate_locked(const Series& s, double now) const
+      VCOPT_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Series> slos_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Series> slos_ VCOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace vcopt::obs

@@ -47,7 +47,7 @@ void TimeSeries::record(double t, double v) {
   if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(Point{t, v});
     return;
@@ -59,17 +59,17 @@ void TimeSeries::record(double t, double v) {
 }
 
 std::size_t TimeSeries::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t TimeSeries::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return dropped_;
 }
 
 std::vector<TimeSeries::Point> TimeSeries::points() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<Point> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
@@ -111,12 +111,12 @@ TimeSeries::Summary TimeSeries::summarize_locked(double since) const {
 }
 
 TimeSeries::Summary TimeSeries::summarize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return summarize_locked(-std::numeric_limits<double>::infinity());
 }
 
 TimeSeries::Summary TimeSeries::summarize_since(double since) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return summarize_locked(since);
 }
 
@@ -169,7 +169,7 @@ Recorder& Recorder::global() {
 TimeSeries& Recorder::series(const std::string& name, const Labels& labels,
                              std::size_t capacity) {
   const std::string key = series_key(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& slot = series_[key];
   if (!slot) {
     // Private ctor: make_unique cannot be used here.
@@ -186,17 +186,17 @@ void Recorder::record(const std::string& name, const Labels& labels, double t,
 }
 
 std::size_t Recorder::series_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return series_.size();
 }
 
 void Recorder::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   series_.clear();
 }
 
 util::Json Recorder::export_json(bool include_points) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   util::JsonArray arr;
   for (const auto& [key, ts] : series_) {
     arr.push_back(ts->to_json(include_points));
@@ -206,7 +206,7 @@ util::Json Recorder::export_json(bool include_points) const {
 }
 
 void Recorder::write_csv(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   out << "series,labels,t,value\n";
   for (const auto& [key, ts] : series_) {
     std::string labels;
@@ -232,7 +232,7 @@ bool Recorder::write_csv_file(const std::string& path) const {
 }
 
 std::string Recorder::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   std::string last_name;
   for (const auto& [key, ts] : series_) {

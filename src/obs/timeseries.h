@@ -17,11 +17,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vcopt::obs {
 
@@ -85,16 +86,18 @@ class TimeSeries {
   friend class Recorder;
   TimeSeries(const std::atomic<bool>* enabled, std::string name, Labels labels,
              std::size_t capacity);
-  Summary summarize_locked(double since) const;
+  Summary summarize_locked(double since) const VCOPT_REQUIRES(mu_);
 
   const std::atomic<bool>* enabled_;  ///< null = always on (standalone)
   const std::string name_;
   const Labels labels_;
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Point> ring_;     ///< grows to capacity_, then wraps
-  std::size_t head_ = 0;        ///< next write slot once the ring is full
-  std::uint64_t dropped_ = 0;
+  mutable util::Mutex mu_;
+  /// Grows to capacity_, then wraps.
+  std::vector<Point> ring_ VCOPT_GUARDED_BY(mu_);
+  /// Next write slot once the ring is full.
+  std::size_t head_ VCOPT_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ VCOPT_GUARDED_BY(mu_) = 0;
 };
 
 /// Registry of time series.  series() returns stable references, so hot
@@ -138,8 +141,9 @@ class Recorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_
+      VCOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace vcopt::obs

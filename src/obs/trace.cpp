@@ -47,7 +47,7 @@ double Tracer::now_us() const {
 }
 
 void Tracer::push(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -68,22 +68,22 @@ void Tracer::complete(const std::string& name, double ts_us, double dur_us,
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_;
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   events_.clear();
 }
 
 util::Json Tracer::events_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   util::JsonArray out;
   out.reserve(events_.size());
   for (const TraceEvent& ev : events_) {

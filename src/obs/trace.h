@@ -7,11 +7,12 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vcopt::obs {
 
@@ -60,9 +61,9 @@ class Tracer {
   void push(TraceEvent ev);
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  long long epoch_ns_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> events_ VCOPT_GUARDED_BY(mu_);
+  long long epoch_ns_ = 0;  // written once in the ctor, read-only after
 };
 
 /// RAII span: records a "B" event on construction and the matching "E" on

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -10,6 +9,7 @@
 #include "check/validators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
 
 namespace vcopt::placement {
 
@@ -314,7 +314,7 @@ std::optional<Placement> OnlineHeuristic::place(
         (execution_ == Execution::kParallel ||
          candidates.size() >= kAutoParallelMinCandidates);
 
-    std::mutex merge_mu;
+    util::Mutex merge_mu;
     bool found = false;
     double best_d = kInf;
     std::size_t best_central = 0;
@@ -347,7 +347,7 @@ std::optional<Placement> OnlineHeuristic::place(
           ++chunk_pruned;
         }
       }
-      std::lock_guard<std::mutex> lock(merge_mu);
+      util::MutexLock lock(merge_mu);
       evaluated += chunk_evaluated;
       pruned += chunk_pruned;
       if (chunk_found &&

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "placement/global_subopt.h"
 #include "service/journal.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace vcopt::service {
@@ -67,8 +68,10 @@ struct ServiceMetrics {
 };
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+  // Stage-latency metric helper: measured wall durations feed histograms
+  // only, never the journal or a placement decision.
+  const auto now = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
+  return std::chrono::duration<double>(now - t0).count();
 }
 
 Outcome shed_outcome(const PendingEntry& e, std::uint64_t window_id,
@@ -338,7 +341,9 @@ PlacementService::PlacementService(cluster::Cloud& cloud,
     sampler_ = std::make_unique<cluster::ClusterSampler>(
         cloud_, *options_.recorder, so);
   }
-  wall_epoch_ = std::chrono::steady_clock::now();
+  // Epoch for kWall mode's service clock; kVirtual (the replay mode) never
+  // reads it after construction.
+  wall_epoch_ = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
   if (options_.clock == ClockMode::kWall) {
     dispatcher_ = std::thread(&PlacementService::dispatcher_loop, this);
   }
@@ -347,9 +352,10 @@ PlacementService::PlacementService(cluster::Cloud& cloud,
 PlacementService::~PlacementService() { stop(); }
 
 double PlacementService::wall_now_locked() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       wall_epoch_)
-      .count();
+  // kWall mode's service clock.  Virtual-mode (deterministic replay) code
+  // paths never reach this.
+  const auto now = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
+  return std::chrono::duration<double>(now - wall_epoch_).count();
 }
 
 SubmitReceipt PlacementService::submit(const cluster::Request& r,
@@ -361,8 +367,9 @@ SubmitReceipt PlacementService::submit(const cluster::Request& r,
         std::to_string(cloud_.type_count()));
   }
   auto& m = ServiceMetrics::get();
-  const auto admit_start = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lk(mu_);
+  // Stage metric only (service/stage/admit).
+  const auto admit_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
+  util::MutexLock lk(mu_);
   const double now =
       options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
   if (stopping_ || pending_.size() >= options_.queue_capacity) {
@@ -417,8 +424,8 @@ std::optional<Outcome> PlacementService::submit_and_wait(
     const cluster::Request& r, const SubmitOptions& o) {
   const SubmitReceipt receipt = submit(r, o);
   if (receipt.admission != AdmissionStatus::kAccepted) return std::nullopt;
-  std::unique_lock<std::mutex> lk(mu_);
-  decided_cv_.wait(lk, [&] { return decided_.count(receipt.seq) > 0; });
+  util::MutexLock lk(mu_);
+  while (decided_.count(receipt.seq) == 0) decided_cv_.wait(mu_);
   auto it = decided_.find(receipt.seq);
   Outcome out = std::move(it->second);
   decided_.erase(it);
@@ -426,7 +433,7 @@ std::optional<Outcome> PlacementService::submit_and_wait(
 }
 
 void PlacementService::advance_to(double t) {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (options_.clock != ClockMode::kVirtual) return;
   if (t <= virtual_now_) return;  // the clock is monotonic
   run_windows_until_locked(t);
@@ -434,7 +441,7 @@ void PlacementService::advance_to(double t) {
 }
 
 void PlacementService::flush() {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const double now =
       options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
   while (!pending_.empty()) close_window_locked(now, "flush");
@@ -442,13 +449,13 @@ void PlacementService::flush() {
 
 void PlacementService::stop() {
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     stopping_ = true;
     dispatch_cv_.notify_all();
   }
   if (dispatcher_.joinable()) dispatcher_.join();
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const double now = options_.clock == ClockMode::kVirtual
                            ? virtual_now_
                            : wall_now_locked();
@@ -466,7 +473,7 @@ void PlacementService::stop() {
 }
 
 void PlacementService::release(cluster::LeaseId lease) {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const double now =
       options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
   if (journal_) journal_->release(lease, now);
@@ -475,7 +482,7 @@ void PlacementService::release(cluster::LeaseId lease) {
 }
 
 std::vector<Outcome> PlacementService::take_outcomes() {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<Outcome> out;
   out.reserve(decided_.size());
   for (auto& [seq, outcome] : decided_) out.push_back(std::move(outcome));
@@ -484,18 +491,18 @@ std::vector<Outcome> PlacementService::take_outcomes() {
 }
 
 double PlacementService::now() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return options_.clock == ClockMode::kVirtual ? virtual_now_
                                                : wall_now_locked();
 }
 
 std::size_t PlacementService::queue_depth() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return pending_.size();
 }
 
 ServiceStats PlacementService::stats() const {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return stats_;
 }
 
@@ -520,7 +527,8 @@ void PlacementService::run_windows_until_locked(double t) {
 void PlacementService::close_window_locked(double close_time,
                                            const char* reason) {
   auto& m = ServiceMetrics::get();
-  const auto batch_start = std::chrono::steady_clock::now();
+  // Stage metrics only (service/stage/batch|solve|commit).
+  const auto batch_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
   // Deadline sheds come out of the whole pending set, not just this window:
   // an expired entry must never linger to be "granted" by a later window.
   std::vector<PendingEntry> shed;
@@ -558,12 +566,12 @@ void PlacementService::close_window_locked(double close_time,
   }
   m.stage_batch.observe(seconds_since(batch_start));
 
-  const auto solve_start = std::chrono::steady_clock::now();
+  const auto solve_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
   std::vector<Outcome> outcomes = detail::decide_window(
       prov_, cloud_, shed, members, window_id, close_time, options_);
   m.stage_solve.observe(seconds_since(solve_start));
 
-  const auto commit_start = std::chrono::steady_clock::now();
+  const auto commit_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
   ++stats_.windows;
   stats_.deadline_missed += shed.size();
   m.windows.add();
@@ -592,10 +600,10 @@ void PlacementService::close_window_locked(double close_time,
 }
 
 void PlacementService::dispatcher_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   while (!stopping_) {
     if (pending_.empty()) {
-      dispatch_cv_.wait(lk, [&] { return stopping_ || !pending_.empty(); });
+      while (!stopping_ && pending_.empty()) dispatch_cv_.wait(mu_);
       continue;
     }
     if (pending_.size() >= options_.max_batch) {
@@ -612,7 +620,7 @@ void PlacementService::dispatcher_loop() {
         wall_epoch_ +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(due));
-    dispatch_cv_.wait_until(lk, wake);
+    dispatch_cv_.wait_until(mu_, wake);
   }
 }
 

@@ -37,12 +37,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -54,6 +52,8 @@
 #include "obs/request_context.h"
 #include "obs/slo.h"
 #include "placement/provisioner.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vcopt::cluster {
 class ClusterSampler;
@@ -290,39 +290,44 @@ class PlacementService {
   const obs::SloTracker& slo() const { return slo_; }
 
  private:
-  double wall_now_locked() const;
+  double wall_now_locked() const VCOPT_REQUIRES(mu_);
   /// Closes one window at `close_time` (lock held): picks members by
   /// discipline, sheds expired entries, journals the window record, decides
   /// it, and publishes the outcomes.
-  void close_window_locked(double close_time, const char* reason);
+  void close_window_locked(double close_time, const char* reason)
+      VCOPT_REQUIRES(mu_);
   /// Virtual mode: closes every window due at or before `t` (lock held).
-  void run_windows_until_locked(double t);
-  double oldest_pending_locked() const;
+  void run_windows_until_locked(double t) VCOPT_REQUIRES(mu_);
+  double oldest_pending_locked() const VCOPT_REQUIRES(mu_);
   void dispatcher_loop();
 
-  cluster::Cloud& cloud_;
-  ServiceOptions options_;
-  obs::SloTracker slo_;
-  std::unique_ptr<cluster::ClusterSampler> sampler_;  // null without recorder
+  cluster::Cloud& cloud_;        // internally synchronised under mu_ here
+  ServiceOptions options_;       // immutable after construction
+  obs::SloTracker slo_;          // internally synchronised
+  /// Null without a recorder.  The pointer is set once in the ctor but the
+  /// sampler itself is driven only under mu_ (window close / release).
+  std::unique_ptr<cluster::ClusterSampler> sampler_ VCOPT_PT_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable dispatch_cv_;  // wakes the wall-mode dispatcher
-  std::condition_variable decided_cv_;   // wakes submit_and_wait callers
-  placement::Provisioner prov_;
-  std::unique_ptr<JournalWriter> journal_;
-  std::vector<PendingEntry> pending_;
-  std::map<std::uint64_t, Outcome> decided_;  // seq -> outcome, until taken
-  ServiceStats stats_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_window_ = 1;
-  double virtual_now_ = 0;
-  bool stopping_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar dispatch_cv_;  // wakes the wall-mode dispatcher
+  util::CondVar decided_cv_;   // wakes submit_and_wait callers
+  placement::Provisioner prov_ VCOPT_GUARDED_BY(mu_);
+  std::unique_ptr<JournalWriter> journal_ VCOPT_GUARDED_BY(mu_)
+      VCOPT_PT_GUARDED_BY(mu_);
+  std::vector<PendingEntry> pending_ VCOPT_GUARDED_BY(mu_);
+  /// seq -> outcome, until taken.
+  std::map<std::uint64_t, Outcome> decided_ VCOPT_GUARDED_BY(mu_);
+  ServiceStats stats_ VCOPT_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ VCOPT_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_window_ VCOPT_GUARDED_BY(mu_) = 1;
+  double virtual_now_ VCOPT_GUARDED_BY(mu_) = 0;
+  bool stopping_ VCOPT_GUARDED_BY(mu_) = false;
   // Reconciliation ledger for the stop()-time VCOPT_VALIDATE (accepted seqs
   // must be covered exactly once by outcomes).
-  std::vector<std::uint64_t> accepted_seqs_;
-  std::vector<std::uint64_t> decided_seqs_;
-  std::chrono::steady_clock::time_point wall_epoch_;
-  std::thread dispatcher_;  // wall mode only
+  std::vector<std::uint64_t> accepted_seqs_ VCOPT_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> decided_seqs_ VCOPT_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point wall_epoch_;  // ctor-set, then const
+  std::thread dispatcher_;  // wall mode only; started in ctor, joined in stop
 };
 
 }  // namespace vcopt::service

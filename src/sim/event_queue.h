@@ -58,8 +58,10 @@ class EventQueue {
   double now_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  // Lookup-only (erase/find/count): never iterated, so the hash order can
+  // never leak into event order, the journal, or any replayed output.
+  std::unordered_set<EventId> cancelled_;  // NOLINT(vcopt-unordered-in-replay)
+  std::unordered_map<EventId, Callback> callbacks_;  // NOLINT(vcopt-unordered-in-replay)
 };
 
 }  // namespace vcopt::sim

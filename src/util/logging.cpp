@@ -7,8 +7,9 @@
 #include <cstdlib>
 #include <ctime>
 #include <iostream>
-#include <mutex>
 #include <unordered_set>
+
+#include "util/mutex.h"
 
 namespace vcopt::util {
 
@@ -44,7 +45,7 @@ std::atomic<bool>& timestamps_atomic() {
   return on;
 }
 
-std::mutex g_mutex;
+Mutex g_mutex;  // serialises whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -86,7 +87,7 @@ void Logger::set_timestamps(bool on) { timestamps_atomic().store(on); }
 bool Logger::timestamps() { return timestamps_atomic().load(); }
 
 void Logger::write(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   if (timestamps()) std::cerr << iso8601_now() << " ";
   std::cerr << "[" << level_name(level) << "] " << msg << "\n";
 }
@@ -94,9 +95,9 @@ void Logger::write(LogLevel level, const std::string& msg) {
 namespace detail {
 
 bool first_occurrence(const std::string& key) {
-  static std::mutex mu;
+  static Mutex mu;
   static std::unordered_set<std::string> seen;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   return seen.insert(key).second;
 }
 

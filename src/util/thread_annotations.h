@@ -1,0 +1,68 @@
+// Portable macros over Clang's thread-safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).  Under Clang the
+// macros expand to the real attributes, so `-Wthread-safety` turns lock
+// discipline into compile errors; under every other compiler they expand to
+// nothing.  The annotations are documentation AND proof: a field marked
+// VCOPT_GUARDED_BY(mu_) cannot be read or written without holding mu_ in any
+// translation unit Clang analyses.
+//
+// Use the annotated wrappers in util/mutex.h (util::Mutex, util::MutexLock,
+// util::CondVar) rather than raw std::mutex — the lint rule
+// `vcopt-raw-mutex` enforces this outside src/util/.  Catalog and idioms:
+// docs/correctness.md ("Static concurrency analysis").
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VCOPT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VCOPT_THREAD_ANNOTATION
+#define VCOPT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lockable type).  The string names the
+/// capability kind in diagnostics, conventionally "mutex".
+#define VCOPT_CAPABILITY(x) VCOPT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (e.g. util::MutexLock).
+#define VCOPT_SCOPED_CAPABILITY VCOPT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define VCOPT_GUARDED_BY(x) VCOPT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability (the
+/// pointer itself may have its own VCOPT_GUARDED_BY).
+#define VCOPT_PT_GUARDED_BY(x) VCOPT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given capabilities
+/// (they are neither acquired nor released by the call).
+#define VCOPT_REQUIRES(...) \
+  VCOPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the given capabilities and holds them on return.
+#define VCOPT_ACQUIRE(...) \
+  VCOPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given capabilities (they must be held on
+/// entry).
+#define VCOPT_RELEASE(...) \
+  VCOPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `result`
+/// (true for std::mutex::try_lock semantics).
+#define VCOPT_TRY_ACQUIRE(...) \
+  VCOPT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the given capabilities
+/// (deadlock prevention for non-reentrant locks).
+#define VCOPT_EXCLUDES(...) VCOPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define VCOPT_RETURN_CAPABILITY(x) VCOPT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function.  Every use needs a
+/// comment justifying why the analysis cannot express the pattern.
+#define VCOPT_NO_THREAD_SAFETY_ANALYSIS \
+  VCOPT_THREAD_ANNOTATION(no_thread_safety_analysis)

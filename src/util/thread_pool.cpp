@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -40,8 +40,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -49,7 +49,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
     }
     idle_cv_.notify_all();
@@ -62,18 +62,18 @@ void ThreadPool::drain() {
   if (in_worker()) {
     throw std::logic_error("ThreadPool::drain() called from a pool task");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   draining_ = true;
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
 }
 
 void ThreadPool::undrain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   draining_ = false;
 }
 
 bool ThreadPool::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return draining_;
 }
 
@@ -90,7 +90,7 @@ void ThreadPool::parallel_for(
   // that is draining (new submissions are rejected, not queued).
   bool inline_run = chunks <= 1 || workers_.empty() || in_worker();
   if (!inline_run) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inline_run = draining_;
   }
   if (inline_run) {
@@ -101,19 +101,22 @@ void ThreadPool::parallel_for(
   // Deterministic partition: the first (n % chunks) chunks get one extra
   // element, so chunk boundaries depend only on (n, chunks).
   struct Batch {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::size_t pending = 0;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar done_cv;
+    std::size_t pending VCOPT_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error VCOPT_GUARDED_BY(mu);
   };
   auto batch = std::make_shared<Batch>();
-  batch->pending = chunks;
+  {
+    MutexLock lock(batch->mu);
+    batch->pending = chunks;
+  }
 
   const std::size_t base = n / chunks;
   const std::size_t extra = n % chunks;
   std::size_t begin = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t len = base + (c < extra ? 1 : 0);
       const std::size_t end = begin + len;
@@ -121,11 +124,11 @@ void ThreadPool::parallel_for(
         try {
           fn(begin, end);
         } catch (...) {
-          std::lock_guard<std::mutex> l(batch->mu);
+          MutexLock l(batch->mu);
           if (!batch->first_error) batch->first_error = std::current_exception();
         }
         {
-          std::lock_guard<std::mutex> l(batch->mu);
+          MutexLock l(batch->mu);
           --batch->pending;
         }
         batch->done_cv.notify_one();
@@ -135,9 +138,13 @@ void ThreadPool::parallel_for(
   }
   work_cv_.notify_all();
 
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->done_cv.wait(lock, [&] { return batch->pending == 0; });
-  if (batch->first_error) std::rethrow_exception(batch->first_error);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(batch->mu);
+    while (batch->pending != 0) batch->done_cv.wait(batch->mu);
+    first_error = batch->first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::size_t ThreadPool::configured_threads() {

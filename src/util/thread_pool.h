@@ -19,14 +19,15 @@
 // abort, but plain throws propagate) keep their usual visibility.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vcopt::util {
 
@@ -79,14 +80,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;  // signalled when queue empties / a task ends
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t active_ = 0;  // tasks currently executing on workers
-  bool stop_ = false;
-  bool draining_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;  // signalled when queue empties / a task ends
+  std::deque<std::function<void()>> queue_ VCOPT_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written in the ctor, joined in dtor
+  std::size_t active_ VCOPT_GUARDED_BY(mu_) = 0;  // tasks running on workers
+  bool stop_ VCOPT_GUARDED_BY(mu_) = false;
+  bool draining_ VCOPT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vcopt::util

@@ -1,0 +1,37 @@
+// Twin fixture for VCOPT_ACQUIRE / VCOPT_RELEASE on free-form lock/unlock
+// methods: a path that acquires without releasing must fail under
+// -Wthread-safety with FIXTURE_BAD defined.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+struct Registry {
+  vcopt::util::Mutex mu;
+  int items VCOPT_GUARDED_BY(mu) = 0;
+
+  void open() VCOPT_ACQUIRE(mu) { mu.lock(); }
+  void close() VCOPT_RELEASE(mu) { mu.unlock(); }
+
+  void add_good() {
+    open();
+    ++items;
+    close();
+  }
+
+#ifdef FIXTURE_BAD
+  // Acquires mu and returns while still holding it.
+  void add_bad() {
+    open();
+    ++items;
+  }
+#endif
+};
+
+int touch_acquire_release() {
+  Registry r;
+  r.add_good();
+  return 0;
+}
+
+}  // namespace vcopt_tsa_fixture

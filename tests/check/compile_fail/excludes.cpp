@@ -1,0 +1,36 @@
+// Twin fixture for VCOPT_EXCLUDES: a method that takes the lock itself
+// declares callers must NOT already hold it; calling it under the lock
+// (self-deadlock on a non-recursive mutex) must fail under -Wthread-safety
+// with FIXTURE_BAD defined.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+struct Worker {
+  vcopt::util::Mutex mu;
+  int jobs VCOPT_GUARDED_BY(mu) = 0;
+
+  void reload() VCOPT_EXCLUDES(mu) {
+    vcopt::util::MutexLock lock(mu);
+    jobs = 0;
+  }
+
+  void tick_good() { reload(); }
+
+#ifdef FIXTURE_BAD
+  // Calls reload() while holding mu — would deadlock at runtime.
+  void tick_bad() {
+    vcopt::util::MutexLock lock(mu);
+    reload();
+  }
+#endif
+};
+
+int touch_excludes() {
+  Worker w;
+  w.tick_good();
+  return 0;
+}
+
+}  // namespace vcopt_tsa_fixture

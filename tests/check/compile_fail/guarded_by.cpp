@@ -1,0 +1,32 @@
+// Twin fixture for VCOPT_GUARDED_BY (and the VCOPT_CAPABILITY /
+// VCOPT_SCOPED_CAPABILITY machinery it rides on).  Without FIXTURE_BAD this
+// must compile warning-free under clang -Wthread-safety; with FIXTURE_BAD it
+// must NOT (the compile_fail.* ctest entry is WILL_FAIL).  Under compilers
+// without the analysis both variants compile — only the good twin is built.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+struct Account {
+  vcopt::util::Mutex mu;
+  int balance VCOPT_GUARDED_BY(mu) = 0;
+
+  void deposit_good(int v) {
+    vcopt::util::MutexLock lock(mu);
+    balance += v;
+  }
+
+#ifdef FIXTURE_BAD
+  // Writes the guarded field without holding mu.
+  void deposit_bad(int v) { balance += v; }
+#endif
+};
+
+int touch_guarded_by() {
+  Account a;
+  a.deposit_good(1);
+  return 0;
+}
+
+}  // namespace vcopt_tsa_fixture

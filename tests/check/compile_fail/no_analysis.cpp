@@ -1,0 +1,29 @@
+// Twin fixture for VCOPT_NO_THREAD_SAFETY_ANALYSIS: the opt-out makes an
+// otherwise-ill-formed unlocked read compile (good twin); the identical
+// read without the opt-out must fail under -Wthread-safety with FIXTURE_BAD
+// defined.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+struct Stats {
+  mutable vcopt::util::Mutex mu;
+  int count VCOPT_GUARDED_BY(mu) = 0;
+
+  // Deliberate racy read (e.g. a crash-handler dump path); the opt-out is
+  // the documented escape hatch and must silence the analysis.
+  int count_unsafe() const VCOPT_NO_THREAD_SAFETY_ANALYSIS { return count; }
+
+#ifdef FIXTURE_BAD
+  // The same unlocked read without the opt-out.
+  int count_bad() const { return count; }
+#endif
+};
+
+int touch_no_analysis() {
+  Stats s;
+  return s.count_unsafe();
+}
+
+}  // namespace vcopt_tsa_fixture

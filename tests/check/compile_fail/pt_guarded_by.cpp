@@ -1,0 +1,32 @@
+// Twin fixture for VCOPT_PT_GUARDED_BY: the pointee (not the pointer) is
+// protected, so dereferencing without the lock must fail under
+// -Wthread-safety with FIXTURE_BAD defined.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+struct Buffer {
+  vcopt::util::Mutex mu;
+  int slot = 0;
+  int* data VCOPT_PT_GUARDED_BY(mu) = &slot;
+
+  void write_good(int v) {
+    vcopt::util::MutexLock lock(mu);
+    *data = v;
+  }
+
+#ifdef FIXTURE_BAD
+  // Dereferences the guarded pointee without holding mu (reading the
+  // pointer itself would be fine — PT_GUARDED_BY guards what it points at).
+  void write_bad(int v) { *data = v; }
+#endif
+};
+
+int touch_pt_guarded_by() {
+  Buffer b;
+  b.write_good(1);
+  return 0;
+}
+
+}  // namespace vcopt_tsa_fixture

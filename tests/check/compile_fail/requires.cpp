@@ -1,0 +1,31 @@
+// Twin fixture for VCOPT_REQUIRES: a `_locked` method declares its caller
+// must already hold the mutex; calling it without the lock must fail under
+// -Wthread-safety with FIXTURE_BAD defined.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+struct Queue {
+  mutable vcopt::util::Mutex mu;
+  int depth VCOPT_GUARDED_BY(mu) = 0;
+
+  int depth_locked() const VCOPT_REQUIRES(mu) { return depth; }
+
+  int depth_good() const {
+    vcopt::util::MutexLock lock(mu);
+    return depth_locked();
+  }
+
+#ifdef FIXTURE_BAD
+  // Calls the REQUIRES method without holding mu.
+  int depth_bad() const { return depth_locked(); }
+#endif
+};
+
+int touch_requires() {
+  Queue q;
+  return q.depth_good();
+}
+
+}  // namespace vcopt_tsa_fixture

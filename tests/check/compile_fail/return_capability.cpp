@@ -1,0 +1,35 @@
+// Twin fixture for VCOPT_RETURN_CAPABILITY: a getter that exposes the
+// protecting mutex.  The good twin proves the analysis resolves a lock
+// taken through the getter back to the guarded field's capability; the bad
+// twin (FIXTURE_BAD) touches the field with no lock at all and must fail.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+class Guarded {
+ public:
+  vcopt::util::Mutex& lock_ref() VCOPT_RETURN_CAPABILITY(mu_) { return mu_; }
+
+  void set_good(int v) {
+    vcopt::util::MutexLock lock(lock_ref());
+    value_ = v;
+  }
+
+#ifdef FIXTURE_BAD
+  // No lock, through the getter or otherwise.
+  void set_bad(int v) { value_ = v; }
+#endif
+
+ private:
+  vcopt::util::Mutex mu_;
+  int value_ VCOPT_GUARDED_BY(mu_) = 0;
+};
+
+int touch_return_capability() {
+  Guarded g;
+  g.set_good(1);
+  return 0;
+}
+
+}  // namespace vcopt_tsa_fixture

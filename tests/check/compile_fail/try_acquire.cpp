@@ -1,0 +1,36 @@
+// Twin fixture for VCOPT_TRY_ACQUIRE: the capability is only held on the
+// success branch of try_lock(), so touching guarded state without checking
+// the result must fail under -Wthread-safety with FIXTURE_BAD defined.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vcopt_tsa_fixture {
+
+struct Cache {
+  vcopt::util::Mutex mu;
+  int hits VCOPT_GUARDED_BY(mu) = 0;
+
+  bool bump_good() {
+    if (!mu.try_lock()) return false;
+    ++hits;
+    mu.unlock();
+    return true;
+  }
+
+#ifdef FIXTURE_BAD
+  // Ignores the try_lock() result: mu may not be held at the increment.
+  void bump_bad() {
+    mu.try_lock();
+    ++hits;
+    mu.unlock();
+  }
+#endif
+};
+
+int touch_try_acquire() {
+  Cache c;
+  c.bump_good();
+  return 0;
+}
+
+}  // namespace vcopt_tsa_fixture

@@ -1,0 +1,7 @@
+// Lint self-test fixture (never compiled): header missing #pragma once and
+// polluting includers with a using-directive.
+#include <vector>
+
+using namespace std;
+
+inline vector<int> fixture_values() { return {1, 2, 3}; }

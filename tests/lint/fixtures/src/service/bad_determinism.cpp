@@ -1,0 +1,35 @@
+// Lint self-test fixture (never compiled): every replay-determinism rule
+// must fire exactly once per marked line below, and every NOLINT-marked
+// line must stay silent.  tools/lint_selftest.py feeds this file with
+// --fixture-root so it classifies as src/service/ (replay-critical).
+#include <chrono>
+#include <ctime>
+#include <functional>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void hits() {
+  std::unordered_map<int, int> window_index;
+  std::unordered_set<int> member_seqs;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now();
+  const std::time_t stamp = time(nullptr);
+  std::random_device entropy;
+  std::mt19937 gen{};
+  const std::size_t bucket = std::hash<int>{}(42);
+  (void)window_index; (void)member_seqs; (void)t0; (void)wall;
+  (void)stamp; (void)entropy; (void)gen; (void)bucket;
+}
+
+void suppressed_sites() {
+  // Lookup-only table: never iterated, order cannot leak.
+  std::unordered_map<int, int> cache;  // NOLINT(vcopt-unordered-in-replay)
+  // Metrics-only duration, never journaled.
+  const auto m0 = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
+  (void)cache; (void)m0;
+}
+
+}  // namespace fixture

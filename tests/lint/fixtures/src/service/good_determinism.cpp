@@ -1,0 +1,19 @@
+// Lint self-test fixture (never compiled): the deterministic counterparts
+// of everything bad_determinism.cpp flags — this file must lint clean even
+// though it classifies as replay-critical src/service/ code.
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+
+namespace fixture {
+
+void clean(double virtual_now, std::uint64_t seed) {
+  std::map<int, int> window_index;     // ordered: iteration is deterministic
+  std::set<int> member_seqs;
+  std::mt19937 gen(seed);              // explicitly seeded engine is fine
+  const double decide_time = virtual_now;  // virtual clock, not wall clock
+  (void)window_index; (void)member_seqs; (void)gen; (void)decide_time;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint self-test fixture (never compiled): src/util/ is the one place raw
+// std synchronisation types are allowed — this is where the annotated
+// wrappers themselves live.  Must lint clean.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+void wrapper_internals() {
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::condition_variable cv;
+  (void)cv;
+}
+
+}  // namespace fixture

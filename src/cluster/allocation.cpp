@@ -1,8 +1,13 @@
 #include "cluster/allocation.h"
 
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "cluster/topology.h"
+#include "util/simd.h"
 
 namespace vcopt::cluster {
 
@@ -109,6 +114,62 @@ bool Allocation::fits(const util::IntMatrix& remaining) const {
     return false;
   }
   return remaining.dominates(counts_);
+}
+
+namespace {
+
+// Exact-integer gate for the tiered scan: each tier distance must be a
+// small non-negative integer so every partial sum in both evaluation orders
+// (the legacy ascending-i loop and the tier decomposition) is an exact
+// integer well inside double precision (< 2^53), making the two bitwise
+// equal regardless of association.
+bool exactly_integral(double v) {
+  return v >= 0.0 && v <= static_cast<double>(1 << 20) &&
+         v == std::floor(v);
+}
+
+}  // namespace
+
+CentralNode best_central_tiered(const Allocation& alloc,
+                                const Topology& topology) {
+  const std::size_t n = alloc.node_count();
+  if (topology.node_count() != n) {
+    throw std::invalid_argument("best_central_tiered: topology shape mismatch");
+  }
+  const DistanceConfig& cfg = topology.distances();
+  if (!exactly_integral(cfg.same_node) || !exactly_integral(cfg.same_rack) ||
+      !exactly_integral(cfg.cross_rack) || !exactly_integral(cfg.cross_cloud)) {
+    return alloc.best_central(topology.distance_matrix());
+  }
+
+  std::vector<std::int32_t> w(n), rs(n), cs(n);
+  std::vector<std::int32_t> rack_total(topology.rack_count(), 0);
+  std::vector<std::int32_t> cloud_total(topology.cloud_count(), 0);
+  std::int32_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t vms = alloc.vms_on_node(i);
+    w[i] = vms;
+    total += vms;
+    rack_total[topology.rack_of(i)] += vms;
+    cloud_total[topology.cloud_of(i)] += vms;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    rs[i] = rack_total[topology.rack_of(i)];
+    cs[i] = cloud_total[topology.cloud_of(i)];
+  }
+
+  const double d[4] = {cfg.same_node, cfg.same_rack, cfg.cross_rack,
+                       cfg.cross_cloud};
+  std::vector<double> out(n);
+  util::simd::central_scan_f64(w.data(), rs.data(), cs.data(), total, d,
+                               out.data(), n);
+
+  // Strict < keeps the lowest-index winner on ties, like best_central.
+  CentralNode best{0, std::numeric_limits<double>::infinity()};
+  for (std::size_t k = 0; k < n; ++k) {
+    if (out[k] < best.distance) best = {k, out[k]};
+  }
+  return best;
 }
 
 std::string Allocation::describe() const {

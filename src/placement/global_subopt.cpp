@@ -82,10 +82,13 @@ std::size_t transfer_directed(Placement& a, Placement& b,
   }
   return swaps;
 }
-}  // namespace
 
-std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
-                                   const util::DoubleMatrix& dist) {
+// Shared body of the two public transfer overloads.  `topology`, when
+// non-null, routes the post-swap central recompute through the O(n) tiered
+// scan; `dist` must then be topology->distance_matrix().
+std::size_t transfer_impl(Placement& a, Placement& b,
+                          const util::DoubleMatrix& dist,
+                          const cluster::Topology* topology) {
 #if VCOPT_ENABLE_CHECKS
   // Theorem 2 promises every swap strictly reduces the summed distance and
   // conserves per-node/per-type totals across the pair; capture the state
@@ -100,10 +103,14 @@ std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
   record_transfer_metrics(1, swaps, gain_sum);
   if (swaps > 0) {
     // Allocations changed; the optimal central may have moved.
-    const cluster::CentralNode ca = a.allocation.best_central(dist);
+    const cluster::CentralNode ca =
+        topology ? cluster::best_central_tiered(a.allocation, *topology)
+                 : a.allocation.best_central(dist);
     a.central = ca.node;
     a.distance = ca.distance;
-    const cluster::CentralNode cb = b.allocation.best_central(dist);
+    const cluster::CentralNode cb =
+        topology ? cluster::best_central_tiered(b.allocation, *topology)
+                 : b.allocation.best_central(dist);
     b.central = cb.node;
     b.distance = cb.distance;
   }
@@ -124,6 +131,17 @@ std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
                                                    b.central, b.distance));
 #endif
   return swaps;
+}
+}  // namespace
+
+std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
+                                   const util::DoubleMatrix& dist) {
+  return transfer_impl(a, b, dist, nullptr);
+}
+
+std::size_t GlobalSubOpt::transfer(Placement& a, Placement& b,
+                                   const cluster::Topology& topology) {
+  return transfer_impl(a, b, topology.distance_matrix(), &topology);
 }
 
 BatchPlacement GlobalSubOpt::place_batch(
@@ -179,8 +197,8 @@ BatchPlacement GlobalSubOpt::place_batch(
           // must stay dirty and be rescanned next round, exactly as the
           // full sweep would.
           seen = {version[i], version[j]};
-          const std::size_t s = transfer(out.placements[i], out.placements[j],
-                                         topology.distance_matrix());
+          const std::size_t s =
+              transfer(out.placements[i], out.placements[j], topology);
           if (s > 0) {
             ++version[i];
             ++version[j];

@@ -53,6 +53,13 @@ class GlobalSubOpt {
   static std::size_t transfer(Placement& a, Placement& b,
                               const util::DoubleMatrix& dist);
 
+  /// Same adjustment pass, but the post-swap central recompute goes through
+  /// cluster::best_central_tiered — O(n) (and SIMD) instead of the O(n²)
+  /// dense scan, bit-identical for integral DistanceConfig tiers.  This is
+  /// the overload place_batch uses on the hot path.
+  static std::size_t transfer(Placement& a, Placement& b,
+                              const cluster::Topology& topology);
+
  private:
   Options options_;
 };

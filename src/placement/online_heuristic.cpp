@@ -1,6 +1,7 @@
 #include "placement/online_heuristic.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/mutex.h"
+#include "util/simd.h"
 
 namespace vcopt::placement {
 
@@ -31,7 +33,8 @@ struct Workspace {
   std::size_t m = 0;
   std::vector<int> need;            // outstanding per-type demand
   std::vector<int> lx;              // central node's free-capacity row L[x]
-  std::vector<long long> key;       // per-node com(L[x], L[i]) overlap sums
+  std::vector<std::int32_t> key;    // per-node com(L[x], L[i]) overlap sums
+  std::vector<std::int32_t> soa;    // column-major copy of `remaining`
   std::vector<std::size_t> tier;    // candidate ordering within one tier
   std::vector<int> node_vms;        // VMs taken per node, current candidate
   std::vector<std::size_t> touched; // nodes written by the current candidate
@@ -45,10 +48,25 @@ struct Workspace {
     need.assign(m, 0);
     lx.assign(m, 0);
     key.assign(n, 0);
+    soa.assign(n * m, 0);
     node_vms.assign(n, 0);
     touched.clear();
     tier.reserve(n);
     alloc = util::IntMatrix(n, m, 0);
+  }
+
+  // Transposes `remaining` into `soa` (soa[j*n+i] = remaining(i,j)) so the
+  // off-rack getList scoring can stream whole columns through
+  // simd::accumulate_min_i32.  Called once per candidate scan; the matrix is
+  // read-only for the scan's duration.
+  void build_soa(const util::IntMatrix& remaining) {
+    const std::vector<int>& flat = remaining.data();  // row-major
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = i * m;
+      for (std::size_t j = 0; j < m; ++j) {
+        soa[j * n + i] = static_cast<std::int32_t>(flat[row + j]);
+      }
+    }
   }
 };
 
@@ -113,13 +131,31 @@ bool fill_candidate(const cluster::Request& request,
 
   // Computes the getList sort keys for the nodes currently in ws.tier:
   // key[i] = sum_j com(L[x], L[i])[j], against the cached central row.
+  // Used for the (small) rack tier, where a per-node scalar loop beats
+  // setting up column streams.
   auto compute_tier_keys = [&] {
     for (std::size_t i : ws.tier) {
-      long long k = 0;
+      std::int32_t k = 0;
       for (std::size_t j = 0; j < ws.m; ++j) {
         k += std::min(ws.lx[j], remaining(i, j));
       }
       ws.key[i] = k;
+    }
+  };
+
+  // Same keys for ALL nodes at once, streamed column-wise over the SoA copy
+  // with simd::accumulate_min_i32.  Integer arithmetic in both paths, so the
+  // values (and hence every downstream sort order) are identical to
+  // compute_tier_keys.  Used for the off-rack tier, which is nearly the
+  // whole cluster whenever it is needed at all.
+  auto compute_all_keys = [&] {
+    std::fill(ws.key.begin(), ws.key.end(), 0);
+    for (std::size_t j = 0; j < ws.m; ++j) {
+      if (ws.lx[j] > 0) {
+        util::simd::accumulate_min_i32(ws.key.data(), ws.soa.data() + j * ws.n,
+                                       static_cast<std::int32_t>(ws.lx[j]),
+                                       ws.n);
+      }
     }
   };
 
@@ -162,7 +198,7 @@ bool fill_candidate(const cluster::Request& request,
     for (std::size_t i = 0; i < ws.n; ++i) {
       if (!topology.same_rack(i, central)) ws.tier.push_back(i);
     }
-    compute_tier_keys();
+    compute_all_keys();
     std::sort(ws.tier.begin(), ws.tier.end(),
               [&](std::size_t a, std::size_t b) {
                 const double da = dist(a, central);
@@ -223,6 +259,7 @@ std::optional<cluster::Allocation> OnlineHeuristic::fill_from_central(
   }
   Workspace ws;
   ws.prepare(remaining.rows(), remaining.cols());
+  ws.build_soa(remaining);
   double d = 0;
   bool was_pruned = false;
   if (!fill_candidate(request, remaining, topology, topology.distance_matrix(),
@@ -289,6 +326,7 @@ std::optional<Placement> OnlineHeuristic::place(
     // completes (the first feasible fill trivially improves on "nothing").
     Workspace& ws = local_workspace();
     ws.prepare(n, m);
+    ws.build_soa(remaining);
     std::size_t evaluated = 0;
     for (std::size_t x : candidates) {
       ++evaluated;
@@ -325,6 +363,7 @@ std::optional<Placement> OnlineHeuristic::place(
     auto scan_chunk = [&](std::size_t chunk_begin, std::size_t chunk_end) {
       Workspace& ws = local_workspace();
       ws.prepare(n, m);
+      ws.build_soa(remaining);
       bool chunk_found = false;
       double chunk_d = kInf;
       std::size_t chunk_central = 0;

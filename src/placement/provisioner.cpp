@@ -93,6 +93,41 @@ cluster::Allocation best_effort_fill(const cluster::Request& r,
   return alloc;
 }
 
+/// The final ladder rung: best-effort partial fill (or kAbandoned), written
+/// into `plan`.
+LadderPlan& plan_partial(const cluster::Request& r,
+                         const LadderOptions& options,
+                         const util::IntMatrix& remaining,
+                         const cluster::Topology& topology, LadderPlan& plan) {
+  auto& m = ProvisionerMetrics::get();
+  if (options.allow_partial) {
+    cluster::Allocation partial = best_effort_fill(r, remaining, topology);
+    if (partial.total_vms() > 0) {
+      Placement placed =
+          evaluate(std::move(partial), topology.distance_matrix());
+      // Grant exactly what was placed: the lease's request is the clipped
+      // vector, so Def. 2 feasibility holds for the partial grant too.
+      std::vector<int> placed_counts(placed.allocation.type_count());
+      for (std::size_t j = 0; j < placed_counts.size(); ++j) {
+        placed_counts[j] = placed.allocation.vms_of_type(j);
+      }
+      cluster::Request effective(std::move(placed_counts), r.id(),
+                                 r.priority());
+      VCOPT_VALIDATE(check::validate_allocation(
+          placed.allocation.counts(), effective.counts(), remaining));
+      plan.granted_vms = placed.allocation.total_vms();
+      plan.placement = std::move(placed);
+      plan.effective = std::move(effective);
+      plan.status = PlacementStatus::kPartial;
+      m.ladder_partial.add();
+      return plan;
+    }
+  }
+  plan.status = PlacementStatus::kAbandoned;
+  m.ladder_abandoned.add();
+  return plan;
+}
+
 }  // namespace
 
 const char* to_string(PlacementStatus s) {
@@ -233,39 +268,44 @@ ProvisionResult Provisioner::submit(const cluster::Request& r) {
   return res;
 }
 
-ProvisionResult Provisioner::submit_laddered(const cluster::Request& r,
-                                             const LadderOptions& options) {
-  VCOPT_TRACE_SPAN("provisioner/submit_laddered");
+LadderPlan plan_laddered(const cluster::Request& r,
+                         const util::IntMatrix& remaining,
+                         const cluster::Topology& topology,
+                         const std::vector<int>& capacity_col_sums,
+                         PlacementPolicy& policy,
+                         const LadderOptions& options) {
   auto& m = ProvisionerMetrics::get();
-  ProvisionResult res;
-  res.requested_vms = r.total_vms();
-  if (r.type_count() != cloud_.type_count()) {
-    res.status = PlacementStatus::kRejectedShape;
+  LadderPlan plan;
+  plan.requested_vms = r.total_vms();
+  if (r.type_count() != capacity_col_sums.size()) {
+    plan.status = PlacementStatus::kRejectedShape;
     m.reject_shape.add();
-    return res;
+    return plan;
   }
   if (r.empty()) {
-    res.status = PlacementStatus::kRejectedEmpty;
+    plan.status = PlacementStatus::kRejectedEmpty;
     m.reject_empty.add();
-    return res;
+    return plan;
   }
-  if (cloud_.admit(r) == cluster::Admission::kReject) {
-    res.status = PlacementStatus::kRejectedOverCapacity;
-    m.reject_over_capacity.add();
-    return res;
+  // Inventory::admit's kReject rung verbatim: some type exceeds total
+  // capacity (which includes drained/failed nodes), so the request can
+  // never be served.
+  for (std::size_t j = 0; j < capacity_col_sums.size(); ++j) {
+    if (r.count(j) > capacity_col_sums[j]) {
+      plan.status = PlacementStatus::kRejectedOverCapacity;
+      m.reject_over_capacity.add();
+      return plan;
+    }
   }
-  const util::IntMatrix remaining = cloud_.remaining();
-  const cluster::Topology& topo = cloud_.topology();
 
-  auto grant_with = [&](Placement placed, PlacementStatus status,
-                        const cluster::Request& effective) {
+  auto take = [&](Placement placed, PlacementStatus status,
+                  cluster::Request effective) {
     VCOPT_VALIDATE(check::validate_allocation(placed.allocation.counts(),
                                               effective.counts(), remaining));
-    const cluster::LeaseId lease = cloud_.grant(effective, placed.allocation);
-    res.granted_vms = placed.allocation.total_vms();
-    res.grant = Grant{lease, r.id(), std::move(placed)};
-    res.status = status;
-    m.grants.add();
+    plan.granted_vms = placed.allocation.total_vms();
+    plan.placement = std::move(placed);
+    plan.effective = std::move(effective);
+    plan.status = status;
   };
 
   // Rung 1: the exact ILP, under a wall-clock budget.  The search itself is
@@ -273,72 +313,60 @@ ProvisionResult Provisioner::submit_laddered(const cluster::Request& r,
   // wall clock decides how the result is *classified*: a proven optimum
   // within budget is kGranted; a truncated or over-budget incumbent falls
   // through to the heuristic rung below.
-  const std::size_t variables = topo.node_count() * r.type_count();
+  const std::size_t variables = topology.node_count() * r.type_count();
   if (options.ilp_budget_ms > 0 && variables <= options.ilp_max_variables) {
     solver::IlpOptions ilp;
     ilp.max_nodes = options.ilp_max_nodes;
     const auto t0 = std::chrono::steady_clock::now();
     const solver::SdResult exact =
-        solver::solve_sd_ilp(r, remaining, topo.distance_matrix(), ilp);
+        solver::solve_sd_ilp(r, remaining, topology.distance_matrix(), ilp);
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
     m.ladder_ilp_ms.set(ms);
     if (exact.feasible && ms <= options.ilp_budget_ms) {
       m.ladder_exact.add();
-      grant_with(Placement{exact.allocation, exact.central, exact.distance},
-                 PlacementStatus::kGranted, r);
-      return res;
+      take(Placement{exact.allocation, exact.central, exact.distance},
+           PlacementStatus::kGranted, r);
+      return plan;
     }
     if (!exact.feasible) {
       // The exact solver is complete: no full allocation exists right now,
       // so skip the heuristic rung and go straight to best-effort partial.
-      return submit_partial(r, options, remaining, res);
+      return plan_partial(r, options, remaining, topology, plan);
     }
   }
 
-  // Rung 2: the provisioner's own (heuristic) policy — a full allocation of
-  // unproven optimality.
-  if (auto placed = policy_->place(r, remaining, topo)) {
+  // Rung 2: the caller's (heuristic) policy — a full allocation of unproven
+  // optimality.
+  if (auto placed = policy.place(r, remaining, topology)) {
     m.ladder_heuristic.add();
-    grant_with(std::move(*placed), PlacementStatus::kDegraded, r);
-    return res;
+    take(std::move(*placed), PlacementStatus::kDegraded, r);
+    return plan;
   }
-  return submit_partial(r, options, remaining, res);
+  return plan_partial(r, options, remaining, topology, plan);
 }
 
-ProvisionResult& Provisioner::submit_partial(const cluster::Request& r,
-                                             const LadderOptions& options,
-                                             const util::IntMatrix& remaining,
-                                             ProvisionResult& res) {
-  auto& m = ProvisionerMetrics::get();
-  if (options.allow_partial) {
-    cluster::Allocation partial =
-        best_effort_fill(r, remaining, cloud_.topology());
-    if (partial.total_vms() > 0) {
-      Placement placed =
-          evaluate(std::move(partial), cloud_.topology().distance_matrix());
-      // Grant exactly what was placed: the lease's request is the clipped
-      // vector, so Def. 2 feasibility holds for the partial grant too.
-      std::vector<int> placed_counts(placed.allocation.type_count());
-      for (std::size_t j = 0; j < placed_counts.size(); ++j) {
-        placed_counts[j] = placed.allocation.vms_of_type(j);
-      }
-      cluster::Request effective(std::move(placed_counts), r.id(),
-                                 r.priority());
-      VCOPT_VALIDATE(check::validate_allocation(
-          placed.allocation.counts(), effective.counts(), remaining));
-      const cluster::LeaseId lease = cloud_.grant(effective, placed.allocation);
-      res.granted_vms = placed.allocation.total_vms();
-      res.grant = Grant{lease, r.id(), std::move(placed)};
-      res.status = PlacementStatus::kPartial;
-      m.ladder_partial.add();
-      m.grants.add();
-      return res;
-    }
+ProvisionResult Provisioner::submit_laddered(const cluster::Request& r,
+                                             const LadderOptions& options) {
+  VCOPT_TRACE_SPAN("provisioner/submit_laddered");
+  const util::IntMatrix& max = cloud_.inventory().max_capacity();
+  std::vector<int> capacity_col_sums(cloud_.type_count());
+  for (std::size_t j = 0; j < capacity_col_sums.size(); ++j) {
+    capacity_col_sums[j] = max.col_sum(j);
   }
-  res.status = PlacementStatus::kAbandoned;
-  m.ladder_abandoned.add();
+  LadderPlan plan = plan_laddered(r, cloud_.remaining(), cloud_.topology(),
+                                  capacity_col_sums, *policy_, options);
+  ProvisionResult res;
+  res.status = plan.status;
+  res.requested_vms = plan.requested_vms;
+  res.granted_vms = plan.granted_vms;
+  if (plan.placement) {
+    const cluster::LeaseId lease =
+        cloud_.grant(*plan.effective, plan.placement->allocation);
+    res.grant = Grant{lease, r.id(), std::move(*plan.placement)};
+    ProvisionerMetrics::get().grants.add();
+  }
   return res;
 }
 

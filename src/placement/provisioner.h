@@ -60,6 +60,36 @@ struct LadderOptions {
   bool allow_partial = true;        ///< false: failed full fits -> kAbandoned
 };
 
+/// A fully planned — but not yet granted — ladder outcome: the pure result
+/// of plan_laddered.  `placement` and `effective` are set for the granting
+/// statuses (kGranted / kDegraded / kPartial); actually applying the grant
+/// (and obtaining a lease id) is the caller's job.
+struct LadderPlan {
+  PlacementStatus status = PlacementStatus::kAbandoned;
+  std::optional<Placement> placement;
+  /// The request the grant should be recorded under: the original request,
+  /// or the clipped per-type counts for a kPartial plan.
+  std::optional<cluster::Request> effective;
+  int requested_vms = 0;
+  int granted_vms = 0;
+};
+
+/// The graceful-degradation ladder as a pure function of a capacity view:
+/// identical rung sequence to Provisioner::submit_laddered (shape -> empty
+/// -> over-capacity -> budgeted exact ILP -> heuristic -> best-effort
+/// partial) but reads only the arguments and mutates nothing, so the
+/// snapshot-isolated serving path can evaluate it against an immutable
+/// CloudSnapshot and commit the plan later.  `capacity_col_sums[j]` must be
+/// sum_i M_ij (including drained/failed nodes) — the admit() kReject test.
+/// Provisioner::submit_laddered routes through this function, so the two
+/// can never diverge.
+LadderPlan plan_laddered(const cluster::Request& r,
+                         const util::IntMatrix& remaining,
+                         const cluster::Topology& topology,
+                         const std::vector<int>& capacity_col_sums,
+                         PlacementPolicy& policy,
+                         const LadderOptions& options = {});
+
 /// Wait-queue service order (§III.C mentions FIFO and priority-based).
 enum class QueueDiscipline {
   kFifo,           ///< arrival order, strict head-of-line blocking
@@ -123,11 +153,6 @@ class Provisioner {
 
  private:
   std::optional<Grant> try_place_and_grant(const cluster::Request& r);
-  /// The final ladder rung: best-effort partial fill (or kAbandoned).
-  ProvisionResult& submit_partial(const cluster::Request& r,
-                                  const LadderOptions& options,
-                                  const util::IntMatrix& remaining,
-                                  ProvisionResult& res);
   /// Appends to the wait queue and updates the queue-depth gauge.
   void enqueue(const cluster::Request& r);
   /// Index into queue_ of the next request under the discipline.

@@ -1,0 +1,257 @@
+// Portable SIMD kernels for the placement hot loops (docs/performance.md).
+//
+// Two data-parallel kernels back the serving path's inner scans:
+//
+//   accumulate_min_i32  key[i] += min(cap, col[i]) — one column pass of the
+//                       getList overlap scoring over a column-major (SoA)
+//                       copy of the remaining-capacity matrix.
+//   central_scan_f64    out[k] = d0·w[k] + d1·(rs[k]−w[k]) + d2·(cs[k]−rs[k])
+//                       + d3·(T−cs[k]) — the candidate-central distance scan
+//                       Σ_i (Σ_j C_ij)·D(i,k) rewritten through the 4-tier
+//                       hierarchical distance model (same-node / same-rack /
+//                       cross-rack / cross-cloud), evaluated element-wise.
+//
+// Backends: SSE2 (x86-64 baseline), NEON (aarch64), and a scalar fallback.
+// The backend is picked at compile time; `enabled()` adds a runtime escape
+// hatch — set VCOPT_SIMD=off (or 0/false) in the environment, or build with
+// -DVCOPT_SIMD=OFF, to force the scalar path everywhere.
+//
+// Bit-identity contract: both kernels produce results bit-identical to the
+// scalar fallback on every backend (asserted in tests/util/test_simd.cpp).
+//   * accumulate_min_i32 is pure int32 arithmetic — trivially exact.
+//   * central_scan_f64 performs NO cross-element accumulation: each output
+//     element is computed by the same fixed sequence of int32 subtractions
+//     and double multiply-adds in every backend, so IEEE-754 determinism
+//     makes the lanes bit-identical to the scalar loop.  (Callers who need
+//     the result to ALSO equal a left-to-right Σ_i w_i·D(i,k) recomputation
+//     gate the tiered path on integral distance constants, where every
+//     partial sum is an exact integer — see cluster::best_central_tiered.)
+//
+// Raw intrinsics are confined to this header by the `vcopt-simd-outside-util`
+// lint rule (tools/lint.py): everything else calls these wrappers.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#if !defined(VCOPT_DISABLE_SIMD)
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define VCOPT_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) && (defined(__ARM_NEON) || defined(__ARM_NEON__))
+#define VCOPT_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace vcopt::util::simd {
+
+namespace detail {
+inline bool& enabled_flag() {
+  // Read VCOPT_SIMD once; tests flip the flag through
+  // set_enabled_for_testing to compare backends in-process.
+  static bool flag = [] {
+    const char* env = std::getenv("VCOPT_SIMD");
+    if (env != nullptr) {
+      const std::string_view v(env);
+      if (v == "off" || v == "0" || v == "false") return false;
+    }
+    return true;
+  }();
+  return flag;
+}
+}  // namespace detail
+
+/// True when a vector backend is compiled in AND not disabled via
+/// VCOPT_SIMD=off (or set_enabled_for_testing(false)).
+inline bool enabled() {
+#if defined(VCOPT_SIMD_SSE2) || defined(VCOPT_SIMD_NEON)
+  return detail::enabled_flag();
+#else
+  return false;
+#endif
+}
+
+/// Forces the scalar path (false) or re-enables the vector backend (true)
+/// for bit-identity tests.  Not thread-safe; call before spawning workers.
+inline void set_enabled_for_testing(bool on) { detail::enabled_flag() = on; }
+
+/// Name of the backend the kernels will dispatch to right now.
+inline const char* backend() {
+#if defined(VCOPT_SIMD_SSE2)
+  return enabled() ? "sse2" : "scalar";
+#elif defined(VCOPT_SIMD_NEON)
+  return enabled() ? "neon" : "scalar";
+#else
+  return "scalar";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 1: key[i] += min(cap, col[i])  (getList tier scoring, one column)
+
+inline void accumulate_min_i32_scalar(std::int32_t* key,
+                                      const std::int32_t* col,
+                                      std::int32_t cap, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    key[i] += col[i] < cap ? col[i] : cap;
+  }
+}
+
+#if defined(VCOPT_SIMD_SSE2)
+inline void accumulate_min_i32_sse2(std::int32_t* key, const std::int32_t* col,
+                                    std::int32_t cap, std::size_t n) {
+  const __m128i vcap = _mm_set1_epi32(cap);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + i));
+    // SSE2 has no min_epi32; synthesise it from the signed compare.
+    const __m128i gt = _mm_cmpgt_epi32(c, vcap);  // c > cap per lane
+    const __m128i mn =
+        _mm_or_si128(_mm_and_si128(gt, vcap), _mm_andnot_si128(gt, c));
+    const __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(key + i),
+                     _mm_add_epi32(k, mn));
+  }
+  accumulate_min_i32_scalar(key + i, col + i, cap, n - i);
+}
+#elif defined(VCOPT_SIMD_NEON)
+inline void accumulate_min_i32_neon(std::int32_t* key, const std::int32_t* col,
+                                    std::int32_t cap, std::size_t n) {
+  const int32x4_t vcap = vdupq_n_s32(cap);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t c = vld1q_s32(col + i);
+    const int32x4_t mn = vminq_s32(c, vcap);
+    vst1q_s32(key + i, vaddq_s32(vld1q_s32(key + i), mn));
+  }
+  accumulate_min_i32_scalar(key + i, col + i, cap, n - i);
+}
+#endif
+
+/// key[i] += min(cap, col[i]) for i in [0, n).  Dispatches to the compiled
+/// backend unless disabled; always exact (int32).
+inline void accumulate_min_i32(std::int32_t* key, const std::int32_t* col,
+                               std::int32_t cap, std::size_t n) {
+#if defined(VCOPT_SIMD_SSE2)
+  if (enabled()) {
+    accumulate_min_i32_sse2(key, col, cap, n);
+    return;
+  }
+#elif defined(VCOPT_SIMD_NEON)
+  if (enabled()) {
+    accumulate_min_i32_neon(key, col, cap, n);
+    return;
+  }
+#endif
+  accumulate_min_i32_scalar(key, col, cap, n);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 2: the tiered candidate-central scan.
+//
+// For candidate central k with per-node VM weights w, per-node rack totals
+// rs (rs[k] = VMs in k's rack) and per-node cloud totals cs:
+//
+//   out[k] = d0·w[k] + d1·(rs[k]−w[k]) + d2·(cs[k]−rs[k]) + d3·(T−cs[k])
+//
+// Every element is independent; the subtraction chain is int32 and the
+// multiply-add chain is evaluated in the fixed order
+// ((d0·a + d1·b) + d2·c) + d3·e on every backend.
+
+inline void central_scan_f64_scalar(const std::int32_t* w,
+                                    const std::int32_t* rs,
+                                    const std::int32_t* cs, std::int32_t total,
+                                    const double d[4], double* out,
+                                    std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int32_t sr = rs[k] - w[k];
+    const std::int32_t sc = cs[k] - rs[k];
+    const std::int32_t st = total - cs[k];
+    const double acc0 = d[0] * static_cast<double>(w[k]);
+    const double acc1 = acc0 + d[1] * static_cast<double>(sr);
+    const double acc2 = acc1 + d[2] * static_cast<double>(sc);
+    out[k] = acc2 + d[3] * static_cast<double>(st);
+  }
+}
+
+#if defined(VCOPT_SIMD_SSE2)
+inline void central_scan_f64_sse2(const std::int32_t* w, const std::int32_t* rs,
+                                  const std::int32_t* cs, std::int32_t total,
+                                  const double d[4], double* out,
+                                  std::size_t n) {
+  const __m128i vtotal = _mm_set1_epi32(total);
+  const __m128d vd0 = _mm_set1_pd(d[0]);
+  const __m128d vd1 = _mm_set1_pd(d[1]);
+  const __m128d vd2 = _mm_set1_pd(d[2]);
+  const __m128d vd3 = _mm_set1_pd(d[3]);
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m128i wi =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(w + k));
+    const __m128i rsi =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rs + k));
+    const __m128i csi =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cs + k));
+    const __m128i sr = _mm_sub_epi32(rsi, wi);
+    const __m128i sc = _mm_sub_epi32(csi, rsi);
+    const __m128i st = _mm_sub_epi32(vtotal, csi);
+    __m128d acc = _mm_mul_pd(_mm_cvtepi32_pd(wi), vd0);
+    acc = _mm_add_pd(acc, _mm_mul_pd(_mm_cvtepi32_pd(sr), vd1));
+    acc = _mm_add_pd(acc, _mm_mul_pd(_mm_cvtepi32_pd(sc), vd2));
+    acc = _mm_add_pd(acc, _mm_mul_pd(_mm_cvtepi32_pd(st), vd3));
+    _mm_storeu_pd(out + k, acc);
+  }
+  central_scan_f64_scalar(w + k, rs + k, cs + k, total, d, out + k, n - k);
+}
+#elif defined(VCOPT_SIMD_NEON)
+inline void central_scan_f64_neon(const std::int32_t* w, const std::int32_t* rs,
+                                  const std::int32_t* cs, std::int32_t total,
+                                  const double d[4], double* out,
+                                  std::size_t n) {
+  const int32x2_t vtotal = vdup_n_s32(total);
+  const float64x2_t vd0 = vdupq_n_f64(d[0]);
+  const float64x2_t vd1 = vdupq_n_f64(d[1]);
+  const float64x2_t vd2 = vdupq_n_f64(d[2]);
+  const float64x2_t vd3 = vdupq_n_f64(d[3]);
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const int32x2_t wi = vld1_s32(w + k);
+    const int32x2_t rsi = vld1_s32(rs + k);
+    const int32x2_t csi = vld1_s32(cs + k);
+    const int32x2_t sr = vsub_s32(rsi, wi);
+    const int32x2_t sc = vsub_s32(csi, rsi);
+    const int32x2_t st = vsub_s32(vtotal, csi);
+    float64x2_t acc = vmulq_f64(vcvtq_f64_s64(vmovl_s32(wi)), vd0);
+    acc = vaddq_f64(acc, vmulq_f64(vcvtq_f64_s64(vmovl_s32(sr)), vd1));
+    acc = vaddq_f64(acc, vmulq_f64(vcvtq_f64_s64(vmovl_s32(sc)), vd2));
+    acc = vaddq_f64(acc, vmulq_f64(vcvtq_f64_s64(vmovl_s32(st)), vd3));
+    vst1q_f64(out + k, acc);
+  }
+  central_scan_f64_scalar(w + k, rs + k, cs + k, total, d, out + k, n - k);
+}
+#endif
+
+/// Tiered candidate-central distances for every node; see the contract above.
+/// `d` holds {same_node, same_rack, cross_rack, cross_cloud}.
+inline void central_scan_f64(const std::int32_t* w, const std::int32_t* rs,
+                             const std::int32_t* cs, std::int32_t total,
+                             const double d[4], double* out, std::size_t n) {
+#if defined(VCOPT_SIMD_SSE2)
+  if (enabled()) {
+    central_scan_f64_sse2(w, rs, cs, total, d, out, n);
+    return;
+  }
+#elif defined(VCOPT_SIMD_NEON)
+  if (enabled()) {
+    central_scan_f64_neon(w, rs, cs, total, d, out, n);
+    return;
+  }
+#endif
+  central_scan_f64_scalar(w, rs, cs, total, d, out, n);
+}
+
+}  // namespace vcopt::util::simd

@@ -1,0 +1,12 @@
+// Fixture: the allowlisted kernel header.  This path (src/util/simd.h under
+// the fixture root) is the one file where raw intrinsics are legal, so
+// nothing here may produce a vcopt-simd-outside-util finding.
+#pragma once
+
+#include <emmintrin.h>
+
+inline int fixture_min_lane(const int* a) {
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+  (void)v;
+  return a[0];
+}

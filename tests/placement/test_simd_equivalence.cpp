@@ -1,0 +1,139 @@
+// SIMD-on vs SIMD-off equivalence at the placement layer: the vectorised
+// getList tier scoring and the tiered candidate-central scan must leave
+// every placement decision bitwise unchanged — same allocations, same
+// centrals, same distances — on randomised request streams.  This is the
+// placement-level half of the bit-identity contract in util/simd.h.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cluster/allocation.h"
+#include "cluster/cloud.h"
+#include "cluster/topology.h"
+#include "placement/global_subopt.h"
+#include "placement/policy.h"
+#include "util/rng.h"
+#include "util/simd.h"
+#include "workload/scenario.h"
+
+namespace vcopt::placement {
+namespace {
+
+using cluster::Allocation;
+using cluster::CentralNode;
+using cluster::Request;
+using cluster::Topology;
+
+class SimdGuard {
+ public:
+  SimdGuard() : was_(util::simd::enabled()) {}
+  ~SimdGuard() { util::simd::set_enabled_for_testing(was_); }
+
+ private:
+  bool was_;
+};
+
+// Random allocation over `topology` with up to `max_per_cell` VMs per cell.
+Allocation random_allocation(const Topology& topology, std::size_t types,
+                             util::Rng& rng, int max_per_cell) {
+  Allocation a(topology.node_count(), types);
+  for (std::size_t i = 0; i < topology.node_count(); ++i) {
+    for (std::size_t j = 0; j < types; ++j) {
+      if (rng.uniform01() < 0.4) {
+        a.add(i, j, static_cast<int>(rng.uniform_int(0, max_per_cell)));
+      }
+    }
+  }
+  return a;
+}
+
+TEST(SimdEquivalence, TieredCentralMatchesDenseScanOnIntegralTiers) {
+  util::Rng rng(31);
+  // Default DistanceConfig tiers (0/1/2/4) are integral: the O(n) tiered
+  // scan must agree exactly with Allocation::best_central's O(n^2) loop.
+  const Topology topology = Topology::multi_cloud(2, 3, 4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Allocation a = random_allocation(topology, 3, rng, 6);
+    const CentralNode dense = a.best_central(topology.distance_matrix());
+    const CentralNode tiered = cluster::best_central_tiered(a, topology);
+    EXPECT_EQ(tiered.node, dense.node) << "trial " << trial;
+    EXPECT_EQ(tiered.distance, dense.distance) << "trial " << trial;
+  }
+}
+
+TEST(SimdEquivalence, TieredCentralFallsBackOnFractionalTiers) {
+  util::Rng rng(32);
+  cluster::DistanceConfig cfg;
+  cfg.same_node = 0.0;
+  cfg.same_rack = 1.5;  // fractional: the tiered fast path must not engage
+  cfg.cross_rack = 2.75;
+  cfg.cross_cloud = 4.5;
+  const Topology topology = Topology::multi_cloud(2, 2, 5, cfg);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Allocation a = random_allocation(topology, 2, rng, 4);
+    const CentralNode dense = a.best_central(topology.distance_matrix());
+    const CentralNode tiered = cluster::best_central_tiered(a, topology);
+    EXPECT_EQ(tiered.node, dense.node);
+    EXPECT_EQ(tiered.distance, dense.distance);
+  }
+}
+
+// The whole policy, SIMD on vs off: identical allocations on a seeded
+// request stream with capacity drawn down between requests.
+TEST(SimdEquivalence, OnlineHeuristicPlacesIdenticallyWithSimdOff) {
+  SimdGuard guard;
+  const auto scenario = workload::paper_sim_scenario(17);
+  for (const char* spec : {"online-heuristic", "first-fit"}) {
+    util::IntMatrix remaining_on = scenario.capacity;
+    util::IntMatrix remaining_off = scenario.capacity;
+    auto policy_on = make_policy(spec);
+    auto policy_off = make_policy(spec);
+    for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+      const Request& r = scenario.requests[i];
+      util::simd::set_enabled_for_testing(true);
+      const std::optional<Placement> on =
+          policy_on->place(r, remaining_on, scenario.topology);
+      util::simd::set_enabled_for_testing(false);
+      const std::optional<Placement> off =
+          policy_off->place(r, remaining_off, scenario.topology);
+      ASSERT_EQ(on.has_value(), off.has_value())
+          << spec << " diverged on request " << i;
+      if (!on) continue;
+      EXPECT_EQ(on->allocation.counts(), off->allocation.counts())
+          << spec << " request " << i;
+      EXPECT_EQ(on->central, off->central);
+      EXPECT_EQ(on->distance, off->distance);
+      remaining_on -= on->allocation.counts();
+      remaining_off -= off->allocation.counts();
+      ASSERT_EQ(remaining_on, remaining_off);
+    }
+  }
+}
+
+TEST(SimdEquivalence, PlaceBatchIsIdenticalWithSimdOff) {
+  SimdGuard guard;
+  const auto scenario = workload::paper_sim_scenario(23);
+  std::vector<Request> batch(scenario.requests.begin(),
+                             scenario.requests.begin() +
+                                 std::min<std::size_t>(
+                                     8, scenario.requests.size()));
+  GlobalSubOpt gso_on, gso_off;
+  util::simd::set_enabled_for_testing(true);
+  const BatchPlacement on =
+      gso_on.place_batch(batch, scenario.capacity, scenario.topology);
+  util::simd::set_enabled_for_testing(false);
+  const BatchPlacement off =
+      gso_off.place_batch(batch, scenario.capacity, scenario.topology);
+  ASSERT_EQ(on.admitted, off.admitted);
+  ASSERT_EQ(on.placements.size(), off.placements.size());
+  for (std::size_t k = 0; k < on.placements.size(); ++k) {
+    EXPECT_EQ(on.placements[k].allocation.counts(),
+              off.placements[k].allocation.counts());
+    EXPECT_EQ(on.placements[k].central, off.placements[k].central);
+    EXPECT_EQ(on.placements[k].distance, off.placements[k].distance);
+  }
+}
+
+}  // namespace
+}  // namespace vcopt::placement

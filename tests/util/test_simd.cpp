@@ -1,0 +1,105 @@
+// Bit-identity of the portable SIMD kernels (util/simd.h) against their
+// scalar fallbacks: every backend must produce byte-for-byte identical
+// results on random inputs, including tails shorter than a vector width and
+// negative values.  This is the contract the placement fast paths (getList
+// tier scoring, best_central_tiered) rely on.
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vcopt::util::simd {
+namespace {
+
+// Restores the dispatch flag even when an assertion fails mid-test.
+class SimdGuard {
+ public:
+  SimdGuard() : was_(enabled()) {}
+  ~SimdGuard() { set_enabled_for_testing(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(Simd, BackendReportsKnownName) {
+  SimdGuard guard;
+  const std::string name = backend();
+  EXPECT_TRUE(name == "sse2" || name == "neon" || name == "scalar") << name;
+  set_enabled_for_testing(false);
+  EXPECT_FALSE(enabled());
+  EXPECT_STREQ(backend(), "scalar");
+}
+
+TEST(Simd, AccumulateMinMatchesScalarBitwise) {
+  SimdGuard guard;
+  Rng rng(20240809);
+  // Lengths straddle the 4-lane width: empty, sub-vector tails, exact
+  // multiples, and a large buffer.
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 64u, 257u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<std::int32_t> col(n), base(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Include negatives: min() must behave as a signed compare.
+        col[i] = static_cast<std::int32_t>(rng.uniform_int(-50, 1000));
+        base[i] = static_cast<std::int32_t>(rng.uniform_int(-100, 100));
+      }
+      const auto cap = static_cast<std::int32_t>(rng.uniform_int(-10, 500));
+
+      std::vector<std::int32_t> scalar = base;
+      accumulate_min_i32_scalar(scalar.data(), col.data(), cap, n);
+
+      std::vector<std::int32_t> reference = base;
+      set_enabled_for_testing(false);
+      accumulate_min_i32(reference.data(), col.data(), cap, n);
+      EXPECT_EQ(reference, scalar);
+
+      std::vector<std::int32_t> vectorised = base;
+      set_enabled_for_testing(true);
+      accumulate_min_i32(vectorised.data(), col.data(), cap, n);
+      EXPECT_EQ(vectorised, scalar) << "n=" << n << " cap=" << cap;
+    }
+  }
+}
+
+TEST(Simd, CentralScanMatchesScalarBitwise) {
+  SimdGuard guard;
+  Rng rng(77);
+  for (std::size_t n : {0u, 1u, 2u, 3u, 5u, 8u, 33u, 100u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<std::int32_t> w(n), rs(n), cs(n);
+      const std::int32_t total = 4096;
+      for (std::size_t k = 0; k < n; ++k) {
+        w[k] = static_cast<std::int32_t>(rng.uniform_int(0, 64));
+        rs[k] = w[k] + static_cast<std::int32_t>(rng.uniform_int(0, 256));
+        cs[k] = rs[k] + static_cast<std::int32_t>(rng.uniform_int(0, 1024));
+      }
+      // Deliberately fractional tiers: bit-identity must hold even where a
+      // cross-lane accumulation would NOT be exact.
+      const double d[4] = {0.0, 1.0 + rng.uniform01(), 2.5 + rng.uniform01(),
+                           7.25 + rng.uniform01()};
+
+      std::vector<double> scalar(n), off(n), on(n);
+      central_scan_f64_scalar(w.data(), rs.data(), cs.data(), total, d,
+                              scalar.data(), n);
+      set_enabled_for_testing(false);
+      central_scan_f64(w.data(), rs.data(), cs.data(), total, d, off.data(),
+                       n);
+      set_enabled_for_testing(true);
+      central_scan_f64(w.data(), rs.data(), cs.data(), total, d, on.data(), n);
+      // Bitwise, not approximate: memcmp over the raw doubles.
+      ASSERT_EQ(0, std::memcmp(off.data(), scalar.data(),
+                               n * sizeof(double)));
+      ASSERT_EQ(0,
+                std::memcmp(on.data(), scalar.data(), n * sizeof(double)))
+          << "n=" << n << " backend=" << backend();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcopt::util::simd

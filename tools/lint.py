@@ -18,6 +18,17 @@ General rules (scoped to src/, tests/, bench/, examples/, tools/ sources):
                      util/logging.h.  The logger backend itself and CLI
                      binaries (src/exp/, bench/, tools/) are exempt.
 
+SIMD-containment rule (all scanned sources):
+
+  vcopt-simd-outside-util
+                     no raw SIMD — vendor intrinsics (`_mm_*`, `__m128`,
+                     NEON `v*q_*` calls and `int32x4_t`-style vector types)
+                     or their headers (`*mmintrin.h`, `arm_neon.h`) —
+                     anywhere except src/util/simd.h.  Everything else goes
+                     through the `util::simd` kernels so the scalar
+                     fallback, the VCOPT_SIMD=off build and bit-identical
+                     dispatch stay in one audited file.
+
 Lock-discipline rule (src/ outside src/util/):
 
   vcopt-raw-mutex    no raw std::mutex / std::lock_guard / std::unique_lock
@@ -90,6 +101,10 @@ IOSTREAM_ALLOWLIST = {
 # wrappers themselves.
 RAW_MUTEX_ALLOWLIST_PREFIX = "src/util/"
 
+# The one place raw SIMD intrinsics are allowed: the dispatching kernel
+# header that owns the scalar fallback and the VCOPT_SIMD=off gate.
+SIMD_ALLOWLIST = {"src/util/simd.h"}
+
 RULES: dict[str, str] = {
     "pragma-once": "headers must start with #pragma once",
     "using-in-header": "no `using namespace` at namespace scope in headers",
@@ -98,6 +113,8 @@ RULES: dict[str, str] = {
     "iostream-logging": "src/ library code logs via util/logging.h",
     "vcopt-raw-mutex":
         "src/ outside util/ uses util::Mutex wrappers, not std::mutex",
+    "vcopt-simd-outside-util":
+        "raw SIMD intrinsics live only in src/util/simd.h",
     "vcopt-unordered-in-replay":
         "no unordered containers in replay-critical code (service/fault/sim)",
     "vcopt-wall-clock":
@@ -119,6 +136,17 @@ RE_RAW_MUTEX = re.compile(
     r"std\s*::\s*(recursive_|timed_|recursive_timed_|shared_)?mutex\b"
     r"|std\s*::\s*(lock_guard|unique_lock|scoped_lock|shared_lock)\b"
     r"|std\s*::\s*condition_variable(_any)?\b")
+RE_SIMD = re.compile(
+    # x86 intrinsic calls and vector types (SSE/AVX/AVX-512).
+    r"(?<![\w:])_mm(?:256|512)?_[a-z0-9_]+\s*\("
+    r"|\b__m(?:64|128|256|512)[di]?\b"
+    # NEON intrinsic calls (vminq_s32, vld1q_f64, vgetq_lane_f64, ...) and
+    # vector types (int32x4_t, float64x2_t, ...).
+    r"|(?<![\w:])v\w+_[suf](?:8|16|32|64)\s*\("
+    r"|\b(?:u?int(?:8|16|32|64)x(?:2|4|8|16)(?:x[2-4])?_t"
+    r"|float(?:16|32|64)x(?:2|4|8)_t)\b"
+    # The headers that provide them.
+    r"|#\s*include\s*<(?:[a-z]*mmintrin|arm_neon|arm_sve|arm_acle)\.h>")
 RE_UNORDERED = re.compile(r"std\s*::\s*unordered_(map|set|multimap|multiset)\b")
 RE_WALL_CLOCK = re.compile(
     r"\b(system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b"
@@ -183,6 +211,7 @@ class Linter:
         in_replay = rel.startswith(REPLAY_DIRS)
         mutex_scoped = in_src and not rel.startswith(
             RAW_MUTEX_ALLOWLIST_PREFIX)
+        simd_scoped = rel not in SIMD_ALLOWLIST
         exempt_io = (rel in IOSTREAM_ALLOWLIST or not in_src
                      or rel.startswith("src/exp/"))
 
@@ -230,6 +259,13 @@ class Linter:
                             "raw std synchronisation type; use util::Mutex/"
                             "MutexLock/CondVar (src/util/mutex.h) so the "
                             "thread-safety analysis sees the lock")
+            if simd_scoped and RE_SIMD.search(code) and not suppressed(
+                    raw, "vcopt-simd-outside-util"):
+                self.report(path, lineno, "vcopt-simd-outside-util",
+                            "raw SIMD intrinsic outside src/util/simd.h; "
+                            "route through the util::simd kernels so the "
+                            "scalar fallback and VCOPT_SIMD=off gate stay "
+                            "in one place")
             if in_replay:
                 self.check_replay_line(path, lineno, raw, code)
 

@@ -1,0 +1,270 @@
+// Closed-loop recovery soak gate for the self-healing rebalancer.  The
+// storm is concentrated in the first half of the trace horizon, leaving
+// the second half for the recovery ladder and the rebalancer to walk the
+// cluster back toward tight placements.  The gate reads its evidence from
+// the same telemetry bundle JSON that `vcopt_cli stats` renders — the
+// "rebalance/dc_per_vm" series — and exits nonzero when:
+//   1. two identically-seeded runs diverge (transcript bytes differ),
+//   2. any round exceeds its migration budget or a committed move has
+//      non-positive net economics,
+//   3. the post-storm tail of DC-per-VM stays elevated above the best
+//      placement quality the run ever reached (recovery regression).
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fault/profile.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
+#include "obs/timeseries.h"
+#include "placement/online_heuristic.h"
+#include "rebalance/rebalance_sim.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace vcopt;
+
+constexpr std::size_t kMoveBudget = 4;  ///< per-round migration budget
+
+struct Args {
+  std::string profile = "heavy,seed=7";
+  std::uint64_t seed = 7;
+  bool quick = false;
+  std::string out;
+  double gate_ratio = 1.15;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--profile=", 0) == 0) {
+      args.profile = a.substr(10);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (a.rfind("--out=", 0) == 0) {
+      args.out = a.substr(6);
+    } else if (a.rfind("--gate-ratio=", 0) == 0) {
+      args.gate_ratio = std::strtod(a.c_str() + 13, nullptr);
+    } else {
+      std::cerr << "usage: ext_rebalance_soak [--profile=SPEC] [--seed=N]"
+                   " [--quick] [--out=PATH] [--gate-ratio=R]\n"
+                   "unknown argument: " << a << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::vector<cluster::TimedRequest> make_trace(const workload::SimScenario& sc,
+                                              std::uint64_t seed,
+                                              bool quick) {
+  util::Rng rng(seed);
+  const std::size_t n = quick ? 30 : 80;
+  // Hot arrivals, long holds, multi-VM leases: the cloud must run close to
+  // full so node failures force repairs to scatter VMs — the drift the
+  // rebalancer exists to walk back.
+  const auto requests = workload::random_requests(sc.catalog, rng, n, 1, 4);
+  return workload::poisson_trace(requests, rng, 1.0, 60.0);
+}
+
+double trace_span(const std::vector<cluster::TimedRequest>& trace) {
+  double span = 0;
+  for (const auto& r : trace) {
+    span = std::max(span, r.arrival_time + r.hold_time);
+  }
+  return span;
+}
+
+rebalance::RebalanceSimResult run_soak(
+    const workload::SimScenario& sc,
+    const std::vector<cluster::TimedRequest>& trace,
+    const fault::FaultProfile& profile, const Args& args,
+    obs::Recorder& recorder, obs::SloTracker& slo) {
+  cluster::Cloud cloud(sc.topology, sc.catalog, sc.capacity);
+  rebalance::RebalanceSimOptions options;
+  options.fault.recorder = &recorder;
+  options.fault.slo = &slo;
+  options.fault.sample_period = 0.5;
+  options.policy.tick_period = 5.0;
+  options.policy.lease_cooldown = 10.0;
+  options.policy.max_moves_per_round = kMoveBudget;
+  options.seed = args.seed;
+  return rebalance::run_rebalance_sim(
+      cloud, std::make_unique<placement::OnlineHeuristic>(), trace, profile,
+      options);
+}
+
+bool gate(const std::string& name, bool ok, const std::string& detail) {
+  std::cout << (ok ? "GATE PASS  " : "GATE FAIL  ") << name << ": " << detail
+            << "\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  bench::banner("Soak", "Rebalancer recovery soak [" + args.profile + "]",
+                args.seed);
+
+  const workload::SimScenario sc = workload::paper_sim_scenario(
+      args.seed,
+      args.quick ? workload::RequestScale::kSmall
+                 : workload::RequestScale::kMedium);
+  const std::vector<cluster::TimedRequest> trace =
+      make_trace(sc, args.seed, args.quick);
+  const double span = trace_span(trace);
+
+  fault::FaultProfile profile = fault::FaultProfile::parse(args.profile);
+  if (profile.horizon <= 0) {
+    // Concentrate the storm in the first half so the tail of the run is a
+    // clean recovery window for the gate to measure.
+    profile.horizon = 0.5 * span;
+  }
+  profile.validate();
+  std::cout << "trace: " << trace.size() << " requests over " << span
+            << "s; storm window [0, " << profile.horizon << ")\n"
+            << "profile: " << profile.describe() << "\n\n";
+
+  // Two identically-configured runs: the transcript diff is the
+  // determinism gate CI leans on for every (profile, seed) cell.
+  obs::Recorder rec_a;
+  rec_a.set_enabled(true);
+  obs::SloTracker slo_a;
+  const rebalance::RebalanceSimResult a =
+      run_soak(sc, trace, profile, args, rec_a, slo_a);
+  obs::Recorder rec_b;
+  rec_b.set_enabled(true);
+  obs::SloTracker slo_b;
+  const rebalance::RebalanceSimResult b =
+      run_soak(sc, trace, profile, args, rec_b, slo_b);
+
+  std::size_t deferred = 0, rebalanced = 0, partial = 0;
+  std::size_t over_budget = 0, candidates = 0, planned = 0;
+  for (const rebalance::RoundRecord& r : a.rounds) {
+    if (r.planned > kMoveBudget) ++over_budget;
+    candidates += r.candidates;
+    planned += r.planned;
+    switch (r.status) {
+      case rebalance::RoundStatus::kRebalanced: ++rebalanced; break;
+      case rebalance::RoundStatus::kPartial: ++partial; break;
+      default: ++deferred; break;
+    }
+  }
+  std::size_t bad_economics = 0;
+  for (const rebalance::MigrationRecord& m : a.migrations) {
+    if (m.committed && m.gain - m.cost <= 0) ++bad_economics;
+  }
+
+  util::TableWriter table({"Rounds", "Rebalanced", "Partial", "Deferred",
+                           "Moves", "Committed", "Failed", "Net gain"});
+  table.row()
+      .cell(a.rounds.size())
+      .cell(rebalanced)
+      .cell(partial)
+      .cell(deferred)
+      .cell(a.migrations.size())
+      .cell(a.migrations_committed)
+      .cell(a.migrations_failed)
+      .cell(a.net_gain, 3);
+  table.print(std::cout);
+  std::cout << "churn: " << a.fault.grants.size() << " grants, "
+            << a.fault.schedule.size() << " fault events; drift candidates "
+            << candidates << ", planned moves " << planned << "\n\n";
+
+  // The recovery evidence is read back out of the bundle document itself,
+  // exactly as a dashboard or CI smoke check would consume it.
+  const util::Json bundle = obs::telemetry_bundle(
+      obs::MetricsRegistry::global(), rec_a, &slo_a, span,
+      /*include_points=*/true);
+  if (!args.out.empty()) {
+    std::ofstream f(args.out);
+    f << bundle.dump(2) << "\n";
+    std::cout << "telemetry bundle written to " << args.out << "\n";
+  }
+  const util::Json doc = util::Json::parse(bundle.dump());
+
+  const util::Json* series = nullptr;
+  for (const util::Json& s : doc.at("timeseries").at("series").as_array()) {
+    if (s.at("name").as_string() == "rebalance/dc_per_vm") {
+      series = &s;
+      break;
+    }
+  }
+
+  bool ok = true;
+  ok &= gate("determinism", a.transcript == b.transcript,
+             "two runs, " + std::to_string(a.transcript.size()) +
+                 " transcript bytes");
+  ok &= gate("budget", over_budget == 0,
+             std::to_string(over_budget) + " rounds over the move budget");
+  ok &= gate("economics", bad_economics == 0,
+             std::to_string(bad_economics) +
+                 " committed moves with non-positive net gain");
+  ok &= gate("accounting",
+             a.migrations_committed + a.migrations_failed ==
+                 a.migrations.size(),
+             "committed + failed == finalized moves");
+  ok &= gate("telemetry", series != nullptr,
+             series ? "rebalance/dc_per_vm present in the bundle"
+                    : "rebalance/dc_per_vm series missing from the bundle");
+
+  if (series != nullptr && profile.total_events() > 0) {
+    // When the storm left the rebalancer something to do (drift observed
+    // AND a profitable plan existed), it must have done it: committed
+    // moves with positive net gain ARE the closed-loop evidence.  A storm
+    // that never scattered a multi-VM lease legitimately plans nothing.
+    if (planned > 0) {
+      ok &= gate("work", a.migrations_committed > 0 && a.net_gain > 0,
+                 std::to_string(a.migrations_committed) +
+                     " committed moves, net gain " +
+                     std::to_string(a.net_gain));
+    } else {
+      std::cout << "work gate skipped: storm produced no plannable drift ("
+                << candidates << " candidates)\n";
+    }
+
+    // Recovery: the post-storm tail of mean DC-per-VM must settle at or
+    // below the storm-window level — a rebalancer that leaves placements
+    // looser than the storm did is a regression.
+    const auto& points = series->at("points").as_array();
+    double tail_sum = 0, storm_sum = 0;
+    std::size_t tail_n = 0, storm_n = 0;
+    const double t_first = points.front().at(0).as_number();
+    const double t_last = points.back().at(0).as_number();
+    const double tail_start = t_last - 0.25 * (t_last - t_first);
+    for (const util::Json& p : points) {
+      const double t = p.at(0).as_number();
+      const double v = p.at(1).as_number();
+      if (t >= tail_start) { tail_sum += v; ++tail_n; }
+      if (t < profile.horizon) { storm_sum += v; ++storm_n; }
+    }
+    const double tail_mean = tail_n ? tail_sum / tail_n : 0;
+    const double storm_mean = storm_n ? storm_sum / storm_n : 0;
+    const double bar = args.gate_ratio * storm_mean + 0.05;
+    std::cout << "dc_per_vm: " << points.size() << " points, storm_mean="
+              << storm_mean << " tail_mean=" << tail_mean << " bar=" << bar
+              << "\n";
+    ok &= gate("recovery", tail_n > 0 && tail_mean <= bar,
+               "post-storm tail must settle at or below the storm level");
+  } else if (profile.total_events() == 0) {
+    std::cout << "work/recovery gates skipped: quiet profile (no faults)\n";
+  }
+
+  std::cout << "\n" << (ok ? "SOAK PASS" : "SOAK FAIL") << "\n";
+  return ok ? 0 : 1;
+}

@@ -16,7 +16,10 @@
 //       --fault-profile, node crashes / rack outages / transient
 //       degradations are injected on the same event clock and lost VMs are
 //       re-placed by the affinity-preserving repair loop; the summary gains
-//       a fault/repair section (see docs/robustness.md).
+//       a fault/repair section (see docs/robustness.md).  --rebalance
+//       additionally attaches the budgeted self-healing rebalancer
+//       (tunables --rebalance-period/-budget/-drift-ratio/-cooldown;
+//       --rebalance-transcript prints the deterministic event transcript).
 //
 //   vcopt_cli serve [--seed N] [--scale big|medium|small] [--cloud cloud.json]
 //       [--max-batch B] [--max-wait S] [--queue-capacity C]
@@ -32,7 +35,8 @@
 //       return leases / move time without submitting).  Decided outcome
 //       records stream to stdout as NDJSON; --journal writes the write-ahead
 //       journal and --replay re-executes one instead of serving stdin
-//       (see docs/service.md).
+//       (see docs/service.md).  --rebalance enables the journaled
+//       drift-repair pass (budgeted live migration between windows).
 //
 //   vcopt_cli export [--seed N] [--out cloud.json]
 //       write the generated random cloud as a JSON description that
@@ -62,10 +66,12 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fault/fault_sim.h"
+#include "rebalance/rebalance_sim.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/telemetry.h"
@@ -218,18 +224,43 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
 
   cluster::Cloud cloud(sc.topology, sc.catalog, sc.capacity);
 
-  if (flags.count("fault-profile")) {
+  if (flags.count("fault-profile") || flags.count("rebalance")) {
     const fault::FaultProfile profile =
-        fault::FaultProfile::parse(flags.at("fault-profile"));
+        fault::FaultProfile::parse(flag(flags, "fault-profile", "none"));
     fault::FaultSimOptions fopt;
     fopt.discipline = opt.discipline;
     fopt.recorder = &obs::Recorder::global();
     obs::SloTracker slo;
     fopt.slo = &slo;
-    const fault::FaultSimResult res = fault::run_fault_sim(
-        cloud,
-        placement::make_policy(flag(flags, "policy", "online-heuristic")),
-        trace, profile, fopt);
+    // --rebalance attaches the budgeted self-healing rebalancer to the
+    // same event queue; its round/migration story prints after the fault
+    // summary, and --rebalance-transcript dumps the deterministic
+    // one-line-per-event transcript CI diffs across runs.
+    std::optional<rebalance::RebalanceSimResult> reb;
+    fault::FaultSimResult res;
+    if (flags.count("rebalance")) {
+      rebalance::RebalanceSimOptions ropt;
+      ropt.fault = fopt;
+      ropt.policy.tick_period =
+          std::stod(flag(flags, "rebalance-period", "10"));
+      ropt.policy.max_moves_per_round =
+          std::stoull(flag(flags, "rebalance-budget", "4"));
+      ropt.policy.drift_ratio =
+          std::stod(flag(flags, "rebalance-drift-ratio", "1.10"));
+      ropt.policy.lease_cooldown =
+          std::stod(flag(flags, "rebalance-cooldown", "20"));
+      ropt.seed = seed;
+      reb = rebalance::run_rebalance_sim(
+          cloud,
+          placement::make_policy(flag(flags, "policy", "online-heuristic")),
+          trace, profile, ropt);
+      res = std::move(reb->fault);
+    } else {
+      res = fault::run_fault_sim(
+          cloud,
+          placement::make_policy(flag(flags, "policy", "online-heuristic")),
+          trace, profile, fopt);
+    }
     if (!write_telemetry_flag(flags, &slo, res.makespan)) return 1;
     if (flags.count("timeline")) {
       sim::TimelineWriter(res.timeline,
@@ -262,6 +293,15 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
               << "mean wait:     " << res.mean_wait << " s\n"
               << "utilisation:   " << res.mean_utilization * 100 << " %\n"
               << "makespan:      " << res.makespan << " s\n";
+    if (reb) {
+      std::cout << "rebalance:     " << reb->rounds.size() << " rounds ("
+                << reb->rounds_deferred << " deferred), "
+                << reb->migrations_committed << " migrations committed, "
+                << reb->migrations_failed << " failed, net gain "
+                << reb->net_gain << (reb->disabled ? ", DISABLED" : "")
+                << "\n";
+      if (flags.count("rebalance-transcript")) std::cout << reb->transcript;
+    }
     return 0;
   }
 
@@ -361,6 +401,20 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     std::cerr << "unknown --discipline " << disc_name << "\n";
     return 2;
   }
+  // --rebalance: the journaled drift-repair pass — budgeted live migration
+  // planned off the recorder's per-lease DC trajectories, written ahead to
+  // the journal so --replay reproduces the exact same moves.
+  if (flags.count("rebalance")) {
+    options.rebalance.enabled = true;
+    options.rebalance.period =
+        std::stod(flag(flags, "rebalance-period", "5"));
+    options.rebalance.max_moves =
+        std::stoull(flag(flags, "rebalance-budget", "2"));
+    options.rebalance.drift_ratio =
+        std::stod(flag(flags, "rebalance-drift-ratio", "1.10"));
+    options.rebalance.lease_cooldown =
+        std::stod(flag(flags, "rebalance-cooldown", "10"));
+  }
 
   const auto write_grants = [&](std::string grants) {
     if (!flags.count("grants-out")) return true;
@@ -388,7 +442,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     std::cout << res.grants;
     if (!write_grants(res.grants)) return 1;
     std::cerr << "replayed " << res.windows << " windows, " << res.releases
-              << " releases, total DC " << res.total_distance << "\n";
+              << " releases, " << res.migrations << " migrations, total DC "
+              << res.total_distance << "\n";
     return 0;
   }
 
@@ -500,6 +555,10 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
               << ", reused " << stats.snapshot_reuses << ", conflicts "
               << stats.snapshot_conflicts << "\n";
   }
+  if (options.rebalance.enabled) {
+    std::cerr << "serve: rebalance passes " << stats.rebalance_passes
+              << ", migrations " << stats.rebalance_migrations << "\n";
+  }
   return 0;
 }
 
@@ -595,11 +654,15 @@ int main(int argc, char** argv) {
                  "         --discipline fifo|priority|smallest-first --csv\n"
                  "         --timeline | --timeline-out=FILE\n"
                  "         --fault-profile none|light|heavy|key=value,...\n"
+                 "         --rebalance [--rebalance-period S] [--rebalance-budget N]\n"
+                 "         [--rebalance-drift-ratio R] [--rebalance-cooldown S]\n"
+                 "         [--rebalance-transcript] (self-healing rebalancer)\n"
                  "  serve: NDJSON requests on stdin -> NDJSON outcomes on stdout\n"
                  "         --max-batch B --max-wait S --queue-capacity C\n"
                  "         --discipline fifo|priority|smallest-first --policy P\n"
                  "         --journal FILE --grants-out FILE | --replay FILE\n"
                  "         --stats-interval S (SLO snapshot lines on stderr)\n"
+                 "         --rebalance (journaled drift-repair pass; same knobs)\n"
                  "  stats: --in telemetry.json (dashboard from --telemetry-out)\n"
                  "  any:   --metrics-out=FILE --trace-out=FILE\n"
                  "         --telemetry-out=FILE --prometheus-out=FILE\n";
@@ -616,8 +679,12 @@ int main(int argc, char** argv) {
       flags.count("prometheus-out")) {
     obs::MetricsRegistry::global().set_enabled(true);
   }
-  if (flags.count("telemetry-out") || flags.count("prometheus-out")) {
+  if (flags.count("telemetry-out") || flags.count("prometheus-out") ||
+      flags.count("rebalance")) {
+    // The rebalancer plans exclusively off recorded lease DC trajectories,
+    // so --rebalance implies time-series collection.
     obs::Recorder::global().set_enabled(true);
+    obs::MetricsRegistry::global().set_enabled(true);
   }
   if (flags.count("trace-out")) obs::Tracer::global().set_enabled(true);
 

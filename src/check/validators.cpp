@@ -302,4 +302,49 @@ ValidationResult validate_nondecreasing(const std::vector<double>& timestamps,
   return valid();
 }
 
+ValidationResult validate_migration_conservation(const util::IntMatrix& before,
+                                                 const util::IntMatrix& after,
+                                                 std::size_t from,
+                                                 std::size_t to,
+                                                 std::size_t type) {
+  if (after.rows() != before.rows() || after.cols() != before.cols()) {
+    return invalid("migration matrices disagree in shape");
+  }
+  if (from >= before.rows() || to >= before.rows() || type >= before.cols()) {
+    std::ostringstream os;
+    os << "migration endpoints out of range: from = " << from << ", to = "
+       << to << ", type = " << type << " on a " << before.rows() << "x"
+       << before.cols() << " allocation";
+    return invalid(os.str());
+  }
+  if (from == to) {
+    std::ostringstream os;
+    os << "migration moves a VM from node " << from << " to itself";
+    return invalid(os.str());
+  }
+  for (std::size_t i = 0; i < before.rows(); ++i) {
+    for (std::size_t j = 0; j < before.cols(); ++j) {
+      int expected = before(i, j);
+      if (i == from && j == type) expected -= 1;
+      if (i == to && j == type) expected += 1;
+      if (after(i, j) != expected) {
+        std::ostringstream os;
+        os << "migration of one type-" << type << " VM " << from << " -> "
+           << to << " changed (" << i << "," << j << ") from " << before(i, j)
+           << " to " << after(i, j) << " (expected " << expected << ")\n"
+           << dump_matrix("before", before) << "\n"
+           << dump_matrix("after", after);
+        return invalid(os.str());
+      }
+      if (after(i, j) < 0) {
+        std::ostringstream os;
+        os << "migration left a negative count at (" << i << "," << j
+           << "): " << after(i, j) << "\n" << dump_matrix("after", after);
+        return invalid(os.str());
+      }
+    }
+  }
+  return valid();
+}
+
 }  // namespace vcopt::check

@@ -103,4 +103,15 @@ ValidationResult validate_repair_conservation(const util::IntMatrix& original,
                                               const std::vector<bool>& failed,
                                               bool full_repair);
 
+/// Live-migration conservation: committing one VM move must change the
+/// lease allocation by exactly -1 at (from, type) and +1 at (to, type),
+/// leave every other entry untouched, keep all entries non-negative, and
+/// preserve the per-type totals (a migration relocates a VM, it never
+/// creates or destroys one).
+ValidationResult validate_migration_conservation(const util::IntMatrix& before,
+                                                 const util::IntMatrix& after,
+                                                 std::size_t from,
+                                                 std::size_t to,
+                                                 std::size_t type);
+
 }  // namespace vcopt::check

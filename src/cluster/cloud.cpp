@@ -1,14 +1,19 @@
 #include "cluster/cloud.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "check/check.h"
+#include "check/validators.h"
 
 namespace vcopt::cluster {
 
 Cloud::Cloud(Topology topology, VmCatalog catalog, util::IntMatrix max_capacity)
     : topology_(std::move(topology)),
       catalog_(std::move(catalog)),
-      inventory_(std::move(max_capacity)) {
+      inventory_(std::move(max_capacity)),
+      reserved_(inventory_.node_count(), inventory_.type_count()) {
   if (inventory_.node_count() != topology_.node_count()) {
     throw std::invalid_argument("Cloud: capacity rows != node count");
   }
@@ -17,9 +22,29 @@ Cloud::Cloud(Topology topology, VmCatalog catalog, util::IntMatrix max_capacity)
   }
 }
 
+util::IntMatrix Cloud::remaining() const {
+  util::IntMatrix rem = inventory_.remaining();
+  if (reserved_total_ == 0) return rem;
+  for (std::size_t i = 0; i < rem.rows(); ++i) {
+    for (std::size_t j = 0; j < rem.cols(); ++j) {
+      // A failed node zeroes its remaining row while reservations on it may
+      // still be in flight; clamp so the view never goes negative.
+      rem(i, j) = std::max(0, rem(i, j) - reserved_(i, j));
+    }
+  }
+  return rem;
+}
+
 LeaseId Cloud::grant(const Request& request, const Allocation& alloc) {
   if (!alloc.satisfies(request)) {
     throw std::invalid_argument("Cloud::grant: allocation does not satisfy request");
+  }
+  if (reserved_total_ > 0 && !alloc.fits(remaining())) {
+    // The inventory alone would admit this, but part of that capacity is
+    // reserved by an in-flight migration.
+    throw std::invalid_argument(
+        "Cloud::grant: allocation does not fit (capacity reserved by "
+        "in-flight migrations)");
   }
   inventory_.allocate(alloc);  // throws if it does not fit
   const LeaseId id = next_lease_++;
@@ -87,12 +112,92 @@ void Cloud::grow_lease(LeaseId id, const Allocation& extra) {
   if (it == leases_.end()) {
     throw std::invalid_argument("Cloud::grow_lease: unknown lease");
   }
+  if (reserved_total_ > 0 && !extra.fits(remaining())) {
+    throw std::invalid_argument(
+        "Cloud::grow_lease: allocation does not fit (capacity reserved by "
+        "in-flight migrations)");
+  }
   inventory_.allocate(extra);  // validates shape and fit
   for (std::size_t i = 0; i < extra.node_count(); ++i) {
     for (std::size_t j = 0; j < extra.type_count(); ++j) {
       if (extra.at(i, j) != 0) it->second.add(i, j, extra.at(i, j));
     }
   }
+}
+
+std::uint64_t Cloud::begin_migration(LeaseId lease, std::size_t from,
+                                     std::size_t to, std::size_t type) {
+  auto it = leases_.find(lease);
+  if (it == leases_.end()) {
+    throw std::invalid_argument("Cloud::begin_migration: unknown lease");
+  }
+  if (from >= node_count() || to >= node_count() || type >= type_count()) {
+    throw std::invalid_argument(
+        "Cloud::begin_migration: node/type out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument(
+        "Cloud::begin_migration: source and destination coincide");
+  }
+  // Transient refusals (return 0, caller may retry): the source VM must
+  // still exist on a live node, and the destination must offer a free,
+  // unreserved slot.
+  if (it->second.at(from, type) <= 0) return 0;
+  if (inventory_.is_failed(from)) return 0;
+  if (inventory_.is_failed(to) || inventory_.is_drained(to)) return 0;
+  if (inventory_.remaining_at(to, type) - reserved_(to, type) <= 0) return 0;
+  reserved_(to, type) += 1;
+  ++reserved_total_;
+  const std::uint64_t ticket = next_migration_++;
+  migrations_.emplace(ticket, PendingMigration{lease, from, to, type});
+  return ticket;
+}
+
+bool Cloud::commit_migration(std::uint64_t ticket) {
+  auto it = migrations_.find(ticket);
+  if (it == migrations_.end()) {
+    throw std::invalid_argument("Cloud::commit_migration: unknown ticket");
+  }
+  const PendingMigration m = it->second;
+  auto lease_it = leases_.find(m.lease);
+  // Re-validate against the current world; any mismatch rolls back.
+  const bool source_alive = lease_it != leases_.end() &&
+                            lease_it->second.at(m.from, m.type) > 0 &&
+                            !inventory_.is_failed(m.from);
+  const bool dest_alive =
+      !inventory_.is_failed(m.to) && !inventory_.is_drained(m.to);
+  if (!source_alive || !dest_alive) {
+    rollback_migration(ticket);
+    return false;
+  }
+  Allocation& alloc = lease_it->second;
+  const util::IntMatrix before = alloc.counts();
+  // Free the reservation first so the inventory move lands in the slot it
+  // held (the reservation guaranteed remaining_at(to, type) >= 1).
+  reserved_(m.to, m.type) -= 1;
+  --reserved_total_;
+  migrations_.erase(it);
+  Allocation slot(node_count(), type_count());
+  slot.add(m.to, m.type, 1);
+  inventory_.allocate(slot);
+  Allocation freed(node_count(), type_count());
+  freed.add(m.from, m.type, 1);
+  inventory_.release(freed);
+  alloc.add(m.from, m.type, -1);
+  alloc.add(m.to, m.type, 1);
+  VCOPT_VALIDATE(check::validate_migration_conservation(
+      before, alloc.counts(), m.from, m.to, m.type));
+  return true;
+}
+
+void Cloud::rollback_migration(std::uint64_t ticket) {
+  auto it = migrations_.find(ticket);
+  if (it == migrations_.end()) {
+    throw std::invalid_argument("Cloud::rollback_migration: unknown ticket");
+  }
+  reserved_(it->second.to, it->second.type) -= 1;
+  --reserved_total_;
+  migrations_.erase(it);
 }
 
 std::vector<LeaseId> Cloud::lease_ids() const {

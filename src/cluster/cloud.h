@@ -38,7 +38,10 @@ class Cloud {
   Admission admit(const Request& request) const {
     return inventory_.admit(request);
   }
-  util::IntMatrix remaining() const { return inventory_.remaining(); }
+  /// Remaining capacity net of in-flight migration reservations (clamped at
+  /// zero where a node failed with reservations outstanding).  Identical to
+  /// inventory().remaining() while no migration is pending.
+  util::IntMatrix remaining() const;
 
   /// Grants an allocation and records it as a lease.  The allocation must
   /// satisfy the request and fit remaining capacity.
@@ -75,6 +78,38 @@ class Cloud {
   /// capacity (which excludes failed/drained nodes).
   void grow_lease(LeaseId id, const Allocation& extra);
 
+  // --- live migration (two-phase reserve -> move -> commit) --------------
+  //
+  // begin_migration() reserves one destination slot, so concurrent grants
+  // and repairs cannot race the in-flight copy for its capacity; the slot
+  // is invisible to remaining() until the migration commits or rolls back.
+  // commit_migration() re-validates the world before moving the VM — if the
+  // source VM was lost (node crash shrank the lease), the lease ended, or
+  // the destination went down/drained mid-copy, it rolls the reservation
+  // back instead and reports failure, so a migration can never corrupt the
+  // books no matter what failed underneath it.
+
+  /// Starts migrating one VM of `type` held by `lease` from node `from` to
+  /// node `to`.  Returns a ticket id (> 0), or 0 when the migration cannot
+  /// start right now: no free slot at `to`, `to` failed or drained, `from`
+  /// failed, or the lease holds no such VM — all transient conditions a
+  /// caller may retry.  Throws std::invalid_argument on caller bugs
+  /// (unknown lease, out-of-range node/type, from == to).
+  std::uint64_t begin_migration(LeaseId lease, std::size_t from,
+                                std::size_t to, std::size_t type);
+
+  /// Completes an in-flight migration: moves the VM and frees the
+  /// reservation.  Returns false — after rolling the reservation back — when
+  /// the world changed underneath the copy (source VM gone, lease released,
+  /// destination failed or drained).  Throws on an unknown ticket.
+  bool commit_migration(std::uint64_t ticket);
+
+  /// Abandons an in-flight migration, freeing its reservation.  Throws on
+  /// an unknown ticket.
+  void rollback_migration(std::uint64_t ticket);
+
+  std::size_t pending_migration_count() const { return migrations_.size(); }
+
   bool has_lease(LeaseId id) const { return leases_.count(id) > 0; }
   std::size_t lease_count() const { return leases_.size(); }
   const Allocation& lease_allocation(LeaseId id) const;
@@ -84,11 +119,24 @@ class Cloud {
   std::string describe() const;
 
  private:
+  struct PendingMigration {
+    LeaseId lease = 0;
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::size_t type = 0;
+  };
+
   Topology topology_;
   VmCatalog catalog_;
   Inventory inventory_;
   std::map<LeaseId, Allocation> leases_;
   LeaseId next_lease_ = 1;
+  /// Destination slots held by in-flight migrations; subtracted from
+  /// remaining() so nothing else can claim them mid-copy.
+  util::IntMatrix reserved_;
+  int reserved_total_ = 0;
+  std::map<std::uint64_t, PendingMigration> migrations_;
+  std::uint64_t next_migration_ = 1;
 };
 
 }  // namespace vcopt::cluster

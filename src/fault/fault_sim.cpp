@@ -191,6 +191,8 @@ FaultSimResult run_fault_sim(cluster::Cloud& cloud,
     });
   }
 
+  if (options.attach) options.attach(queue, effective.horizon);
+
   queue.run();
   sample();
 

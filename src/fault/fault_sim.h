@@ -8,6 +8,7 @@
 // grants, repairs and timeline byte-for-byte.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,11 @@ struct FaultSimOptions {
   /// caller has not declared it already (objective 0.25: at most a quarter of
   /// repairs may end short of full repair).
   obs::SloTracker* slo = nullptr;
+  /// Invoked once, right before the event loop runs, with the simulation's
+  /// queue and the resolved fault horizon: background actors (the
+  /// rebalancer, notably) attach here so their ticks interleave
+  /// deterministically with grants, faults and repairs on the same queue.
+  std::function<void(sim::EventQueue&, double)> attach;
 };
 
 struct FaultSimResult {

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/online_heuristic.h"
+#include "util/stats.h"
 
 namespace vcopt::fault {
 
@@ -68,6 +69,14 @@ double merged_distance(const util::IntMatrix& original,
 }
 
 }  // namespace
+
+double backoff_delay(const RepairPolicy& policy, int attempt, double u) {
+  const double base = util::capped_exponential_backoff(
+      policy.backoff_initial, policy.backoff_factor, attempt,
+      policy.backoff_max);
+  const double jitter = 1.0 + policy.backoff_jitter * (2.0 * u - 1.0);
+  return std::clamp(base * jitter, 0.0, policy.backoff_max);
+}
 
 RecoveryManager::RecoveryManager(cluster::Cloud& cloud, sim::EventQueue& queue,
                                  RepairPolicy policy, std::uint64_t seed)
@@ -264,13 +273,8 @@ void RecoveryManager::attempt_repair(cluster::LeaseId lease) {
   ++p.attempts;
   if (p.attempts < policy_.max_attempts) {
     // Exponential backoff with deterministic jitter from the per-lease
-    // stream: delay_k = initial * factor^k * (1 + jitter * (2u - 1)).
-    const double base =
-        policy_.backoff_initial *
-        std::pow(policy_.backoff_factor, p.attempts - 1);
-    const double jitter =
-        1.0 + policy_.backoff_jitter * (2.0 * p.rng.uniform01() - 1.0);
-    const double delay = std::max(0.0, base * jitter);
+    // stream, clamped to policy_.backoff_max (see backoff_delay).
+    const double delay = backoff_delay(policy_, p.attempts, p.rng.uniform01());
     m.retries.add();
     queue_.schedule_in(delay, [this, lease] { attempt_repair(lease); });
     return;

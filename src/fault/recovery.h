@@ -42,10 +42,22 @@ struct RepairPolicy {
   double backoff_initial = 1.0;    ///< seconds before the first retry
   double backoff_factor = 2.0;     ///< delay multiplier per attempt
   double backoff_jitter = 0.25;    ///< +- fraction applied to each delay
+  /// Hard ceiling on any single retry delay, applied after jitter.  The
+  /// geometric growth is computed overflow-safely against this clamp, so
+  /// even absurd attempt counts (or factors) schedule a finite retry
+  /// instead of an infinite-delay event that would wedge the queue.
+  double backoff_max = 60.0;
   bool affinity_preserving = true; ///< anchor the scan at the original central
   std::size_t restricted_candidates = 8;  ///< window size of the anchored scan
   bool allow_partial = true;       ///< false: exhausted retries skip kPartial
 };
+
+/// Retry delay for `attempt` (1-based) under `policy`:
+/// min(backoff_max, initial * factor^(attempt-1)) * (1 + jitter * (2u - 1)),
+/// clamped to [0, backoff_max].  `u` is the jitter draw in [0, 1) (the
+/// manager feeds the per-lease Rng stream).  Exposed so the overflow/clamp
+/// behaviour is directly testable at attempt counts no sim would reach.
+double backoff_delay(const RepairPolicy& policy, int attempt, double u);
 
 /// The full story of one lease's encounter with a failure, finalized with a
 /// terminal status.  `vms_replaced < vms_lost` iff the repair degraded.

@@ -103,6 +103,53 @@ void render_snapshot_lifecycle(const util::Json& metrics, std::ostream& out) {
   out << "\n";
 }
 
+void render_rebalancer(const util::Json& metrics, std::ostream& out) {
+  // rebalance/* counters + the migration-gain histogram: the self-healing
+  // rebalancer's round/migration ledger (absent until a rebalancer runs).
+  if (!metrics.is_object() || !metrics.contains("counters")) return;
+  const util::Json& counters = metrics.at("counters");
+  const double rounds = counters.number_or("rebalance/rounds", 0);
+  const double attempted =
+      counters.number_or("rebalance/migrations_attempted", 0);
+  if (rounds == 0 && attempted == 0) return;
+  util::TableWriter t({"Rounds", "Deferred", "Attempted", "Committed",
+                       "RolledBack", "Failed", "Disabled"});
+  t.row()
+      .cell(static_cast<std::size_t>(rounds))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("rebalance/rounds_deferred", 0)))
+      .cell(static_cast<std::size_t>(attempted))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("rebalance/migrations_committed", 0)))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("rebalance/migrations_rolled_back", 0)))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("rebalance/migrations_failed", 0)))
+      .cell(counters.number_or("rebalance/disabled", 0) > 0 ? "YES" : "no");
+  out << "== Rebalancer ==\n";
+  t.print(out);
+  if (metrics.contains("histograms")) {
+    const util::Json& hists = metrics.at("histograms");
+    if (hists.is_object() && hists.contains("rebalance/migration_gain")) {
+      const util::Json& h = hists.at("rebalance/migration_gain");
+      const double count = h.number_or("count", 0);
+      if (count > 0) {
+        util::TableWriter g(
+            {"Gain samples", "Mean", "P50", "P90", "P99", "Max"});
+        g.row()
+            .cell(static_cast<std::size_t>(count))
+            .cell(h.number_or("mean", 0), 4)
+            .cell(h.number_or("p50", 0), 4)
+            .cell(h.number_or("p90", 0), 4)
+            .cell(h.number_or("p99", 0), 4)
+            .cell(h.number_or("max", 0), 4);
+        g.print(out);
+      }
+    }
+  }
+  out << "\n";
+}
+
 void render_timeseries(const util::Json& ts, std::ostream& out) {
   if (!ts.is_object() || !ts.contains("series")) return;
   const util::JsonArray& series = ts.at("series").as_array();
@@ -192,6 +239,7 @@ void render_stats(const util::Json& bundle, std::ostream& out) {
   if (bundle.contains("metrics")) {
     render_stage_latency(bundle.at("metrics"), out);
     render_snapshot_lifecycle(bundle.at("metrics"), out);
+    render_rebalancer(bundle.at("metrics"), out);
   }
   if (bundle.contains("timeseries")) render_timeseries(bundle.at("timeseries"), out);
   if (bundle.contains("slo")) render_slo(bundle.at("slo"), out);

@@ -10,25 +10,35 @@ constexpr double kEps = 1e-9;
 // Best single Theorem-1 move for a FIXED central node x over ALL
 // (donor, receiver, type) triples: relocating one VM of `type` from `donor`
 // to free capacity on `receiver` changes the distance by exactly
-// D(receiver, x) - D(donor, x) (Theorem 1's exchange).  Returns true and
-// fills `move`/`gain` when a strictly improving move exists.
+// D(receiver, x) - D(donor, x) (Theorem 1's exchange).  When `move_cost` is
+// non-empty the per-type cost is charged against the gain and triples are
+// ranked by NET gain; a move qualifies only when its net exceeds
+// `min_net`.  Returns true and fills `move`/`gain`/`cost` when a qualifying
+// move exists.
 bool best_move_for_central(const cluster::Allocation& alloc,
                            const util::IntMatrix& remaining,
                            const util::DoubleMatrix& dist, std::size_t x,
-                           Migration& move, double& gain) {
+                           const std::vector<double>& move_cost,
+                           double min_net, Migration& move, double& gain,
+                           double& cost) {
   const std::size_t n = alloc.node_count();
   const std::size_t m = alloc.type_count();
   bool found = false;
+  double best_net = 0;
   for (std::size_t donor = 0; donor < n; ++donor) {
     if (alloc.vms_on_node(donor) == 0) continue;
     for (std::size_t j = 0; j < m; ++j) {
       if (alloc.at(donor, j) == 0) continue;
+      const double c = j < move_cost.size() ? move_cost[j] : 0.0;
       for (std::size_t r = 0; r < n; ++r) {
         if (r == donor || remaining(r, j) <= 0) continue;
         const double g = dist(donor, x) - dist(r, x);
-        if (g > kEps && (!found || g > gain)) {
+        const double net = g - c;
+        if (g > kEps && net > min_net + kEps && (!found || net > best_net)) {
           found = true;
+          best_net = net;
           gain = g;
+          cost = c;
           move = Migration{donor, r, j};
         }
       }
@@ -57,11 +67,13 @@ ConsolidationResult consolidate(Placement& placement,
   }
   out.distance_before = placement.distance;
 
+  const std::vector<double> no_cost;
   while (out.migrations.size() < options.max_migrations) {
     Migration move;
     double gain = 0;
-    if (!best_move_for_central(alloc, remaining, dist, placement.central, move,
-                               gain)) {
+    double cost = 0;
+    if (!best_move_for_central(alloc, remaining, dist, placement.central,
+                               no_cost, 0.0, move, gain, cost)) {
       break;
     }
     // Apply: the vacated slot becomes free capacity, the target slot is
@@ -73,6 +85,50 @@ ConsolidationResult consolidate(Placement& placement,
     out.migrations.push_back(move);
     // The optimal central may shift after a move; re-evaluate (only ever
     // lowers the distance further).
+    const cluster::CentralNode c = alloc.best_central(dist);
+    placement.central = c.node;
+    placement.distance = c.distance;
+  }
+  out.distance_after = placement.distance;
+  return out;
+}
+
+BudgetedConsolidation consolidate_budgeted(
+    Placement& placement, util::IntMatrix& remaining,
+    const util::DoubleMatrix& dist, const BudgetedConsolidateOptions& options) {
+  cluster::Allocation& alloc = placement.allocation;
+  if (remaining.rows() != alloc.node_count() ||
+      remaining.cols() != alloc.type_count()) {
+    throw std::invalid_argument("consolidate_budgeted: remaining shape mismatch");
+  }
+  if (!options.move_cost.empty() &&
+      options.move_cost.size() != alloc.type_count()) {
+    throw std::invalid_argument("consolidate_budgeted: move_cost size mismatch");
+  }
+
+  BudgetedConsolidation out;
+  {
+    const cluster::CentralNode c = alloc.best_central(dist);
+    placement.central = c.node;
+    placement.distance = c.distance;
+  }
+  out.distance_before = placement.distance;
+
+  while (out.moves.size() < options.max_migrations) {
+    Migration move;
+    double gain = 0;
+    double cost = 0;
+    if (!best_move_for_central(alloc, remaining, dist, placement.central,
+                               options.move_cost, options.min_net_gain, move,
+                               gain, cost)) {
+      break;
+    }
+    alloc.at(move.from_node, move.type) -= 1;
+    alloc.at(move.to_node, move.type) += 1;
+    remaining(move.from_node, move.type) += 1;
+    remaining(move.to_node, move.type) -= 1;
+    out.moves.push_back(BudgetedMove{move, gain, cost});
+    out.total_cost += cost;
     const cluster::CentralNode c = alloc.best_central(dist);
     placement.central = c.node;
     placement.distance = c.distance;

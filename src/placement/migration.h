@@ -47,4 +47,47 @@ ConsolidationResult consolidate(Placement& placement,
                                 const util::DoubleMatrix& dist,
                                 const ConsolidateOptions& options = {});
 
+/// One accepted budgeted move: the relocation plus its DC gain (for the
+/// central node at the moment the move was chosen) and the charged cost.
+struct BudgetedMove {
+  Migration move;
+  double gain = 0;
+  double cost = 0;
+  double net() const { return gain - cost; }
+};
+
+struct BudgetedConsolidation {
+  std::vector<BudgetedMove> moves;
+  double distance_before = 0;
+  double distance_after = 0;
+  double total_cost = 0;
+
+  double improvement() const { return distance_before - distance_after; }
+};
+
+/// Tuning for the economic variant below.
+struct BudgetedConsolidateOptions {
+  std::size_t max_migrations = SIZE_MAX;
+  /// Data-movement cost charged per relocated VM, indexed by VM type (DC
+  /// units — e.g. memory_gb * cost_per_gb + a shuffle-traffic term; the
+  /// rebalancer builds this from cluster::VmType).  Empty = all zero, which
+  /// reduces the scan to plain consolidate().
+  std::vector<double> move_cost;
+  /// A move is accepted only when gain - move_cost[type] exceeds this.
+  double min_net_gain = 0;
+};
+
+/// Live-migration variant of consolidate() that treats each relocation as an
+/// economic decision (Theorem 1/2 generalized to migration with a cost
+/// budget): per step it picks the (donor, receiver, type) triple with the
+/// highest NET gain — DC gain minus the per-type move cost — and stops when
+/// no move nets more than `min_net_gain`.  Every accepted move still
+/// strictly reduces DC by at least its gain, so termination is inherited
+/// from consolidate(); with empty costs and min_net_gain 0 the move
+/// sequence is identical to consolidate()'s.
+BudgetedConsolidation consolidate_budgeted(
+    Placement& placement, util::IntMatrix& remaining,
+    const util::DoubleMatrix& dist,
+    const BudgetedConsolidateOptions& options = {});
+
 }  // namespace vcopt::placement

@@ -1,0 +1,378 @@
+#include "rebalance/rebalancer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/check.h"
+#include "obs/metrics.h"
+#include "util/stats.h"
+
+namespace vcopt::rebalance {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr char kDcPerVmSlo[] = "rebalance/dc_per_vm";
+
+obs::Counter& counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name);
+}
+
+obs::HistogramMetric& gain_histogram() {
+  return obs::MetricsRegistry::global().histogram(
+      "rebalance/migration_gain",
+      obs::MetricsRegistry::exponential_buckets(0.01, 2.0, 12));
+}
+
+}  // namespace
+
+const char* to_string(RoundStatus s) {
+  switch (s) {
+    case RoundStatus::kRebalanced: return "rebalanced";
+    case RoundStatus::kPartial: return "partial";
+    case RoundStatus::kDeferred: return "deferred";
+    case RoundStatus::kDisabled: return "disabled";
+  }
+  return "unknown";
+}
+
+double migration_cost(const cluster::VmType& type, int lease_vms,
+                      const MigrationCostModel& model) {
+  return model.cost_per_gb * type.memory_gb +
+         model.shuffle_cost_factor * static_cast<double>(lease_vms);
+}
+
+double migration_duration(const cluster::VmType& type,
+                          const MigrationCostModel& model) {
+  return std::max(model.min_duration, model.seconds_per_gb * type.memory_gb);
+}
+
+std::vector<DriftCandidate> collect_drift(const cluster::Cloud& cloud,
+                                          obs::Recorder& recorder,
+                                          const RebalancePolicy& policy,
+                                          bool slo_hot) {
+  std::vector<DriftCandidate> out;
+  for (const cluster::LeaseId id : cloud.lease_ids()) {
+    const int vms = cloud.lease_allocation(id).total_vms();
+    if (vms <= 0) continue;
+    const obs::Labels labels{{"lease", std::to_string(id)}};
+    const obs::TimeSeries::Summary s =
+        recorder.series("cluster/lease/dc", labels).summarize();
+    if (s.count == 0) continue;  // no telemetry -> never a candidate
+    const double dc_per_vm = s.last / static_cast<double>(vms);
+    const bool drifted = s.last > policy.drift_ratio * s.min + kEps;
+    const bool hot = slo_hot && dc_per_vm > policy.dc_per_vm_threshold;
+    if (!drifted && !hot) continue;
+    out.push_back(DriftCandidate{id, s.last - s.min, dc_per_vm});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DriftCandidate& a, const DriftCandidate& b) {
+              if (a.drift != b.drift) return a.drift > b.drift;
+              return a.lease < b.lease;
+            });
+  return out;
+}
+
+std::vector<PlannedMove> plan_moves(const cluster::Cloud& cloud,
+                                    const std::vector<DriftCandidate>& candidates,
+                                    const RebalancePolicy& policy,
+                                    std::size_t budget) {
+  std::vector<PlannedMove> out;
+  if (budget == 0) return out;
+  // One shared remaining matrix across candidates: a slot promised to an
+  // earlier lease's move is not offered to a later one.  Reservation-aware,
+  // so in-flight migrations from previous rounds are already excluded.
+  util::IntMatrix rem = cloud.remaining();
+  const std::size_t types = cloud.type_count();
+  for (const DriftCandidate& cand : candidates) {
+    if (out.size() >= budget) break;
+    if (!cloud.has_lease(cand.lease)) continue;
+    placement::Placement p;
+    p.allocation = cloud.lease_allocation(cand.lease);
+    const int vms = p.allocation.total_vms();
+    if (vms <= 0) continue;
+    placement::BudgetedConsolidateOptions opts;
+    opts.max_migrations = budget - out.size();
+    opts.min_net_gain = policy.min_net_gain;
+    opts.move_cost.resize(types);
+    for (std::size_t j = 0; j < types; ++j) {
+      opts.move_cost[j] = migration_cost(cloud.catalog()[j], vms, policy.cost);
+    }
+    const placement::BudgetedConsolidation plan = placement::consolidate_budgeted(
+        p, rem, cloud.distance_matrix(), opts);
+    for (const placement::BudgetedMove& mv : plan.moves) {
+      out.push_back(PlannedMove{cand.lease, mv.move, mv.gain, mv.cost});
+    }
+  }
+  return out;
+}
+
+Rebalancer::Rebalancer(cluster::Cloud& cloud, sim::EventQueue& queue,
+                       obs::Recorder& recorder, RebalancePolicy policy,
+                       std::uint64_t seed, obs::SloTracker* slo)
+    : cloud_(cloud), queue_(queue), recorder_(recorder), policy_(policy),
+      slo_(slo), rng_(seed) {
+  if (slo_ != nullptr) {
+    obs::SloSpec spec;
+    spec.name = kDcPerVmSlo;
+    spec.description = "mean DC per VM across live leases stays tight";
+    spec.objective = policy_.dc_per_vm_objective;
+    spec.threshold = policy_.dc_per_vm_threshold;
+    slo_->declare(spec);  // find-or-create: an earlier declaration wins
+  }
+}
+
+void Rebalancer::arm(double horizon) {
+  if (ticker_) {
+    ticker_->stop();
+  }
+  ticker_.emplace(queue_, policy_.tick_period, horizon, [this] { tick(); });
+  ticker_->start();
+}
+
+void Rebalancer::reset() {
+  disabled_ = false;
+  consecutive_bad_ = 0;
+  if (ticker_ && !ticker_->running()) {
+    ticker_->start();
+  }
+}
+
+void Rebalancer::feed_telemetry(double now) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const cluster::LeaseId id : cloud_.lease_ids()) {
+    const int vms = cloud_.lease_allocation(id).total_vms();
+    if (vms <= 0) continue;
+    const obs::Labels labels{{"lease", std::to_string(id)}};
+    const obs::TimeSeries::Summary s =
+        recorder_.series("cluster/lease/dc", labels).summarize();
+    if (s.count == 0) continue;
+    sum += s.last / static_cast<double>(vms);
+    ++n;
+  }
+  if (n == 0) return;
+  const double mean = sum / static_cast<double>(n);
+  recorder_.series(kDcPerVmSlo).record(now, mean);
+  if (slo_ != nullptr) {
+    slo_->record_value(kDcPerVmSlo, now, mean);
+  }
+}
+
+void Rebalancer::tick() {
+  if (disabled_) return;
+  const double now = queue_.now();
+  feed_telemetry(now);
+
+  RoundRecord rec;
+  rec.round = ++round_counter_;
+  rec.time = now;
+
+  // Health gate: with failed nodes present the recovery ladder owns the
+  // cluster; a rebalance round would chase capacity that is about to move.
+  if (policy_.defer_on_failed_nodes && cloud_.inventory().failed_count() > 0) {
+    rec.status = RoundStatus::kDeferred;
+    finalize_round(rec);
+    return;
+  }
+
+  const bool slo_hot = slo_ != nullptr && slo_->any_alerting(now);
+  std::vector<DriftCandidate> candidates =
+      collect_drift(cloud_, recorder_, policy_, slo_hot);
+  // Rate-limit rails: leases with an in-flight move or inside their
+  // cooldown window are left alone this round.
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [&](const DriftCandidate& c) {
+                       if (inflight_per_lease_.count(c.lease) > 0) return true;
+                       const auto it = cooldown_until_.find(c.lease);
+                       return it != cooldown_until_.end() && it->second > now;
+                     }),
+      candidates.end());
+  rec.candidates = candidates.size();
+
+  const std::vector<PlannedMove> moves =
+      plan_moves(cloud_, candidates, policy_, policy_.max_moves_per_round);
+  rec.planned = moves.size();
+  if (moves.empty()) {
+    // Nothing drifted past the economic bar: the cluster is where the
+    // rebalancer wants it.  A quiet round is a good round.
+    rec.status = RoundStatus::kRebalanced;
+    finalize_round(rec);
+    return;
+  }
+
+  OpenRound& open = open_rounds_[rec.round];
+  open.record = rec;
+  open.outstanding = moves.size();
+  for (const PlannedMove& mv : moves) {
+    ++inflight_per_lease_[mv.lease];
+    start_move(rec.round, mv, 1, now);
+  }
+}
+
+void Rebalancer::start_move(std::uint64_t round, const PlannedMove& mv,
+                            int attempt, double first_started_at) {
+  if (!cloud_.has_lease(mv.lease)) {
+    // The lease ended while the move waited (release or abandoned repair):
+    // terminal, not worth a retry.
+    finish_move(round, mv, attempt, first_started_at, false);
+    return;
+  }
+  counter("rebalance/migrations_attempted").add(1);
+  const std::uint64_t ticket = cloud_.begin_migration(
+      mv.lease, mv.move.from_node, mv.move.to_node, mv.move.type);
+  if (ticket == 0) {
+    // Transient refusal (destination down/drained, slot not free, VM gone).
+    retry_or_fail(round, mv, attempt, first_started_at);
+    return;
+  }
+  const double duration =
+      migration_duration(cloud_.catalog()[mv.move.type], policy_.cost);
+  queue_.schedule_in(duration, [this, round, mv, attempt, first_started_at,
+                                ticket] {
+    if (cloud_.commit_migration(ticket)) {
+      finish_move(round, mv, attempt, first_started_at, true);
+      return;
+    }
+    // The world changed mid-copy (node failed, lease shrank/ended): the
+    // commit rolled the reservation back; retry from scratch.
+    counter("rebalance/migrations_rolled_back").add(1);
+    const auto it = open_rounds_.find(round);
+    VCOPT_DCHECK(it != open_rounds_.end());
+    ++it->second.record.rolled_back;
+    retry_or_fail(round, mv, attempt, first_started_at);
+  });
+}
+
+void Rebalancer::retry_or_fail(std::uint64_t round, const PlannedMove& mv,
+                               int attempt, double first_started_at) {
+  if (attempt > policy_.max_retries) {
+    finish_move(round, mv, attempt, first_started_at, false);
+    return;
+  }
+  const double base = util::capped_exponential_backoff(
+      policy_.retry_backoff_initial, policy_.retry_backoff_factor, attempt,
+      policy_.retry_backoff_max);
+  const double jitter =
+      1.0 + policy_.retry_jitter * (2.0 * rng_.uniform01() - 1.0);
+  const double delay =
+      std::clamp(base * jitter, kEps, policy_.retry_backoff_max);
+  queue_.schedule_in(delay, [this, round, mv, attempt, first_started_at] {
+    start_move(round, mv, attempt + 1, first_started_at);
+  });
+}
+
+void Rebalancer::finish_move(std::uint64_t round, const PlannedMove& mv,
+                             int attempts, double first_started_at,
+                             bool committed) {
+  const double now = queue_.now();
+  MigrationRecord rec;
+  rec.round = round;
+  rec.lease = mv.lease;
+  rec.from = mv.move.from_node;
+  rec.to = mv.move.to_node;
+  rec.type = mv.move.type;
+  rec.gain = mv.gain;
+  rec.cost = mv.cost;
+  rec.started_at = first_started_at;
+  rec.finished_at = now;
+  rec.committed = committed;
+  rec.attempts = attempts;
+  migrations_.push_back(rec);
+
+  const auto lease_it = inflight_per_lease_.find(mv.lease);
+  VCOPT_DCHECK(lease_it != inflight_per_lease_.end());
+  if (--lease_it->second <= 0) {
+    inflight_per_lease_.erase(lease_it);
+  }
+
+  const auto it = open_rounds_.find(round);
+  VCOPT_DCHECK(it != open_rounds_.end());
+  if (committed) {
+    counter("rebalance/migrations_committed").add(1);
+    gain_histogram().observe(mv.gain);
+    cooldown_until_[mv.lease] = now + policy_.lease_cooldown;
+    ++it->second.record.committed;
+    it->second.record.net_gain += mv.gain - mv.cost;
+  } else {
+    counter("rebalance/migrations_failed").add(1);
+  }
+  resolve_move(round);
+}
+
+void Rebalancer::resolve_move(std::uint64_t round) {
+  const auto it = open_rounds_.find(round);
+  VCOPT_DCHECK(it != open_rounds_.end());
+  if (--it->second.outstanding > 0) return;
+  RoundRecord rec = it->second.record;
+  open_rounds_.erase(it);
+  if (rec.committed == rec.planned) {
+    rec.status = RoundStatus::kRebalanced;
+  } else if (rec.committed > 0) {
+    rec.status = RoundStatus::kPartial;
+  } else {
+    rec.status = RoundStatus::kDeferred;
+  }
+  finalize_round(rec);
+}
+
+void Rebalancer::finalize_round(RoundRecord record) {
+  counter("rebalance/rounds").add(1);
+  if (record.status == RoundStatus::kDeferred) {
+    counter("rebalance/rounds_deferred").add(1);
+    ++consecutive_bad_;
+  } else {
+    consecutive_bad_ = 0;
+  }
+  recorder_.series("rebalance/round_net_gain")
+      .record(queue_.now(), record.net_gain);
+  rounds_.push_back(record);
+
+  if (!disabled_ && consecutive_bad_ >= policy_.disable_after_bad_rounds) {
+    // Bottom of the degradation ladder: stop making it worse.  A marker
+    // round records the transition; reset() re-arms.
+    disabled_ = true;
+    if (ticker_) ticker_->stop();
+    counter("rebalance/disabled").add(1);
+    RoundRecord marker;
+    marker.round = ++round_counter_;
+    marker.time = queue_.now();
+    marker.status = RoundStatus::kDisabled;
+    rounds_.push_back(marker);
+  }
+}
+
+std::string Rebalancer::transcript() const {
+  std::ostringstream os;
+  for (const RoundRecord& r : rounds_) {
+    os << "round " << r.round << " t=" << r.time << " status="
+       << to_string(r.status) << " candidates=" << r.candidates
+       << " planned=" << r.planned << " committed=" << r.committed
+       << " rolled_back=" << r.rolled_back << " net_gain=" << r.net_gain
+       << "\n";
+  }
+  for (const MigrationRecord& m : migrations_) {
+    os << "move round=" << m.round << " lease=" << m.lease << " " << m.from
+       << "->" << m.to << " type=" << m.type << " gain=" << m.gain
+       << " cost=" << m.cost << " attempts=" << m.attempts
+       << " committed=" << (m.committed ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+std::string Rebalancer::describe() const {
+  std::size_t committed = 0;
+  std::size_t failed = 0;
+  for (const MigrationRecord& m : migrations_) {
+    if (m.committed) ++committed; else ++failed;
+  }
+  std::ostringstream os;
+  os << "rebalancer: rounds=" << rounds_.size() << " migrations="
+     << migrations_.size() << " committed=" << committed << " failed="
+     << failed << " inflight=" << inflight_per_lease_.size()
+     << (disabled_ ? " DISABLED" : "");
+  return os.str();
+}
+
+}  // namespace vcopt::rebalance

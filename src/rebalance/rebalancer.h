@@ -1,0 +1,254 @@
+// vcopt::rebalance — the continuous self-healing rebalancer the ROADMAP
+// names: a background actor that closes the loop from telemetry to live VM
+// migration.  The shape follows the collect -> decide -> migrate cycle of
+// dynamic VM schedulers:
+//
+//     obs::Recorder (cluster/lease/dc trajectories, written by
+//     cluster::ClusterSampler)                      --- collect ---.
+//                                                                  v
+//     drift detection (trajectory ratio + SloTracker          [ decide ]
+//     objective on DC-per-VM)                                      |
+//                                                                  v
+//     placement::consolidate_budgeted (Theorem-2 moves       [ migrate ]
+//     charged a data-movement cost)                                |
+//                                                                  v
+//     cluster::Cloud::begin/commit/rollback_migration  (two-phase, with
+//     conservation checks) ... back into the sampler's next sample.
+//
+// The collect step reads ONLY recorded telemetry — the rebalancer never
+// re-scans the cloud to find drift, so its trigger behaviour is exactly
+// what an operator sees on the dashboard.  The decide step treats each
+// migration as an economic decision: a move is planned only when its DC
+// gain exceeds a data-movement cost modeled from the VM's memory size and
+// the lease's shuffle traffic (VM count as proxy).
+//
+// Robustness rails (the headline):
+//   * two-phase reserve -> move -> commit per migration, rolled back when a
+//     node fails mid-copy (Cloud::commit_migration re-validates the world);
+//   * a per-round migration budget (max_moves_per_round) and per-lease
+//     cooldowns, so the rebalancer is rate-limited by construction;
+//   * exponential-backoff retry (capped, deterministic jitter) on transient
+//     failures — destination down, slot not yet free;
+//   * an explicit degradation ladder per round:
+//       kRebalanced -> kPartial -> kDeferred -> kDisabled
+//     an unhealthy cluster (failed nodes present) defers instead of making
+//     things worse, and too many consecutive bad rounds disable the loop
+//     entirely until an operator reset().
+//
+// Determinism: ticks ride sim::PeriodicTicker on the shared EventQueue,
+// retry jitter comes from a seeded util::Rng, and every container iterated
+// is ordered — a (trace, profile, seed) triple replays the identical
+// migration transcript byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cloud.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "placement/migration.h"
+#include "sim/event_queue.h"
+#include "sim/periodic.h"
+#include "util/rng.h"
+
+namespace vcopt::rebalance {
+
+/// Economic model of one live migration (Opposites-Attract style: the gain
+/// must beat the cost of moving the data).
+struct MigrationCostModel {
+  /// DC units charged per GB of the VM type's memory (the copy itself).
+  double cost_per_gb = 0.005;
+  /// DC units charged per VM in the lease: a proxy for the shuffle traffic
+  /// the migration disturbs while the cluster is running.
+  double shuffle_cost_factor = 0.02;
+  /// Live-copy duration: seconds_per_gb * memory_gb, floored at
+  /// min_duration.  The commit fires this long after the reserve.
+  double seconds_per_gb = 0.02;
+  double min_duration = 0.25;
+};
+
+/// Cost (DC units) of migrating one VM of `type` out of a lease currently
+/// holding `lease_vms` VMs.
+double migration_cost(const cluster::VmType& type, int lease_vms,
+                      const MigrationCostModel& model);
+/// Simulated duration of the live copy for one VM of `type`.
+double migration_duration(const cluster::VmType& type,
+                          const MigrationCostModel& model);
+
+struct RebalancePolicy {
+  double tick_period = 10.0;          ///< seconds between rounds
+  std::size_t max_moves_per_round = 4;  ///< migration budget per round
+  double lease_cooldown = 20.0;       ///< seconds a migrated lease is left alone
+  /// A lease has drifted when its recorded DC trajectory satisfies
+  /// last > drift_ratio * min (the lease has been measurably tighter).
+  double drift_ratio = 1.10;
+  double min_net_gain = 1e-6;         ///< accept moves with gain - cost above this
+  MigrationCostModel cost;
+  // Retry rail: transient failures (destination down, slot not yet free)
+  // retry with capped exponential backoff and deterministic jitter.
+  int max_retries = 3;
+  double retry_backoff_initial = 1.0;
+  double retry_backoff_factor = 2.0;
+  double retry_backoff_max = 30.0;
+  double retry_jitter = 0.25;
+  /// Health gate: with failed nodes present a round defers outright.
+  bool defer_on_failed_nodes = true;
+  /// Consecutive deferred rounds before the loop disables itself.
+  int disable_after_bad_rounds = 8;
+  // SLO objective on mean DC-per-VM, declared as "rebalance/dc_per_vm":
+  // while it alerts, leases whose DC-per-VM exceeds the threshold are
+  // candidates even when their own trajectory ratio looks flat (a cluster
+  // placed badly from the start has no "tighter past" to drift from).
+  double dc_per_vm_threshold = 4.0;
+  double dc_per_vm_objective = 0.25;
+};
+
+/// Degradation ladder of one round.
+enum class RoundStatus {
+  kRebalanced,  ///< every planned move committed (or nothing needed moving)
+  kPartial,     ///< some moves committed, some failed terminally
+  kDeferred,    ///< unhealthy cluster, or no planned move survived
+  kDisabled,    ///< the loop shut itself off (marker round at transition)
+};
+
+const char* to_string(RoundStatus s);
+
+/// One migration attempt chain, finalized when it commits or exhausts its
+/// retries.
+struct MigrationRecord {
+  std::uint64_t round = 0;
+  cluster::LeaseId lease = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t type = 0;
+  double gain = 0;       ///< DC gain the planner predicted
+  double cost = 0;       ///< charged data-movement cost
+  double started_at = 0;
+  double finished_at = 0;
+  bool committed = false;
+  int attempts = 1;      ///< begin attempts consumed (1 = first try)
+};
+
+/// One collect/decide/migrate round.
+struct RoundRecord {
+  std::uint64_t round = 0;
+  double time = 0;
+  RoundStatus status = RoundStatus::kDeferred;
+  std::size_t candidates = 0;   ///< drifted leases considered
+  std::size_t planned = 0;      ///< moves the decide step produced
+  std::size_t committed = 0;
+  std::size_t rolled_back = 0;  ///< commit-time rollbacks (incl. retried ones)
+  double net_gain = 0;          ///< sum of (gain - cost) over committed moves
+};
+
+/// A drifted lease the collect step surfaced.
+struct DriftCandidate {
+  cluster::LeaseId lease = 0;
+  double drift = 0;          ///< last - min of the recorded DC trajectory
+  double dc_per_vm = 0;      ///< last DC divided by current VM count
+};
+
+/// One move the decide step planned (lease + Theorem-2 relocation + economics).
+struct PlannedMove {
+  cluster::LeaseId lease = 0;
+  placement::Migration move;
+  double gain = 0;
+  double cost = 0;
+};
+
+/// Collect step, reusable without a Rebalancer (the service's inline
+/// rebalance pass shares it): scans the recorded `cluster/lease/dc` series
+/// of every live lease and returns the drifted ones, ordered by drift
+/// descending (ties by lease id).  `slo_hot` widens the net to leases whose
+/// DC-per-VM exceeds `policy.dc_per_vm_threshold`.  Leases without recorded
+/// telemetry are never candidates — the collect step reads the dashboard,
+/// it does not re-scan the cloud.
+std::vector<DriftCandidate> collect_drift(const cluster::Cloud& cloud,
+                                          obs::Recorder& recorder,
+                                          const RebalancePolicy& policy,
+                                          bool slo_hot);
+
+/// Decide step, also reusable: plans up to `budget` budgeted Theorem-2
+/// moves across `candidates` (in order) against the cloud's current
+/// reservation-aware remaining capacity.  Pure apart from reading the
+/// cloud; applying the moves is the caller's business.
+std::vector<PlannedMove> plan_moves(const cluster::Cloud& cloud,
+                                    const std::vector<DriftCandidate>& candidates,
+                                    const RebalancePolicy& policy,
+                                    std::size_t budget);
+
+/// The background rebalancer: one instance per simulation/driver, ticking on
+/// the shared event queue.  Not thread-safe — it lives on the sim's
+/// single-threaded event loop (the service uses the reusable steps above
+/// under its own lock instead).
+class Rebalancer {
+ public:
+  /// `recorder` is the telemetry the collect step reads (must be enabled to
+  /// ever find drift) and receives the rebalance/* series this writes.  The
+  /// optional `slo` gains a "rebalance/dc_per_vm" objective (declared on
+  /// first use) fed once per tick.  All references must outlive the
+  /// rebalancer.
+  Rebalancer(cluster::Cloud& cloud, sim::EventQueue& queue,
+             obs::Recorder& recorder, RebalancePolicy policy = {},
+             std::uint64_t seed = 1, obs::SloTracker* slo = nullptr);
+
+  /// Schedules periodic ticks (first at now + tick_period) until `horizon`.
+  void arm(double horizon);
+
+  /// One collect/decide/migrate round, callable directly (tests) or fired
+  /// by the armed ticker.
+  void tick();
+
+  /// Re-arms a disabled loop (clears the consecutive-bad-round counter).
+  void reset();
+
+  bool disabled() const { return disabled_; }
+  std::size_t inflight_count() const { return inflight_per_lease_.size(); }
+  const std::vector<RoundRecord>& rounds() const { return rounds_; }
+  const std::vector<MigrationRecord>& migrations() const { return migrations_; }
+  const RebalancePolicy& policy() const { return policy_; }
+
+  /// One line per finalized migration and round, deterministic — the CI
+  /// soak diffs two runs' transcripts to prove replay determinism.
+  std::string transcript() const;
+  std::string describe() const;
+
+ private:
+  struct OpenRound {
+    RoundRecord record;
+    std::size_t outstanding = 0;  ///< moves not yet finalized
+  };
+
+  void feed_telemetry(double now);
+  void start_move(std::uint64_t round, const PlannedMove& mv, int attempt,
+                  double first_started_at);
+  void retry_or_fail(std::uint64_t round, const PlannedMove& mv, int attempt,
+                     double first_started_at);
+  void finish_move(std::uint64_t round, const PlannedMove& mv, int attempts,
+                   double first_started_at, bool committed);
+  void resolve_move(std::uint64_t round);
+  void finalize_round(RoundRecord record);
+
+  cluster::Cloud& cloud_;
+  sim::EventQueue& queue_;
+  obs::Recorder& recorder_;
+  RebalancePolicy policy_;
+  obs::SloTracker* slo_;
+  util::Rng rng_;
+  std::optional<sim::PeriodicTicker> ticker_;  ///< built by arm()
+
+  bool disabled_ = false;
+  int consecutive_bad_ = 0;
+  std::uint64_t round_counter_ = 0;
+  std::map<std::uint64_t, OpenRound> open_rounds_;
+  std::map<cluster::LeaseId, int> inflight_per_lease_;
+  std::map<cluster::LeaseId, double> cooldown_until_;
+  std::vector<RoundRecord> rounds_;
+  std::vector<MigrationRecord> migrations_;
+};
+
+}  // namespace vcopt::rebalance

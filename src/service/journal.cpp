@@ -9,6 +9,7 @@
 
 #include "check/check.h"
 #include "obs/request_context.h"
+#include "util/logging.h"
 
 namespace vcopt::service {
 
@@ -38,6 +39,42 @@ std::uint64_t u64_at(const Json& j, const std::string& key) {
   return static_cast<std::uint64_t>(j.at(key).as_number());
 }
 
+// Per-line integrity: FNV-1a 64 over the record serialised without its
+// len/sum fields.  Json objects are key-sorted maps, so stripping the two
+// fields and re-dumping reproduces the writer's payload bytes exactly.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// True when the line's len/sum fields (if present) match its payload.
+bool integrity_ok(const Json& j) {
+  if (!j.is_object() || !j.contains("len") || !j.contains("sum")) {
+    return true;  // legacy line without integrity fields
+  }
+  if (!j.at("len").is_number() || !j.at("sum").is_string()) return false;
+  JsonObject stripped = j.as_object();
+  stripped.erase("len");
+  stripped.erase("sum");
+  const std::string payload = Json(std::move(stripped)).dump(0);
+  return static_cast<double>(payload.size()) == j.at("len").as_number() &&
+         hex64(fnv1a(payload)) == j.at("sum").as_string();
+}
+
 }  // namespace
 
 const char* to_string(RecordType t) {
@@ -45,15 +82,20 @@ const char* to_string(RecordType t) {
     case RecordType::kSubmit: return "submit";
     case RecordType::kWindow: return "window";
     case RecordType::kRelease: return "release";
+    case RecordType::kRebalance: return "rebalance";
   }
   return "?";
 }
 
-void JournalWriter::write(const Json& record) {
+void JournalWriter::write(JsonObject record) {
   // One compact line per record; flush so a crash loses at most the record
   // being written, never a decided-but-unjournaled one (records are written
-  // before their effects execute).
-  out_ << record.dump(0) << "\n";
+  // before their effects execute).  len/sum are computed over the record
+  // WITHOUT them, so the parser can strip and re-derive both.
+  const std::string payload = Json(record).dump(0);
+  record["len"] = static_cast<double>(payload.size());
+  record["sum"] = hex64(fnv1a(payload));
+  out_ << Json(std::move(record)).dump(0) << "\n";
   out_.flush();
   ++records_;
 }
@@ -76,7 +118,7 @@ void JournalWriter::submit(std::uint64_t seq, const cluster::Request& request,
   if (std::isfinite(options.deadline)) o["deadline"] = options.deadline;
   o["time"] = time;
   o["trace"] = obs::trace_id_hex(trace_id);
-  write(Json(std::move(o)));
+  write(std::move(o));
 }
 
 void JournalWriter::window(std::uint64_t window_id, double time,
@@ -90,7 +132,7 @@ void JournalWriter::window(std::uint64_t window_id, double time,
   o["reason"] = reason;
   o["members"] = Json(to_json_array(members));
   o["shed"] = Json(to_json_array(shed));
-  write(Json(std::move(o)));
+  write(std::move(o));
 }
 
 void JournalWriter::release(cluster::LeaseId lease, double time) {
@@ -98,27 +140,74 @@ void JournalWriter::release(cluster::LeaseId lease, double time) {
   o["type"] = "release";
   o["lease"] = static_cast<double>(lease);
   o["time"] = time;
-  write(Json(std::move(o)));
+  write(std::move(o));
+}
+
+void JournalWriter::rebalance(double time,
+                              const std::vector<RebalanceMove>& moves) {
+  JsonObject o;
+  o["type"] = "rebalance";
+  o["time"] = time;
+  JsonArray arr;
+  arr.reserve(moves.size());
+  for (const RebalanceMove& m : moves) {
+    JsonObject mo;
+    mo["lease"] = static_cast<double>(m.lease);
+    mo["from"] = static_cast<double>(m.from);
+    mo["to"] = static_cast<double>(m.to);
+    mo["vmtype"] = static_cast<double>(m.type);
+    arr.push_back(Json(std::move(mo)));
+  }
+  o["moves"] = Json(std::move(arr));
+  write(std::move(o));
 }
 
 std::vector<JournalRecord> parse_journal(std::istream& in,
                                          const std::string& source) {
   std::vector<JournalRecord> records;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(std::move(line));
+  }
+  // A crash mid-append can only tear the FINAL record: everything earlier
+  // was written and flushed whole.  Damage there is survivable (warn, parse
+  // what precedes it); the same damage mid-file is corruption and fails.
+  std::size_t last_nonempty = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!lines[i].empty()) last_nonempty = i + 1;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t lineno = i + 1;
+    const bool is_final = lineno == last_nonempty;
     if (line.empty()) continue;  // tolerate a trailing blank line
     Json j;
     try {
       j = Json::parse(line);
     } catch (const util::JsonParseError& e) {
+      if (is_final) {
+        util::log_warn() << source << ":" << lineno
+                         << ": ignoring torn final journal line "
+                            "(crash mid-append)";
+        break;
+      }
       // NDJSON: the record number is the line, the byte offset the column.
       std::ostringstream msg;
       msg << source << ":" << lineno << ":" << (e.offset() + 1) << ": "
           << e.what() << "\n  " << line << "\n  "
           << std::string(std::min(e.offset(), line.size()), ' ') << "^";
       throw std::invalid_argument(msg.str());
+    }
+    if (!integrity_ok(j)) {
+      if (is_final) {
+        util::log_warn() << source << ":" << lineno
+                         << ": ignoring final journal line with bad checksum";
+        break;
+      }
+      throw std::invalid_argument(
+          source + ":" + std::to_string(lineno) +
+          ": journal integrity check failed (len/sum mismatch)");
     }
     try {
       JournalRecord rec;
@@ -163,6 +252,17 @@ std::vector<JournalRecord> parse_journal(std::istream& in,
       } else if (type == "release") {
         rec.type = RecordType::kRelease;
         rec.lease = u64_at(j, "lease");
+      } else if (type == "rebalance") {
+        rec.type = RecordType::kRebalance;
+        rec.moves.reserve(j.at("moves").as_array().size());
+        for (const Json& m : j.at("moves").as_array()) {
+          RebalanceMove mv;
+          mv.lease = u64_at(m, "lease");
+          mv.from = static_cast<std::size_t>(m.at("from").as_number());
+          mv.to = static_cast<std::size_t>(m.at("to").as_number());
+          mv.type = static_cast<std::size_t>(m.at("vmtype").as_number());
+          rec.moves.push_back(mv);
+        }
       } else {
         throw std::invalid_argument("unknown record type '" + type + "'");
       }

@@ -15,6 +15,18 @@
 //    "members":[seq..],"shed":[seq..]}          — a closed decision window:
 //    `members` in dispatch order, `shed` the deadline-expired entries
 //   {"type":"release","lease":L,"time":T}       — a lease returned
+//   {"type":"rebalance","time":T,"moves":[{"from":F,"lease":L,"to":D,
+//    "vmtype":J},..]}                            — a drift-repair pass: the
+//    exact live migrations the service applied between windows, so replay
+//    reproduces the capacity evolution they caused
+//
+// Integrity: every line additionally carries "len" (byte length of the
+// record serialised WITHOUT len/sum) and "sum" (FNV-1a 64 of those bytes).
+// The parser re-derives both and rejects a mismatched line — except when
+// the damage is confined to the FINAL line, the signature of a crash mid-
+// append, which is skipped with a warning instead of failing the whole
+// replay.  Lines without len/sum (journals from older builds) parse
+// unchanged.
 //
 // The window record carries the decided membership (not just arrival
 // order), so replay never re-runs the window-formation policy — it re-
@@ -33,9 +45,17 @@
 
 namespace vcopt::service {
 
-enum class RecordType { kSubmit, kWindow, kRelease };
+enum class RecordType { kSubmit, kWindow, kRelease, kRebalance };
 
 const char* to_string(RecordType t);
+
+/// One journaled live migration (a rebalance record holds a batch of them).
+struct RebalanceMove {
+  cluster::LeaseId lease = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t type = 0;
+};
 
 /// One parsed journal line; fields beyond `type`/`time` are meaningful only
 /// for the matching record type.
@@ -54,6 +74,8 @@ struct JournalRecord {
   std::vector<std::uint64_t> shed;
   // kRelease
   cluster::LeaseId lease = 0;
+  // kRebalance
+  std::vector<RebalanceMove> moves;
 };
 
 /// Appends NDJSON records to a stream (one line per call, flushed so the
@@ -70,11 +92,12 @@ class JournalWriter {
               const std::vector<std::uint64_t>& members,
               const std::vector<std::uint64_t>& shed);
   void release(cluster::LeaseId lease, double time);
+  void rebalance(double time, const std::vector<RebalanceMove>& moves);
 
   std::uint64_t records_written() const { return records_; }
 
  private:
-  void write(const util::Json& record);
+  void write(util::JsonObject record);
 
   std::ostream& out_;
   std::uint64_t records_ = 0;

@@ -73,6 +73,24 @@ ReplayResult replay_journal(const std::vector<JournalRecord>& records,
         ++result.releases;
         break;
       }
+      case RecordType::kRebalance: {
+        // Re-apply the journaled migrations through the same two-phase
+        // primitive the live pass used; in replay the cloud state at this
+        // record matches the live run's, so every move must land.
+        for (const RebalanceMove& m : rec.moves) {
+          const std::uint64_t ticket =
+              cloud.begin_migration(m.lease, m.from, m.to, m.type);
+          if (ticket == 0 || !cloud.commit_migration(ticket)) {
+            throw std::invalid_argument(
+                "replay_journal: journaled migration of lease " +
+                std::to_string(m.lease) + " (" + std::to_string(m.from) +
+                " -> " + std::to_string(m.to) +
+                ") could not be re-applied — journal/cloud mismatch");
+          }
+          ++result.migrations;
+        }
+        break;
+      }
     }
   }
   result.grants = grant_stream(result.outcomes);

@@ -27,6 +27,8 @@ struct ReplayResult {
   double total_distance = 0;
   std::uint64_t windows = 0;
   std::uint64_t releases = 0;
+  /// Live migrations re-applied from rebalance records.
+  std::uint64_t migrations = 0;
 };
 
 /// Replays `records` against `cloud` (normally a freshly built copy of the

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/global_subopt.h"
+#include "rebalance/rebalancer.h"
 #include "service/journal.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
@@ -569,6 +570,7 @@ void PlacementService::release(cluster::LeaseId lease) {
     ++epoch_;
     publish_snapshot_locked(now);
     if (sampler_) sampler_->maybe_sample(now);
+    maybe_rebalance_locked(now);
     ++current_ticket_;
     commit_cv_.notify_all();
     return;
@@ -576,6 +578,7 @@ void PlacementService::release(cluster::LeaseId lease) {
   if (journal_) journal_->release(lease, now);
   cloud_.release(lease);
   if (sampler_) sampler_->maybe_sample(now);
+  maybe_rebalance_locked(now);
 }
 
 std::vector<Outcome> PlacementService::take_outcomes() {
@@ -691,6 +694,7 @@ void PlacementService::close_window_locked(double close_time,
   const auto commit_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
   publish_outcomes_locked(shed.size(), members.size(), close_time,
                           std::move(outcomes));
+  maybe_rebalance_locked(close_time);
   m.stage_commit.observe(seconds_since(commit_start));
 }
 
@@ -725,6 +729,83 @@ void PlacementService::publish_outcomes_locked(std::size_t shed_count,
   decided_cv_.notify_all();
 }
 
+void PlacementService::maybe_rebalance_locked(double t) {
+  const ServiceRebalanceOptions& ro = options_.rebalance;
+  if (!ro.enabled || options_.recorder == nullptr) return;
+  if (t < last_rebalance_ + ro.period) return;
+  last_rebalance_ = t;
+
+  rebalance::RebalancePolicy rp;
+  rp.max_moves_per_round = ro.max_moves;
+  rp.drift_ratio = ro.drift_ratio;
+  rp.min_net_gain = ro.min_net_gain;
+  rp.lease_cooldown = ro.lease_cooldown;
+  rp.cost.cost_per_gb = ro.cost_per_gb;
+  rp.cost.shuffle_cost_factor = ro.shuffle_cost_factor;
+
+  std::vector<rebalance::DriftCandidate> candidates =
+      rebalance::collect_drift(cloud_, *options_.recorder, rp,
+                               /*slo_hot=*/false);
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](const rebalance::DriftCandidate& c) {
+                                    const auto it =
+                                        rebalance_cooldown_.find(c.lease);
+                                    return it != rebalance_cooldown_.end() &&
+                                           it->second > t;
+                                  }),
+                   candidates.end());
+  if (candidates.empty()) return;
+  const std::vector<rebalance::PlannedMove> moves =
+      rebalance::plan_moves(cloud_, candidates, rp, ro.max_moves);
+  if (moves.empty()) return;
+
+  // Write-ahead: the journal records the exact moves before they execute,
+  // so replay re-applies the identical capacity evolution.
+  if (journal_) {
+    std::vector<RebalanceMove> journal_moves;
+    journal_moves.reserve(moves.size());
+    for (const rebalance::PlannedMove& mv : moves) {
+      journal_moves.push_back(RebalanceMove{mv.lease, mv.move.from_node,
+                                            mv.move.to_node, mv.move.type});
+    }
+    journal_->rebalance(t, journal_moves);
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  std::size_t committed = 0;
+  for (const rebalance::PlannedMove& mv : moves) {
+    reg.counter("rebalance/migrations_attempted").add(1);
+    // In-lock apply: the plan was computed against the cloud this lock
+    // protects, so each move lands on exactly the capacity it planned for
+    // (later moves may consume slots earlier ones freed — hence commit
+    // immediately, in plan order).
+    const std::uint64_t ticket = cloud_.begin_migration(
+        mv.lease, mv.move.from_node, mv.move.to_node, mv.move.type);
+    if (ticket == 0 || !cloud_.commit_migration(ticket)) {
+      VCOPT_DCHECK(false) << "planned migration of lease " << mv.lease
+                          << " refused under the service lock";
+      reg.counter("rebalance/migrations_rolled_back").add(1);
+      continue;
+    }
+    ++committed;
+    reg.counter("rebalance/migrations_committed").add(1);
+    reg.histogram("rebalance/migration_gain",
+                  obs::MetricsRegistry::exponential_buckets(0.01, 2.0, 12))
+        .observe(mv.gain);
+    rebalance_cooldown_[mv.lease] = t + ro.lease_cooldown;
+  }
+  if (committed > 0) {
+    ++stats_.rebalance_passes;
+    stats_.rebalance_migrations += committed;
+    if (pipelined()) {
+      // Capacity moved: later plans must read post-migration capacity.
+      ++epoch_;
+      publish_snapshot_locked(t);
+    }
+  }
+  if (sampler_) sampler_->maybe_sample(t);
+}
+
 void PlacementService::publish_snapshot_locked(double build_time) {
   snap_.store(snapshot_arena_.build(cloud_, epoch_, build_time),
               std::memory_order_release);
@@ -755,6 +836,10 @@ void PlacementService::commit_task_locked(const detail::EvalTask& task,
   }
   publish_outcomes_locked(task.shed.size(), task.members.size(),
                           task.close_time, std::move(plan.outcomes));
+  // Same logical instant as the serial path's post-window rebalance: this
+  // thread still holds the commit ticket, so the pass (and its journal
+  // record) lands between this window and the next capacity event.
+  maybe_rebalance_locked(task.close_time);
   ++current_ticket_;
   VCOPT_DCHECK(inflight_windows_ > 0);
   --inflight_windows_;

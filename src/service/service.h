@@ -177,6 +177,25 @@ struct ServiceSloOptions {
   std::size_t min_events = 10;
 };
 
+/// Opt-in drift-repair pass (docs/robustness.md): between decide windows
+/// the service runs a budgeted rebalance — collect drifted leases from
+/// recorded telemetry, plan Theorem-2 moves whose DC gain beats their
+/// data-movement cost, apply them through the cloud's two-phase migration
+/// primitive.  Every pass is journaled write-ahead (a "rebalance" record
+/// listing the exact moves), so replay reproduces the capacity evolution
+/// byte-identically.  Requires ServiceOptions::recorder — without one the
+/// pass has no telemetry to read and stays inert.
+struct ServiceRebalanceOptions {
+  bool enabled = false;
+  double period = 5.0;        ///< min service-clock seconds between passes
+  std::size_t max_moves = 2;  ///< migration budget per pass
+  double drift_ratio = 1.10;  ///< lease drifted when last > ratio * min DC
+  double min_net_gain = 1e-6;
+  double lease_cooldown = 10.0;  ///< seconds a migrated lease is left alone
+  double cost_per_gb = 0.005;
+  double shuffle_cost_factor = 0.02;
+};
+
 struct ServiceOptions {
   std::size_t max_batch = 8;   ///< window closes at this many pending
   double max_wait = 0.010;     ///< ... or when the oldest waited this long (s)
@@ -208,6 +227,8 @@ struct ServiceOptions {
   /// decide-at-close).  release() in this mode briefly blocks until earlier
   /// windows commit, preserving the serial capacity-evolution order.
   std::size_t eval_threads = 0;
+  /// Opt-in, journaled drift-repair between decide windows (see above).
+  ServiceRebalanceOptions rebalance;
 };
 
 namespace detail {
@@ -302,6 +323,9 @@ struct ServiceStats {
   std::uint64_t snapshot_builds = 0;     ///< snapshots built + published
   std::uint64_t snapshot_reuses = 0;     ///< plans served by a published snapshot
   std::uint64_t snapshot_conflicts = 0;  ///< stale-epoch commits re-planned
+  // Drift-repair pass (all zero unless options.rebalance.enabled).
+  std::uint64_t rebalance_passes = 0;      ///< passes that applied >= 1 move
+  std::uint64_t rebalance_migrations = 0;  ///< committed live migrations
 };
 
 class PlacementService {
@@ -394,6 +418,11 @@ class PlacementService {
                           detail::WindowPlan& plan) VCOPT_REQUIRES(mu_);
   /// Rebuilds and publishes the snapshot for the current epoch.
   void publish_snapshot_locked(double build_time) VCOPT_REQUIRES(mu_);
+  /// Opt-in drift-repair pass, invoked after every capacity mutation (window
+  /// commit, release) at its point in the ticket order, so serial and
+  /// pipelined runs rebalance at identical logical instants.  Journals the
+  /// applied moves write-ahead; republishes the snapshot in pipelined mode.
+  void maybe_rebalance_locked(double t) VCOPT_REQUIRES(mu_);
   /// Blocks until every enqueued window has committed (lock held).
   void wait_pipeline_drained_locked() VCOPT_REQUIRES(mu_);
   bool pipelined() const { return options_.eval_threads > 0; }
@@ -417,6 +446,9 @@ class PlacementService {
   ServiceStats stats_ VCOPT_GUARDED_BY(mu_);
   std::uint64_t next_seq_ VCOPT_GUARDED_BY(mu_) = 1;
   std::uint64_t next_window_ VCOPT_GUARDED_BY(mu_) = 1;
+  // Drift-repair pass state (rebalance.enabled only).
+  double last_rebalance_ VCOPT_GUARDED_BY(mu_) = 0;
+  std::map<cluster::LeaseId, double> rebalance_cooldown_ VCOPT_GUARDED_BY(mu_);
   double virtual_now_ VCOPT_GUARDED_BY(mu_) = 0;
   bool stopping_ VCOPT_GUARDED_BY(mu_) = false;
   // Reconciliation ledger for the stop()-time VCOPT_VALIDATE (accepted seqs

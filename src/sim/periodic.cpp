@@ -1,0 +1,45 @@
+#include "sim/periodic.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vcopt::sim {
+
+PeriodicTicker::PeriodicTicker(EventQueue& queue, double period,
+                               double horizon, std::function<void()> tick)
+    : queue_(queue), period_(period), horizon_(horizon),
+      tick_(std::move(tick)) {
+  if (period <= 0) {
+    throw std::invalid_argument("PeriodicTicker: period must be positive");
+  }
+}
+
+void PeriodicTicker::start() {
+  if (running_) return;
+  const double first = queue_.now() + period_;
+  if (first > horizon_) return;
+  running_ = true;
+  pending_ = queue_.schedule(first, [this] { fire(); });
+}
+
+void PeriodicTicker::stop() {
+  if (!running_) return;
+  queue_.cancel(pending_);
+  pending_ = 0;
+  running_ = false;
+}
+
+void PeriodicTicker::fire() {
+  if (!running_) return;
+  ++ticks_;
+  tick_();
+  const double next = queue_.now() + period_;
+  if (next > horizon_) {
+    running_ = false;
+    pending_ = 0;
+    return;
+  }
+  pending_ = queue_.schedule(next, [this] { fire(); });
+}
+
+}  // namespace vcopt::sim

@@ -1,0 +1,50 @@
+// Periodic tick driver for background actors on an EventQueue: fires a
+// callback every `period` simulated seconds until `horizon` (inclusive of
+// the last tick at or before it) or until stop().  The rebalance loop rides
+// this — its collect/decide/migrate round is one tick — but the helper is
+// generic: any maintenance actor that wants a deterministic heartbeat
+// composed with the rest of the schedule can use it.
+//
+// Ticks are ordinary events, so they interleave deterministically with
+// grants, releases, faults and repairs under the queue's FIFO-among-ties
+// guarantee.  Rescheduling happens from inside the fired event, so a tick
+// callback that schedules follow-up work (e.g. a migration commit) keeps
+// strict event ordering.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace vcopt::sim {
+
+class PeriodicTicker {
+ public:
+  /// Does not start ticking until start().  The queue must outlive the
+  /// ticker.  Throws std::invalid_argument on period <= 0.
+  PeriodicTicker(EventQueue& queue, double period, double horizon,
+                 std::function<void()> tick);
+
+  /// Schedules the first tick at now + period.  No-op if already started.
+  void start();
+
+  /// Cancels the pending tick; no further ticks fire.  Idempotent.
+  void stop();
+
+  std::size_t ticks_fired() const { return ticks_; }
+  bool running() const { return running_; }
+
+ private:
+  void fire();
+
+  EventQueue& queue_;
+  double period_;
+  double horizon_;
+  std::function<void()> tick_;
+  bool running_ = false;
+  EventId pending_ = 0;
+  std::size_t ticks_ = 0;
+};
+
+}  // namespace vcopt::sim

@@ -136,4 +136,16 @@ std::string Histogram::render(std::size_t width) const {
   return os.str();
 }
 
+double capped_exponential_backoff(double initial, double factor, int attempt,
+                                  double max_delay) {
+  if (initial <= 0 || attempt <= 0 || max_delay <= 0) return 0;
+  if (factor < 1) factor = 1;
+  double delay = initial;
+  for (int k = 1; k < attempt; ++k) {
+    if (delay >= max_delay) break;  // already clamped; stop before overflow
+    delay *= factor;
+  }
+  return std::min(delay, max_delay);
+}
+
 }  // namespace vcopt::util

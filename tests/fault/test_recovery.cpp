@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -318,6 +319,45 @@ TEST(RecoveryManager, IdenticalRunsProduceIdenticalTranscripts) {
     EXPECT_DOUBLE_EQ(a[i].completed_at, b[i].completed_at);
     EXPECT_DOUBLE_EQ(a[i].distance_after, b[i].distance_after);
     EXPECT_EQ(a[i].restricted_scan_used, b[i].restricted_scan_used);
+  }
+}
+
+// The backoff schedule must stay finite and clamped no matter how many
+// attempts pile up: initial * factor^(attempt-1) overflows double well
+// before attempt 10000, and an inf/nan delay would wedge the event queue.
+TEST(RecoveryManager, BackoffStaysFiniteAndCappedAtAbsurdAttemptCounts) {
+  RepairPolicy policy;
+  policy.backoff_initial = 1.0;
+  policy.backoff_factor = 2.0;
+  policy.backoff_jitter = 0.25;
+  policy.backoff_max = 60.0;
+  for (const int attempt : {1, 2, 7, 64, 1024, 10000, 1 << 30}) {
+    for (const double u : {0.0, 0.5, 0.999999}) {
+      const double d = backoff_delay(policy, attempt, u);
+      ASSERT_TRUE(std::isfinite(d)) << "attempt " << attempt;
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, policy.backoff_max) << "attempt " << attempt;
+    }
+  }
+  // Early attempts still grow geometrically below the cap.
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 2, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 3, 0.5), 4.0);
+}
+
+// Extreme policy values (huge initial, huge factor) are also clamped, and a
+// jitter draw at the top of [0, 1) never pushes the delay past the cap.
+TEST(RecoveryManager, BackoffClampSurvivesExtremePolicyValues) {
+  RepairPolicy policy;
+  policy.backoff_initial = 1e300;
+  policy.backoff_factor = 1e10;
+  policy.backoff_jitter = 1.0;
+  policy.backoff_max = 30.0;
+  for (const int attempt : {1, 50, 10000}) {
+    const double d = backoff_delay(policy, attempt, 0.999999);
+    ASSERT_TRUE(std::isfinite(d));
+    EXPECT_LE(d, policy.backoff_max);
+    EXPECT_GE(d, 0.0);
   }
 }
 

@@ -164,5 +164,58 @@ TEST(SloTracker, ResetClearsEventsButKeepsDeclarations) {
   EXPECT_FALSE(st.alerting);
 }
 
+TEST(SloTracker, EmptyWindowsEvaluateQuietly) {
+  SloTracker t;
+  t.declare(spec("s"));
+  // No events at all: burns are zero, no alert, no division blow-ups.
+  const SloStatus st = t.evaluate(1e9)[0];
+  EXPECT_EQ(st.total, 0u);
+  EXPECT_EQ(st.short_total, 0u);
+  EXPECT_EQ(st.long_total, 0u);
+  EXPECT_DOUBLE_EQ(st.short_burn, 0.0);
+  EXPECT_DOUBLE_EQ(st.long_burn, 0.0);
+  EXPECT_FALSE(st.alerting);
+  EXPECT_FALSE(t.any_alerting(1e9));
+}
+
+TEST(SloTracker, BurnExactlyAtThresholdAlerts) {
+  // The alert rule is >= on both windows: burn landing exactly on
+  // burn_alert must fire, not sit one ulp short of it.
+  SloTracker t;
+  t.declare(spec("s", /*objective=*/0.1, 10, 100, /*burn_alert=*/2.0,
+                 /*min_events=*/4));
+  // 10 events, 2 bad: bad fraction 0.2, burn exactly 2.0 in both windows.
+  for (int i = 0; i < 10; ++i) t.record_event("s", 5.0, i >= 2);
+  const SloStatus st = t.evaluate(5.0)[0];
+  ASSERT_DOUBLE_EQ(st.short_burn, 2.0);
+  ASSERT_DOUBLE_EQ(st.long_burn, 2.0);
+  EXPECT_TRUE(st.alerting);
+  // One ulp below the threshold must NOT fire: 2 bad out of 11 events is
+  // burn ~1.82 < 2.0.
+  SloTracker u;
+  u.declare(spec("s", 0.1, 10, 100, 2.0, 4));
+  for (int i = 0; i < 11; ++i) u.record_event("s", 5.0, i >= 2);
+  EXPECT_FALSE(u.evaluate(5.0)[0].alerting);
+}
+
+TEST(SloTracker, ObjectiveReArmsAfterRecovery) {
+  // alert -> recover (events age out / good events dilute) -> alert again.
+  // The tracker holds no latch: a fresh burn after a quiet spell must fire
+  // exactly like the first one did.
+  SloTracker t;
+  t.declare(spec("s", 0.1, 10, 100, 2.0, /*min_events=*/4));
+  for (int i = 0; i < 10; ++i) t.record_event("s", 5.0, false);
+  EXPECT_TRUE(t.any_alerting(5.0));
+  // Long after, both windows are empty: recovered.
+  EXPECT_FALSE(t.any_alerting(500.0));
+  // A second storm re-arms the alert with no manual reset.
+  for (int i = 0; i < 10; ++i) t.record_event("s", 600.0, false);
+  const SloStatus st = t.evaluate(600.0)[0];
+  EXPECT_TRUE(st.alerting);
+  // Lifetime totals accumulated across both storms.
+  EXPECT_EQ(st.total, 20u);
+  EXPECT_EQ(st.bad, 20u);
+}
+
 }  // namespace
 }  // namespace vcopt::obs

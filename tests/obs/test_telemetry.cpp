@@ -107,6 +107,39 @@ TEST(RenderStats, HealthyBundleSaysAllOk) {
       << out.str();
 }
 
+TEST(RenderStats, RendersRebalancerPanelWhenCountersPresent) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("rebalance/rounds").add(3);
+  reg.counter("rebalance/rounds_deferred").add(1);
+  reg.counter("rebalance/migrations_attempted").add(5);
+  reg.counter("rebalance/migrations_committed").add(4);
+  reg.counter("rebalance/migrations_rolled_back").add(1);
+  HistogramMetric& gain = reg.histogram(
+      "rebalance/migration_gain",
+      MetricsRegistry::exponential_buckets(0.01, 2.0, 12));
+  gain.observe(0.5);
+  gain.observe(1.5);
+  Recorder rec;
+  std::ostringstream out;
+  render_stats(telemetry_bundle(reg, rec, nullptr, 1.0), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Rebalancer =="), std::string::npos) << text;
+  EXPECT_NE(text.find("Attempted"), std::string::npos);
+  EXPECT_NE(text.find("RolledBack"), std::string::npos);
+  EXPECT_NE(text.find("Gain samples"), std::string::npos);
+}
+
+TEST(RenderStats, RebalancerPanelAbsentWithoutActivity) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("service/requests").add(1);
+  Recorder rec;
+  std::ostringstream out;
+  render_stats(telemetry_bundle(reg, rec, nullptr, 0.0), out);
+  EXPECT_EQ(out.str().find("Rebalancer"), std::string::npos) << out.str();
+}
+
 TEST(RenderStats, TolerantOfMissingSections) {
   util::JsonObject o;
   o["schema"] = "vcopt-telemetry/1";

@@ -1,0 +1,320 @@
+// The self-healing rebalancer: drift collection off recorded telemetry,
+// budgeted economic planning, two-phase migration with rollback + capped
+// retry, the per-round degradation ladder, cooldown/budget rate limits and
+// the disable/reset rail.
+#include "rebalance/rebalancer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cloud.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "sim/event_queue.h"
+
+namespace vcopt::rebalance {
+namespace {
+
+using cluster::Allocation;
+using cluster::Cloud;
+using cluster::LeaseId;
+using cluster::Request;
+
+Cloud make_cloud() {
+  // 2 racks x 2 nodes, 3 EC2 types, 2 of each type per node.
+  return Cloud(cluster::Topology::uniform(2, 2),
+               cluster::VmCatalog::ec2_default(), util::IntMatrix(4, 3, 2));
+}
+
+// 2 VMs of type 0 on node 0 + 1 stranded cross-rack on node 2: DC = 2,
+// and node 1 (same rack as the central) has free slots, so one Theorem-1
+// move with gain 1.0 tightens it.
+LeaseId stranded_lease(Cloud& cloud) {
+  Request r({3, 0, 0});
+  Allocation a(4, 3);
+  a.at(0, 0) = 2;
+  a.at(2, 0) = 1;
+  return cloud.grant(r, a);
+}
+
+// Records a drifted DC trajectory for `lease`: tight past (min 1.0),
+// loose present (last 2.0) — well past the default 1.10 drift ratio.
+void record_drift(obs::Recorder& rec, LeaseId lease) {
+  obs::TimeSeries& s = rec.series("cluster/lease/dc",
+                                  {{"lease", std::to_string(lease)}});
+  s.record(0.0, 1.0);
+  s.record(1.0, 2.0);
+}
+
+TEST(Rebalancer, MigratesDriftedLeaseBackTogether) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  record_drift(recorder, id);
+
+  Rebalancer reb(cloud, queue, recorder);
+  reb.tick();
+  EXPECT_EQ(reb.inflight_count(), 1u);  // live copy in flight
+  queue.run();
+
+  ASSERT_EQ(reb.migrations().size(), 1u);
+  const MigrationRecord& m = reb.migrations()[0];
+  EXPECT_TRUE(m.committed);
+  EXPECT_EQ(m.lease, id);
+  EXPECT_EQ(m.from, 2u);
+  EXPECT_EQ(m.to, 1u);
+  EXPECT_DOUBLE_EQ(m.gain, 1.0);
+  EXPECT_GT(m.gain, m.cost);
+  EXPECT_EQ(m.attempts, 1);
+  // The VM actually moved.
+  EXPECT_EQ(cloud.lease_allocation(id).counts()(1, 0), 1);
+  EXPECT_EQ(cloud.lease_allocation(id).counts()(2, 0), 0);
+
+  ASSERT_EQ(reb.rounds().size(), 1u);
+  const RoundRecord& r = reb.rounds()[0];
+  EXPECT_EQ(r.status, RoundStatus::kRebalanced);
+  EXPECT_EQ(r.candidates, 1u);
+  EXPECT_EQ(r.planned, 1u);
+  EXPECT_EQ(r.committed, 1u);
+  EXPECT_GT(r.net_gain, 0.0);
+  EXPECT_EQ(reb.inflight_count(), 0u);
+  // The rebalancer's own telemetry appeared.
+  EXPECT_GT(recorder.series("rebalance/round_net_gain").summarize().count, 0u);
+}
+
+TEST(Rebalancer, NeverActsWithoutRecordedTelemetry) {
+  Cloud cloud = make_cloud();
+  stranded_lease(cloud);  // badly placed, but nothing recorded about it
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+
+  Rebalancer reb(cloud, queue, recorder);
+  reb.tick();
+  queue.run();
+  EXPECT_TRUE(reb.migrations().empty());
+  ASSERT_EQ(reb.rounds().size(), 1u);
+  EXPECT_EQ(reb.rounds()[0].status, RoundStatus::kRebalanced);
+  EXPECT_EQ(reb.rounds()[0].candidates, 0u);
+}
+
+TEST(Rebalancer, FlatTrajectoryIsNotDrift) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  // Loose but stable: last == min, so no drift (and no SLO wired).
+  obs::TimeSeries& s = recorder.series("cluster/lease/dc",
+                                       {{"lease", std::to_string(id)}});
+  s.record(0.0, 2.0);
+  s.record(1.0, 2.0);
+
+  Rebalancer reb(cloud, queue, recorder);
+  reb.tick();
+  queue.run();
+  EXPECT_TRUE(reb.migrations().empty());
+}
+
+TEST(Rebalancer, HealthGateDefersWhileNodesAreDown) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  record_drift(recorder, id);
+  cloud.fail_node(3);  // unrelated node, but the cluster is unhealthy
+
+  Rebalancer reb(cloud, queue, recorder);
+  reb.tick();
+  queue.run();
+  EXPECT_TRUE(reb.migrations().empty());
+  ASSERT_EQ(reb.rounds().size(), 1u);
+  EXPECT_EQ(reb.rounds()[0].status, RoundStatus::kDeferred);
+  // Recovery lifts the gate.
+  cloud.recover_node(3);
+  reb.tick();
+  queue.run();
+  EXPECT_EQ(reb.migrations().size(), 1u);
+  EXPECT_EQ(reb.rounds().back().status, RoundStatus::kRebalanced);
+}
+
+TEST(Rebalancer, DisablesAfterConsecutiveBadRoundsAndResetsBack) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  record_drift(recorder, id);
+  cloud.fail_node(3);
+
+  RebalancePolicy policy;
+  policy.disable_after_bad_rounds = 2;
+  Rebalancer reb(cloud, queue, recorder, policy);
+  reb.tick();
+  reb.tick();
+  EXPECT_TRUE(reb.disabled());
+  // deferred, deferred, then the kDisabled marker round.
+  ASSERT_EQ(reb.rounds().size(), 3u);
+  EXPECT_EQ(reb.rounds()[2].status, RoundStatus::kDisabled);
+  // Disabled loop ignores further ticks.
+  reb.tick();
+  EXPECT_EQ(reb.rounds().size(), 3u);
+  // Operator reset re-arms it.
+  reb.reset();
+  EXPECT_FALSE(reb.disabled());
+  cloud.recover_node(3);
+  reb.tick();
+  queue.run();
+  EXPECT_EQ(reb.migrations().size(), 1u);
+}
+
+TEST(Rebalancer, CooldownLeavesAJustMigratedLeaseAlone) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  record_drift(recorder, id);
+
+  Rebalancer reb(cloud, queue, recorder);
+  reb.tick();
+  queue.run();
+  ASSERT_EQ(reb.migrations().size(), 1u);
+  // Telemetry still shows drift (the sampler has not caught up), but the
+  // lease is inside its cooldown window: the next round skips it.
+  reb.tick();
+  queue.run();
+  EXPECT_EQ(reb.migrations().size(), 1u);
+  ASSERT_EQ(reb.rounds().size(), 2u);
+  EXPECT_EQ(reb.rounds()[1].candidates, 0u);
+}
+
+TEST(Rebalancer, PerRoundBudgetCapsConcurrentMoves) {
+  Cloud cloud = make_cloud();
+  const LeaseId a = stranded_lease(cloud);
+  // Second drifted lease of a different type, also stranded cross-rack.
+  Request r({0, 2, 0});
+  Allocation al(4, 3);
+  al.at(0, 1) = 1;
+  al.at(3, 1) = 1;
+  const LeaseId b = cloud.grant(r, al);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  record_drift(recorder, a);
+  record_drift(recorder, b);
+
+  RebalancePolicy policy;
+  policy.max_moves_per_round = 1;
+  Rebalancer reb(cloud, queue, recorder, policy);
+  reb.tick();
+  queue.run();
+  EXPECT_EQ(reb.migrations().size(), 1u);
+  EXPECT_EQ(reb.rounds()[0].planned, 1u);
+}
+
+TEST(Rebalancer, MidCopyNodeFailureRollsBackThenRetriesToExhaustion) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  record_drift(recorder, id);
+
+  RebalancePolicy policy;
+  policy.max_retries = 2;
+  Rebalancer reb(cloud, queue, recorder, policy);
+  reb.tick();  // begin_migration reserves a slot on node 1
+  EXPECT_EQ(cloud.pending_migration_count(), 1u);
+  // The destination crashes mid-copy: commit must roll back, then every
+  // retry finds the node still down and the chain ends terminally.
+  cloud.fail_node(1);
+  queue.run();
+
+  ASSERT_EQ(reb.migrations().size(), 1u);
+  const MigrationRecord& m = reb.migrations()[0];
+  EXPECT_FALSE(m.committed);
+  EXPECT_EQ(m.attempts, policy.max_retries + 1);
+  EXPECT_EQ(cloud.pending_migration_count(), 0u);
+  // Books intact: the VM never left node 2, nothing was duplicated.
+  EXPECT_EQ(cloud.lease_allocation(id).counts()(2, 0), 1);
+  EXPECT_EQ(cloud.lease_allocation(id).total_vms(), 3);
+  ASSERT_EQ(reb.rounds().size(), 1u);
+  EXPECT_EQ(reb.rounds()[0].status, RoundStatus::kDeferred);
+  EXPECT_GE(reb.rounds()[0].rolled_back, 1u);
+}
+
+TEST(Rebalancer, LeaseReleasedMidRetryEndsTheChainCleanly) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  record_drift(recorder, id);
+
+  Rebalancer reb(cloud, queue, recorder);
+  reb.tick();
+  cloud.release(id);  // tenant leaves while the copy is in flight
+  queue.run();
+  ASSERT_EQ(reb.migrations().size(), 1u);
+  EXPECT_FALSE(reb.migrations()[0].committed);
+  EXPECT_EQ(cloud.pending_migration_count(), 0u);
+  EXPECT_EQ(reb.inflight_count(), 0u);
+}
+
+TEST(Rebalancer, SloObjectiveWidensTheNetToFlatButLooseLeases) {
+  Cloud cloud = make_cloud();
+  const LeaseId id = stranded_lease(cloud);
+  sim::EventQueue queue;
+  obs::Recorder recorder;
+  recorder.set_enabled(true);
+  // Flat trajectory — no drift signal — but DC-per-VM is 2/3 per VM with
+  // the whole lease loose from day one.
+  obs::TimeSeries& s = recorder.series("cluster/lease/dc",
+                                       {{"lease", std::to_string(id)}});
+  s.record(0.0, 2.0);
+  s.record(1.0, 2.0);
+
+  RebalancePolicy policy;
+  policy.dc_per_vm_threshold = 0.5;  // 2/3 VMs = 0.667 per VM: too loose
+  obs::SloTracker slo;
+  Rebalancer reb(cloud, queue, recorder, policy, /*seed=*/1, &slo);
+  ASSERT_TRUE(slo.declared("rebalance/dc_per_vm"));
+  // Each tick feeds the objective one (bad) sample; once the burn alert
+  // arms, the flat-but-loose lease becomes a candidate.
+  for (int i = 0; i < 12 && reb.migrations().empty(); ++i) {
+    reb.tick();
+    queue.run();
+  }
+  ASSERT_EQ(reb.migrations().size(), 1u);
+  EXPECT_TRUE(reb.migrations()[0].committed);
+  EXPECT_TRUE(slo.any_alerting(queue.now()));
+}
+
+TEST(Rebalancer, ArmedTickerReplaysByteIdenticalTranscripts) {
+  const auto run = [] {
+    Cloud cloud = make_cloud();
+    const LeaseId id = stranded_lease(cloud);
+    sim::EventQueue queue;
+    obs::Recorder recorder;
+    recorder.set_enabled(true);
+    record_drift(recorder, id);
+    RebalancePolicy policy;
+    policy.tick_period = 5.0;
+    Rebalancer reb(cloud, queue, recorder, policy, /*seed=*/7);
+    reb.arm(/*horizon=*/60.0);
+    queue.run();
+    return reb.transcript();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace vcopt::rebalance

@@ -77,10 +77,13 @@ TEST(Journal, WriterEmitsOneCompactLinePerRecord) {
 }
 
 TEST(Journal, MalformedJsonDiagnosticCarriesLineAndColumn) {
+  // The malformed line sits MID-file (a valid record follows), so torn-tail
+  // tolerance does not apply and the parse must fail with a diagnostic.
   std::istringstream in(
       "{\"type\":\"submit\",\"seq\":1,\"id\":1,\"counts\":[1],\"priority\":0,"
       "\"class\":\"batch\",\"time\":0}\n"
-      "{\"type\":\"window\",,}\n");
+      "{\"type\":\"window\",,}\n"
+      "{\"type\":\"release\",\"lease\":1,\"time\":1}\n");
   try {
     parse_journal(in, "test.ndjson");
     FAIL() << "expected std::invalid_argument";
@@ -89,6 +92,97 @@ TEST(Journal, MalformedJsonDiagnosticCarriesLineAndColumn) {
     EXPECT_NE(msg.find("test.ndjson:2:"), std::string::npos) << msg;
     EXPECT_NE(msg.find('^'), std::string::npos) << msg;
   }
+}
+
+TEST(Journal, TornFinalLineWarnsInsteadOfFailing) {
+  // A crash mid-append leaves a truncated final line; everything before it
+  // must still parse.
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.submit(1, Request({1}), SubmitOptions{}, 0, obs::derive_trace_id(1, 0));
+  writer.release(3, 0.5);
+  std::string text = out.str();
+  text += text.substr(0, text.find('\n') / 2);  // torn partial record, no \n
+  std::istringstream in(text);
+  const auto records = parse_journal(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, RecordType::kSubmit);
+  EXPECT_EQ(records[1].type, RecordType::kRelease);
+}
+
+TEST(Journal, ChecksumMismatchMidFileThrows) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.release(1, 0.25);
+  writer.release(2, 0.5);
+  std::string text = out.str();
+  // Corrupt a digit inside the FIRST record's time without breaking the
+  // JSON syntax: the line parses but its checksum no longer matches.
+  const std::size_t pos = text.find("0.25");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 2] = '7';
+  std::istringstream in(text);
+  EXPECT_THROW(parse_journal(in), std::invalid_argument);
+}
+
+TEST(Journal, ChecksumMismatchOnFinalLineIsSkippedWithWarning) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.release(1, 0.25);
+  writer.release(2, 0.5);
+  std::string text = out.str();
+  const std::size_t pos = text.find("0.5");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 2] = '7';  // valid JSON, wrong bytes -> torn final write
+  std::istringstream in(text);
+  const auto records = parse_journal(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].lease, 1u);
+}
+
+TEST(Journal, LegacyLinesWithoutChecksumStillParse) {
+  std::istringstream in(
+      "{\"type\":\"release\",\"lease\":9,\"time\":1.5}\n");
+  const auto records = parse_journal(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, RecordType::kRelease);
+  EXPECT_EQ(records[0].lease, 9u);
+}
+
+TEST(Journal, RebalanceRecordRoundTrips) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.rebalance(2.5, {RebalanceMove{4, 1, 2, 0}, RebalanceMove{4, 3, 2, 1}});
+  std::istringstream in(out.str());
+  const auto records = parse_journal(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, RecordType::kRebalance);
+  EXPECT_EQ(records[0].time, 2.5);
+  ASSERT_EQ(records[0].moves.size(), 2u);
+  EXPECT_EQ(records[0].moves[0].lease, 4u);
+  EXPECT_EQ(records[0].moves[0].from, 1u);
+  EXPECT_EQ(records[0].moves[0].to, 2u);
+  EXPECT_EQ(records[0].moves[0].type, 0u);
+  EXPECT_EQ(records[0].moves[1].from, 3u);
+  EXPECT_EQ(records[0].moves[1].type, 1u);
+}
+
+TEST(Journal, EveryWrittenLineCarriesLenAndSum) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.submit(1, Request({1}), SubmitOptions{}, 0, obs::derive_trace_id(1, 0));
+  writer.window(1, 0.1, "flush", {1}, {});
+  writer.release(1, 0.2);
+  writer.rebalance(0.3, {});
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_NE(line.find("\"len\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"sum\":\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(n, 4u);
 }
 
 TEST(Journal, SchemaViolationNamesTheRecord) {

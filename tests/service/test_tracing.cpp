@@ -157,13 +157,36 @@ TEST(Tracing, LegacyJournalWithoutTraceFieldDerivesTheSameIds) {
     live_grants = grant_stream(std::move(outcomes));
   }
 
-  // Strip every "trace" field, simulating a journal written before tracing.
+  // Strip every "trace" field — and the len/sum integrity fields, which a
+  // journal that old also predates — simulating a pre-tracing journal.
   std::string legacy = journal.str();
   for (std::string::size_type pos; (pos = legacy.find(",\"trace\":\"")) !=
                                    std::string::npos;) {
     legacy.erase(pos, std::string(",\"trace\":\"").size() + 17);
   }
+  // "len"/"sum" may be the first key of a record (sorted keys), so strip
+  // the key/value plus whichever adjacent comma keeps the JSON valid.
+  const auto strip_key = [&](const std::string& key) {
+    for (std::string::size_type pos;
+         (pos = legacy.find("\"" + key + "\":")) != std::string::npos;) {
+      std::string::size_type end = pos + key.size() + 3;
+      if (legacy[end] == '"') {  // quoted value
+        end = legacy.find('"', end + 1) + 1;
+      } else {
+        while (legacy[end] != ',' && legacy[end] != '}') ++end;
+      }
+      if (legacy[pos - 1] == ',') {
+        legacy.erase(pos - 1, end - (pos - 1));
+      } else {
+        legacy.erase(pos, end + 1 - pos);  // key was first: eat the comma after
+      }
+    }
+  };
+  strip_key("len");
+  strip_key("sum");
   ASSERT_EQ(legacy.find("\"trace\""), std::string::npos);
+  ASSERT_EQ(legacy.find("\"len\""), std::string::npos);
+  ASSERT_EQ(legacy.find("\"sum\""), std::string::npos);
 
   Cloud cloud = scenario_cloud(scenario);
   ServiceOptions options;

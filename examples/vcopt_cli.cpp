@@ -66,10 +66,13 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cell/directory.h"
+#include "cell/routed_policy.h"
 #include "fault/fault_sim.h"
 #include "rebalance/rebalance_sim.h"
 #include "obs/metrics.h"
@@ -207,7 +210,18 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
-  const workload::SimScenario sc = workload::paper_sim_scenario(seed, scale);
+  workload::SimScenario sc = workload::paper_sim_scenario(seed, scale);
+  // --racks R --nodes-per-rack P: replace the paper's 30-node topology with
+  // a uniform R×P cloud (random inventory, seeded) — the cell-soak CI job
+  // uses this to drive routed placement on 10k-node clouds.
+  if (flags.count("racks") || flags.count("nodes-per-rack")) {
+    const std::size_t racks = std::stoull(flag(flags, "racks", "3"));
+    const std::size_t npr = std::stoull(flag(flags, "nodes-per-rack", "10"));
+    cluster::Topology topo = cluster::Topology::uniform(racks, npr);
+    util::Rng inv_rng(seed ^ 0x70b0ULL);
+    sc.capacity = workload::random_inventory(topo, sc.catalog, inv_rng, 0, 3);
+    sc.topology = std::move(topo);
+  }
   util::Rng rng(seed ^ 0xc11ULL);
   const int max_per_type = scale == workload::RequestScale::kSmall ? 2 : 4;
   const std::vector<cluster::TimedRequest> trace = [&] {
@@ -223,6 +237,30 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
   }
 
   cluster::Cloud cloud(sc.topology, sc.catalog, sc.capacity);
+
+  // --cells N / --cell-size S: route-then-place (docs/cells.md) — the sim's
+  // policy becomes a RoutedPolicy over a sketch directory that tracks every
+  // capacity mutation (grants, releases, faults, migrations) of this cloud.
+  const std::size_t cells = std::stoull(flag(flags, "cells", "0"));
+  const std::size_t cell_size = std::stoull(flag(flags, "cell-size", "0"));
+  std::unique_ptr<cell::CellDirectory> cell_dir;
+  const auto make_sim_policy =
+      [&]() -> std::unique_ptr<placement::PlacementPolicy> {
+    if (cells == 0 && cell_size == 0) {
+      return placement::make_policy(flag(flags, "policy", "online-heuristic"));
+    }
+    obs::MetricsRegistry::global().set_enabled(true);  // cell/* counters
+    if (!cell_dir) {
+      cell::CellPartitionOptions po;
+      po.target_cells = cells;
+      po.cell_size = cell_size;
+      cell_dir = std::make_unique<cell::CellDirectory>(cloud, po);
+      std::cerr << "cells: " << cell_dir->partition().describe() << "\n";
+    }
+    cell::RoutedPolicyOptions ro;
+    ro.router.shortlist = std::stoull(flag(flags, "route-shortlist", "2"));
+    return std::make_unique<cell::RoutedPolicy>(*cell_dir, ro);
+  };
 
   if (flags.count("fault-profile") || flags.count("rebalance")) {
     const fault::FaultProfile profile =
@@ -250,16 +288,12 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
       ropt.policy.lease_cooldown =
           std::stod(flag(flags, "rebalance-cooldown", "20"));
       ropt.seed = seed;
-      reb = rebalance::run_rebalance_sim(
-          cloud,
-          placement::make_policy(flag(flags, "policy", "online-heuristic")),
-          trace, profile, ropt);
+      reb = rebalance::run_rebalance_sim(cloud, make_sim_policy(), trace,
+                                         profile, ropt);
       res = std::move(reb->fault);
     } else {
-      res = fault::run_fault_sim(
-          cloud,
-          placement::make_policy(flag(flags, "policy", "online-heuristic")),
-          trace, profile, fopt);
+      res = fault::run_fault_sim(cloud, make_sim_policy(), trace, profile,
+                                 fopt);
     }
     if (!write_telemetry_flag(flags, &slo, res.makespan)) return 1;
     if (flags.count("timeline")) {
@@ -275,6 +309,14 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
         std::cerr << "could not write " << flags.at("timeline-out") << "\n";
         return 1;
       }
+    }
+    if (cell_dir) {
+      auto& reg = obs::MetricsRegistry::global();
+      std::cout << "cells:         routed " << reg.counter("cell/routed").value()
+                << ", pruned " << reg.counter("cell/pruned").value()
+                << ", spilled " << reg.counter("cell/spilled").value()
+                << ", flat fallback "
+                << reg.counter("cell/fallback_flat").value() << "\n";
     }
     std::cout << "fault profile: " << profile.describe() << "\n"
               << "served:        " << res.grants.size() << "/" << trace.size()
@@ -306,9 +348,8 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
   }
 
   opt.recorder = &obs::Recorder::global();
-  const sim::ClusterSimResult res = sim::run_cluster_sim(
-      cloud, placement::make_policy(flag(flags, "policy", "online-heuristic")),
-      trace, opt);
+  const sim::ClusterSimResult res =
+      sim::run_cluster_sim(cloud, make_sim_policy(), trace, opt);
   if (!write_telemetry_flag(flags, nullptr, res.makespan)) return 1;
 
   if (flags.count("timeline")) {
@@ -344,6 +385,14 @@ int cmd_sim(const std::map<std::string, std::string>& flags) {
     return 0;
   }
 
+  if (cell_dir) {
+    auto& reg = obs::MetricsRegistry::global();
+    std::cout << "cells:         routed " << reg.counter("cell/routed").value()
+              << ", pruned " << reg.counter("cell/pruned").value()
+              << ", spilled " << reg.counter("cell/spilled").value()
+              << ", flat fallback " << reg.counter("cell/fallback_flat").value()
+              << "\n";
+  }
   std::cout << "served:        " << res.grants.size() << "/" << trace.size()
             << " (rejected " << res.rejected << ", unserved " << res.unserved
             << ")\n"
@@ -390,6 +439,15 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   // --eval-threads=N: snapshot-isolated pipelined evaluation (N workers
   // plan windows against an immutable CloudSnapshot; 0 = serial inline).
   options.eval_threads = std::stoull(flag(flags, "eval-threads", "0"));
+  // --cells N / --cell-size S: sharded cell serving — requests are routed
+  // to a cell at admission and windows close per cell (docs/cells.md).
+  options.cells = std::stoull(flag(flags, "cells", "0"));
+  options.cell_size = std::stoull(flag(flags, "cell-size", "0"));
+  options.route_shortlist =
+      std::stoull(flag(flags, "route-shortlist", "2"));
+  if (options.cell_mode()) {
+    obs::MetricsRegistry::global().set_enabled(true);  // cell/* counters
+  }
   options.clock = service::ClockMode::kVirtual;
   options.recorder = &obs::Recorder::global();
   const std::string disc_name = flag(flags, "discipline", "fifo");
@@ -559,6 +617,14 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     std::cerr << "serve: rebalance passes " << stats.rebalance_passes
               << ", migrations " << stats.rebalance_migrations << "\n";
   }
+  if (options.cell_mode()) {
+    auto& reg = obs::MetricsRegistry::global();
+    std::cerr << "serve: cells routed " << reg.counter("cell/routed").value()
+              << ", pruned " << reg.counter("cell/pruned").value()
+              << ", unroutable " << reg.counter("cell/unroutable").value()
+              << ", window spills "
+              << reg.counter("cell/window_spills").value() << "\n";
+  }
   return 0;
 }
 
@@ -651,6 +717,10 @@ int main(int argc, char** argv) {
     std::cerr << "usage: vcopt_cli <place|sim|serve|export|stats|quickstart> [--flags]\n"
                  "  place: --policy P --seed N --small S --medium M --large L\n"
                  "  sim:   --policy P --seed N --requests K --scale big|medium|small\n"
+                 "         --racks R --nodes-per-rack P (uniform R*P cloud instead\n"
+                 "         of the paper scenario; random seeded inventory)\n"
+                 "         --cells N | --cell-size S [--route-shortlist K]\n"
+                 "         (route-then-place over a sharded cell directory)\n"
                  "         --discipline fifo|priority|smallest-first --csv\n"
                  "         --timeline | --timeline-out=FILE\n"
                  "         --fault-profile none|light|heavy|key=value,...\n"
@@ -659,6 +729,7 @@ int main(int argc, char** argv) {
                  "         [--rebalance-transcript] (self-healing rebalancer)\n"
                  "  serve: NDJSON requests on stdin -> NDJSON outcomes on stdout\n"
                  "         --max-batch B --max-wait S --queue-capacity C\n"
+                 "         --cells N | --cell-size S (per-cell decision windows)\n"
                  "         --discipline fifo|priority|smallest-first --policy P\n"
                  "         --journal FILE --grants-out FILE | --replay FILE\n"
                  "         --stats-interval S (SLO snapshot lines on stderr)\n"

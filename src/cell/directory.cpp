@@ -1,0 +1,187 @@
+#include "cell/directory.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace vcopt::cell {
+
+namespace {
+
+struct DirectoryMetrics {
+  obs::Counter& sketch_updates;
+  obs::Counter& sketch_rebuilds;
+  obs::Gauge& sketch_staleness;
+
+  static DirectoryMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static DirectoryMetrics m{
+        reg.counter("cell/sketch_updates"),
+        reg.counter("cell/sketch_rebuilds"),
+        reg.gauge("cell/sketch_staleness"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+CellDirectory::CellDirectory(cluster::Cloud& cloud,
+                             CellPartitionOptions options)
+    : cloud_(cloud), partition_(cloud.topology(), options) {
+  node_free_ = util::IntMatrix(cloud_.node_count(), cloud_.type_count());
+  rebuild();
+  cloud_.set_capacity_listener(this);
+}
+
+CellDirectory::~CellDirectory() { cloud_.set_capacity_listener(nullptr); }
+
+void CellDirectory::rebuild() {
+  const std::size_t m = cloud_.type_count();
+  for (std::size_t i = 0; i < cloud_.node_count(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      node_free_(i, j) = cloud_.remaining_at(i, j);
+    }
+  }
+  sketches_.clear();
+  sketches_.reserve(partition_.cell_count());
+  for (std::size_t c = 0; c < partition_.cell_count(); ++c) {
+    sketches_.push_back(compute_sketch(c));
+  }
+  DirectoryMetrics::get().sketch_rebuilds.add();
+  DirectoryMetrics::get().sketch_staleness.set(0);
+}
+
+void CellDirectory::mark_validated() {
+  for (CellSketch& s : sketches_) s.validated_version = s.version;
+  DirectoryMetrics::get().sketch_staleness.set(0);
+}
+
+CellSketch CellDirectory::compute_sketch(std::size_t cell) const {
+  const Cell& cl = partition_.cell(cell);
+  const std::size_t m = cloud_.type_count();
+  CellSketch s;
+  s.free_total.assign(m, 0);
+  s.max_free.assign(m, 0);
+  s.rack_free = util::IntMatrix(cl.racks.size(), m);
+  for (std::size_t node : cl.nodes) {
+    const std::size_t lr = partition_.local_rack(cloud_.topology().rack_of(node));
+    for (std::size_t j = 0; j < m; ++j) {
+      const int free = node_free_(node, j);
+      s.free_total[j] += free;
+      s.rack_free(lr, j) += free;
+      if (free > s.max_free[j]) s.max_free[j] = free;
+    }
+  }
+  return s;
+}
+
+const CellSketch& CellDirectory::sketch(std::size_t cell) {
+  CellSketch& s = sketches_.at(cell);
+  if (s.max_dirty) repair_max(cell);
+  return s;
+}
+
+void CellDirectory::repair_max(std::size_t cell) {
+  CellSketch& s = sketches_[cell];
+  const Cell& cl = partition_.cell(cell);
+  const std::size_t m = cloud_.type_count();
+  s.max_free.assign(m, 0);
+  for (std::size_t node : cl.nodes) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (node_free_(node, j) > s.max_free[j]) s.max_free[j] = node_free_(node, j);
+    }
+  }
+  s.max_dirty = false;
+}
+
+std::uint64_t CellDirectory::updates_since_validate() const {
+  std::uint64_t total = 0;
+  for (const CellSketch& s : sketches_) {
+    total += s.version - s.validated_version;
+  }
+  return total;
+}
+
+void CellDirectory::on_capacity_changed(const cluster::Cloud& cloud,
+                                        const std::vector<std::size_t>& nodes) {
+  auto& metrics = DirectoryMetrics::get();
+  const std::size_t m = cloud.type_count();
+  for (std::size_t node : nodes) {
+    const std::size_t c = partition_.cell_of_node(node);
+    CellSketch& s = sketches_[c];
+    const std::size_t lr =
+        partition_.local_rack(cloud.topology().rack_of(node));
+    bool changed = false;
+    bool shrunk = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      const int now = cloud.remaining_at(node, j);
+      const int delta = now - node_free_(node, j);
+      if (delta == 0) continue;
+      node_free_(node, j) = now;
+      s.free_total[j] += delta;
+      s.rack_free(lr, j) += delta;
+      changed = true;
+      if (delta < 0) {
+        shrunk = true;
+      } else if (now > s.max_free[j]) {
+        // A grown slot can only raise the max — exact cheap update.
+        s.max_free[j] = now;
+      }
+    }
+    if (changed) {
+      // A shrunk row may have been the one holding max_free; defer the
+      // rescan to the lazy repair on next read.
+      if (shrunk) s.max_dirty = true;
+      ++s.version;
+      metrics.sketch_updates.add();
+    }
+  }
+  metrics.sketch_staleness.set(static_cast<double>(updates_since_validate()));
+}
+
+check::ValidationResult CellDirectory::validate() const {
+  const std::size_t m = cloud_.type_count();
+  // Ground truth: re-read every node straight from the cloud, bypassing the
+  // node_free_ mirror (which is itself under test).
+  for (std::size_t c = 0; c < partition_.cell_count(); ++c) {
+    const Cell& cl = partition_.cell(c);
+    const CellSketch& s = sketches_[c];
+    std::vector<long long> free_total(m, 0);
+    std::vector<int> max_free(m, 0);
+    util::IntMatrix rack_free(cl.racks.size(), m);
+    for (std::size_t node : cl.nodes) {
+      const std::size_t lr =
+          partition_.local_rack(cloud_.topology().rack_of(node));
+      for (std::size_t j = 0; j < m; ++j) {
+        const int free = cloud_.remaining_at(node, j);
+        free_total[j] += free;
+        rack_free(lr, j) += free;
+        if (free > max_free[j]) max_free[j] = free;
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (free_total[j] != s.free_total[j]) {
+        std::ostringstream os;
+        os << "cell " << c << " sketch free_total[" << j << "] = "
+           << s.free_total[j] << ", ground truth " << free_total[j];
+        return check::invalid(os.str());
+      }
+      if (!s.max_dirty && max_free[j] != s.max_free[j]) {
+        std::ostringstream os;
+        os << "cell " << c << " sketch max_free[" << j << "] = "
+           << s.max_free[j] << ", ground truth " << max_free[j]
+           << " (not marked dirty)";
+        return check::invalid(os.str());
+      }
+    }
+    if (!(rack_free == s.rack_free)) {
+      std::ostringstream os;
+      os << "cell " << c << " sketch rack_free diverged from ground truth";
+      return check::invalid(os.str());
+    }
+  }
+  return check::valid();
+}
+
+}  // namespace vcopt::cell

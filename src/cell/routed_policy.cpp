@@ -1,0 +1,88 @@
+#include "cell/routed_policy.h"
+
+#include <stdexcept>
+
+#include "check/check.h"
+#include "obs/metrics.h"
+
+namespace vcopt::cell {
+
+namespace {
+
+struct PolicyMetrics {
+  obs::Counter& placed_in_winner;
+  obs::Counter& spilled;
+  obs::Counter& fallback_flat;
+
+  static PolicyMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static PolicyMetrics m{
+        reg.counter("cell/placed_in_winner"),
+        reg.counter("cell/spilled"),
+        reg.counter("cell/fallback_flat"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+RoutedPolicy::RoutedPolicy(CellDirectory& directory,
+                           RoutedPolicyOptions options)
+    : directory_(directory), options_(options), router_(options.router) {}
+
+std::optional<placement::Placement> RoutedPolicy::place(
+    const cluster::Request& request, const util::IntMatrix& remaining,
+    const cluster::Topology& topology) {
+  if (remaining.rows() != directory_.node_count() ||
+      topology.node_count() != directory_.node_count()) {
+    throw std::invalid_argument(
+        "RoutedPolicy::place: remaining/topology shape does not match the "
+        "directory's cloud");
+  }
+  VCOPT_VALIDATE(directory_.validate());
+
+  auto& metrics = PolicyMetrics::get();
+  const RouteDecision decision = router_.route(request, directory_);
+  const std::size_t m = remaining.cols();
+
+  // Best-of-shortlist: every shortlisted cell is solved and the lowest-DC
+  // placement wins (ties break toward the router's ranking, so the result
+  // is deterministic).  Solving k small cells is still orders of magnitude
+  // cheaper than one flat scan, and it is what holds routed mean DC within
+  // a few percent of flat — the router's sketch score is a capacity/affinity
+  // signal, not a DC oracle.
+  std::optional<placement::Placement> best;
+  bool best_is_winner = false;
+  for (std::size_t k = 0; k < decision.shortlist.size(); ++k) {
+    const std::size_t c = decision.shortlist[k];
+    const Cell& cl = directory_.partition().cell(c);
+    util::IntMatrix local(cl.nodes.size(), m);
+    for (std::size_t i = 0; i < cl.nodes.size(); ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        local(i, j) = remaining(cl.nodes[i], j);
+      }
+    }
+    std::optional<placement::Placement> placed = inner_.place(
+        request, local, directory_.partition().cell_topology(c));
+    if (!placed) continue;
+    if (best && placed->distance >= best->distance) continue;
+    placement::Placement out;
+    out.allocation = cluster::Allocation(directory_.partition().to_global(
+        c, placed->allocation.counts(), remaining.rows()));
+    out.central = cl.nodes[placed->central];
+    out.distance = placed->distance;
+    best = std::move(out);
+    best_is_winner = k == 0;
+  }
+  if (best) {
+    (best_is_winner ? metrics.placed_in_winner : metrics.spilled).add();
+    return best;
+  }
+
+  if (!options_.flat_fallback) return std::nullopt;
+  metrics.fallback_flat.add();
+  return inner_.place(request, remaining, topology);
+}
+
+}  // namespace vcopt::cell

@@ -1,0 +1,51 @@
+// RoutedPolicy: route-then-place as a drop-in placement::PlacementPolicy.
+// The router shortlists k cells off the directory's sketches, then Algorithm
+// 1 runs on each shortlisted cell's row-slice of `remaining` against the
+// cell's own sub-topology and the lowest-DC result wins (best-of-shortlist;
+// ties break toward the router's ranking).  The local allocation is
+// scattered back to global node ids — intra-cell distances are preserved by
+// construction, so the reported DC needs no correction.  A cell whose fill
+// fails simply drops out (spill); when every shortlisted cell fails — or no
+// cell admits the request — the policy optionally falls back to the flat
+// scan so routing can never refuse a request flat placement would satisfy.
+//
+// With a single-cell partition the slice is the whole matrix and the cell
+// topology is the global one, so the policy is bitwise identical to plain
+// OnlineHeuristic — the property the cell_tests seed sweep pins down.
+#pragma once
+
+#include <memory>
+
+#include "cell/directory.h"
+#include "cell/router.h"
+#include "placement/online_heuristic.h"
+#include "placement/policy.h"
+
+namespace vcopt::cell {
+
+struct RoutedPolicyOptions {
+  CellRouterOptions router;
+  /// Fall back to the flat scan when no shortlisted cell can place the
+  /// request (exactness net for oversized requests spanning cells).
+  bool flat_fallback = true;
+};
+
+class RoutedPolicy : public placement::PlacementPolicy {
+ public:
+  /// The directory must outlive the policy.
+  RoutedPolicy(CellDirectory& directory, RoutedPolicyOptions options = {});
+
+  std::optional<placement::Placement> place(
+      const cluster::Request& request, const util::IntMatrix& remaining,
+      const cluster::Topology& topology) override;
+
+  std::string name() const override { return "routed"; }
+
+ private:
+  CellDirectory& directory_;
+  RoutedPolicyOptions options_;
+  CellRouter router_;
+  placement::OnlineHeuristic inner_;
+};
+
+}  // namespace vcopt::cell

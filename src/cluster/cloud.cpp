@@ -22,6 +22,25 @@ Cloud::Cloud(Topology topology, VmCatalog catalog, util::IntMatrix max_capacity)
   }
 }
 
+void Cloud::notify_one(std::size_t node) {
+  if (listener_ == nullptr) return;
+  listener_->on_capacity_changed(*this, {node});
+}
+
+void Cloud::notify_pair(std::size_t a, std::size_t b) {
+  if (listener_ == nullptr) return;
+  if (a == b) {
+    listener_->on_capacity_changed(*this, {a});
+  } else {
+    listener_->on_capacity_changed(*this, {a, b});
+  }
+}
+
+void Cloud::notify_alloc(const Allocation& alloc) {
+  if (listener_ == nullptr) return;
+  listener_->on_capacity_changed(*this, alloc.used_nodes());
+}
+
 util::IntMatrix Cloud::remaining() const {
   util::IntMatrix rem = inventory_.remaining();
   if (reserved_total_ == 0) return rem;
@@ -49,7 +68,15 @@ LeaseId Cloud::grant(const Request& request, const Allocation& alloc) {
   inventory_.allocate(alloc);  // throws if it does not fit
   const LeaseId id = next_lease_++;
   leases_.emplace(id, alloc);
+  notify_alloc(alloc);
   return id;
+}
+
+int Cloud::remaining_at(std::size_t node, std::size_t type) const {
+  if (node >= node_count() || type >= type_count()) {
+    throw std::out_of_range("Cloud::remaining_at");
+  }
+  return std::max(0, inventory_.remaining_at(node, type) - reserved_(node, type));
 }
 
 void Cloud::release(LeaseId id) {
@@ -57,12 +84,15 @@ void Cloud::release(LeaseId id) {
   if (it == leases_.end()) {
     throw std::invalid_argument("Cloud::release: unknown lease");
   }
-  inventory_.release(it->second);
+  const Allocation alloc = std::move(it->second);
   leases_.erase(it);
+  inventory_.release(alloc);
+  notify_alloc(alloc);
 }
 
 std::vector<LeaseId> Cloud::fail_node(std::size_t node) {
   inventory_.fail_node(node);  // bounds-checks `node`
+  notify_one(node);
   std::vector<LeaseId> affected;
   for (const auto& [id, alloc] : leases_) {
     for (std::size_t j = 0; j < alloc.type_count(); ++j) {
@@ -105,6 +135,7 @@ void Cloud::shrink_lease(LeaseId id, const Allocation& lost) {
       if (lost.at(i, j) != 0) it->second.add(i, j, -lost.at(i, j));
     }
   }
+  notify_alloc(lost);
 }
 
 void Cloud::grow_lease(LeaseId id, const Allocation& extra) {
@@ -123,6 +154,7 @@ void Cloud::grow_lease(LeaseId id, const Allocation& extra) {
       if (extra.at(i, j) != 0) it->second.add(i, j, extra.at(i, j));
     }
   }
+  notify_alloc(extra);
 }
 
 std::uint64_t Cloud::begin_migration(LeaseId lease, std::size_t from,
@@ -150,6 +182,7 @@ std::uint64_t Cloud::begin_migration(LeaseId lease, std::size_t from,
   ++reserved_total_;
   const std::uint64_t ticket = next_migration_++;
   migrations_.emplace(ticket, PendingMigration{lease, from, to, type});
+  notify_one(to);
   return ticket;
 }
 
@@ -187,6 +220,7 @@ bool Cloud::commit_migration(std::uint64_t ticket) {
   alloc.add(m.to, m.type, 1);
   VCOPT_VALIDATE(check::validate_migration_conservation(
       before, alloc.counts(), m.from, m.to, m.type));
+  notify_pair(m.from, m.to);
   return true;
 }
 
@@ -195,9 +229,11 @@ void Cloud::rollback_migration(std::uint64_t ticket) {
   if (it == migrations_.end()) {
     throw std::invalid_argument("Cloud::rollback_migration: unknown ticket");
   }
-  reserved_(it->second.to, it->second.type) -= 1;
+  const std::size_t to = it->second.to;
+  reserved_(to, it->second.type) -= 1;
   --reserved_total_;
   migrations_.erase(it);
+  notify_one(to);
 }
 
 std::vector<LeaseId> Cloud::lease_ids() const {

@@ -19,6 +19,22 @@ namespace vcopt::cluster {
 /// Identifier for a granted virtual cluster (lease).
 using LeaseId = std::uint64_t;
 
+class Cloud;
+
+/// Observer of capacity mutations.  The cell directory registers one so its
+/// per-cell sketches stay incrementally fresh on every grant / release /
+/// fault / drain / lease-resize / migration step without rescanning the
+/// inventory.  Called synchronously after the books are updated; callbacks
+/// must not mutate the cloud.
+class CapacityListener {
+ public:
+  virtual ~CapacityListener() = default;
+  /// `nodes` lists the rows whose effective free capacity may have changed
+  /// (deduplicated, but in mutation order, not sorted).
+  virtual void on_capacity_changed(const Cloud& cloud,
+                                   const std::vector<std::size_t>& nodes) = 0;
+};
+
 class Cloud {
  public:
   /// Capacity matrix rows must match topology.node_count(); columns must
@@ -43,6 +59,16 @@ class Cloud {
   /// inventory().remaining() while no migration is pending.
   util::IntMatrix remaining() const;
 
+  /// One cell of remaining(): free slots of `type` on `node`, net of
+  /// migration reservations, zero while the node is failed or drained.
+  int remaining_at(std::size_t node, std::size_t type) const;
+
+  /// Registers (or clears, with nullptr) the capacity observer.  At most one;
+  /// the caller keeps ownership and must outlive the cloud or deregister.
+  void set_capacity_listener(CapacityListener* listener) {
+    listener_ = listener;
+  }
+
   /// Grants an allocation and records it as a lease.  The allocation must
   /// satisfy the request and fit remaining capacity.
   LeaseId grant(const Request& request, const Allocation& alloc);
@@ -52,8 +78,14 @@ class Cloud {
 
   /// Maintenance control (§VII): a drained node keeps its current leases
   /// but offers no further capacity until undrained.
-  void drain_node(std::size_t node) { inventory_.drain_node(node); }
-  void undrain_node(std::size_t node) { inventory_.undrain_node(node); }
+  void drain_node(std::size_t node) {
+    inventory_.drain_node(node);
+    notify_one(node);
+  }
+  void undrain_node(std::size_t node) {
+    inventory_.undrain_node(node);
+    notify_one(node);
+  }
   bool is_drained(std::size_t node) const { return inventory_.is_drained(node); }
 
   /// Crashes a node: its capacity is revoked until recover_node and the VMs
@@ -62,7 +94,10 @@ class Cloud {
   /// allocations themselves are NOT modified here — a failed-then-recovered
   /// node with no repair in between keeps its VMs.
   std::vector<LeaseId> fail_node(std::size_t node);
-  void recover_node(std::size_t node) { inventory_.recover_node(node); }
+  void recover_node(std::size_t node) {
+    inventory_.recover_node(node);
+    notify_one(node);
+  }
   bool is_failed(std::size_t node) const { return inventory_.is_failed(node); }
 
   /// The slice of a lease's allocation hosted on `node` (zero elsewhere).
@@ -119,6 +154,10 @@ class Cloud {
   std::string describe() const;
 
  private:
+  void notify_one(std::size_t node);
+  void notify_pair(std::size_t a, std::size_t b);
+  void notify_alloc(const Allocation& alloc);
+
   struct PendingMigration {
     LeaseId lease = 0;
     std::size_t from = 0;
@@ -137,6 +176,7 @@ class Cloud {
   int reserved_total_ = 0;
   std::map<std::uint64_t, PendingMigration> migrations_;
   std::uint64_t next_migration_ = 1;
+  CapacityListener* listener_ = nullptr;
 };
 
 }  // namespace vcopt::cluster

@@ -31,22 +31,7 @@ Topology::Topology(std::vector<std::size_t> node_rack,
     rack_nodes_[node_rack_[i]].push_back(i);
   }
   cloud_count_ = 1 + *std::max_element(rack_cloud_.begin(), rack_cloud_.end());
-
-  const std::size_t n = node_rack_.size();
-  dist_ = util::DoubleMatrix(n, n);
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = 0; b < n; ++b) {
-      if (a == b) {
-        dist_(a, b) = cfg_.same_node;
-      } else if (same_rack(a, b)) {
-        dist_(a, b) = cfg_.same_rack;
-      } else if (same_cloud(a, b)) {
-        dist_(a, b) = cfg_.cross_rack;
-      } else {
-        dist_(a, b) = cfg_.cross_cloud;
-      }
-    }
-  }
+  dist_mu_ = std::make_shared<util::Mutex>();
 }
 
 Topology Topology::uniform(std::size_t racks, std::size_t nodes_per_rack,
@@ -85,6 +70,13 @@ std::size_t Topology::cloud_of(std::size_t node) const {
   return rack_cloud_[rack_of(node)];
 }
 
+std::size_t Topology::cloud_of_rack(std::size_t rack) const {
+  if (rack >= rack_cloud_.size()) {
+    throw std::out_of_range("Topology::cloud_of_rack");
+  }
+  return rack_cloud_[rack];
+}
+
 const std::vector<std::size_t>& Topology::nodes_in_rack(std::size_t rack) const {
   if (rack >= rack_nodes_.size()) throw std::out_of_range("Topology::nodes_in_rack");
   return rack_nodes_[rack];
@@ -102,7 +94,40 @@ double Topology::distance(std::size_t a, std::size_t b) const {
   if (a >= node_count() || b >= node_count()) {
     throw std::out_of_range("Topology::distance");
   }
-  return dist_(a, b);
+  if (a == b) return cfg_.same_node;
+  const std::size_t ra = node_rack_[a];
+  const std::size_t rb = node_rack_[b];
+  if (ra == rb) return cfg_.same_rack;
+  if (rack_cloud_[ra] == rack_cloud_[rb]) return cfg_.cross_rack;
+  return cfg_.cross_cloud;
+}
+
+const util::DoubleMatrix& Topology::distance_matrix() const {
+  util::MutexLock lock(*dist_mu_);
+  if (!dist_) {
+    const std::size_t n = node_rack_.size();
+    auto m = std::make_shared<util::DoubleMatrix>(n, n);
+    for (std::size_t a = 0; a < n; ++a) {
+      const std::size_t ra = node_rack_[a];
+      const std::size_t ca = rack_cloud_[ra];
+      for (std::size_t b = 0; b < n; ++b) {
+        const std::size_t rb = node_rack_[b];
+        double d;
+        if (a == b) {
+          d = cfg_.same_node;
+        } else if (ra == rb) {
+          d = cfg_.same_rack;
+        } else if (ca == rack_cloud_[rb]) {
+          d = cfg_.cross_rack;
+        } else {
+          d = cfg_.cross_cloud;
+        }
+        (*m)(a, b) = d;
+      }
+    }
+    dist_ = std::move(m);
+  }
+  return *dist_;
 }
 
 std::string Topology::describe() const {

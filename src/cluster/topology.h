@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/matrix.h"
+#include "util/mutex.h"
 
 namespace vcopt::cluster {
 
@@ -47,15 +49,20 @@ class Topology {
 
   std::size_t rack_of(std::size_t node) const;
   std::size_t cloud_of(std::size_t node) const;
+  std::size_t cloud_of_rack(std::size_t rack) const;
   const std::vector<std::size_t>& nodes_in_rack(std::size_t rack) const;
 
   bool same_rack(std::size_t a, std::size_t b) const;
   bool same_cloud(std::size_t a, std::size_t b) const;
 
-  /// Distance between two nodes per the latency model.
+  /// Distance between two nodes per the latency model.  O(1) from the
+  /// rack/cloud tiers — never touches the dense matrix.
   double distance(std::size_t a, std::size_t b) const;
-  /// The dense n x n matrix D (precomputed at construction).
-  const util::DoubleMatrix& distance_matrix() const { return dist_; }
+  /// The dense n x n matrix D.  Built lazily on first call (an n^2 object —
+  /// 80 GB at 100k nodes — that cell-routed placement never materialises;
+  /// tier-based scans use distance() instead).  Thread-safe; all copies of a
+  /// Topology share one matrix.
+  const util::DoubleMatrix& distance_matrix() const;
 
   const DistanceConfig& distances() const { return cfg_; }
 
@@ -68,7 +75,12 @@ class Topology {
   std::vector<std::vector<std::size_t>> rack_nodes_;
   std::size_t cloud_count_ = 0;
   DistanceConfig cfg_;
-  util::DoubleMatrix dist_;
+  /// Lazily built dense D, shared across copies.  The mutex lives behind a
+  /// shared_ptr so Topology stays copyable; once the inner pointer is set the
+  /// matrix is immutable, so handing out a reference after the lock drops is
+  /// safe.
+  std::shared_ptr<util::Mutex> dist_mu_;
+  mutable std::shared_ptr<const util::DoubleMatrix> dist_;
 };
 
 }  // namespace vcopt::cluster

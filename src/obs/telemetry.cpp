@@ -103,6 +103,46 @@ void render_snapshot_lifecycle(const util::Json& metrics, std::ostream& out) {
   out << "\n";
 }
 
+void render_cells(const util::Json& metrics, std::ostream& out) {
+  // cell/* counters + the sketch-staleness gauge: the route-then-place
+  // sharding layer (docs/cells.md; absent until a routed run records).
+  if (!metrics.is_object() || !metrics.contains("counters")) return;
+  const util::Json& counters = metrics.at("counters");
+  const double routed = counters.number_or("cell/routed", 0);
+  const double updates = counters.number_or("cell/sketch_updates", 0);
+  if (routed == 0 && updates == 0) return;
+  util::TableWriter t({"Routed", "Pruned", "Unroutable", "Winner", "Spilled",
+                       "FlatFallback", "WindowSpills"});
+  t.row()
+      .cell(static_cast<std::size_t>(routed))
+      .cell(static_cast<std::size_t>(counters.number_or("cell/pruned", 0)))
+      .cell(static_cast<std::size_t>(counters.number_or("cell/unroutable", 0)))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("cell/placed_in_winner", 0)))
+      .cell(static_cast<std::size_t>(counters.number_or("cell/spilled", 0)))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("cell/fallback_flat", 0)))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("cell/window_spills", 0)));
+  out << "== Cells ==\n";
+  t.print(out);
+  util::TableWriter s({"Sketch updates", "Rebuilds", "Staleness"});
+  double staleness = 0;
+  if (metrics.contains("gauges")) {
+    const util::Json& gauges = metrics.at("gauges");
+    if (gauges.is_object() && gauges.contains("cell/sketch_staleness")) {
+      staleness = gauges.at("cell/sketch_staleness").number_or("value", 0);
+    }
+  }
+  s.row()
+      .cell(static_cast<std::size_t>(updates))
+      .cell(static_cast<std::size_t>(
+          counters.number_or("cell/sketch_rebuilds", 0)))
+      .cell(static_cast<std::size_t>(staleness));
+  s.print(out);
+  out << "\n";
+}
+
 void render_rebalancer(const util::Json& metrics, std::ostream& out) {
   // rebalance/* counters + the migration-gain histogram: the self-healing
   // rebalancer's round/migration ledger (absent until a rebalancer runs).
@@ -239,6 +279,7 @@ void render_stats(const util::Json& bundle, std::ostream& out) {
   if (bundle.contains("metrics")) {
     render_stage_latency(bundle.at("metrics"), out);
     render_snapshot_lifecycle(bundle.at("metrics"), out);
+    render_cells(bundle.at("metrics"), out);
     render_rebalancer(bundle.at("metrics"), out);
   }
   if (bundle.contains("timeseries")) render_timeseries(bundle.at("timeseries"), out);

@@ -124,12 +124,14 @@ void JournalWriter::submit(std::uint64_t seq, const cluster::Request& request,
 void JournalWriter::window(std::uint64_t window_id, double time,
                            const char* reason,
                            const std::vector<std::uint64_t>& members,
-                           const std::vector<std::uint64_t>& shed) {
+                           const std::vector<std::uint64_t>& shed,
+                           std::size_t cell) {
   JsonObject o;
   o["type"] = "window";
   o["window"] = static_cast<double>(window_id);
   o["time"] = time;
   o["reason"] = reason;
+  if (cell != kNoCell) o["cell"] = static_cast<double>(cell);
   o["members"] = Json(to_json_array(members));
   o["shed"] = Json(to_json_array(shed));
   write(std::move(o));
@@ -247,6 +249,9 @@ std::vector<JournalRecord> parse_journal(std::istream& in,
         rec.type = RecordType::kWindow;
         rec.window_id = u64_at(j, "window");
         rec.reason = j.at("reason").as_string();
+        if (j.contains("cell")) {
+          rec.cell = static_cast<std::size_t>(j.at("cell").as_number());
+        }
         rec.members = from_json_array(j.at("members"));
         rec.shed = from_json_array(j.at("shed"));
       } else if (type == "release") {

@@ -13,7 +13,11 @@
 //    of seq and id), so old journals still replay byte-identically
 //   {"type":"window","window":W,"time":T,"reason":"size|wait|flush",
 //    "members":[seq..],"shed":[seq..]}          — a closed decision window:
-//    `members` in dispatch order, `shed` the deadline-expired entries
+//    `members` in dispatch order, `shed` the deadline-expired entries.
+//    "cell":C appears only for windows routed to a cell (cell-mode serving,
+//    docs/cells.md); replay re-plans the window inside that cell.  Flat
+//    windows — and cell-mode windows whose members no cell admitted — omit
+//    it, so flat journals are byte-identical to pre-cell builds
 //   {"type":"release","lease":L,"time":T}       — a lease returned
 //   {"type":"rebalance","time":T,"moves":[{"from":F,"lease":L,"to":D,
 //    "vmtype":J},..]}                            — a drift-repair pass: the
@@ -70,6 +74,7 @@ struct JournalRecord {
   // kWindow
   std::uint64_t window_id = 0;
   std::string reason;
+  std::size_t cell = kNoCell;  ///< routed cell; kNoCell when absent (flat)
   std::vector<std::uint64_t> members;
   std::vector<std::uint64_t> shed;
   // kRelease
@@ -88,9 +93,11 @@ class JournalWriter {
   void submit(std::uint64_t seq, const cluster::Request& request,
               const SubmitOptions& options, double time,
               std::uint64_t trace_id);
+  /// `cell` = kNoCell omits the record's "cell" field (flat serving).
   void window(std::uint64_t window_id, double time, const char* reason,
               const std::vector<std::uint64_t>& members,
-              const std::vector<std::uint64_t>& shed);
+              const std::vector<std::uint64_t>& shed,
+              std::size_t cell = kNoCell);
   void release(cluster::LeaseId lease, double time);
   void rebalance(double time, const std::vector<RebalanceMove>& moves);
 

@@ -1,10 +1,12 @@
 #include "service/replay.h"
 
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "cell/partition.h"
 #include "obs/trace.h"
 #include "placement/provisioner.h"
 
@@ -34,6 +36,19 @@ ReplayResult replay_journal(const std::vector<JournalRecord>& records,
   VCOPT_TRACE_SPAN("service/replay");
   placement::Provisioner prov(cloud, placement::make_policy(options.policy),
                               options.discipline);
+  // Cell-mode journals: rebuild the partition the live service used (a pure
+  // function of topology + options) so each window record re-plans inside
+  // the cell it names.  No directory/router is needed — routing decisions
+  // are baked into the recorded window membership and cell ids.
+  std::unique_ptr<cell::CellPartition> partition;
+  std::vector<std::vector<int>> cell_cap_sums;
+  if (options.cell_mode()) {
+    cell::CellPartitionOptions po;
+    po.target_cells = options.cells;
+    po.cell_size = options.cell_size;
+    partition = std::make_unique<cell::CellPartition>(cloud.topology(), po);
+    cell_cap_sums = detail::cell_capacity_sums(*partition, cloud);
+  }
   std::map<std::uint64_t, PendingEntry> pending;
   ReplayResult result;
   for (const JournalRecord& rec : records) {
@@ -59,8 +74,13 @@ ReplayResult replay_journal(const std::vector<JournalRecord>& records,
         for (std::uint64_t seq : rec.members) {
           members.push_back(take_pending(pending, seq, rec.window_id));
         }
+        detail::CellPlanContext ctx;
+        ctx.partition = partition.get();
+        ctx.capacity_col_sums = &cell_cap_sums;
+        ctx.cell = rec.cell;
         std::vector<Outcome> outcomes = detail::decide_window(
-            prov, cloud, shed, members, rec.window_id, rec.time, options);
+            prov, cloud, shed, members, rec.window_id, rec.time, options,
+            partition ? &ctx : nullptr);
         ++result.windows;
         for (Outcome& o : outcomes) {
           if (has_lease(o.kind)) result.total_distance += o.distance;

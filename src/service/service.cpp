@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cell/directory.h"
+#include "cell/partition.h"
+#include "cell/router.h"
 #include "check/check.h"
 #include "check/validators.h"
 #include "cluster/sampler.h"
@@ -168,6 +171,17 @@ bool has_lease(OutcomeKind k) {
 
 namespace detail {
 
+std::vector<std::vector<int>> cell_capacity_sums(
+    const cell::CellPartition& partition, const cluster::Cloud& cloud) {
+  const util::IntMatrix& max = cloud.inventory().max_capacity();
+  std::vector<std::vector<int>> sums;
+  sums.reserve(partition.cell_count());
+  for (std::size_t c = 0; c < partition.cell_count(); ++c) {
+    sums.push_back(partition.cell_capacity_col_sums(c, max));
+  }
+  return sums;
+}
+
 std::vector<std::size_t> pick_window(const std::vector<PendingEntry>& pending,
                                      placement::QueueDiscipline discipline,
                                      std::size_t max_batch) {
@@ -199,7 +213,8 @@ WindowPlan plan_window(const cluster::CloudSnapshot& snap,
                        const std::vector<PendingEntry>& shed,
                        const std::vector<PendingEntry>& members,
                        std::uint64_t window_id, double decide_time,
-                       const ServiceOptions& options) {
+                       const ServiceOptions& options,
+                       const CellPlanContext* cell_ctx) {
   VCOPT_TRACE_SPAN("service/plan_window");
   WindowPlan plan;
   plan.window_id = window_id;
@@ -217,6 +232,32 @@ WindowPlan plan_window(const cluster::CloudSnapshot& snap,
   // exactly what the serial path's cloud.remaining() would have shown it.
   util::IntMatrix avail = snap.remaining;
   const cluster::Topology& topology = *snap.topology;
+
+  // Cell-scoped planning (docs/cells.md): when the window was routed to a
+  // cell, every solve below runs on the cell's row-slice of the working view
+  // against the cell's sub-topology (intra-cell distances equal the global
+  // ones, so DC needs no correction) and scatters its allocation back to
+  // global node ids.  The slice is re-taken from `avail` before each solve
+  // so earlier grants in the window are reflected.
+  const bool in_cell = cell_ctx != nullptr && cell_ctx->partition != nullptr &&
+                       cell_ctx->cell != kNoCell;
+  const cell::CellPartition* part = in_cell ? cell_ctx->partition : nullptr;
+  const std::size_t cell_id = in_cell ? cell_ctx->cell : 0;
+  const auto slice_cell = [&](const util::IntMatrix& src) {
+    const cell::Cell& cl = part->cell(cell_id);
+    util::IntMatrix local(cl.nodes.size(), src.cols());
+    for (std::size_t i = 0; i < cl.nodes.size(); ++i) {
+      for (std::size_t j = 0; j < src.cols(); ++j) {
+        local(i, j) = src(cl.nodes[i], j);
+      }
+    }
+    return local;
+  };
+  const auto to_global = [&](placement::Placement& pl) {
+    pl.allocation = cluster::Allocation(
+        part->to_global(cell_id, pl.allocation.counts(), avail.rows()));
+    pl.central = part->cell(cell_id).nodes[pl.central];
+  };
 
   // Batch step (Algorithm 2) for windows of size > 1: every non-empty member
   // goes into place_batch; the per-request ladder picks up whatever the batch
@@ -236,8 +277,14 @@ WindowPlan plan_window(const cluster::CloudSnapshot& snap,
       batch.push_back(members[i].request);
     }
     placement::GlobalSubOpt gso;
-    const placement::BatchPlacement placed =
-        gso.place_batch(batch, avail, topology);
+    placement::BatchPlacement placed;
+    if (in_cell) {
+      const util::IntMatrix local = slice_cell(avail);
+      placed = gso.place_batch(batch, local, part->cell_topology(cell_id));
+      for (placement::Placement& pl : placed.placements) to_global(pl);
+    } else {
+      placed = gso.place_batch(batch, avail, topology);
+    }
     for (std::size_t k = 0; k < placed.admitted.size(); ++k) {
       const std::size_t i = batch_pos[placed.admitted[k]];
       const placement::Placement& pl = placed.placements[k];
@@ -270,10 +317,32 @@ WindowPlan plan_window(const cluster::CloudSnapshot& snap,
   for (std::size_t i = 0; i < members.size(); ++i) {
     if (slot[i]) continue;
     if (!policy) policy = placement::make_policy(options.policy);
-    placement::LadderPlan lp =
-        placement::plan_laddered(members[i].request, avail, topology,
-                                 snap.capacity_col_sums, *policy,
-                                 options.ladder);
+    placement::LadderPlan lp;
+    if (in_cell) {
+      const util::IntMatrix local = slice_cell(avail);
+      lp = placement::plan_laddered(
+          members[i].request, local, part->cell_topology(cell_id),
+          cell_ctx->capacity_col_sums->at(cell_id), *policy, options.ladder);
+      if (lp.placement) {
+        to_global(*lp.placement);
+      } else if (lp.status == placement::PlacementStatus::kAbandoned ||
+                 lp.status ==
+                     placement::PlacementStatus::kRejectedOverCapacity) {
+        // Spill: the cell cannot hold this member at all — retry against the
+        // full capacity view, so routed serving never refuses a request flat
+        // serving would grant (the exactness net of docs/cells.md).
+        static obs::Counter& window_spills =
+            obs::MetricsRegistry::global().counter("cell/window_spills");
+        window_spills.add();
+        lp = placement::plan_laddered(members[i].request, avail, topology,
+                                      snap.capacity_col_sums, *policy,
+                                      options.ladder);
+      }
+    } else {
+      lp = placement::plan_laddered(members[i].request, avail, topology,
+                                    snap.capacity_col_sums, *policy,
+                                    options.ladder);
+    }
     Outcome o;
     o.seq = members[i].seq;
     o.request_id = members[i].request.id();
@@ -334,14 +403,15 @@ std::vector<Outcome> decide_window(placement::Provisioner& prov,
                                    const std::vector<PendingEntry>& shed,
                                    const std::vector<PendingEntry>& members,
                                    std::uint64_t window_id, double decide_time,
-                                   const ServiceOptions& options) {
+                                   const ServiceOptions& options,
+                                   const CellPlanContext* cell_ctx) {
   VCOPT_TRACE_SPAN("service/decide_window");
   (void)prov;  // placement now flows through the shared pure planner
   cluster::SnapshotArena arena;
   const std::shared_ptr<const cluster::CloudSnapshot> snap =
       arena.build(cloud, /*epoch=*/0, decide_time);
-  WindowPlan plan =
-      plan_window(*snap, shed, members, window_id, decide_time, options);
+  WindowPlan plan = plan_window(*snap, shed, members, window_id, decide_time,
+                                options, cell_ctx);
   commit_window(cloud, plan);
   return std::move(plan.outcomes);
 }
@@ -365,6 +435,16 @@ PlacementService::PlacementService(cluster::Cloud& cloud,
   }
   if (options_.journal) {
     journal_ = std::make_unique<JournalWriter>(*options_.journal);
+  }
+  if (options_.cell_mode()) {
+    cell::CellPartitionOptions po;
+    po.target_cells = options_.cells;
+    po.cell_size = options_.cell_size;
+    directory_ = std::make_unique<cell::CellDirectory>(cloud_, po);
+    cell::CellRouterOptions ro;
+    ro.shortlist = std::max<std::size_t>(1, options_.route_shortlist);
+    router_ = std::make_unique<cell::CellRouter>(ro);
+    cell_cap_sums_ = detail::cell_capacity_sums(directory_->partition(), cloud_);
   }
   if (options_.slo.enabled) {
     const ServiceSloOptions& s = options_.slo;
@@ -466,6 +546,16 @@ SubmitReceipt PlacementService::submit(const cluster::Request& r,
   // Request, so the journal (which records SubmitOptions) replays exactly.
   PendingEntry entry{cluster::Request(r.counts(), r.id(), o.priority), o, seq,
                      now, obs::derive_trace_id(seq, r.id())};
+  if (directory_) {
+    // Route-then-place: pick the cell whose sketch scores best for this
+    // request; kNoCell (no cell admits it) plans flat at window close.
+    // Routing is not journaled — replay re-plans inside the cell the window
+    // record names, not whatever a re-route would pick.
+    const cell::RouteDecision route =
+        router_->route(entry.request, *directory_);
+    if (!route.shortlist.empty()) entry.cell = route.shortlist.front();
+  }
+  const std::size_t routed_cell = entry.cell;
   if (journal_) journal_->submit(seq, entry.request, o, now, entry.trace_id);
   pending_.push_back(std::move(entry));
   accepted_seqs_.push_back(seq);
@@ -478,8 +568,8 @@ SubmitReceipt PlacementService::submit(const cluster::Request& r,
   m.stage_admit.observe(seconds_since(admit_start));
 
   if (options_.clock == ClockMode::kVirtual) {
-    if (pending_.size() >= options_.max_batch) {
-      close_window_locked(virtual_now_, "size");
+    if (cell_depth_locked(routed_cell) >= options_.max_batch) {
+      close_window_locked(virtual_now_, "size", routed_cell);
     }
   } else {
     dispatch_cv_.notify_one();
@@ -511,7 +601,9 @@ void PlacementService::flush() {
   util::MutexLock lk(mu_);
   const double now =
       options_.clock == ClockMode::kVirtual ? virtual_now_ : wall_now_locked();
-  while (!pending_.empty()) close_window_locked(now, "flush");
+  while (!pending_.empty()) {
+    close_window_locked(now, "flush", pending_.front().cell);
+  }
   if (pipelined()) wait_pipeline_drained_locked();
 }
 
@@ -527,7 +619,9 @@ void PlacementService::stop() {
     const double now = options_.clock == ClockMode::kVirtual
                            ? virtual_now_
                            : wall_now_locked();
-    while (!pending_.empty()) close_window_locked(now, "flush");
+    while (!pending_.empty()) {
+      close_window_locked(now, "flush", pending_.front().cell);
+    }
     if (pipelined()) {
       // Every closed window must commit before the workers may exit, and
       // before the accepted-vs-decided ledger below can balance.
@@ -619,18 +713,52 @@ void PlacementService::run_windows_until_locked(double t) {
     if (due > t) break;
     // Close at the exact expiry instant, so journal timestamps (and deadline
     // sheds) are independent of how callers chunk their advance_to() calls.
+    // Cell mode: the expiring (oldest) entry's cell is the window that
+    // closes; other cells' entries keep waiting for their own due times.
     virtual_now_ = std::max(virtual_now_, due);
-    close_window_locked(virtual_now_, "wait");
+    close_window_locked(virtual_now_, "wait", pending_.front().cell);
   }
 }
 
+std::size_t PlacementService::cell_depth_locked(std::size_t cell) const {
+  std::size_t n = 0;
+  for (const PendingEntry& e : pending_) {
+    if (e.cell == cell) ++n;
+  }
+  return n;
+}
+
+std::optional<std::size_t> PlacementService::full_cell_locked() const {
+  // Count per cell in admission order and report the first cell to reach
+  // max_batch, so the wall dispatcher's size trigger is deterministic given
+  // the queue contents.  Flat mode: every entry carries kNoCell, so this
+  // reduces to the legacy pending_.size() >= max_batch check.
+  std::map<std::size_t, std::size_t> depth;
+  for (const PendingEntry& e : pending_) {
+    if (++depth[e.cell] >= options_.max_batch) return e.cell;
+  }
+  return std::nullopt;
+}
+
+std::optional<detail::CellPlanContext> PlacementService::make_cell_ctx(
+    std::size_t cell) const {
+  if (!directory_) return std::nullopt;
+  detail::CellPlanContext ctx;
+  ctx.partition = &directory_->partition();
+  ctx.capacity_col_sums = &cell_cap_sums_;
+  ctx.cell = cell;
+  return ctx;
+}
+
 void PlacementService::close_window_locked(double close_time,
-                                           const char* reason) {
+                                           const char* reason,
+                                           std::size_t cell) {
   auto& m = ServiceMetrics::get();
   // Stage metrics only (service/stage/batch|solve|commit).
   const auto batch_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
-  // Deadline sheds come out of the whole pending set, not just this window:
-  // an expired entry must never linger to be "granted" by a later window.
+  // Deadline sheds come out of the whole pending set — every cell's — not
+  // just this window: an expired entry must never linger to be "granted" by
+  // a later window.
   std::vector<PendingEntry> shed;
   std::vector<PendingEntry> live;
   live.reserve(pending_.size());
@@ -641,14 +769,25 @@ void PlacementService::close_window_locked(double close_time,
       live.push_back(std::move(e));
     }
   }
+  // Only entries routed to this window's cell are candidates (flat mode:
+  // every entry carries kNoCell, so the filter keeps the whole queue).
+  std::vector<std::size_t> eligible;
+  std::vector<PendingEntry> candidates;
+  eligible.reserve(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i].cell == cell) {
+      eligible.push_back(i);
+      candidates.push_back(live[i]);
+    }
+  }
   const std::vector<std::size_t> picked =
-      detail::pick_window(live, options_.discipline, options_.max_batch);
+      detail::pick_window(candidates, options_.discipline, options_.max_batch);
   std::vector<bool> taken(live.size(), false);
   std::vector<PendingEntry> members;
   members.reserve(picked.size());
-  for (std::size_t i : picked) {
-    members.push_back(live[i]);
-    taken[i] = true;
+  for (std::size_t k : picked) {
+    members.push_back(live[eligible[k]]);
+    taken[eligible[k]] = true;
   }
   pending_.clear();
   for (std::size_t i = 0; i < live.size(); ++i) {
@@ -666,6 +805,7 @@ void PlacementService::close_window_locked(double close_time,
     task.ticket = next_ticket_++;
     task.close_time = close_time;
     task.reason = reason;
+    task.cell = cell;
     task.shed = std::move(shed);
     task.members = std::move(members);
     ++inflight_windows_;
@@ -682,13 +822,16 @@ void PlacementService::close_window_locked(double close_time,
     shed_seqs.reserve(shed.size());
     for (const PendingEntry& e : members) member_seqs.push_back(e.seq);
     for (const PendingEntry& e : shed) shed_seqs.push_back(e.seq);
-    journal_->window(window_id, close_time, reason, member_seqs, shed_seqs);
+    journal_->window(window_id, close_time, reason, member_seqs, shed_seqs,
+                     cell);
   }
   m.stage_batch.observe(seconds_since(batch_start));
 
   const auto solve_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
+  const std::optional<detail::CellPlanContext> ctx = make_cell_ctx(cell);
   std::vector<Outcome> outcomes = detail::decide_window(
-      prov_, cloud_, shed, members, window_id, close_time, options_);
+      prov_, cloud_, shed, members, window_id, close_time, options_,
+      ctx ? &*ctx : nullptr);
   m.stage_solve.observe(seconds_since(solve_start));
 
   const auto commit_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
@@ -824,7 +967,7 @@ void PlacementService::commit_task_locked(const detail::EvalTask& task,
     for (const PendingEntry& e : task.members) member_seqs.push_back(e.seq);
     for (const PendingEntry& e : task.shed) shed_seqs.push_back(e.seq);
     journal_->window(task.window_id, task.close_time, task.reason, member_seqs,
-                     shed_seqs);
+                     shed_seqs, task.cell);
   }
   detail::commit_window(cloud_, plan);
   if (!plan.grants.empty()) {
@@ -869,10 +1012,13 @@ void PlacementService::eval_loop() {
         snap_.load(std::memory_order_acquire);
     m.snapshot_reuses.add();
     m.snapshot_age.set(task.close_time - snap->build_time);
+    // Ctor-set immutable cell state — safe to read without mu_.
+    const std::optional<detail::CellPlanContext> ctx = make_cell_ctx(task.cell);
+    const detail::CellPlanContext* ctx_ptr = ctx ? &*ctx : nullptr;
     const auto solve_start = std::chrono::steady_clock::now();  // NOLINT(vcopt-wall-clock)
     detail::WindowPlan plan =
         detail::plan_window(*snap, task.shed, task.members, task.window_id,
-                            task.close_time, options_);
+                            task.close_time, options_, ctx_ptr);
     m.stage_solve.observe(seconds_since(solve_start));
     for (;;) {
       bool committed = false;
@@ -896,7 +1042,8 @@ void PlacementService::eval_loop() {
       }
       if (committed) break;
       plan = detail::plan_window(*snap, task.shed, task.members,
-                                 task.window_id, task.close_time, options_);
+                                 task.window_id, task.close_time, options_,
+                                 ctx_ptr);
     }
   }
 }
@@ -908,14 +1055,14 @@ void PlacementService::dispatcher_loop() {
       while (!stopping_ && pending_.empty()) dispatch_cv_.wait(mu_);
       continue;
     }
-    if (pending_.size() >= options_.max_batch) {
-      close_window_locked(wall_now_locked(), "size");
+    if (const std::optional<std::size_t> full = full_cell_locked()) {
+      close_window_locked(wall_now_locked(), "size", *full);
       continue;
     }
     const double due = oldest_pending_locked() + options_.max_wait;
     const double now = wall_now_locked();
     if (now >= due) {
-      close_window_locked(now, "wait");
+      close_window_locked(now, "wait", pending_.front().cell);
       continue;
     }
     const auto wake =

@@ -58,6 +58,11 @@
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
+namespace vcopt::cell {
+class CellDirectory;
+class CellPartition;
+class CellRouter;
+}
 namespace vcopt::cluster {
 class ClusterSampler;
 }
@@ -69,6 +74,10 @@ namespace vcopt::service {
 
 /// "No deadline": infinitely far in the future on the service clock.
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// "Not routed to a cell": flat-mode entries and windows carry this cell id,
+/// as do cell-mode submissions no cell admits (their windows plan flat).
+inline constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
 
 /// Traffic class of a submission; decides who is shed first under pressure.
 enum class RequestClass {
@@ -146,6 +155,9 @@ struct PendingEntry {
   std::uint64_t seq = 0;
   double submit_time = 0;
   std::uint64_t trace_id = 0;  ///< carried through to the Outcome
+  /// Cell the request was routed to at admission (cell mode); kNoCell in
+  /// flat mode and for requests no cell admits.  Windows close per cell.
+  std::size_t cell = kNoCell;
 };
 
 enum class ClockMode {
@@ -229,9 +241,40 @@ struct ServiceOptions {
   std::size_t eval_threads = 0;
   /// Opt-in, journaled drift-repair between decide windows (see above).
   ServiceRebalanceOptions rebalance;
+  /// Sharded cell serving (docs/cells.md): with either knob > 0 the service
+  /// partitions the cloud into rack-aligned cells, routes each accepted
+  /// request to a cell at admission (O(cells) sketch scoring), and closes
+  /// decision windows per cell — so a window's Algorithm 1/2 solve scans one
+  /// cell's rows instead of the whole cloud.  A member its cell cannot hold
+  /// spills to a flat plan over the full capacity view, so routed serving
+  /// never refuses a request flat serving would grant.  Journal window
+  /// records carry the cell id and replay re-plans inside the recorded cell,
+  /// so the replay guarantee is unchanged.  Both zero = flat serving.
+  std::size_t cells = 0;      ///< target cell count (cell::CellPartitionOptions)
+  std::size_t cell_size = 0;  ///< target nodes per cell (alternative knob)
+  std::size_t route_shortlist = 2;  ///< cells the router keeps per request
+  bool cell_mode() const { return cells > 0 || cell_size > 0; }
 };
 
 namespace detail {
+
+/// Cell scope for one window plan (cell mode only).  `partition` and
+/// `capacity_col_sums` are immutable after service construction, so the
+/// context can be read lock-free by pipelined evaluation workers; `cell` is
+/// the window's routed cell (kNoCell = plan flat even in cell mode).
+struct CellPlanContext {
+  const cell::CellPartition* partition = nullptr;
+  /// Per-cell, per-type column sums of the cloud's static max-capacity
+  /// matrix (indexed by cell id) — the over-capacity rung's bound when the
+  /// ladder runs inside a cell.  Precompute with cell_capacity_sums().
+  const std::vector<std::vector<int>>* capacity_col_sums = nullptr;
+  std::size_t cell = kNoCell;
+};
+
+/// Precomputes every cell's per-type max-capacity column sums from the
+/// cloud's (static) max-capacity matrix, for CellPlanContext.
+std::vector<std::vector<int>> cell_capacity_sums(
+    const cell::CellPartition& partition, const cluster::Cloud& cloud);
 
 /// One grant a planned window wants to apply: the (possibly clipped)
 /// request it should be recorded under, the allocation, and which of the
@@ -262,11 +305,15 @@ struct WindowPlan {
 /// singleton and for members the batch step could not admit.  Pure: reads
 /// only the snapshot, mutates nothing, so any number of windows can be
 /// planned concurrently against the same snapshot.
+/// With a non-null `cell_ctx` naming a cell, placements run against the
+/// cell's row-slice and sub-topology and scatter back to global node ids;
+/// members the cell cannot hold spill to a flat plan (docs/cells.md).
 WindowPlan plan_window(const cluster::CloudSnapshot& snap,
                        const std::vector<PendingEntry>& shed,
                        const std::vector<PendingEntry>& members,
                        std::uint64_t window_id, double decide_time,
-                       const ServiceOptions& options);
+                       const ServiceOptions& options,
+                       const CellPlanContext* cell_ctx = nullptr);
 
 /// Applies a plan's grants to the cloud in order, filling each granted
 /// outcome's lease id.  With checks enabled, verifies the window's capacity
@@ -285,7 +332,8 @@ std::vector<Outcome> decide_window(placement::Provisioner& prov,
                                    const std::vector<PendingEntry>& shed,
                                    const std::vector<PendingEntry>& members,
                                    std::uint64_t window_id, double decide_time,
-                                   const ServiceOptions& options);
+                                   const ServiceOptions& options,
+                                   const CellPlanContext* cell_ctx = nullptr);
 
 /// A window enqueued for pipelined evaluation.  `ticket` is its commit slot
 /// in the global close/release order; `reason` is a string literal for the
@@ -295,6 +343,7 @@ struct EvalTask {
   std::uint64_t ticket = 0;
   double close_time = 0;
   const char* reason = "";
+  std::size_t cell = kNoCell;  ///< the window's routed cell (cell mode)
   std::vector<PendingEntry> shed;
   std::vector<PendingEntry> members;
 };
@@ -393,11 +442,22 @@ class PlacementService {
  private:
   double wall_now_locked() const VCOPT_REQUIRES(mu_);
   /// Closes one window at `close_time` (lock held): picks members by
-  /// discipline, sheds expired entries, then either decides it inline
-  /// (serial mode: journals the window record write-ahead, decides,
-  /// publishes the outcomes) or enqueues it for the evaluation pipeline.
-  void close_window_locked(double close_time, const char* reason)
-      VCOPT_REQUIRES(mu_);
+  /// discipline among the entries routed to `cell` (flat mode: every entry
+  /// carries kNoCell, so the filter is a no-op), sheds expired entries from
+  /// the whole queue, then either decides the window inline (serial mode:
+  /// journals the window record write-ahead, decides, publishes the
+  /// outcomes) or enqueues it for the evaluation pipeline.
+  void close_window_locked(double close_time, const char* reason,
+                           std::size_t cell) VCOPT_REQUIRES(mu_);
+  /// Pending entries routed to `cell` (flat mode: the whole queue depth).
+  std::size_t cell_depth_locked(std::size_t cell) const VCOPT_REQUIRES(mu_);
+  /// The first cell (in admission order) whose pending count reached
+  /// max_batch, if any — the wall dispatcher's size trigger.
+  std::optional<std::size_t> full_cell_locked() const VCOPT_REQUIRES(mu_);
+  /// Cell scope for a window routed to `cell`; nullopt outside cell mode.
+  /// Reads only ctor-set immutable state, so it is safe from any thread
+  /// (the pipelined evaluation workers call it without mu_).
+  std::optional<detail::CellPlanContext> make_cell_ctx(std::size_t cell) const;
   /// Virtual mode: closes every window due at or before `t` (lock held).
   void run_windows_until_locked(double t) VCOPT_REQUIRES(mu_);
   double oldest_pending_locked() const VCOPT_REQUIRES(mu_);
@@ -438,6 +498,15 @@ class PlacementService {
   util::CondVar dispatch_cv_;  // wakes the wall-mode dispatcher
   util::CondVar decided_cv_;   // wakes submit_and_wait callers
   placement::Provisioner prov_ VCOPT_GUARDED_BY(mu_);
+  // Sharded cell serving (options_.cell_mode(); all null/empty otherwise).
+  // Set once in the ctor before any worker thread starts.  The directory's
+  // sketches mutate whenever the cloud's capacity does — and every capacity
+  // mutation here happens under mu_ — while the partition it owns (and the
+  // precomputed capacity sums) are immutable, so evaluation workers read
+  // them lock-free through CellPlanContext.
+  std::unique_ptr<cell::CellDirectory> directory_;
+  std::unique_ptr<cell::CellRouter> router_;
+  std::vector<std::vector<int>> cell_cap_sums_;
   std::unique_ptr<JournalWriter> journal_ VCOPT_GUARDED_BY(mu_)
       VCOPT_PT_GUARDED_BY(mu_);
   std::vector<PendingEntry> pending_ VCOPT_GUARDED_BY(mu_);

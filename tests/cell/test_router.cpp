@@ -1,0 +1,129 @@
+// CellRouter properties: pruning is exactly the set of cells whose sketch
+// bound rejects the request (provably lossless — the bound is exact
+// feasibility), the shortlist is deterministic and ordered best-first, and
+// rack-affinity outranks capacity-only fits.
+#include "cell/router.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/directory.h"
+#include "cluster/cloud.h"
+#include "cluster/topology.h"
+#include "cluster/vm_type.h"
+#include "placement/online_heuristic.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vcopt::cell {
+namespace {
+
+using cluster::Cloud;
+using cluster::Request;
+using cluster::Topology;
+using cluster::VmCatalog;
+
+Cloud make_cloud(std::uint64_t seed, int min_inv = 1, int max_inv = 3) {
+  const Topology topo = Topology::uniform(8, 4);
+  const VmCatalog catalog = VmCatalog::ec2_default();
+  util::Rng rng(seed);
+  util::IntMatrix cap =
+      workload::random_inventory(topo, catalog, rng, min_inv, max_inv);
+  return Cloud(topo, catalog, cap);
+}
+
+TEST(CellRouter, PruneCountMatchesExactBound) {
+  Cloud cloud = make_cloud(21);
+  CellPartitionOptions po;
+  po.target_cells = 4;
+  CellDirectory dir(cloud, po);
+  CellRouter router({/*shortlist=*/2});
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const Request r =
+        workload::random_request(cloud.catalog(), rng, 0, 5, i + 1);
+    std::size_t inadmissible = 0;
+    for (std::size_t c = 0; c < dir.cell_count(); ++c) {
+      if (!dir.sketch(c).admits(r)) ++inadmissible;
+    }
+    const RouteDecision d = router.route(r, dir);
+    EXPECT_EQ(d.pruned, inadmissible) << r.describe();
+    EXPECT_LE(d.shortlist.size(), 2u);
+    for (std::size_t c : d.shortlist) {
+      EXPECT_TRUE(dir.sketch(c).admits(r)) << "shortlisted cell " << c;
+    }
+  }
+}
+
+TEST(CellRouter, PrunedCellsTrulyCannotPlace) {
+  // Scarce inventory so some cells genuinely cannot host the larger draws.
+  Cloud cloud = make_cloud(33, 0, 2);
+  CellPartitionOptions po;
+  po.target_cells = 4;
+  CellDirectory dir(cloud, po);
+  placement::OnlineHeuristic flat;
+  const util::IntMatrix remaining = cloud.remaining();
+  util::Rng rng(2);
+  int pruned_checked = 0;
+  for (int i = 0; i < 60; ++i) {
+    const Request r =
+        workload::random_request(cloud.catalog(), rng, 2, 10, i + 1);
+    for (std::size_t c = 0; c < dir.cell_count(); ++c) {
+      if (dir.sketch(c).admits(r)) continue;
+      // The router would prune this cell; Algorithm 1 on its row slice must
+      // indeed fail, so pruning never discards a feasible cell.
+      const Cell& cl = dir.partition().cell(c);
+      util::IntMatrix local(cl.nodes.size(), remaining.cols());
+      for (std::size_t n = 0; n < cl.nodes.size(); ++n) {
+        for (std::size_t j = 0; j < remaining.cols(); ++j) {
+          local(n, j) = remaining(cl.nodes[n], j);
+        }
+      }
+      EXPECT_FALSE(
+          flat.place(r, local, dir.partition().cell_topology(c)).has_value())
+          << "pruned cell " << c << " placed " << r.describe();
+      ++pruned_checked;
+    }
+  }
+  EXPECT_GT(pruned_checked, 0) << "storm never produced a pruned cell";
+}
+
+TEST(CellRouter, ShortlistIsDeterministicAndBestFirst) {
+  Cloud cloud = make_cloud(44);
+  CellPartitionOptions po;
+  po.target_cells = 4;
+  CellDirectory dir(cloud, po);
+  CellRouter router({/*shortlist=*/3});
+  util::Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const Request r =
+        workload::random_request(cloud.catalog(), rng, 0, 4, i + 1);
+    const RouteDecision a = router.route(r, dir);
+    const RouteDecision b = router.route(r, dir);
+    EXPECT_EQ(a.shortlist, b.shortlist);
+    EXPECT_EQ(a.pruned, b.pruned);
+    // Winner-first: a cell with a whole-rack fit must outrank one without.
+    if (a.shortlist.size() >= 2) {
+      const bool winner_rack = dir.sketch(a.shortlist[0]).rack_admits(r);
+      const bool runner_rack = dir.sketch(a.shortlist[1]).rack_admits(r);
+      EXPECT_TRUE(winner_rack || !runner_rack)
+          << "rack-affine cell ranked below a rackless one";
+    }
+  }
+}
+
+TEST(CellRouter, ShortlistCapRespected) {
+  Cloud cloud = make_cloud(55);
+  CellPartitionOptions po;
+  po.target_cells = 6;
+  CellDirectory dir(cloud, po);
+  CellRouter one({/*shortlist=*/1});
+  const Request tiny({1, 0, 0}, 1);
+  const RouteDecision d = one.route(tiny, dir);
+  EXPECT_EQ(d.shortlist.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vcopt::cell

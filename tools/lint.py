@@ -88,7 +88,8 @@ FIXTURE_DIRS = ("tests/lint/fixtures", "tests/check/compile_fail")
 
 # Replay-critical code: everything here must be deterministic given the
 # journal / seed (docs/service.md, docs/correctness.md).
-REPLAY_DIRS = ("src/service/", "src/fault/", "src/sim/", "src/rebalance/")
+REPLAY_DIRS = ("src/service/", "src/fault/", "src/sim/", "src/rebalance/",
+               "src/cell/")
 
 # Files allowed to talk to the terminal directly: the logging backend is
 # the single choke point all other src/ code must route through.
